@@ -1,0 +1,51 @@
+// Shared helpers for the figure-reproduction harnesses (see DESIGN.md
+// experiment index). Each harness runs argument-free at laptop scale;
+// environment variables scale runs up to paper scale (EXPERIMENTS.md).
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "topology/topology.hpp"
+#include "workload/trace_io.hpp"
+
+namespace spider::bench {
+
+inline void banner(const std::string& experiment_id,
+                   const std::string& paper_artifact,
+                   const std::string& expectation) {
+  std::cout << "==============================================================="
+               "=\n"
+            << experiment_id << " — " << paper_artifact << '\n'
+            << "paper expectation: " << expectation << '\n'
+            << "==============================================================="
+               "=\n";
+}
+
+/// The §6.1 ISP workload at bench scale. Defaults keep the network loaded
+/// the way the paper's 200 s saturated runs are; SPIDER_TXNS /
+/// SPIDER_TX_RATE / SPIDER_CAPACITY_XRP scale to paper size
+/// (200000 / 1000 / 30000).
+struct IspSetup {
+  Graph graph;
+  std::vector<PaymentSpec> trace;
+  SpiderConfig config;
+};
+
+inline IspSetup isp_setup(std::uint64_t traffic_seed = 1) {
+  IspSetup setup{
+      isp_topology(xrp(env_int("SPIDER_CAPACITY_XRP", 3000)),
+                   static_cast<std::uint64_t>(env_int("SPIDER_SEED", 1))),
+      {},
+      {}};
+  const SpiderNetwork net(setup.graph, setup.config);
+  TrafficConfig traffic;
+  traffic.tx_per_second = env_double("SPIDER_TX_RATE", 400.0);
+  traffic.seed = traffic_seed;
+  setup.trace =
+      net.synthesize_workload(env_int("SPIDER_TXNS", 6000), traffic);
+  return setup;
+}
+
+}  // namespace spider::bench

@@ -1,0 +1,36 @@
+// E16 — Routing-fee overhead per scheme (§2 intermediary fees; §4.1 "we
+// expect the routing cost for non-atomic payments to be cheaper"; §7 fee
+// economics).
+//
+// With a per-intermediary fee of base + rate×amount, schemes that split
+// payments across more/longer paths accrue more fees per delivered XRP,
+// while atomic single-shot schemes deliver less overall. The table shows
+// the delivered-volume-vs-fee trade-off each scheme strikes.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace spider;
+  bench::banner("E16", "routing-fee overhead across schemes",
+                "Spider buys its extra delivered volume with longer, "
+                "multi-path routes; fee per delivered XRP quantifies it");
+
+  bench::IspSetup setup = bench::isp_setup(/*traffic_seed=*/11);
+  setup.config.sim.fee_base = xrp_from_double(0.01);  // 0.01 XRP per hop
+  setup.config.sim.fee_rate = 0.001;                  // +0.1% of the unit
+
+  Table table({"scheme", "success_volume", "delivered_xrp",
+               "fees_accrued_xrp", "fee_per_1000_delivered",
+               "mean_hops/unit"});
+  for (Scheme scheme : paper_schemes()) {
+    const SpiderNetwork net(setup.graph, setup.config);
+    const SimMetrics m = net.run(scheme, setup.trace);
+    table.add_row({scheme_name(scheme), Table::pct(m.success_volume()),
+                   Table::num(to_xrp(m.delivered_volume), 0),
+                   Table::num(to_xrp(m.fees_accrued), 1),
+                   Table::num(m.fee_per_kilo_delivered(), 3),
+                   Table::num(m.chunk_hops.mean(), 2)});
+  }
+  std::cout << table.render();
+  maybe_write_csv("fee_overhead", table);
+  return 0;
+}

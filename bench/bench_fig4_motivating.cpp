@@ -1,0 +1,68 @@
+// E3 — Fig. 4: the motivating example. Shortest-path balanced routing vs
+// optimal balanced routing on the 5-node topology of §5.1.
+//
+// Paper: the drawn instance routes 5 units with shortest-path balanced
+// routing and 8 with optimal balanced routing (= ν(C*)), out of 12 demanded.
+// The instance is reconstructed from the paper's stated facts (DESIGN.md);
+// the reconstruction matches total demand (12), ν(C*) (8) and the Fig. 5b
+// circulation weights exactly, and shows the same qualitative gap —
+// shortest-path balanced routing achieves 7 on our instance.
+#include "bench_common.hpp"
+#include "fluid/circulation.hpp"
+#include "fluid/routing_lp.hpp"
+
+namespace spider {
+namespace {
+
+PaymentGraph motivating_demands() {
+  PaymentGraph pg(5);
+  pg.add_demand(0, 1, 1);  // paper 1->2
+  pg.add_demand(0, 4, 1);  // 1->5
+  pg.add_demand(1, 3, 2);  // 2->4
+  pg.add_demand(3, 0, 2);  // 4->1
+  pg.add_demand(4, 0, 2);  // 5->1
+  pg.add_demand(2, 1, 2);  // 3->2
+  pg.add_demand(3, 2, 1);  // 4->3
+  pg.add_demand(2, 3, 1);  // 3->4
+  return pg;
+}
+
+}  // namespace
+}  // namespace spider
+
+int main() {
+  using namespace spider;
+  bench::banner("E3", "Fig. 4 — balanced routing on the motivating example",
+                "shortest-path balanced < optimal balanced = max circulation"
+                " (paper instance: 5 < 8 of 12 demanded)");
+
+  const Graph g = motivating_example_topology(xrp(1'000'000));
+  const PaymentGraph demands = motivating_demands();
+
+  const RoutingLp shortest =
+      RoutingLp::with_disjoint_paths(g, demands, /*delta=*/1.0, /*k=*/1);
+  const FluidSolution sp = shortest.solve_balanced();
+
+  const RoutingLp all = RoutingLp::with_all_paths(g, demands, 1.0, 4);
+  const FluidSolution optimal = all.solve_balanced();
+
+  const double nu = max_circulation_value(demands);
+
+  Table table({"routing", "throughput_units", "paper_value"});
+  table.add_row({"Shortest-path balanced (Fig. 4b)",
+                 Table::num(sp.throughput, 2), "5 (their instance)"});
+  table.add_row({"Optimal balanced (Fig. 4c)",
+                 Table::num(optimal.throughput, 2), "8"});
+  table.add_row({"Max circulation nu(C*)", Table::num(nu, 2), "8"});
+  table.add_row({"Total demand", Table::num(demands.total_demand(), 2),
+                 "12"});
+  std::cout << table.render();
+  maybe_write_csv("fig4_motivating", table);
+
+  std::cout << "\nOptimal balanced routing achieves "
+            << Table::pct(optimal.throughput / demands.total_demand())
+            << " of demand (paper: 8/12 = 66.7%); the remaining DAG "
+               "component is unroutable without on-chain rebalancing "
+               "(Prop. 1).\n";
+  return 0;
+}

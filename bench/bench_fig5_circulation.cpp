@@ -1,0 +1,54 @@
+// E4 — Fig. 5: decomposition of the motivating payment graph into its
+// maximum circulation and DAG components.
+//
+// Paper: the 12-unit payment graph decomposes into a circulation of value 8
+// (Fig. 5b) and a DAG of value 4 (Fig. 5c).
+#include "bench_common.hpp"
+#include "fluid/circulation.hpp"
+
+int main() {
+  using namespace spider;
+  bench::banner("E4", "Fig. 5 — payment graph decomposition",
+                "12 = circulation 8 + DAG 4; DAG acyclic; circulation "
+                "balanced at every node");
+
+  PaymentGraph pg(5);
+  pg.add_demand(0, 1, 1);
+  pg.add_demand(0, 4, 1);
+  pg.add_demand(1, 3, 2);
+  pg.add_demand(3, 0, 2);
+  pg.add_demand(4, 0, 2);
+  pg.add_demand(2, 1, 2);
+  pg.add_demand(3, 2, 1);
+  pg.add_demand(2, 3, 1);
+
+  const CirculationDecomposition d = decompose_payment_graph(pg);
+
+  Table summary({"quantity", "measured", "paper"});
+  summary.add_row({"total demand", Table::num(pg.total_demand(), 2), "12"});
+  summary.add_row({"max circulation nu(C*)", Table::num(d.value, 2), "8"});
+  summary.add_row({"DAG remainder", Table::num(d.dag.total_demand(), 2),
+                   "4"});
+  summary.add_row({"circulation fraction",
+                   Table::pct(circulation_fraction(pg)), "66.7%"});
+  summary.add_row({"greedy cycle-stripping (lower bound)",
+                   Table::num(greedy_circulation_value(pg), 2), "<= 8"});
+  std::cout << summary.render();
+  maybe_write_csv("fig5_circulation", summary);
+
+  Table edges({"edge (paper ids)", "demand", "circulation", "dag"});
+  const auto paper_node = [](NodeId n) { return std::to_string(n + 1); };
+  for (const DemandEdge& e : pg.edges()) {
+    edges.add_row({paper_node(e.src) + "->" + paper_node(e.dst),
+                   Table::num(e.rate, 1),
+                   Table::num(d.circulation.demand(e.src, e.dst), 1),
+                   Table::num(d.dag.demand(e.src, e.dst), 1)});
+  }
+  std::cout << "\nPer-edge decomposition (cf. Fig. 5b/5c):\n"
+            << edges.render();
+  std::cout << "\ncirculation is a circulation: "
+            << (d.circulation.is_circulation(1e-6) ? "yes" : "NO")
+            << "; remainder is acyclic: "
+            << (d.dag.is_acyclic(1e-6) ? "yes" : "NO") << '\n';
+  return 0;
+}

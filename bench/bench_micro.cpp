@@ -1,0 +1,145 @@
+// E11 — Substrate microbenchmarks (google-benchmark).
+//
+// Quantifies the §3 overhead claim for max-flow routing (O(|V|·|E|^2) per
+// transaction) against the cheap per-payment work of Spider's schemes, plus
+// the cost of the offline machinery (K-shortest paths, simplex, circulation
+// LP) and the simulator's raw event rate.
+#include <benchmark/benchmark.h>
+
+#include "core/spider.hpp"
+#include "fluid/circulation.hpp"
+#include "graph/ksp.hpp"
+#include "graph/maxflow.hpp"
+#include "lp/simplex.hpp"
+#include "routing/waterfilling_router.hpp"
+#include "sim/simulator.hpp"
+#include "topology/topology.hpp"
+
+namespace spider {
+namespace {
+
+std::vector<Arc> balance_arcs(const Network& net) {
+  std::vector<Arc> arcs;
+  const Graph& g = net.graph();
+  arcs.reserve(static_cast<std::size_t>(g.num_edges()) * 2);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Channel& ch = net.channel(e);
+    arcs.push_back(Arc{ch.endpoint(0), ch.endpoint(1), ch.balance(0)});
+    arcs.push_back(Arc{ch.endpoint(1), ch.endpoint(0), ch.balance(1)});
+  }
+  return arcs;
+}
+
+void BM_DinicIsp(benchmark::State& state) {
+  const Graph g = isp_topology(xrp(30000));
+  const Network net(g);
+  const auto arcs = balance_arcs(net);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(dinic_max_flow(g.num_nodes(), arcs, 8, 30));
+}
+BENCHMARK(BM_DinicIsp);
+
+void BM_EdmondsKarpIsp(benchmark::State& state) {
+  const Graph g = isp_topology(xrp(30000));
+  const Network net(g);
+  const auto arcs = balance_arcs(net);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        edmonds_karp_max_flow(g.num_nodes(), arcs, 8, 30));
+}
+BENCHMARK(BM_EdmondsKarpIsp);
+
+void BM_DinicRippleLike(benchmark::State& state) {
+  const Graph g =
+      ripple_like_topology(static_cast<NodeId>(state.range(0)), xrp(30000),
+                           3);
+  const Network net(g);
+  const auto arcs = balance_arcs(net);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        dinic_max_flow(g.num_nodes(), arcs, 0, g.num_nodes() - 1));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DinicRippleLike)->Arg(64)->Arg(256)->Arg(1024)->Complexity();
+
+void BM_EdgeDisjointK4(benchmark::State& state) {
+  const Graph g = isp_topology(xrp(30000));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(edge_disjoint_paths(g, 9, 27, 4));
+}
+BENCHMARK(BM_EdgeDisjointK4);
+
+void BM_YenK4(benchmark::State& state) {
+  const Graph g = isp_topology(xrp(30000));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(yen_k_shortest_paths(g, 9, 27, 4));
+}
+BENCHMARK(BM_YenK4);
+
+void BM_WaterfillAllocation(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<Amount> caps(4);
+  for (Amount& c : caps) c = rng.uniform_int(0, xrp(1000));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(waterfill(xrp(170), caps));
+}
+BENCHMARK(BM_WaterfillAllocation);
+
+void BM_SimplexRoutingLpIsp(benchmark::State& state) {
+  const Graph g = isp_topology(xrp(30000));
+  // Demand matrix over the first 12 nodes (all pairs), rate 1 each.
+  PaymentGraph demands(g.num_nodes());
+  for (NodeId i = 0; i < 12; ++i)
+    for (NodeId j = 0; j < 12; ++j)
+      if (i != j) demands.add_demand(i, j, 1.0);
+  for (auto _ : state) {
+    const RoutingLp lp = RoutingLp::with_disjoint_paths(g, demands, 0.5, 4);
+    benchmark::DoNotOptimize(lp.solve_balanced());
+  }
+}
+BENCHMARK(BM_SimplexRoutingLpIsp)->Unit(benchmark::kMillisecond);
+
+void BM_MaxCirculationLp(benchmark::State& state) {
+  Rng rng(5);
+  PaymentGraph demands(24);
+  for (int i = 0; i < 80; ++i) {
+    const auto s = static_cast<NodeId>(rng.uniform_int(0, 23));
+    const auto t = static_cast<NodeId>(rng.uniform_int(0, 23));
+    if (s == t) continue;
+    demands.add_demand(s, t, rng.uniform(0.5, 2.0));
+  }
+  for (auto _ : state)
+    benchmark::DoNotOptimize(max_circulation_value(demands));
+}
+BENCHMARK(BM_MaxCirculationLp)->Unit(benchmark::kMillisecond);
+
+void BM_SimulatorWaterfilling1k(benchmark::State& state) {
+  const Graph g = isp_topology(xrp(3000));
+  SpiderConfig config;
+  const SpiderNetwork net(g, config);
+  TrafficConfig traffic;
+  traffic.tx_per_second = 400;
+  const auto trace = net.synthesize_workload(1000, traffic);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(net.run(Scheme::kSpiderWaterfilling, trace));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_SimulatorWaterfilling1k)->Unit(benchmark::kMillisecond);
+
+void BM_SimulatorMaxFlow1k(benchmark::State& state) {
+  const Graph g = isp_topology(xrp(3000));
+  SpiderConfig config;
+  const SpiderNetwork net(g, config);
+  TrafficConfig traffic;
+  traffic.tx_per_second = 400;
+  const auto trace = net.synthesize_workload(1000, traffic);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(net.run(Scheme::kMaxFlow, trace));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_SimulatorMaxFlow1k)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace spider

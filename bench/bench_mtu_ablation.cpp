@@ -1,0 +1,38 @@
+// E10 — Transaction-unit size (MTU) ablation (§4).
+//
+// Spider bounds every transaction unit by an MTU. Small units give fine
+// rate-control granularity but need more queue polls per payment (latency);
+// an unbounded unit degenerates toward circuit switching. The sweep
+// quantifies that trade-off for Spider (Waterfilling).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace spider;
+  bench::banner("E10", "MTU (transaction-unit size) ablation",
+                "small MTUs pace payments across polls (higher latency); "
+                "success is stable until the MTU starves the deadline");
+
+  bench::IspSetup setup = bench::isp_setup(/*traffic_seed=*/6);
+
+  Table table({"mtu_xrp", "success_ratio", "success_volume",
+               "mean_latency_s", "chunks/payment"});
+  for (int mtu_xrp : {0, 2000, 500, 100, 25}) {
+    SpiderConfig config = setup.config;
+    config.sim.mtu = mtu_xrp == 0 ? 0 : xrp(mtu_xrp);
+    const SpiderNetwork net(setup.graph, config);
+    const SimMetrics m = net.run(Scheme::kSpiderWaterfilling, setup.trace);
+    const double chunks =
+        m.attempted_count == 0
+            ? 0.0
+            : static_cast<double>(m.chunks_sent) /
+                  static_cast<double>(m.attempted_count);
+    table.add_row({mtu_xrp == 0 ? "unbounded" : std::to_string(mtu_xrp),
+                   Table::pct(m.success_ratio()),
+                   Table::pct(m.success_volume()),
+                   Table::num(m.completion_latency_s.mean(), 3),
+                   Table::num(chunks, 2)});
+  }
+  std::cout << table.render();
+  maybe_write_csv("mtu_ablation", table);
+  return 0;
+}

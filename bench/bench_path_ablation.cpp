@@ -1,0 +1,39 @@
+// E9 — Path-set ablation (§5.3.1 leaves path selection open; §6.1 fixes
+// K = 4 edge-disjoint shortest paths).
+//
+// Sweeps the number of candidate paths K and the selection strategy
+// (edge-disjoint vs Yen's K-shortest) for Spider (Waterfilling).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace spider;
+  bench::banner("E9", "path-selection ablation for waterfilling",
+                "more paths help up to the topology's diversity; "
+                "edge-disjoint selection avoids self-interference");
+
+  bench::IspSetup setup = bench::isp_setup(/*traffic_seed=*/5);
+
+  Table table({"selection", "K", "success_ratio", "success_volume",
+               "chunks/payment"});
+  for (PathSelection selection :
+       {PathSelection::kEdgeDisjoint, PathSelection::kYen}) {
+    for (int k : {1, 2, 4, 8}) {
+      SpiderConfig config = setup.config;
+      config.num_paths = k;
+      config.path_selection = selection;
+      const SpiderNetwork net(setup.graph, config);
+      const SimMetrics m = net.run(Scheme::kSpiderWaterfilling, setup.trace);
+      const double chunks =
+          m.attempted_count == 0
+              ? 0.0
+              : static_cast<double>(m.chunks_sent) /
+                    static_cast<double>(m.attempted_count);
+      table.add_row({path_selection_name(selection), std::to_string(k),
+                     Table::pct(m.success_ratio()),
+                     Table::pct(m.success_volume()), Table::num(chunks, 2)});
+    }
+  }
+  std::cout << table.render();
+  maybe_write_csv("path_ablation", table);
+  return 0;
+}

@@ -1,0 +1,36 @@
+// E8 — Scheduling ablation (§4.2 service classes, §6.1/§6.2 SRPT claim).
+//
+// Paper: splitting payments into units and scheduling the pending queue by
+// SRPT buys ~10% success ratio even for plain shortest-path routing. We
+// sweep all four queue disciplines for both non-atomic Spider-side schemes.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace spider;
+  bench::banner("E8", "scheduling ablation — SRPT vs FIFO/LIFO/EDF",
+                "SRPT completes the most payments (ratio); volume is less "
+                "sensitive (SRPT favours small payments)");
+
+  bench::IspSetup setup = bench::isp_setup(/*traffic_seed=*/4);
+
+  Table table({"scheme", "scheduler", "success_ratio", "success_volume",
+               "mean_latency_s"});
+  for (Scheme scheme :
+       {Scheme::kShortestPath, Scheme::kSpiderWaterfilling}) {
+    for (SchedulerPolicy policy :
+         {SchedulerPolicy::kSrpt, SchedulerPolicy::kFifo,
+          SchedulerPolicy::kLifo, SchedulerPolicy::kEdf}) {
+      SpiderConfig config = setup.config;
+      config.sim.scheduler = policy;
+      const SpiderNetwork net(setup.graph, config);
+      const SimMetrics m = net.run(scheme, setup.trace);
+      table.add_row({scheme_name(scheme), scheduler_policy_name(policy),
+                     Table::pct(m.success_ratio()),
+                     Table::pct(m.success_volume()),
+                     Table::num(m.completion_latency_s.mean(), 3)});
+    }
+  }
+  std::cout << table.render();
+  maybe_write_csv("scheduling_ablation", table);
+  return 0;
+}

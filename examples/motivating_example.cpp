@@ -1,0 +1,71 @@
+// The paper's §5.1 walkthrough, executable: the 5-node network of Fig. 4,
+// its payment graph, the decomposition of Fig. 5, and a live simulation
+// showing imbalance-aware routing beating shortest-path routing on it.
+#include <iostream>
+
+#include "spider.hpp"
+
+int main() {
+  using namespace spider;
+
+  const Graph g = motivating_example_topology(xrp(200));
+  PaymentGraph demands(5);
+  demands.add_demand(0, 1, 1);  // paper node ids are ours + 1
+  demands.add_demand(0, 4, 1);
+  demands.add_demand(1, 3, 2);
+  demands.add_demand(3, 0, 2);
+  demands.add_demand(4, 0, 2);
+  demands.add_demand(2, 1, 2);
+  demands.add_demand(3, 2, 1);
+  demands.add_demand(2, 3, 1);
+
+  // ---- The fluid-model story of §5.1/§5.2 ----
+  const CirculationDecomposition d = decompose_payment_graph(demands);
+  std::cout << "Payment graph: " << demands.total_demand()
+            << " units/s demanded; max circulation " << d.value
+            << "; DAG remainder " << d.dag.total_demand() << " (Fig. 5)\n";
+  const double sp = RoutingLp::with_disjoint_paths(g, demands, 1.0, 1)
+                        .solve_balanced()
+                        .throughput;
+  const double opt =
+      RoutingLp::with_all_paths(g, demands, 1.0, 4).solve_balanced()
+          .throughput;
+  std::cout << "Balanced routing: shortest-path-only achieves " << sp
+            << " units/s; optimal multi-path achieves " << opt
+            << " (Fig. 4b vs 4c)\n\n";
+
+  // ---- The same phenomenon in the packet-level simulator ----
+  // Scale the demand rates into a Poisson payment stream on a network whose
+  // channels hold only 200 XRP: imbalance bites within seconds.
+  SpiderConfig config;
+  const SpiderNetwork network(g, config);
+  Rng rng(11);
+  std::vector<PaymentSpec> trace;
+  double now = 0;
+  while (trace.size() < 4000) {
+    now += rng.exponential(1.0 / 40.0);  // 40 payments/s
+    // Pick a demand edge proportionally to its rate.
+    const auto edges = demands.edges();
+    std::vector<double> weights;
+    for (const DemandEdge& e : edges) weights.push_back(e.rate);
+    const DemandEdge& pick = edges[rng.weighted_index(weights)];
+    PaymentSpec spec;
+    spec.arrival = seconds(now);
+    spec.src = pick.src;
+    spec.dst = pick.dst;
+    spec.amount = xrp(1);
+    trace.push_back(spec);
+  }
+
+  for (Scheme scheme :
+       {Scheme::kShortestPath, Scheme::kSpiderWaterfilling}) {
+    const SimMetrics m = network.run(scheme, trace);
+    std::cout << scheme_name(scheme) << ": success ratio "
+              << Table::pct(m.success_ratio()) << ", success volume "
+              << Table::pct(m.success_volume()) << '\n';
+  }
+  std::cout << "\nWaterfilling spreads the 2->4 demand across 2-3-4 as in "
+               "Fig. 4c, keeping channels balanced; shortest-path drains "
+               "2-4 and stalls.\n";
+  return 0;
+}

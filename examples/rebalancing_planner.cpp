@@ -1,0 +1,49 @@
+// Rebalancing planner: given a topology and a demand matrix, answer the
+// operator question §5.2.3 poses — "how much on-chain rebalancing is worth
+// buying, and where?"
+//
+// Solves the γ-priced LP (eqs. 6–11) across a γ sweep and prints, for the
+// chosen γ, the per-channel-direction deposit rates b_(u,v) the optimum
+// prescribes.
+#include <iostream>
+
+#include "spider.hpp"
+
+int main() {
+  using namespace spider;
+
+  // A small hub-and-spoke network with strongly one-directional demand —
+  // the worst case for balanced routing, the best case for rebalancing.
+  const Graph graph = star_topology(6, xrp(100'000));
+  PaymentGraph demands(6);
+  demands.add_demand(1, 2, 4.0);  // all spokes pay spoke 2 via the hub
+  demands.add_demand(3, 2, 3.0);
+  demands.add_demand(4, 2, 2.0);
+  demands.add_demand(5, 2, 1.0);
+  demands.add_demand(2, 1, 1.0);  // a little reverse flow
+
+  const RoutingLp lp = RoutingLp::with_disjoint_paths(graph, demands,
+                                                      /*delta=*/1.0, 2);
+  std::cout << "Demand: " << demands.total_demand()
+            << " XRP/s total; circulation component "
+            << Table::num(max_circulation_value(demands), 2)
+            << " XRP/s — the rest needs on-chain deposits.\n\n";
+
+  Table sweep({"gamma", "throughput_xrp_s", "rebalancing_xrp_s", "profit"});
+  for (double gamma : {3.0, 1.5, 1.0, 0.75, 0.5, 0.25, 0.1}) {
+    const FluidSolution s = lp.solve_rebalancing(gamma);
+    sweep.add_row({Table::num(gamma, 2), Table::num(s.throughput, 2),
+                   Table::num(s.rebalancing_rate, 2),
+                   Table::num(s.objective, 2)});
+  }
+  std::cout << "Throughput vs rebalancing price (eqs. 6-11):\n"
+            << sweep.render();
+
+  std::cout << "\nEvery DAG unit here crosses TWO channels (spoke->hub, "
+               "hub->spoke), so it needs two units of on-chain deposits; "
+               "rebalancing only pays once gamma < 1/2, which is exactly "
+               "where the sweep switches. Above the threshold the planner "
+               "falls back to the circulation-only optimum of "
+               "Proposition 1.\n";
+  return 0;
+}

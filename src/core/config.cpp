@@ -1,0 +1,115 @@
+#include "core/config.hpp"
+
+#include <stdexcept>
+
+#include "routing/atomic_adapter.hpp"
+#include "routing/landmark_router.hpp"
+#include "routing/lp_router.hpp"
+#include "routing/maxflow_router.hpp"
+#include "routing/shortest_path_router.hpp"
+#include "routing/speedy_router.hpp"
+#include "routing/waterfilling_router.hpp"
+
+namespace spider {
+
+std::string scheme_name(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kSpiderWaterfilling: return "Spider (Waterfilling)";
+    case Scheme::kSpiderLp: return "Spider (LP)";
+    case Scheme::kMaxFlow: return "Max-flow";
+    case Scheme::kShortestPath: return "Shortest Path";
+    case Scheme::kSilentWhispers: return "SilentWhispers";
+    case Scheme::kSpeedyMurmurs: return "SpeedyMurmurs";
+    case Scheme::kSpiderPrimalDual: return "Spider (Primal-Dual)";
+  }
+  return "?";
+}
+
+std::vector<Scheme> paper_schemes() {
+  return {Scheme::kSpiderLp,        Scheme::kSpiderWaterfilling,
+          Scheme::kMaxFlow,         Scheme::kShortestPath,
+          Scheme::kSilentWhispers,  Scheme::kSpeedyMurmurs};
+}
+
+std::vector<Scheme> all_schemes() {
+  std::vector<Scheme> schemes = paper_schemes();
+  schemes.push_back(Scheme::kSpiderPrimalDual);
+  return schemes;
+}
+
+void SpiderConfig::validate() const {
+  if (sim.delta <= 0)
+    throw std::invalid_argument("SpiderConfig: delta must be positive");
+  if (sim.poll_interval <= 0)
+    throw std::invalid_argument(
+        "SpiderConfig: poll_interval must be positive");
+  if (sim.mtu < 0)
+    throw std::invalid_argument("SpiderConfig: mtu must be >= 0");
+  if (sim.default_deadline <= 0)
+    throw std::invalid_argument(
+        "SpiderConfig: default_deadline must be positive");
+  if (sim.hop_delay <= 0)
+    throw std::invalid_argument("SpiderConfig: hop_delay must be positive");
+  if (sim.queue_timeout <= 0)
+    throw std::invalid_argument(
+        "SpiderConfig: queue_timeout must be positive");
+  if (sim.rebalance_interval < 0 || sim.rebalance_rate_xrp_per_s < 0)
+    throw std::invalid_argument(
+        "SpiderConfig: rebalancing settings must be non-negative");
+  if (sim.admission_cap < 0)
+    throw std::invalid_argument(
+        "SpiderConfig: admission_cap must be non-negative");
+  if (num_paths < 1)
+    throw std::invalid_argument("SpiderConfig: num_paths must be >= 1");
+  if (num_landmarks < 1)
+    throw std::invalid_argument("SpiderConfig: num_landmarks must be >= 1");
+  if (num_trees < 1)
+    throw std::invalid_argument("SpiderConfig: num_trees must be >= 1");
+  if (lp_max_pairs < 0)
+    throw std::invalid_argument("SpiderConfig: lp_max_pairs must be >= 0");
+  if (primal_dual.num_paths < 1 || primal_dual.steps_per_tick < 1 ||
+      primal_dual.warmup_steps < 0 || primal_dual.bucket_depth <= 0)
+    throw std::invalid_argument("SpiderConfig: bad primal-dual settings");
+}
+
+namespace {
+
+std::unique_ptr<Router> make_base_router(Scheme scheme,
+                                         const SpiderConfig& config) {
+  switch (scheme) {
+    case Scheme::kSpiderWaterfilling:
+      return std::make_unique<WaterfillingRouter>(config.num_paths,
+                                                  config.path_selection);
+    case Scheme::kSpiderLp:
+      return std::make_unique<LpRouter>(config.num_paths,
+                                        config.lp_max_pairs,
+                                        config.lp_objective);
+    case Scheme::kMaxFlow:
+      return std::make_unique<MaxFlowRouter>();
+    case Scheme::kShortestPath:
+      return std::make_unique<ShortestPathRouter>();
+    case Scheme::kSilentWhispers:
+      return std::make_unique<LandmarkRouter>(config.num_landmarks);
+    case Scheme::kSpeedyMurmurs:
+      return std::make_unique<SpeedyMurmursRouter>(config.num_trees,
+                                                   config.sim.seed ^ 0x5eedULL);
+    case Scheme::kSpiderPrimalDual: {
+      PrimalDualRouterConfig pd = config.primal_dual;
+      pd.num_paths = config.num_paths;
+      return std::make_unique<PrimalDualRouter>(pd);
+    }
+  }
+  throw std::invalid_argument("make_router: unknown scheme");
+}
+
+}  // namespace
+
+std::unique_ptr<Router> make_router(Scheme scheme,
+                                    const SpiderConfig& config) {
+  std::unique_ptr<Router> router = make_base_router(scheme, config);
+  if (config.amp_atomic && !router->is_atomic())
+    router = std::make_unique<AtomicAdapter>(std::move(router));
+  return router;
+}
+
+}  // namespace spider

@@ -1,0 +1,65 @@
+// Experiment-level configuration: which scheme, with which knobs.
+//
+// `Scheme` enumerates the six routing schemes of Fig. 6 plus the price-based
+// extension; `SpiderConfig` gathers every tunable the paper mentions with
+// the paper's defaults (Δ = 0.5 s, 4 edge-disjoint paths, SRPT, 5 s
+// deadlines, equal channel splits).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "routing/lp_router.hpp"
+#include "routing/path_cache.hpp"
+#include "routing/primal_dual_router.hpp"
+#include "routing/router.hpp"
+#include "sim/simulator.hpp"
+
+namespace spider {
+
+enum class Scheme {
+  kSpiderWaterfilling,
+  kSpiderLp,
+  kMaxFlow,
+  kShortestPath,
+  kSilentWhispers,
+  kSpeedyMurmurs,
+  kSpiderPrimalDual,  // extension (§5.3 run online); not in Fig. 6
+};
+
+/// Display name matching the paper's figure legends.
+[[nodiscard]] std::string scheme_name(Scheme scheme);
+
+/// The six schemes evaluated in Fig. 6, in the paper's legend order.
+[[nodiscard]] std::vector<Scheme> paper_schemes();
+
+/// All implemented schemes (paper six + primal–dual extension).
+[[nodiscard]] std::vector<Scheme> all_schemes();
+
+struct SpiderConfig {
+  SimConfig sim;
+  int num_paths = 4;  // §6.1: "4 disjoint shortest paths"
+  PathSelection path_selection = PathSelection::kEdgeDisjoint;
+  int num_landmarks = 3;  // SilentWhispers
+  int num_trees = 3;      // SpeedyMurmurs
+  /// Spider (LP): cap on modeled demand pairs (0 = unlimited); see LpRouter.
+  int lp_max_pairs = 0;
+  /// Spider (LP): pure throughput (the paper) or two-stage max-min fairness
+  /// (the §5.3/§6.2 fairness direction).
+  LpObjective lp_objective = LpObjective::kThroughput;
+  /// §4.1 AMP mode: make Spider's (normally non-atomic) schemes atomic —
+  /// every payment is delivered in full at arrival or fails outright. Used
+  /// by the atomicity ablation; the paper's evaluation runs non-atomic.
+  bool amp_atomic = false;
+  PrimalDualRouterConfig primal_dual;
+
+  /// Throws std::invalid_argument on out-of-range settings.
+  void validate() const;
+};
+
+/// Instantiates the router for `scheme` under `config`.
+[[nodiscard]] std::unique_ptr<Router> make_router(Scheme scheme,
+                                                  const SpiderConfig& config);
+
+}  // namespace spider

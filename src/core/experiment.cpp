@@ -1,0 +1,71 @@
+#include "core/experiment.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "util/csv.hpp"
+#include "util/log.hpp"
+
+namespace spider {
+
+std::vector<SchemeResult> run_schemes(const SpiderNetwork& network,
+                                      const std::vector<PaymentSpec>& trace,
+                                      const std::vector<Scheme>& schemes) {
+  std::vector<SchemeResult> results;
+  results.reserve(schemes.size());
+  for (Scheme scheme : schemes) {
+    SPIDER_INFO("running " << scheme_name(scheme) << " over " << trace.size()
+                           << " payments");
+    results.push_back(SchemeResult{scheme, network.run(scheme, trace)});
+  }
+  return results;
+}
+
+Table results_table(const std::vector<SchemeResult>& results) {
+  Table table({"scheme", "success_ratio", "success_volume", "p50_latency_s",
+               "chunks/payment", "delivered_xrp"});
+  for (const SchemeResult& r : results) {
+    const SimMetrics& m = r.metrics;
+    const double chunks_per_payment =
+        m.attempted_count == 0
+            ? 0.0
+            : static_cast<double>(m.chunks_sent) /
+                  static_cast<double>(m.attempted_count);
+    table.add_row({scheme_name(r.scheme), Table::pct(m.success_ratio()),
+                   Table::pct(m.success_volume()),
+                   Table::num(m.completion_latency_s.mean(), 3),
+                   Table::num(chunks_per_payment, 2),
+                   Table::num(to_xrp(m.delivered_volume), 0)});
+  }
+  return table;
+}
+
+int env_int(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  try {
+    return std::stoi(value);
+  } catch (const std::exception&) {
+    return fallback;
+  }
+}
+
+double env_double(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  try {
+    return std::stod(value);
+  } catch (const std::exception&) {
+    return fallback;
+  }
+}
+
+void maybe_write_csv(const std::string& bench_name, const Table& table) {
+  const char* dir = std::getenv("SPIDER_BENCH_CSV_DIR");
+  if (dir == nullptr) return;
+  CsvWriter writer(std::string(dir) + "/" + bench_name + ".csv");
+  writer.write_row(table.headers());
+  for (const auto& row : table.rows()) writer.write_row(row);
+}
+
+}  // namespace spider

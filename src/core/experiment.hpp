@@ -1,0 +1,40 @@
+// Shared experiment driver for the bench harnesses (one per figure/table;
+// see DESIGN.md experiment index). Handles scheme iteration, paper-style
+// table rendering, optional CSV dumps, and env-var scaling so the default
+// argument-free run finishes quickly while SPIDER_* variables reproduce
+// paper-scale runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/spider.hpp"
+#include "util/table.hpp"
+
+namespace spider {
+
+struct SchemeResult {
+  Scheme scheme = Scheme::kShortestPath;
+  SimMetrics metrics;
+};
+
+/// Runs every scheme in `schemes` over the same trace on fresh copies of the
+/// network. Logs progress at info level.
+[[nodiscard]] std::vector<SchemeResult> run_schemes(
+    const SpiderNetwork& network, const std::vector<PaymentSpec>& trace,
+    const std::vector<Scheme>& schemes);
+
+/// Paper-style summary table: scheme, success ratio, success volume, plus
+/// completion-latency and overhead columns.
+[[nodiscard]] Table results_table(const std::vector<SchemeResult>& results);
+
+/// Integer/double environment overrides for bench scaling, e.g.
+/// env_int("SPIDER_TXNS", 20000). Malformed values fall back to the default.
+[[nodiscard]] int env_int(const char* name, int fallback);
+[[nodiscard]] double env_double(const char* name, double fallback);
+
+/// If SPIDER_BENCH_CSV_DIR is set, writes `table` to
+/// <dir>/<bench_name>.csv; otherwise does nothing.
+void maybe_write_csv(const std::string& bench_name, const Table& table);
+
+}  // namespace spider

@@ -1,0 +1,32 @@
+#include "core/spider.hpp"
+
+namespace spider {
+
+SpiderNetwork::SpiderNetwork(Graph topology, SpiderConfig config)
+    : topology_(std::move(topology)), config_(config) {
+  config_.validate();
+  SPIDER_ASSERT_MSG(topology_.num_nodes() >= 2,
+                    "a payment network needs at least two nodes");
+}
+
+std::vector<PaymentSpec> SpiderNetwork::synthesize_workload(
+    int count, const TrafficConfig& traffic) const {
+  const auto sizes = ripple_synthetic_sizes();
+  TrafficGenerator generator(topology_.num_nodes(), traffic, *sizes);
+  return generator.generate(count);
+}
+
+SimMetrics SpiderNetwork::run(Scheme scheme,
+                              const std::vector<PaymentSpec>& trace) const {
+  const std::unique_ptr<Router> router = make_router(scheme, config_);
+  return run_simulation(topology_, *router, trace, config_.sim);
+}
+
+double SpiderNetwork::workload_circulation_fraction(
+    const std::vector<PaymentSpec>& trace) const {
+  const PaymentGraph demands =
+      estimate_demand_matrix(topology_.num_nodes(), trace);
+  return circulation_fraction(demands);
+}
+
+}  // namespace spider

@@ -1,0 +1,52 @@
+// Public façade of the Spider library.
+//
+// Quickstart:
+//
+//   #include "core/spider.hpp"
+//
+//   spider::Graph topology = spider::isp_topology(spider::xrp(30000));
+//   spider::SpiderNetwork net(topology);
+//   auto trace = net.synthesize_workload(20'000);
+//   spider::SimMetrics m = net.run(spider::Scheme::kSpiderWaterfilling,
+//                                  trace);
+//   std::cout << m.success_ratio() << "\n";
+//
+// A SpiderNetwork owns a topology and an experiment configuration and runs
+// any routing scheme over any transaction trace — the network state is
+// rebuilt fresh per run, so runs are independent and reproducible.
+#pragma once
+
+#include "core/config.hpp"
+#include "fluid/circulation.hpp"
+#include "workload/traffic.hpp"
+
+namespace spider {
+
+class SpiderNetwork {
+ public:
+  /// Validates the configuration (throws std::invalid_argument).
+  explicit SpiderNetwork(Graph topology, SpiderConfig config = {});
+
+  [[nodiscard]] const Graph& topology() const { return topology_; }
+  [[nodiscard]] const SpiderConfig& config() const { return config_; }
+
+  /// Generates the §6.1-style workload for this topology: Poisson arrivals,
+  /// exponential-rank senders, uniform receivers, Ripple-shaped sizes.
+  [[nodiscard]] std::vector<PaymentSpec> synthesize_workload(
+      int count, const TrafficConfig& traffic = {}) const;
+
+  /// Runs `scheme` over `trace` on a fresh network instance.
+  [[nodiscard]] SimMetrics run(Scheme scheme,
+                               const std::vector<PaymentSpec>& trace) const;
+
+  /// ν(C*) / total demand for the trace's estimated demand matrix — the
+  /// Prop. 1 ceiling on balanced-routing success volume.
+  [[nodiscard]] double workload_circulation_fraction(
+      const std::vector<PaymentSpec>& trace) const;
+
+ private:
+  Graph topology_;
+  SpiderConfig config_;
+};
+
+}  // namespace spider

@@ -1,0 +1,149 @@
+#include "fluid/circulation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include <functional>
+
+#include "lp/simplex.hpp"
+
+namespace spider {
+
+namespace {
+
+struct CirculationLp {
+  LpModel model;
+  std::vector<DemandEdge> edges;  // variable i corresponds to edges[i]
+};
+
+CirculationLp build_circulation_lp(const PaymentGraph& pg) {
+  CirculationLp out;
+  out.edges = pg.edges();
+  const NodeId n = pg.num_nodes();
+
+  // One variable per demand edge, objective +1 (maximize total circulation).
+  std::vector<std::vector<LpTerm>> node_balance(
+      static_cast<std::size_t>(n));  // +1 out, -1 in
+  for (std::size_t i = 0; i < out.edges.size(); ++i) {
+    const DemandEdge& e = out.edges[i];
+    const int var = out.model.add_variable(1.0);
+    SPIDER_ASSERT(var == static_cast<int>(i));
+    out.model.add_constraint({{var, 1.0}}, RowSense::kLeq, e.rate);
+    node_balance[static_cast<std::size_t>(e.src)].push_back({var, 1.0});
+    node_balance[static_cast<std::size_t>(e.dst)].push_back({var, -1.0});
+  }
+  // Conservation at every node, written as two <= rows (rhs 0) so the slack
+  // basis stays feasible and the solver skips phase 1.
+  for (NodeId v = 0; v < n; ++v) {
+    const auto& terms = node_balance[static_cast<std::size_t>(v)];
+    if (terms.empty()) continue;
+    out.model.add_constraint(terms, RowSense::kLeq, 0.0);
+    std::vector<LpTerm> negated = terms;
+    for (LpTerm& t : negated) t.coeff = -t.coeff;
+    out.model.add_constraint(std::move(negated), RowSense::kLeq, 0.0);
+  }
+  return out;
+}
+
+}  // namespace
+
+double max_circulation_value(const PaymentGraph& pg) {
+  CirculationLp lp = build_circulation_lp(pg);
+  if (lp.edges.empty()) return 0.0;
+  const LpSolution sol = solve_lp(lp.model);
+  SPIDER_ASSERT_MSG(sol.status == LpStatus::kOptimal,
+                    "circulation LP must be solvable (0 is feasible)");
+  return sol.objective;
+}
+
+CirculationDecomposition decompose_payment_graph(const PaymentGraph& pg) {
+  CirculationDecomposition out;
+  out.circulation = PaymentGraph(pg.num_nodes());
+  out.dag = PaymentGraph(pg.num_nodes());
+
+  CirculationLp lp = build_circulation_lp(pg);
+  if (lp.edges.empty()) return out;
+  const LpSolution sol = solve_lp(lp.model);
+  SPIDER_ASSERT(sol.status == LpStatus::kOptimal);
+  out.value = sol.objective;
+
+  constexpr double kEps = 1e-7;
+  for (std::size_t i = 0; i < lp.edges.size(); ++i) {
+    const DemandEdge& e = lp.edges[i];
+    const double f = std::clamp(sol.x[i], 0.0, e.rate);
+    if (f > kEps) out.circulation.add_demand(e.src, e.dst, f);
+    const double rest = e.rate - f;
+    if (rest > kEps) out.dag.add_demand(e.src, e.dst, rest);
+  }
+  return out;
+}
+
+double greedy_circulation_value(const PaymentGraph& pg) {
+  // Work on a mutable copy of the demand edges.
+  std::vector<DemandEdge> edges = pg.edges();
+  const auto n = static_cast<std::size_t>(pg.num_nodes());
+  double total = 0.0;
+  constexpr double kEps = 1e-12;
+
+  while (true) {
+    // Adjacency over positive-rate edges.
+    std::vector<std::vector<std::size_t>> adj(n);
+    for (std::size_t i = 0; i < edges.size(); ++i)
+      if (edges[i].rate > kEps)
+        adj[static_cast<std::size_t>(edges[i].src)].push_back(i);
+
+    // DFS for any cycle; edge_stack holds the current tree path's edges.
+    std::vector<char> colour(n, 0);  // 0 white, 1 gray, 2 black
+    std::vector<std::size_t> edge_stack;
+    std::vector<std::size_t> cycle;
+
+    std::function<bool(NodeId)> dfs = [&](NodeId u) -> bool {
+      colour[static_cast<std::size_t>(u)] = 1;
+      for (std::size_t ei : adj[static_cast<std::size_t>(u)]) {
+        if (edges[ei].rate <= kEps) continue;
+        const NodeId v = edges[ei].dst;
+        if (colour[static_cast<std::size_t>(v)] == 1) {
+          // Back edge u->v: the cycle is the stack suffix starting where v
+          // was entered, plus this edge.
+          auto it = edge_stack.begin();
+          while (it != edge_stack.end() && edges[*it].src != v) ++it;
+          cycle.assign(it, edge_stack.end());
+          cycle.push_back(ei);
+          return true;
+        }
+        if (colour[static_cast<std::size_t>(v)] == 0) {
+          edge_stack.push_back(ei);
+          if (dfs(v)) return true;
+          edge_stack.pop_back();
+        }
+      }
+      colour[static_cast<std::size_t>(u)] = 2;
+      return false;
+    };
+
+    bool found = false;
+    for (NodeId s = 0; s < pg.num_nodes() && !found; ++s)
+      if (colour[static_cast<std::size_t>(s)] == 0) {
+        edge_stack.clear();
+        cycle.clear();
+        found = dfs(s);
+      }
+    if (!found) break;
+
+    double bottleneck = edges[cycle.front()].rate;
+    for (std::size_t ei : cycle)
+      bottleneck = std::min(bottleneck, edges[ei].rate);
+    SPIDER_ASSERT(bottleneck > kEps);
+    for (std::size_t ei : cycle) edges[ei].rate -= bottleneck;
+    total += bottleneck * static_cast<double>(cycle.size());
+  }
+  return total;
+}
+
+double circulation_fraction(const PaymentGraph& pg) {
+  const double total = pg.total_demand();
+  if (total <= 0) return 0.0;
+  return max_circulation_value(pg) / total;
+}
+
+}  // namespace spider

@@ -1,0 +1,40 @@
+// Circulation analysis of payment graphs (§5.2.2, Proposition 1).
+//
+// The maximum circulation C* of payment graph H is the largest sub-demand
+// that balances in-rate and out-rate at every node; ν(C*) is the highest
+// throughput any perfectly balanced routing scheme can achieve. We compute
+// it exactly by LP and also provide the constructive greedy cycle-stripping
+// procedure the paper sketches (which yields *a* circulation, a lower
+// bound; the LP certifies maximality).
+#pragma once
+
+#include "fluid/payment_graph.hpp"
+
+namespace spider {
+
+struct CirculationDecomposition {
+  PaymentGraph circulation;  // the max-circulation component C*
+  PaymentGraph dag;          // H − C*: acyclic remainder, unroutable balanced
+  double value = 0.0;        // ν(C*) = total rate of the circulation
+};
+
+/// ν(C*) via LP: maximize Σ f_ij s.t. 0 <= f_ij <= d_ij and flow
+/// conservation at every node.
+[[nodiscard]] double max_circulation_value(const PaymentGraph& pg);
+
+/// Full decomposition H = C* + DAG (LP-based, exact). The returned dag is
+/// acyclic by maximality of C*.
+[[nodiscard]] CirculationDecomposition decompose_payment_graph(
+    const PaymentGraph& pg);
+
+/// Greedy cycle stripping: repeatedly find a cycle of positive demand and
+/// remove its bottleneck. Returns a (not necessarily maximum) circulation
+/// value; always <= max_circulation_value.
+[[nodiscard]] double greedy_circulation_value(const PaymentGraph& pg);
+
+/// Fraction of total demand that is circulation: ν(C*) / total. 0 if the
+/// graph has no demand. This is the quantity Spider (LP)'s success volume
+/// pins to in §6.2.
+[[nodiscard]] double circulation_fraction(const PaymentGraph& pg);
+
+}  // namespace spider

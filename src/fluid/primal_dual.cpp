@@ -1,0 +1,166 @@
+#include "fluid/primal_dual.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/amount.hpp"
+
+namespace spider {
+
+std::vector<double> project_onto_capped_simplex(std::vector<double> v,
+                                                double cap) {
+  SPIDER_ASSERT(cap >= 0);
+  // First clip to the positive orthant; if the sum already satisfies the
+  // cap we are done (the constraint is inactive).
+  double clipped_sum = 0;
+  for (double value : v) clipped_sum += std::max(0.0, value);
+  if (clipped_sum <= cap) {
+    for (double& value : v) value = std::max(0.0, value);
+    return v;
+  }
+  // Otherwise the projection is max(v - tau, 0) with tau chosen so the
+  // positive parts sum to exactly cap (standard simplex-projection).
+  std::vector<double> sorted = v;
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  double prefix = 0;
+  double tau = 0;
+  for (std::size_t k = 0; k < sorted.size(); ++k) {
+    prefix += sorted[k];
+    const double candidate =
+        (prefix - cap) / static_cast<double>(k + 1);
+    // tau is valid while it stays below the smallest included element.
+    if (k + 1 == sorted.size() || candidate >= sorted[k + 1]) {
+      tau = candidate;
+      break;
+    }
+  }
+  for (double& value : v) value = std::max(0.0, value - tau);
+  return v;
+}
+
+PrimalDualSolver::PrimalDualSolver(const Graph& graph,
+                                   std::vector<PairPaths> pairs, double delta,
+                                   PrimalDualConfig config)
+    : graph_(&graph),
+      pairs_(std::move(pairs)),
+      delta_(delta),
+      config_(config) {
+  SPIDER_ASSERT(delta > 0);
+  x_.resize(pairs_.size());
+  for (std::size_t i = 0; i < pairs_.size(); ++i)
+    x_[i].assign(pairs_[i].paths.size(), 0.0);
+  const auto ndir = static_cast<std::size_t>(graph.num_edges()) * 2;
+  lambda_.assign(ndir, 0.0);
+  mu_.assign(ndir, 0.0);
+  b_.assign(ndir, 0.0);
+}
+
+double PrimalDualSolver::edge_price(EdgeId e, int dir) const {
+  const auto fwd = static_cast<std::size_t>(e) * 2 +
+                   static_cast<std::size_t>(dir);
+  const auto rev = static_cast<std::size_t>(e) * 2 +
+                   static_cast<std::size_t>(1 - dir);
+  return lambda_[fwd] + lambda_[rev] + mu_[fwd] - mu_[rev];
+}
+
+double PrimalDualSolver::path_price(std::size_t pair, std::size_t path) const {
+  const Path& p = pairs_[pair].paths[path];
+  double z = 0;
+  for (std::size_t h = 0; h < p.edges.size(); ++h)
+    z += edge_price(p.edges[h], graph_->side_of(p.edges[h], p.nodes[h]));
+  return z;
+}
+
+void PrimalDualSolver::accumulate_flows(std::vector<double>& dir_flow) const {
+  dir_flow.assign(static_cast<std::size_t>(graph_->num_edges()) * 2, 0.0);
+  for (std::size_t pi = 0; pi < pairs_.size(); ++pi) {
+    const PairPaths& pp = pairs_[pi];
+    for (std::size_t qi = 0; qi < pp.paths.size(); ++qi) {
+      const double rate = x_[pi][qi];
+      if (rate == 0) continue;
+      const Path& p = pp.paths[qi];
+      for (std::size_t h = 0; h < p.edges.size(); ++h) {
+        const EdgeId e = p.edges[h];
+        const int dir = graph_->side_of(e, p.nodes[h]);
+        dir_flow[static_cast<std::size_t>(e) * 2 +
+                 static_cast<std::size_t>(dir)] += rate;
+      }
+    }
+  }
+}
+
+void PrimalDualSolver::primal_step() {
+  // Eq. (21): x_p += α (1 − z_p), then project onto X_ij.
+  for (std::size_t pi = 0; pi < pairs_.size(); ++pi) {
+    for (std::size_t qi = 0; qi < x_[pi].size(); ++qi)
+      x_[pi][qi] += config_.alpha * (1.0 - path_price(pi, qi));
+    x_[pi] = project_onto_capped_simplex(std::move(x_[pi]),
+                                         pairs_[pi].demand);
+  }
+  // Eq. (22): b_(u,v) += β (μ_(u,v) − γ), clipped at 0.
+  if (config_.enable_rebalancing) {
+    for (std::size_t d = 0; d < b_.size(); ++d)
+      b_[d] = std::max(0.0, b_[d] + config_.beta * (mu_[d] - config_.gamma));
+  }
+}
+
+void PrimalDualSolver::dual_step() {
+  std::vector<double> dir_flow;
+  accumulate_flows(dir_flow);
+  for (EdgeId e = 0; e < graph_->num_edges(); ++e) {
+    const auto fwd = static_cast<std::size_t>(e) * 2;
+    const auto rev = fwd + 1;
+    const double cap_rate = to_xrp(graph_->edge(e).capacity) / delta_;
+    const double both = dir_flow[fwd] + dir_flow[rev];
+    // Eq. (23): capacity price per directed edge (same signal both ways).
+    lambda_[fwd] = std::max(0.0, lambda_[fwd] +
+                                     config_.eta * (both - cap_rate));
+    lambda_[rev] = std::max(0.0, lambda_[rev] +
+                                     config_.eta * (both - cap_rate));
+    // Eq. (24): imbalance price.
+    mu_[fwd] = std::max(0.0, mu_[fwd] + config_.kappa *
+                                            (dir_flow[fwd] - dir_flow[rev] -
+                                             b_[fwd]));
+    mu_[rev] = std::max(0.0, mu_[rev] + config_.kappa *
+                                            (dir_flow[rev] - dir_flow[fwd] -
+                                             b_[rev]));
+  }
+}
+
+void PrimalDualSolver::step() {
+  dual_step();    // prices react to current rates…
+  primal_step();  // …then sources react to prices.
+  ++steps_;
+  throughput_accum_ += throughput();
+}
+
+std::vector<double> PrimalDualSolver::run(int iterations) {
+  SPIDER_ASSERT(iterations >= 0);
+  std::vector<double> trajectory;
+  trajectory.reserve(static_cast<std::size_t>(iterations));
+  for (int i = 0; i < iterations; ++i) {
+    step();
+    trajectory.push_back(throughput());
+  }
+  return trajectory;
+}
+
+double PrimalDualSolver::throughput() const {
+  double total = 0;
+  for (const auto& rates : x_)
+    for (double r : rates) total += r;
+  return total;
+}
+
+double PrimalDualSolver::rebalancing_rate() const {
+  double total = 0;
+  for (double v : b_) total += v;
+  return total;
+}
+
+double PrimalDualSolver::average_throughput() const {
+  if (steps_ == 0) return 0.0;
+  return throughput_accum_ / static_cast<double>(steps_);
+}
+
+}  // namespace spider

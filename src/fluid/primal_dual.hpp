@@ -1,0 +1,81 @@
+// The decentralized primal–dual algorithm of §5.3 (eqs. 21–24).
+//
+// Each directed channel (u,v) maintains a capacity price λ_(u,v) and an
+// imbalance price μ_(u,v); each source/destination pair adapts its per-path
+// rates toward cheap paths; each edge adapts its on-chain rebalancing rate
+// b_(u,v) against the rebalancing cost γ. With small step sizes the iterates
+// converge to the optimum of the corresponding fluid LP (bench_primal_dual
+// measures the gap; tests assert it on small instances).
+//
+// The primal step projects each pair's rate vector onto
+// X_ij = { x >= 0, Σ_p x_p <= d_ij } (exact Euclidean projection).
+#pragma once
+
+#include <vector>
+
+#include "fluid/routing_lp.hpp"
+
+namespace spider {
+
+struct PrimalDualConfig {
+  double alpha = 0.01;  // primal step (path rates)
+  double beta = 0.01;   // rebalancing-rate step
+  double eta = 0.01;    // capacity-price step
+  double kappa = 0.01;  // imbalance-price step
+  double gamma = 0.0;   // on-chain rebalancing cost; 0 disables pricing
+  bool enable_rebalancing = false;  // if false, b ≡ 0 (the eq. 1–5 special case)
+};
+
+/// Exact Euclidean projection of v onto {x >= 0, Σx <= cap}. Exposed for
+/// testing.
+[[nodiscard]] std::vector<double> project_onto_capped_simplex(
+    std::vector<double> v, double cap);
+
+class PrimalDualSolver {
+ public:
+  PrimalDualSolver(const Graph& graph, std::vector<PairPaths> pairs,
+                   double delta, PrimalDualConfig config);
+
+  /// One primal + dual step (eqs. 21–24).
+  void step();
+
+  /// Runs `iterations` steps; returns the throughput trajectory (Σx per
+  /// iteration).
+  std::vector<double> run(int iterations);
+
+  /// Current total sending rate Σ_p x_p.
+  [[nodiscard]] double throughput() const;
+  /// Current total rebalancing rate Σ b.
+  [[nodiscard]] double rebalancing_rate() const;
+  /// Time-averaged throughput since construction (saddle-point methods
+  /// converge in the ergodic average).
+  [[nodiscard]] double average_throughput() const;
+
+  [[nodiscard]] const std::vector<std::vector<double>>& path_rates() const {
+    return x_;
+  }
+  [[nodiscard]] const std::vector<PairPaths>& pairs() const { return pairs_; }
+  /// Price z_(u,v) = λ_(u,v) + λ_(v,u) + μ_(u,v) − μ_(v,u) for a directed
+  /// edge (edge id, direction).
+  [[nodiscard]] double edge_price(EdgeId e, int dir) const;
+
+ private:
+  void primal_step();
+  void dual_step();
+  [[nodiscard]] double path_price(std::size_t pair, std::size_t path) const;
+  void accumulate_flows(std::vector<double>& dir_flow) const;
+
+  const Graph* graph_;
+  std::vector<PairPaths> pairs_;
+  double delta_;
+  PrimalDualConfig config_;
+
+  std::vector<std::vector<double>> x_;  // per pair, per path
+  std::vector<double> lambda_;          // per directed edge (2e + dir)
+  std::vector<double> mu_;              // per directed edge
+  std::vector<double> b_;               // per directed edge
+  long steps_ = 0;
+  double throughput_accum_ = 0.0;
+};
+
+}  // namespace spider

@@ -1,0 +1,334 @@
+#include "fluid/routing_lp.hpp"
+
+#include <algorithm>
+
+#include <functional>
+
+#include "graph/ksp.hpp"
+#include "util/amount.hpp"
+
+namespace spider {
+
+std::vector<Path> enumerate_simple_paths(const Graph& g, NodeId src,
+                                         NodeId dst, int max_hops) {
+  SPIDER_ASSERT(src >= 0 && src < g.num_nodes());
+  SPIDER_ASSERT(dst >= 0 && dst < g.num_nodes());
+  std::vector<Path> result;
+  std::vector<NodeId> nodes{src};
+  std::vector<EdgeId> edges;
+  std::vector<char> on_path(static_cast<std::size_t>(g.num_nodes()), 0);
+  on_path[static_cast<std::size_t>(src)] = 1;
+
+  std::function<void(NodeId)> dfs = [&](NodeId u) {
+    if (u == dst) {
+      result.push_back(Path{nodes, edges});
+      return;
+    }
+    if (static_cast<int>(edges.size()) >= max_hops) return;
+    for (const Graph::Adjacency& adj : g.neighbors(u)) {
+      if (on_path[static_cast<std::size_t>(adj.peer)]) continue;
+      on_path[static_cast<std::size_t>(adj.peer)] = 1;
+      nodes.push_back(adj.peer);
+      edges.push_back(adj.edge);
+      dfs(adj.peer);
+      edges.pop_back();
+      nodes.pop_back();
+      on_path[static_cast<std::size_t>(adj.peer)] = 0;
+    }
+  };
+  dfs(src);
+  // Deterministic order: shorter paths first, then lexicographic.
+  std::sort(result.begin(), result.end(), [](const Path& a, const Path& b) {
+    if (a.length() != b.length()) return a.length() < b.length();
+    return a.nodes < b.nodes;
+  });
+  return result;
+}
+
+RoutingLp::RoutingLp(const Graph& graph, std::vector<PairPaths> pairs,
+                     double delta)
+    : graph_(&graph), pairs_(std::move(pairs)), delta_(delta) {
+  SPIDER_ASSERT(delta > 0);
+  for (const PairPaths& pp : pairs_) {
+    SPIDER_ASSERT(pp.demand >= 0);
+    for (const Path& p : pp.paths) {
+      SPIDER_ASSERT(!p.empty());
+      SPIDER_ASSERT(p.source() == pp.src && p.destination() == pp.dst);
+      SPIDER_ASSERT(is_valid_trail(graph, p));
+    }
+  }
+}
+
+RoutingLp RoutingLp::with_disjoint_paths(const Graph& graph,
+                                         const PaymentGraph& demands,
+                                         double delta, int k) {
+  std::vector<PairPaths> pairs;
+  for (const DemandEdge& d : demands.edges()) {
+    PairPaths pp;
+    pp.src = d.src;
+    pp.dst = d.dst;
+    pp.demand = d.rate;
+    pp.paths = edge_disjoint_paths(graph, d.src, d.dst, k);
+    pairs.push_back(std::move(pp));
+  }
+  return RoutingLp(graph, std::move(pairs), delta);
+}
+
+RoutingLp RoutingLp::with_all_paths(const Graph& graph,
+                                    const PaymentGraph& demands, double delta,
+                                    int max_hops) {
+  std::vector<PairPaths> pairs;
+  for (const DemandEdge& d : demands.edges()) {
+    PairPaths pp;
+    pp.src = d.src;
+    pp.dst = d.dst;
+    pp.demand = d.rate;
+    pp.paths = enumerate_simple_paths(graph, d.src, d.dst, max_hops);
+    pairs.push_back(std::move(pp));
+  }
+  return RoutingLp(graph, std::move(pairs), delta);
+}
+
+FluidSolution RoutingLp::solve_balanced() const {
+  return solve_impl(/*with_rebalancing=*/false, /*gamma=*/0.0, /*bound=*/0.0);
+}
+
+FluidSolution RoutingLp::solve_rebalancing(double gamma) const {
+  SPIDER_ASSERT(gamma >= 0);
+  return solve_impl(/*with_rebalancing=*/true, gamma,
+                    /*bound=*/-1.0);  // -1: unbounded total
+}
+
+FluidSolution RoutingLp::solve_bounded_rebalancing(double bound) const {
+  SPIDER_ASSERT(bound >= 0);
+  return solve_impl(/*with_rebalancing=*/true, /*gamma=*/0.0, bound);
+}
+
+namespace {
+
+/// Adds the shared balanced-routing structure: one x_p >= 0 variable per
+/// path (objective coefficient `x_objective`), demand rows Σx <= d,
+/// capacity rows, and per-direction balance rows (<= 0). Returns the
+/// variable ids grouped by pair.
+std::vector<std::vector<int>> add_balanced_structure(
+    LpModel& model, const Graph& graph, const std::vector<PairPaths>& pairs,
+    double delta, double x_objective) {
+  std::vector<std::vector<int>> pair_vars;
+  pair_vars.reserve(pairs.size());
+  for (const PairPaths& pp : pairs) {
+    std::vector<int> vars;
+    vars.reserve(pp.paths.size());
+    for (std::size_t i = 0; i < pp.paths.size(); ++i)
+      vars.push_back(model.add_variable(x_objective));
+    pair_vars.push_back(std::move(vars));
+  }
+
+  for (std::size_t pi = 0; pi < pairs.size(); ++pi) {
+    std::vector<LpTerm> terms;
+    for (int v : pair_vars[pi]) terms.push_back({v, 1.0});
+    if (!terms.empty())
+      model.add_constraint(std::move(terms), RowSense::kLeq,
+                           pairs[pi].demand);
+  }
+
+  const auto ne = static_cast<std::size_t>(graph.num_edges());
+  std::vector<std::vector<LpTerm>> dir_flow(ne * 2);
+  for (std::size_t pi = 0; pi < pairs.size(); ++pi) {
+    const PairPaths& pp = pairs[pi];
+    for (std::size_t qi = 0; qi < pp.paths.size(); ++qi) {
+      const Path& path = pp.paths[qi];
+      const int var = pair_vars[pi][qi];
+      for (std::size_t h = 0; h < path.edges.size(); ++h) {
+        const EdgeId e = path.edges[h];
+        const int dir = graph.side_of(e, path.nodes[h]);
+        dir_flow[static_cast<std::size_t>(e) * 2 +
+                 static_cast<std::size_t>(dir)]
+            .push_back({var, 1.0});
+      }
+    }
+  }
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const auto fwd = static_cast<std::size_t>(e) * 2;
+    const auto rev = fwd + 1;
+    const double cap_rate = to_xrp(graph.edge(e).capacity) / delta;
+    std::vector<LpTerm> cap_terms = dir_flow[fwd];
+    cap_terms.insert(cap_terms.end(), dir_flow[rev].begin(),
+                     dir_flow[rev].end());
+    if (!cap_terms.empty())
+      model.add_constraint(std::move(cap_terms), RowSense::kLeq, cap_rate);
+    for (int dir = 0; dir < 2; ++dir) {
+      const auto mine = dir == 0 ? fwd : rev;
+      const auto theirs = dir == 0 ? rev : fwd;
+      std::vector<LpTerm> bal = dir_flow[mine];
+      for (LpTerm t : dir_flow[theirs]) {
+        t.coeff = -t.coeff;
+        bal.push_back(t);
+      }
+      if (!bal.empty())
+        model.add_constraint(std::move(bal), RowSense::kLeq, 0.0);
+    }
+  }
+  return pair_vars;
+}
+
+}  // namespace
+
+FluidSolution RoutingLp::solve_max_min_balanced() const {
+  FluidSolution out;
+
+  // Weighted-lexicographic single solve: maximize W·t + Σx with
+  // Σ_p x_p >= t·d_ij for every pair that has at least one candidate path.
+  // W exceeds any achievable throughput by 100×, so the optimizer first
+  // pushes the fairness floor t, then throughput — one LP whose rows are
+  // all <= with non-negative rhs (slack basis feasible, no phase 1). A true
+  // two-stage lexicographic solve is equivalent up to O(1/W) in t but far
+  // more fragile numerically (the fixed-t second stage is heavily
+  // degenerate).
+  double total_demand = 0;
+  for (const PairPaths& pp : pairs_) total_demand += pp.demand;
+  const double fairness_weight = 100.0 * std::max(1.0, total_demand);
+
+  LpModel model;
+  std::vector<std::vector<int>> pair_vars =
+      add_balanced_structure(model, *graph_, pairs_, delta_, 1.0);
+  const int t_var = model.add_variable(fairness_weight);
+  model.add_constraint({{t_var, 1.0}}, RowSense::kLeq, 1.0);  // t <= 1
+  for (std::size_t pi = 0; pi < pairs_.size(); ++pi) {
+    if (pairs_[pi].demand <= 0 || pairs_[pi].paths.empty()) continue;
+    // d_ij·t − Σ x_p <= 0.
+    std::vector<LpTerm> terms{{t_var, pairs_[pi].demand}};
+    for (int v : pair_vars[pi]) terms.push_back({v, -1.0});
+    model.add_constraint(std::move(terms), RowSense::kLeq, 0.0);
+  }
+
+  const LpSolution sol = solve_lp(model);
+  out.status = sol.status;
+  if (sol.status != LpStatus::kOptimal) return out;
+  out.objective = sol.objective;
+  out.min_fraction =
+      std::max(0.0, sol.x[static_cast<std::size_t>(t_var)]);
+  for (std::size_t pi = 0; pi < pairs_.size(); ++pi) {
+    std::vector<double> rates;
+    rates.reserve(pair_vars[pi].size());
+    for (int v : pair_vars[pi]) {
+      const double x = std::max(0.0, sol.x[static_cast<std::size_t>(v)]);
+      rates.push_back(x);
+      out.throughput += x;
+    }
+    out.path_rates.push_back(std::move(rates));
+  }
+  return out;
+}
+
+FluidSolution RoutingLp::solve_impl(bool with_rebalancing, double gamma,
+                                    double bound) const {
+  LpModel model;
+
+  // Path-rate variables x_p, grouped by pair.
+  std::vector<std::vector<int>> pair_vars;
+  pair_vars.reserve(pairs_.size());
+  for (const PairPaths& pp : pairs_) {
+    std::vector<int> vars;
+    vars.reserve(pp.paths.size());
+    for (std::size_t i = 0; i < pp.paths.size(); ++i)
+      vars.push_back(model.add_variable(1.0));
+    pair_vars.push_back(std::move(vars));
+  }
+
+  // Rebalancing variables b_(u,v), one per directed edge, objective -γ.
+  // Index: 2*edge + dir where dir 0 is a->b.
+  std::vector<int> b_vars;
+  if (with_rebalancing) {
+    b_vars.reserve(static_cast<std::size_t>(graph_->num_edges()) * 2);
+    for (EdgeId e = 0; e < graph_->num_edges(); ++e) {
+      b_vars.push_back(model.add_variable(-gamma));
+      b_vars.push_back(model.add_variable(-gamma));
+    }
+  }
+
+  // Demand constraints (2)/(7)/(13): Σ_p x_p <= d_ij.
+  for (std::size_t pi = 0; pi < pairs_.size(); ++pi) {
+    std::vector<LpTerm> terms;
+    for (int v : pair_vars[pi]) terms.push_back({v, 1.0});
+    if (!terms.empty())
+      model.add_constraint(std::move(terms), RowSense::kLeq,
+                           pairs_[pi].demand);
+  }
+
+  // Per directed edge: which (var, direction) pairs traverse it.
+  // capacity row (3)/(8)/(14): both directions sum <= c_e/Δ.
+  // balance row (4)/(9)/(15): dir flow − reverse flow <= b (or 0).
+  const auto ne = static_cast<std::size_t>(graph_->num_edges());
+  std::vector<std::vector<LpTerm>> dir_flow(ne * 2);  // terms per directed edge
+  for (std::size_t pi = 0; pi < pairs_.size(); ++pi) {
+    const PairPaths& pp = pairs_[pi];
+    for (std::size_t qi = 0; qi < pp.paths.size(); ++qi) {
+      const Path& path = pp.paths[qi];
+      const int var = pair_vars[pi][qi];
+      for (std::size_t h = 0; h < path.edges.size(); ++h) {
+        const EdgeId e = path.edges[h];
+        const int dir = graph_->side_of(e, path.nodes[h]);  // 0: a->b
+        dir_flow[static_cast<std::size_t>(e) * 2 +
+                 static_cast<std::size_t>(dir)]
+            .push_back({var, 1.0});
+      }
+    }
+  }
+
+  for (EdgeId e = 0; e < graph_->num_edges(); ++e) {
+    const auto fwd = static_cast<std::size_t>(e) * 2;
+    const auto rev = fwd + 1;
+    const double cap_rate = to_xrp(graph_->edge(e).capacity) / delta_;
+
+    std::vector<LpTerm> cap_terms = dir_flow[fwd];
+    cap_terms.insert(cap_terms.end(), dir_flow[rev].begin(),
+                     dir_flow[rev].end());
+    if (!cap_terms.empty())
+      model.add_constraint(std::move(cap_terms), RowSense::kLeq, cap_rate);
+
+    for (int dir = 0; dir < 2; ++dir) {
+      const auto mine = dir == 0 ? fwd : rev;
+      const auto theirs = dir == 0 ? rev : fwd;
+      std::vector<LpTerm> bal = dir_flow[mine];
+      for (LpTerm t : dir_flow[theirs]) {
+        t.coeff = -t.coeff;
+        bal.push_back(t);
+      }
+      if (with_rebalancing)
+        bal.push_back({b_vars[mine], -1.0});
+      else if (bal.empty())
+        continue;
+      if (!bal.empty())
+        model.add_constraint(std::move(bal), RowSense::kLeq, 0.0);
+    }
+  }
+
+  // Total rebalancing bound (16), when requested.
+  if (with_rebalancing && bound >= 0) {
+    std::vector<LpTerm> terms;
+    for (int v : b_vars) terms.push_back({v, 1.0});
+    model.add_constraint(std::move(terms), RowSense::kLeq, bound);
+  }
+
+  const LpSolution sol = solve_lp(model);
+  FluidSolution out;
+  out.status = sol.status;
+  if (sol.status != LpStatus::kOptimal) return out;
+  out.objective = sol.objective;
+  for (std::size_t pi = 0; pi < pairs_.size(); ++pi) {
+    std::vector<double> rates;
+    rates.reserve(pair_vars[pi].size());
+    for (int v : pair_vars[pi]) {
+      const double x = std::max(0.0, sol.x[static_cast<std::size_t>(v)]);
+      rates.push_back(x);
+      out.throughput += x;
+    }
+    out.path_rates.push_back(std::move(rates));
+  }
+  if (with_rebalancing)
+    for (int v : b_vars)
+      out.rebalancing_rate += std::max(0.0, sol.x[static_cast<std::size_t>(v)]);
+  return out;
+}
+
+}  // namespace spider

@@ -1,0 +1,140 @@
+#include "graph/graph.hpp"
+
+#include <queue>
+#include <set>
+#include <sstream>
+
+namespace spider {
+
+Graph::Graph(NodeId num_nodes) {
+  SPIDER_ASSERT(num_nodes >= 0);
+  adjacency_.resize(static_cast<std::size_t>(num_nodes));
+}
+
+EdgeId Graph::add_edge(NodeId a, NodeId b, Amount capacity) {
+  SPIDER_ASSERT(a >= 0 && a < num_nodes());
+  SPIDER_ASSERT(b >= 0 && b < num_nodes());
+  SPIDER_ASSERT_MSG(a != b, "self-loop channels are not allowed");
+  SPIDER_ASSERT(capacity >= 0);
+  const auto id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(Edge{a, b, capacity});
+  adjacency_[static_cast<std::size_t>(a)].push_back(Adjacency{id, b});
+  adjacency_[static_cast<std::size_t>(b)].push_back(Adjacency{id, a});
+  return id;
+}
+
+NodeId Graph::other_end(EdgeId e, NodeId n) const {
+  const Edge& ed = edge(e);
+  SPIDER_ASSERT(ed.a == n || ed.b == n);
+  return ed.a == n ? ed.b : ed.a;
+}
+
+int Graph::side_of(EdgeId e, NodeId n) const {
+  const Edge& ed = edge(e);
+  SPIDER_ASSERT(ed.a == n || ed.b == n);
+  return ed.a == n ? 0 : 1;
+}
+
+std::optional<EdgeId> Graph::find_edge(NodeId a, NodeId b) const {
+  EdgeId best = kInvalidEdge;
+  for (const Adjacency& adj : neighbors(a)) {
+    if (adj.peer == b && (best == kInvalidEdge || adj.edge < best))
+      best = adj.edge;
+  }
+  if (best == kInvalidEdge) return std::nullopt;
+  return best;
+}
+
+void Graph::set_uniform_capacity(Amount capacity) {
+  SPIDER_ASSERT(capacity >= 0);
+  for (Edge& e : edges_) e.capacity = capacity;
+}
+
+Amount Graph::total_capacity() const {
+  Amount total = 0;
+  for (const Edge& e : edges_) total += e.capacity;
+  return total;
+}
+
+bool Graph::is_connected() const {
+  if (num_nodes() == 0) return true;
+  std::vector<char> seen(static_cast<std::size_t>(num_nodes()), 0);
+  std::queue<NodeId> frontier;
+  frontier.push(0);
+  seen[0] = 1;
+  NodeId count = 1;
+  while (!frontier.empty()) {
+    const NodeId n = frontier.front();
+    frontier.pop();
+    for (const Adjacency& adj : neighbors(n)) {
+      if (!seen[static_cast<std::size_t>(adj.peer)]) {
+        seen[static_cast<std::size_t>(adj.peer)] = 1;
+        ++count;
+        frontier.push(adj.peer);
+      }
+    }
+  }
+  return count == num_nodes();
+}
+
+std::string Graph::serialize() const {
+  std::ostringstream os;
+  os << num_nodes() << ' ' << num_edges() << '\n';
+  for (const Edge& e : edges_) os << e.a << ' ' << e.b << ' ' << e.capacity
+                                  << '\n';
+  return os.str();
+}
+
+Graph Graph::parse(const std::string& text) {
+  std::istringstream is(text);
+  NodeId n = 0;
+  EdgeId m = 0;
+  if (!(is >> n >> m) || n < 0 || m < 0)
+    throw std::runtime_error("Graph::parse: bad header");
+  Graph g(n);
+  for (EdgeId i = 0; i < m; ++i) {
+    NodeId a = 0;
+    NodeId b = 0;
+    Amount cap = 0;
+    if (!(is >> a >> b >> cap))
+      throw std::runtime_error("Graph::parse: truncated edge list");
+    if (a < 0 || a >= n || b < 0 || b >= n || a == b || cap < 0)
+      throw std::runtime_error("Graph::parse: bad edge");
+    g.add_edge(a, b, cap);
+  }
+  return g;
+}
+
+Path make_path(const Graph& g, const std::vector<NodeId>& nodes) {
+  Path p;
+  p.nodes = nodes;
+  if (nodes.size() < 2) return p;  // empty or single-node (trivial) path
+  p.edges.reserve(nodes.size() - 1);
+  for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+    const auto e = g.find_edge(nodes[i], nodes[i + 1]);
+    SPIDER_ASSERT_MSG(e.has_value(), "make_path: nodes " << nodes[i] << " and "
+                                                         << nodes[i + 1]
+                                                         << " not adjacent");
+    p.edges.push_back(*e);
+  }
+  return p;
+}
+
+bool is_valid_trail(const Graph& g, const Path& p) {
+  if (p.nodes.empty()) return p.edges.empty();
+  if (p.nodes.size() != p.edges.size() + 1) return false;
+  std::set<EdgeId> used;
+  for (std::size_t i = 0; i < p.edges.size(); ++i) {
+    const EdgeId e = p.edges[i];
+    if (e < 0 || e >= g.num_edges()) return false;
+    const Graph::Edge& ed = g.edge(e);
+    const NodeId u = p.nodes[i];
+    const NodeId v = p.nodes[i + 1];
+    const bool matches = (ed.a == u && ed.b == v) || (ed.a == v && ed.b == u);
+    if (!matches) return false;
+    if (!used.insert(e).second) return false;  // repeated edge: not a trail
+  }
+  return true;
+}
+
+}  // namespace spider

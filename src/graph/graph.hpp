@@ -1,0 +1,127 @@
+// The payment-channel network topology.
+//
+// A payment channel is an *undirected* edge between two nodes with a total
+// capacity (the escrowed funds). How the capacity is split between the two
+// directions is runtime state and lives in sim::Network; this module is the
+// static topology that routing algorithms compute paths on.
+//
+// Parallel edges are permitted (the paper notes two nodes may open several
+// smaller channels to allow incremental rebalancing); self-loops are not.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/amount.hpp"
+#include "util/assert.hpp"
+
+namespace spider {
+
+using NodeId = std::int32_t;
+using EdgeId = std::int32_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr EdgeId kInvalidEdge = -1;
+
+class Graph {
+ public:
+  struct Edge {
+    NodeId a = kInvalidNode;
+    NodeId b = kInvalidNode;
+    Amount capacity = 0;  // total escrowed funds on the channel
+  };
+
+  struct Adjacency {
+    EdgeId edge = kInvalidEdge;
+    NodeId peer = kInvalidNode;
+  };
+
+  Graph() = default;
+  explicit Graph(NodeId num_nodes);
+
+  /// Adds an undirected channel; returns its id. Requires a != b, both valid,
+  /// capacity >= 0.
+  EdgeId add_edge(NodeId a, NodeId b, Amount capacity);
+
+  [[nodiscard]] NodeId num_nodes() const {
+    return static_cast<NodeId>(adjacency_.size());
+  }
+  [[nodiscard]] EdgeId num_edges() const {
+    return static_cast<EdgeId>(edges_.size());
+  }
+
+  [[nodiscard]] const Edge& edge(EdgeId e) const {
+    SPIDER_ASSERT(e >= 0 && e < num_edges());
+    return edges_[static_cast<std::size_t>(e)];
+  }
+
+  /// The endpoint of `e` that is not `n`. Requires n to be an endpoint.
+  [[nodiscard]] NodeId other_end(EdgeId e, NodeId n) const;
+
+  /// 0 if `n` is endpoint `a` of the edge, 1 if endpoint `b`. The sim uses
+  /// this to index per-direction balances.
+  [[nodiscard]] int side_of(EdgeId e, NodeId n) const;
+
+  [[nodiscard]] const std::vector<Adjacency>& neighbors(NodeId n) const {
+    SPIDER_ASSERT(n >= 0 && n < num_nodes());
+    return adjacency_[static_cast<std::size_t>(n)];
+  }
+
+  [[nodiscard]] std::size_t degree(NodeId n) const {
+    return neighbors(n).size();
+  }
+
+  /// Lowest-id edge between a and b, if any.
+  [[nodiscard]] std::optional<EdgeId> find_edge(NodeId a, NodeId b) const;
+
+  /// Overwrites the capacity of every edge (used by experiments that sweep
+  /// per-link capacity).
+  void set_uniform_capacity(Amount capacity);
+
+  [[nodiscard]] Amount total_capacity() const;
+
+  /// True if every node can reach every other node.
+  [[nodiscard]] bool is_connected() const;
+
+  /// Serialization: "n m" header line then one "a b capacity_millis" line per
+  /// edge. parse() throws std::runtime_error on malformed input.
+  [[nodiscard]] std::string serialize() const;
+  [[nodiscard]] static Graph parse(const std::string& text);
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::vector<Adjacency>> adjacency_;
+};
+
+/// A simple path (trail) through the graph. nodes.size() == edges.size() + 1;
+/// edges[i] connects nodes[i] and nodes[i+1].
+struct Path {
+  std::vector<NodeId> nodes;
+  std::vector<EdgeId> edges;
+
+  [[nodiscard]] bool empty() const { return nodes.empty(); }
+  /// Number of hops (edges).
+  [[nodiscard]] std::size_t length() const { return edges.size(); }
+  [[nodiscard]] NodeId source() const {
+    SPIDER_ASSERT(!nodes.empty());
+    return nodes.front();
+  }
+  [[nodiscard]] NodeId destination() const {
+    SPIDER_ASSERT(!nodes.empty());
+    return nodes.back();
+  }
+
+  bool operator==(const Path& other) const = default;
+};
+
+/// Builds a Path from a node sequence, resolving each consecutive pair to the
+/// lowest-id connecting edge. Requires every consecutive pair to be adjacent.
+[[nodiscard]] Path make_path(const Graph& g,
+                             const std::vector<NodeId>& nodes);
+
+/// Validates internal consistency (sizes, adjacency, no repeated edges).
+[[nodiscard]] bool is_valid_trail(const Graph& g, const Path& p);
+
+}  // namespace spider

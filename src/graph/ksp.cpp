@@ -1,0 +1,98 @@
+#include "graph/ksp.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "graph/shortest_path.hpp"
+
+namespace spider {
+
+std::vector<Path> yen_k_shortest_paths(const Graph& g, NodeId src, NodeId dst,
+                                       int k) {
+  SPIDER_ASSERT(k >= 0);
+  std::vector<Path> result;
+  if (k == 0) return result;
+  Path first = bfs_path(g, src, dst);
+  if (first.empty()) return result;
+  result.push_back(std::move(first));
+
+  // Candidate set ordered by (length, node sequence) for determinism.
+  auto cmp = [](const Path& x, const Path& y) {
+    if (x.length() != y.length()) return x.length() < y.length();
+    return x.nodes < y.nodes;
+  };
+  std::set<Path, decltype(cmp)> candidates(cmp);
+
+  while (static_cast<int>(result.size()) < k) {
+    const Path& prev = result.back();
+    // Each node of the previous path (except the last) is a spur node.
+    for (std::size_t i = 0; i + 1 < prev.nodes.size(); ++i) {
+      const NodeId spur = prev.nodes[i];
+      const std::vector<NodeId> root_nodes(prev.nodes.begin(),
+                                           prev.nodes.begin() +
+                                               static_cast<std::ptrdiff_t>(i) +
+                                               1);
+
+      // Edges leaving the spur node along any accepted path sharing this
+      // root must be excluded, as must all edges touching interior root
+      // nodes (keeps spur paths loopless w.r.t. the root).
+      std::set<EdgeId> banned_edges;
+      for (const Path& p : result) {
+        if (p.nodes.size() > i &&
+            std::equal(root_nodes.begin(), root_nodes.end(),
+                       p.nodes.begin())) {
+          if (p.edges.size() > i) banned_edges.insert(p.edges[i]);
+        }
+      }
+      std::vector<char> banned_node(
+          static_cast<std::size_t>(g.num_nodes()), 0);
+      for (std::size_t j = 0; j < i; ++j)
+        banned_node[static_cast<std::size_t>(root_nodes[j])] = 1;
+
+      const auto filter = [&](EdgeId e) {
+        if (banned_edges.count(e) > 0) return false;
+        const Graph::Edge& ed = g.edge(e);
+        if (banned_node[static_cast<std::size_t>(ed.a)] ||
+            banned_node[static_cast<std::size_t>(ed.b)])
+          return false;
+        return true;
+      };
+      const Path spur_path = bfs_path(g, spur, dst, filter);
+      if (spur_path.empty()) continue;
+
+      Path total;
+      total.nodes = root_nodes;
+      total.nodes.insert(total.nodes.end(), spur_path.nodes.begin() + 1,
+                         spur_path.nodes.end());
+      total.edges.assign(prev.edges.begin(),
+                         prev.edges.begin() + static_cast<std::ptrdiff_t>(i));
+      total.edges.insert(total.edges.end(), spur_path.edges.begin(),
+                         spur_path.edges.end());
+      if (std::find(result.begin(), result.end(), total) == result.end())
+        candidates.insert(std::move(total));
+    }
+    if (candidates.empty()) break;
+    result.push_back(*candidates.begin());
+    candidates.erase(candidates.begin());
+  }
+  return result;
+}
+
+std::vector<Path> edge_disjoint_paths(const Graph& g, NodeId src, NodeId dst,
+                                      int k) {
+  SPIDER_ASSERT(k >= 0);
+  std::vector<Path> result;
+  std::vector<char> used(static_cast<std::size_t>(g.num_edges()), 0);
+  const auto filter = [&](EdgeId e) {
+    return !used[static_cast<std::size_t>(e)];
+  };
+  for (int i = 0; i < k; ++i) {
+    Path p = bfs_path(g, src, dst, filter);
+    if (p.empty()) break;
+    for (EdgeId e : p.edges) used[static_cast<std::size_t>(e)] = 1;
+    result.push_back(std::move(p));
+  }
+  return result;
+}
+
+}  // namespace spider

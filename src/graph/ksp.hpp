@@ -1,0 +1,29 @@
+// Multi-path selection.
+//
+// §5.3.1: "practical implementations would restrict the set of paths
+// considered between each source and destination ... e.g. the K shortest
+// paths"; §6.1 restricts Spider's algorithms to "4 disjoint shortest paths".
+// Both selection strategies are provided so the path-selection ablation
+// (bench_path_ablation) can compare them.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace spider {
+
+/// Yen's algorithm over hop counts. Returns up to `k` loopless paths in
+/// non-decreasing length order (may return fewer if the graph has fewer).
+[[nodiscard]] std::vector<Path> yen_k_shortest_paths(const Graph& g,
+                                                     NodeId src, NodeId dst,
+                                                     int k);
+
+/// Up to `k` pairwise edge-disjoint paths, greedily shortest-first: repeat
+/// { find BFS shortest path avoiding all previously used edges }. This is
+/// the "K disjoint shortest paths" selection used in the paper's evaluation.
+[[nodiscard]] std::vector<Path> edge_disjoint_paths(const Graph& g,
+                                                    NodeId src, NodeId dst,
+                                                    int k);
+
+}  // namespace spider

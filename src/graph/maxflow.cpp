@@ -1,0 +1,253 @@
+#include "graph/maxflow.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <queue>
+
+namespace spider {
+
+namespace {
+
+/// Residual network shared by both algorithms. Forward arc 2i mirrors input
+/// arc i; 2i+1 is its residual reverse.
+class Residual {
+ public:
+  Residual(NodeId num_nodes, const std::vector<Arc>& arcs)
+      : head_(static_cast<std::size_t>(num_nodes)) {
+    to_.reserve(arcs.size() * 2);
+    cap_.reserve(arcs.size() * 2);
+    for (const Arc& a : arcs) {
+      SPIDER_ASSERT(a.from >= 0 && a.from < num_nodes);
+      SPIDER_ASSERT(a.to >= 0 && a.to < num_nodes);
+      SPIDER_ASSERT(a.capacity >= 0);
+      head_[static_cast<std::size_t>(a.from)].push_back(
+          static_cast<int>(to_.size()));
+      to_.push_back(a.to);
+      cap_.push_back(a.capacity);
+      head_[static_cast<std::size_t>(a.to)].push_back(
+          static_cast<int>(to_.size()));
+      to_.push_back(a.from);
+      cap_.push_back(0);
+    }
+  }
+
+  [[nodiscard]] NodeId num_nodes() const {
+    return static_cast<NodeId>(head_.size());
+  }
+  [[nodiscard]] const std::vector<int>& out(NodeId n) const {
+    return head_[static_cast<std::size_t>(n)];
+  }
+  [[nodiscard]] NodeId to(int arc) const {
+    return to_[static_cast<std::size_t>(arc)];
+  }
+  [[nodiscard]] Amount cap(int arc) const {
+    return cap_[static_cast<std::size_t>(arc)];
+  }
+  void push(int arc, Amount amt) {
+    cap_[static_cast<std::size_t>(arc)] -= amt;
+    cap_[static_cast<std::size_t>(arc ^ 1)] += amt;
+  }
+
+  /// Flow absorbed by input arc i == residual capacity of its reverse.
+  [[nodiscard]] Amount input_arc_flow(std::size_t i) const {
+    return cap_[i * 2 + 1];
+  }
+
+ private:
+  std::vector<std::vector<int>> head_;
+  std::vector<NodeId> to_;
+  std::vector<Amount> cap_;
+};
+
+MaxFlowResult extract(const Residual& r, const std::vector<Arc>& arcs,
+                      Amount value) {
+  MaxFlowResult res;
+  res.value = value;
+  res.flow.resize(arcs.size());
+  for (std::size_t i = 0; i < arcs.size(); ++i)
+    res.flow[i] = r.input_arc_flow(i);
+  return res;
+}
+
+}  // namespace
+
+MaxFlowResult dinic_max_flow(NodeId num_nodes, const std::vector<Arc>& arcs,
+                             NodeId src, NodeId dst, Amount limit) {
+  SPIDER_ASSERT(src != dst);
+  SPIDER_ASSERT(limit >= 0);
+  Residual r(num_nodes, arcs);
+  Amount total = 0;
+  std::vector<int> level(static_cast<std::size_t>(num_nodes));
+  std::vector<std::size_t> it(static_cast<std::size_t>(num_nodes));
+
+  auto bfs_levels = [&]() -> bool {
+    std::fill(level.begin(), level.end(), -1);
+    std::queue<NodeId> q;
+    q.push(src);
+    level[static_cast<std::size_t>(src)] = 0;
+    while (!q.empty()) {
+      const NodeId u = q.front();
+      q.pop();
+      for (int arc : r.out(u)) {
+        const NodeId v = r.to(arc);
+        if (r.cap(arc) > 0 && level[static_cast<std::size_t>(v)] < 0) {
+          level[static_cast<std::size_t>(v)] =
+              level[static_cast<std::size_t>(u)] + 1;
+          q.push(v);
+        }
+      }
+    }
+    return level[static_cast<std::size_t>(dst)] >= 0;
+  };
+
+  // Iterative blocking-flow DFS (explicit stack avoids deep recursion on
+  // long paths in large Ripple-like graphs).
+  std::function<Amount(NodeId, Amount)> dfs = [&](NodeId u,
+                                                  Amount pushed) -> Amount {
+    if (u == dst) return pushed;
+    auto& ui = it[static_cast<std::size_t>(u)];
+    const auto& edges = r.out(u);
+    for (; ui < edges.size(); ++ui) {
+      const int arc = edges[ui];
+      const NodeId v = r.to(arc);
+      if (r.cap(arc) <= 0 || level[static_cast<std::size_t>(v)] !=
+                                 level[static_cast<std::size_t>(u)] + 1)
+        continue;
+      const Amount got = dfs(v, std::min(pushed, r.cap(arc)));
+      if (got > 0) {
+        r.push(arc, got);
+        return got;
+      }
+    }
+    return 0;
+  };
+
+  while (total < limit && bfs_levels()) {
+    std::fill(it.begin(), it.end(), 0);
+    while (total < limit) {
+      const Amount got = dfs(src, limit - total);
+      if (got == 0) break;
+      total += got;
+    }
+  }
+  return extract(r, arcs, total);
+}
+
+MaxFlowResult edmonds_karp_max_flow(NodeId num_nodes,
+                                    const std::vector<Arc>& arcs, NodeId src,
+                                    NodeId dst, Amount limit) {
+  SPIDER_ASSERT(src != dst);
+  SPIDER_ASSERT(limit >= 0);
+  Residual r(num_nodes, arcs);
+  Amount total = 0;
+  const auto n = static_cast<std::size_t>(num_nodes);
+  while (total < limit) {
+    std::vector<int> parent_arc(n, -1);
+    std::vector<char> seen(n, 0);
+    std::queue<NodeId> q;
+    q.push(src);
+    seen[static_cast<std::size_t>(src)] = 1;
+    while (!q.empty() && !seen[static_cast<std::size_t>(dst)]) {
+      const NodeId u = q.front();
+      q.pop();
+      for (int arc : r.out(u)) {
+        const NodeId v = r.to(arc);
+        if (r.cap(arc) > 0 && !seen[static_cast<std::size_t>(v)]) {
+          seen[static_cast<std::size_t>(v)] = 1;
+          parent_arc[static_cast<std::size_t>(v)] = arc;
+          q.push(v);
+        }
+      }
+    }
+    if (!seen[static_cast<std::size_t>(dst)]) break;
+    Amount bottleneck = limit - total;
+    for (NodeId v = dst; v != src;) {
+      const int arc = parent_arc[static_cast<std::size_t>(v)];
+      bottleneck = std::min(bottleneck, r.cap(arc));
+      v = r.to(arc ^ 1);
+    }
+    for (NodeId v = dst; v != src;) {
+      const int arc = parent_arc[static_cast<std::size_t>(v)];
+      r.push(arc, bottleneck);
+      v = r.to(arc ^ 1);
+    }
+    total += bottleneck;
+  }
+  return extract(r, arcs, total);
+}
+
+std::vector<FlowPath> decompose_flow(NodeId num_nodes,
+                                     const std::vector<Arc>& arcs,
+                                     const std::vector<Amount>& flow,
+                                     NodeId src, NodeId dst) {
+  SPIDER_ASSERT(arcs.size() == flow.size());
+  // Mutable residual flow per arc, with per-node lists of outgoing arcs that
+  // still carry flow.
+  std::vector<Amount> remaining = flow;
+  std::vector<std::vector<std::size_t>> out(
+      static_cast<std::size_t>(num_nodes));
+  for (std::size_t i = 0; i < arcs.size(); ++i)
+    if (remaining[i] > 0)
+      out[static_cast<std::size_t>(arcs[i].from)].push_back(i);
+
+  std::vector<FlowPath> paths;
+  while (true) {
+    // Walk greedily from src along positive-flow arcs, recording the trail;
+    // erase any cycle encountered (drop cyclic flow).
+    std::vector<std::size_t> trail;
+    std::vector<int> visited_at(static_cast<std::size_t>(num_nodes), -1);
+    NodeId cur = src;
+    visited_at[static_cast<std::size_t>(cur)] = 0;
+    bool reached = false;
+    while (true) {
+      if (cur == dst) {
+        reached = true;
+        break;
+      }
+      auto& candidates = out[static_cast<std::size_t>(cur)];
+      while (!candidates.empty() && remaining[candidates.back()] == 0)
+        candidates.pop_back();
+      if (candidates.empty()) break;
+      const std::size_t arc = candidates.back();
+      const NodeId nxt = arcs[arc].to;
+      const int seen_pos = visited_at[static_cast<std::size_t>(nxt)];
+      if (seen_pos >= 0) {
+        // Cycle: cancel the minimum flow around it and restart the walk.
+        Amount cyc = remaining[arc];
+        for (std::size_t i = static_cast<std::size_t>(seen_pos);
+             i < trail.size(); ++i)
+          cyc = std::min(cyc, remaining[trail[i]]);
+        remaining[arc] -= cyc;
+        for (std::size_t i = static_cast<std::size_t>(seen_pos);
+             i < trail.size(); ++i)
+          remaining[trail[i]] -= cyc;
+        trail.clear();
+        std::fill(visited_at.begin(), visited_at.end(), -1);
+        cur = src;
+        visited_at[static_cast<std::size_t>(cur)] = 0;
+        continue;
+      }
+      trail.push_back(arc);
+      cur = nxt;
+      visited_at[static_cast<std::size_t>(cur)] =
+          static_cast<int>(trail.size());
+    }
+    if (!reached) break;
+    if (trail.empty()) break;  // src == dst degenerate
+    Amount bottleneck = kUnboundedFlow;
+    for (std::size_t arc : trail)
+      bottleneck = std::min(bottleneck, remaining[arc]);
+    SPIDER_ASSERT(bottleneck > 0);
+    FlowPath fp;
+    fp.amount = bottleneck;
+    fp.nodes.push_back(src);
+    for (std::size_t arc : trail) {
+      remaining[arc] -= bottleneck;
+      fp.nodes.push_back(arcs[arc].to);
+    }
+    paths.push_back(std::move(fp));
+  }
+  return paths;
+}
+
+}  // namespace spider

@@ -1,0 +1,60 @@
+// Max-flow on a directed capacity graph.
+//
+// The max-flow baseline (§3) computes, per transaction, the largest volume
+// routable from sender to receiver given the *current* directional channel
+// balances, then routes along a path decomposition of that flow. Dinic's
+// algorithm is the workhorse; Edmonds–Karp is kept as an independent oracle
+// for property tests.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/amount.hpp"
+
+namespace spider {
+
+/// A directed arc with integer capacity. Arc ids are indices into the input
+/// vector; results are reported per input arc.
+struct Arc {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  Amount capacity = 0;
+};
+
+struct MaxFlowResult {
+  Amount value = 0;
+  std::vector<Amount> flow;  // flow on each input arc, 0 <= flow <= capacity
+};
+
+inline constexpr Amount kUnboundedFlow = std::numeric_limits<Amount>::max();
+
+/// Dinic's algorithm. `limit` caps the computed flow (the router only needs
+/// to know whether `amount` is routable, so it stops early).
+[[nodiscard]] MaxFlowResult dinic_max_flow(NodeId num_nodes,
+                                           const std::vector<Arc>& arcs,
+                                           NodeId src, NodeId dst,
+                                           Amount limit = kUnboundedFlow);
+
+/// Edmonds–Karp (BFS augmenting paths). Slower; used to cross-check Dinic.
+[[nodiscard]] MaxFlowResult edmonds_karp_max_flow(NodeId num_nodes,
+                                                  const std::vector<Arc>& arcs,
+                                                  NodeId src, NodeId dst,
+                                                  Amount limit =
+                                                      kUnboundedFlow);
+
+/// One source→sink path carrying `amount` units of a flow decomposition.
+struct FlowPath {
+  std::vector<NodeId> nodes;
+  Amount amount = 0;
+};
+
+/// Decomposes an arc flow into at most |arcs| simple source→sink paths.
+/// Flow on cycles (possible in principle, not produced by our solvers) is
+/// discarded. The path amounts sum to the src→dst flow value.
+[[nodiscard]] std::vector<FlowPath> decompose_flow(
+    NodeId num_nodes, const std::vector<Arc>& arcs,
+    const std::vector<Amount>& flow, NodeId src, NodeId dst);
+
+}  // namespace spider

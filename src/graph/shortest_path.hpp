@@ -1,0 +1,34 @@
+// Unweighted (hop-count) and weighted shortest paths. Hop-count paths are
+// what the evaluated routing schemes use ("K shortest paths", landmark legs,
+// SpeedyMurmurs' underlying trees); Dijkstra supports the price-weighted
+// extension router.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace spider {
+
+/// Optional per-edge filter: return false to treat the edge as absent.
+using EdgeFilter = std::function<bool(EdgeId)>;
+
+/// BFS shortest path by hop count; empty Path if unreachable. Deterministic:
+/// explores adjacency lists in insertion order.
+[[nodiscard]] Path bfs_path(const Graph& g, NodeId src, NodeId dst,
+                            const EdgeFilter& filter = nullptr);
+
+/// BFS hop distances from src; unreachable nodes get -1.
+[[nodiscard]] std::vector<int> bfs_distances(const Graph& g, NodeId src,
+                                             const EdgeFilter& filter =
+                                                 nullptr);
+
+/// Dijkstra with non-negative per-edge weights (indexed by EdgeId). Returns
+/// the min-weight path, ties broken toward fewer hops then lower node ids;
+/// empty Path if unreachable.
+[[nodiscard]] Path dijkstra_path(const Graph& g, NodeId src, NodeId dst,
+                                 const std::vector<double>& edge_weight,
+                                 const EdgeFilter& filter = nullptr);
+
+}  // namespace spider

@@ -1,0 +1,86 @@
+#include "graph/spanning_tree.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace spider {
+
+SpanningTree bfs_spanning_tree(const Graph& g, NodeId root, Rng* rng) {
+  SPIDER_ASSERT(root >= 0 && root < g.num_nodes());
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  SpanningTree tree;
+  tree.root = root;
+  tree.parent.assign(n, kInvalidNode);
+  tree.parent_edge.assign(n, kInvalidEdge);
+  tree.depth.assign(n, -1);
+  tree.children.assign(n, {});
+
+  std::queue<NodeId> frontier;
+  tree.depth[static_cast<std::size_t>(root)] = 0;
+  frontier.push(root);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    std::vector<Graph::Adjacency> adj = g.neighbors(u);
+    if (rng != nullptr) rng->shuffle(adj);
+    for (const Graph::Adjacency& a : adj) {
+      if (tree.depth[static_cast<std::size_t>(a.peer)] >= 0) continue;
+      tree.depth[static_cast<std::size_t>(a.peer)] =
+          tree.depth[static_cast<std::size_t>(u)] + 1;
+      tree.parent[static_cast<std::size_t>(a.peer)] = u;
+      tree.parent_edge[static_cast<std::size_t>(a.peer)] = a.edge;
+      tree.children[static_cast<std::size_t>(u)].push_back(a.peer);
+      frontier.push(a.peer);
+    }
+  }
+  return tree;
+}
+
+namespace {
+
+NodeId lowest_common_ancestor(const SpanningTree& tree, NodeId u, NodeId v) {
+  auto du = tree.depth[static_cast<std::size_t>(u)];
+  auto dv = tree.depth[static_cast<std::size_t>(v)];
+  while (du > dv) {
+    u = tree.parent[static_cast<std::size_t>(u)];
+    --du;
+  }
+  while (dv > du) {
+    v = tree.parent[static_cast<std::size_t>(v)];
+    --dv;
+  }
+  while (u != v) {
+    u = tree.parent[static_cast<std::size_t>(u)];
+    v = tree.parent[static_cast<std::size_t>(v)];
+  }
+  return u;
+}
+
+}  // namespace
+
+int tree_distance(const SpanningTree& tree, NodeId u, NodeId v) {
+  SPIDER_ASSERT(tree.covers(u) && tree.covers(v));
+  const NodeId lca = lowest_common_ancestor(tree, u, v);
+  return tree.depth[static_cast<std::size_t>(u)] +
+         tree.depth[static_cast<std::size_t>(v)] -
+         2 * tree.depth[static_cast<std::size_t>(lca)];
+}
+
+std::vector<NodeId> tree_path(const SpanningTree& tree, NodeId u, NodeId v) {
+  SPIDER_ASSERT(tree.covers(u) && tree.covers(v));
+  const NodeId lca = lowest_common_ancestor(tree, u, v);
+  std::vector<NodeId> up;
+  for (NodeId cur = u; cur != lca;
+       cur = tree.parent[static_cast<std::size_t>(cur)])
+    up.push_back(cur);
+  up.push_back(lca);
+  std::vector<NodeId> down;
+  for (NodeId cur = v; cur != lca;
+       cur = tree.parent[static_cast<std::size_t>(cur)])
+    down.push_back(cur);
+  std::reverse(down.begin(), down.end());
+  up.insert(up.end(), down.begin(), down.end());
+  return up;
+}
+
+}  // namespace spider

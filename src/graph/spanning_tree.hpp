@@ -1,0 +1,41 @@
+// BFS spanning trees. Used by (a) Proposition 1's constructive argument
+// (route the circulation along any spanning tree) and (b) the SpeedyMurmurs
+// reimplementation, which assigns prefix-embedding coordinates over one or
+// more spanning trees.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/random.hpp"
+
+namespace spider {
+
+struct SpanningTree {
+  NodeId root = kInvalidNode;
+  std::vector<NodeId> parent;       // parent[root] == kInvalidNode
+  std::vector<EdgeId> parent_edge;  // edge to parent; kInvalidEdge at root
+  std::vector<int> depth;           // depth[root] == 0; -1 if unreachable
+  std::vector<std::vector<NodeId>> children;
+
+  [[nodiscard]] bool covers(NodeId n) const {
+    return n >= 0 && static_cast<std::size_t>(n) < depth.size() &&
+           (depth[static_cast<std::size_t>(n)] >= 0);
+  }
+};
+
+/// BFS tree from `root`. If `rng` is non-null, each node's adjacency order is
+/// shuffled first, which randomizes tie-breaking (SpeedyMurmurs builds
+/// several distinct trees this way).
+[[nodiscard]] SpanningTree bfs_spanning_tree(const Graph& g, NodeId root,
+                                             Rng* rng = nullptr);
+
+/// Hop distance between u and v measured *through the tree* (via depths and
+/// the lowest common ancestor). Requires both nodes covered.
+[[nodiscard]] int tree_distance(const SpanningTree& tree, NodeId u, NodeId v);
+
+/// The unique tree path from u to v (node sequence).
+[[nodiscard]] std::vector<NodeId> tree_path(const SpanningTree& tree, NodeId u,
+                                            NodeId v);
+
+}  // namespace spider

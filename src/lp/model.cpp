@@ -1,0 +1,47 @@
+#include "lp/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spider {
+
+int LpModel::add_variable(double objective_coeff, std::string name) {
+  objective_.push_back(objective_coeff);
+  names_.push_back(std::move(name));
+  return static_cast<int>(objective_.size()) - 1;
+}
+
+void LpModel::add_constraint(std::vector<LpTerm> terms, RowSense sense,
+                             double rhs, std::string name) {
+  for (const LpTerm& t : terms)
+    SPIDER_ASSERT_MSG(t.var >= 0 && t.var < num_variables(),
+                      "constraint references unknown variable " << t.var);
+  rows_.push_back(Row{std::move(terms), sense, rhs, std::move(name)});
+}
+
+double LpModel::evaluate_objective(const std::vector<double>& x) const {
+  SPIDER_ASSERT(x.size() == objective_.size());
+  double total = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) total += objective_[i] * x[i];
+  return total;
+}
+
+double LpModel::max_violation(const std::vector<double>& x) const {
+  SPIDER_ASSERT(x.size() == objective_.size());
+  double worst = 0;
+  for (double v : x) worst = std::max(worst, -v);  // x >= 0
+  for (const Row& row : rows_) {
+    double lhs = 0;
+    for (const LpTerm& t : row.terms)
+      lhs += t.coeff * x[static_cast<std::size_t>(t.var)];
+    switch (row.sense) {
+      case RowSense::kLeq: worst = std::max(worst, lhs - row.rhs); break;
+      case RowSense::kGeq: worst = std::max(worst, row.rhs - lhs); break;
+      case RowSense::kEq: worst = std::max(worst, std::abs(lhs - row.rhs));
+        break;
+    }
+  }
+  return worst;
+}
+
+}  // namespace spider

@@ -1,0 +1,67 @@
+// Linear program builder.
+//
+// All fluid-model formulations in the paper (routing LP eqs. 1–5, on-chain
+// rebalancing LP eqs. 6–11, bounded-rebalancing LP eqs. 12–18, and the
+// max-circulation LP) are assembled through this interface and solved by the
+// simplex solver in lp/simplex.hpp. Variables are implicitly >= 0 (matching
+// every formulation in the paper); the objective is always maximized.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace spider {
+
+enum class RowSense { kLeq, kGeq, kEq };
+
+struct LpTerm {
+  int var = 0;
+  double coeff = 0.0;
+};
+
+class LpModel {
+ public:
+  /// Adds a variable with the given objective coefficient; returns its index.
+  int add_variable(double objective_coeff, std::string name = {});
+
+  /// Adds a constraint sum(terms) <sense> rhs. Terms may repeat a variable
+  /// (coefficients are summed).
+  void add_constraint(std::vector<LpTerm> terms, RowSense sense, double rhs,
+                      std::string name = {});
+
+  [[nodiscard]] int num_variables() const {
+    return static_cast<int>(objective_.size());
+  }
+  [[nodiscard]] int num_constraints() const {
+    return static_cast<int>(rows_.size());
+  }
+  [[nodiscard]] double objective_coeff(int var) const {
+    return objective_[static_cast<std::size_t>(var)];
+  }
+  [[nodiscard]] const std::string& variable_name(int var) const {
+    return names_[static_cast<std::size_t>(var)];
+  }
+
+  struct Row {
+    std::vector<LpTerm> terms;
+    RowSense sense = RowSense::kLeq;
+    double rhs = 0.0;
+    std::string name;
+  };
+  [[nodiscard]] const std::vector<Row>& rows() const { return rows_; }
+
+  /// Objective value of a candidate point (for tests).
+  [[nodiscard]] double evaluate_objective(const std::vector<double>& x) const;
+
+  /// Max constraint violation of a candidate point (0 if feasible).
+  [[nodiscard]] double max_violation(const std::vector<double>& x) const;
+
+ private:
+  std::vector<double> objective_;
+  std::vector<std::string> names_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace spider

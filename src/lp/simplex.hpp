@@ -1,0 +1,39 @@
+// Two-phase dense tableau simplex.
+//
+// Why hand-rolled: the reproduction must be self-contained (no external
+// solver), and the paper's LPs are small/medium dense problems. The solver
+// maximizes, treats all variables as >= 0, supports <=, >= and == rows, and
+// guards against cycling on the heavily degenerate balance constraints
+// (rows with rhs 0) by switching from Dantzig's rule to Bland's rule after a
+// fixed number of pivots.
+#pragma once
+
+#include <vector>
+
+#include "lp/model.hpp"
+
+namespace spider {
+
+enum class LpStatus { kOptimal, kUnbounded, kInfeasible, kIterationLimit };
+
+struct LpSolution {
+  LpStatus status = LpStatus::kIterationLimit;
+  double objective = 0.0;
+  std::vector<double> x;  // primal values, one per model variable
+  long iterations = 0;
+};
+
+struct SimplexOptions {
+  long max_iterations = 500'000;
+  /// Pivot/feasibility tolerance.
+  double eps = 1e-9;
+  /// Switch to Bland's anti-cycling rule after this many pivots (per phase).
+  long bland_after = 20'000;
+};
+
+/// Solves `model`. On kOptimal the returned x is feasible to within ~eps and
+/// optimal; on kUnbounded/kInfeasible x is meaningless.
+[[nodiscard]] LpSolution solve_lp(const LpModel& model,
+                                  const SimplexOptions& options = {});
+
+}  // namespace spider

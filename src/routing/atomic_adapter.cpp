@@ -1,0 +1,33 @@
+#include "routing/atomic_adapter.hpp"
+
+namespace spider {
+
+AtomicAdapter::AtomicAdapter(std::unique_ptr<Router> inner)
+    : inner_(std::move(inner)) {
+  SPIDER_ASSERT(inner_ != nullptr);
+  SPIDER_ASSERT_MSG(!inner_->is_atomic(),
+                    "wrapping an already-atomic scheme is redundant");
+}
+
+std::string AtomicAdapter::name() const { return inner_->name() + " [AMP]"; }
+
+void AtomicAdapter::init(const Network& network,
+                         const RouterInitContext& context) {
+  inner_->init(network, context);
+}
+
+void AtomicAdapter::on_tick(const Network& network, TimePoint now) {
+  inner_->on_tick(network, now);
+}
+
+std::vector<ChunkPlan> AtomicAdapter::plan(const Payment& payment,
+                                           Amount amount,
+                                           const Network& network, Rng& rng) {
+  std::vector<ChunkPlan> chunks = inner_->plan(payment, amount, network, rng);
+  Amount total = 0;
+  for (const ChunkPlan& chunk : chunks) total += chunk.amount;
+  if (total < amount) return {};  // AMP: receiver could not redeem in full
+  return chunks;
+}
+
+}  // namespace spider

@@ -1,0 +1,42 @@
+// Atomic Multi-Path payment mode (§4.1).
+//
+// Spider's transport supports both non-atomic payments (partial delivery,
+// remainder retried or abandoned) and atomic payments in the style of AMP:
+// all transaction units of a payment are hash-locked under shares of one
+// base key, so the receiver can redeem either all of them or none.
+//
+// This adapter turns any non-atomic routing scheme into its AMP variant:
+// the plan must cover the payment in full — with jointly feasible chunks —
+// or the payment fails outright (no queueing, no retry). Comparing a scheme
+// against its AMP self quantifies the paper's claim that "relaxing
+// atomicity improves network efficiency" (bench_atomicity_ablation).
+#pragma once
+
+#include <memory>
+
+#include "routing/router.hpp"
+
+namespace spider {
+
+class AtomicAdapter final : public Router {
+ public:
+  /// Takes ownership of the wrapped scheme. Requires inner != nullptr and
+  /// !inner->is_atomic().
+  explicit AtomicAdapter(std::unique_ptr<Router> inner);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] bool is_atomic() const override { return true; }
+
+  void init(const Network& network, const RouterInitContext& context) override;
+  void on_tick(const Network& network, TimePoint now) override;
+
+  [[nodiscard]] std::vector<ChunkPlan> plan(const Payment& payment,
+                                            Amount amount,
+                                            const Network& network,
+                                            Rng& rng) override;
+
+ private:
+  std::unique_ptr<Router> inner_;
+};
+
+}  // namespace spider

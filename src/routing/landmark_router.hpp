@@ -1,0 +1,60 @@
+// SilentWhispers-style landmark routing (§3, [18]).
+//
+// A small set of well-connected landmarks store routes for everyone else; a
+// payment travels sender → landmark → receiver and is split across the
+// per-landmark paths. Reimplemented from the routing core of the
+// SilentWhispers paper with these simplifications (documented per
+// DESIGN.md): landmarks are the top-degree nodes; the per-landmark route is
+// the BFS path via the landmark with any incidental loops spliced out; the
+// split is greedy highest-available-first (SilentWhispers probes available
+// credit per landmark path and partitions the amount). Crypto (multi-party
+// signatures) is out of scope — the comparison needs the routing behaviour.
+//
+// Atomic: if the landmark paths cannot jointly carry the full amount, the
+// payment fails.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "routing/router.hpp"
+
+namespace spider {
+
+class LandmarkRouter final : public Router {
+ public:
+  explicit LandmarkRouter(int num_landmarks = 3);
+
+  [[nodiscard]] std::string name() const override {
+    return "SilentWhispers";
+  }
+  [[nodiscard]] bool is_atomic() const override { return true; }
+
+  void init(const Network& network, const RouterInitContext& context) override;
+
+  [[nodiscard]] std::vector<ChunkPlan> plan(const Payment& payment,
+                                            Amount amount,
+                                            const Network& network,
+                                            Rng& rng) override;
+
+  [[nodiscard]] const std::vector<NodeId>& landmarks() const {
+    return landmarks_;
+  }
+
+ private:
+  [[nodiscard]] const std::vector<Path>& landmark_paths(const Graph& graph,
+                                                        NodeId src,
+                                                        NodeId dst);
+
+  int num_landmarks_;
+  std::vector<NodeId> landmarks_;
+  std::map<std::pair<NodeId, NodeId>, std::vector<Path>> path_cache_;
+};
+
+/// Splices out loops from a node walk (keeps the segment between the first
+/// and last occurrence of each repeated node exactly once). Exposed for
+/// tests.
+[[nodiscard]] std::vector<NodeId> remove_walk_loops(
+    const std::vector<NodeId>& walk);
+
+}  // namespace spider

@@ -1,0 +1,35 @@
+#include "routing/maxflow_router.hpp"
+
+#include "graph/maxflow.hpp"
+
+namespace spider {
+
+std::vector<ChunkPlan> MaxFlowRouter::plan(const Payment& payment,
+                                           Amount amount,
+                                           const Network& network, Rng&) {
+  const Graph& graph = network.graph();
+
+  // One arc per channel direction, capacity = that side's spendable balance.
+  std::vector<Arc> arcs;
+  arcs.reserve(static_cast<std::size_t>(graph.num_edges()) * 2);
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const Channel& ch = network.channel(e);
+    arcs.push_back(Arc{ch.endpoint(0), ch.endpoint(1), ch.balance(0)});
+    arcs.push_back(Arc{ch.endpoint(1), ch.endpoint(0), ch.balance(1)});
+  }
+
+  const MaxFlowResult flow = dinic_max_flow(graph.num_nodes(), arcs,
+                                            payment.src, payment.dst, amount);
+  if (flow.value < amount) return {};  // atomic: all or nothing
+
+  const std::vector<FlowPath> decomposition =
+      decompose_flow(graph.num_nodes(), arcs, flow.flow, payment.src,
+                     payment.dst);
+  std::vector<ChunkPlan> chunks;
+  chunks.reserve(decomposition.size());
+  for (const FlowPath& fp : decomposition)
+    chunks.push_back(ChunkPlan{make_path(graph, fp.nodes), fp.amount});
+  return chunks;
+}
+
+}  // namespace spider

@@ -1,0 +1,33 @@
+// Max-flow routing (§3) — the "gold standard" baseline.
+//
+// Per payment, computes a max flow from sender to receiver over the CURRENT
+// directional balances (Ford–Fulkerson family; we use Dinic with an early
+// stop at the payment amount). If the flow covers the amount, the payment is
+// routed atomically along a path decomposition of the flow; otherwise it
+// fails outright. High per-payment cost — O(|V|·|E|²) in the paper's
+// accounting — which bench_micro quantifies.
+//
+// Multigraph caveat: the flow is computed per channel, but path
+// reconstruction picks the lowest-id channel between consecutive nodes; with
+// parallel channels this could pick a drained sibling (our generators never
+// produce parallel channels).
+#pragma once
+
+#include "routing/router.hpp"
+
+namespace spider {
+
+class MaxFlowRouter final : public Router {
+ public:
+  MaxFlowRouter() = default;
+
+  [[nodiscard]] std::string name() const override { return "Max-flow"; }
+  [[nodiscard]] bool is_atomic() const override { return true; }
+
+  [[nodiscard]] std::vector<ChunkPlan> plan(const Payment& payment,
+                                            Amount amount,
+                                            const Network& network,
+                                            Rng& rng) override;
+};
+
+}  // namespace spider

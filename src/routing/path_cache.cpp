@@ -1,0 +1,38 @@
+#include "routing/path_cache.hpp"
+
+#include "graph/ksp.hpp"
+#include "util/assert.hpp"
+
+namespace spider {
+
+std::string path_selection_name(PathSelection selection) {
+  switch (selection) {
+    case PathSelection::kEdgeDisjoint: return "edge-disjoint";
+    case PathSelection::kYen: return "yen";
+  }
+  return "?";
+}
+
+PathCache::PathCache(const Graph& graph, int k, PathSelection selection)
+    : graph_(&graph), k_(k), selection_(selection) {
+  SPIDER_ASSERT(k >= 1);
+}
+
+const std::vector<Path>& PathCache::paths(NodeId src, NodeId dst) {
+  SPIDER_ASSERT(src != dst);
+  const auto key = std::make_pair(src, dst);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+  std::vector<Path> found;
+  switch (selection_) {
+    case PathSelection::kEdgeDisjoint:
+      found = edge_disjoint_paths(*graph_, src, dst, k_);
+      break;
+    case PathSelection::kYen:
+      found = yen_k_shortest_paths(*graph_, src, dst, k_);
+      break;
+  }
+  return cache_.emplace(key, std::move(found)).first->second;
+}
+
+}  // namespace spider

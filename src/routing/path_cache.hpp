@@ -1,0 +1,39 @@
+// Lazy per-pair candidate-path cache.
+//
+// §5.3.1: practical schemes restrict each pair to a small candidate set —
+// the paper's evaluation uses 4 edge-disjoint shortest paths. Paths depend
+// only on topology, so they are computed once per (src, dst) and cached.
+// Yen's K-shortest is available as the alternative selection strategy for
+// the path-selection ablation.
+#pragma once
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace spider {
+
+enum class PathSelection { kEdgeDisjoint, kYen };
+
+[[nodiscard]] std::string path_selection_name(PathSelection selection);
+
+class PathCache {
+ public:
+  PathCache(const Graph& graph, int k, PathSelection selection);
+
+  /// Up to k candidate paths, shortest first. May be empty only if dst is
+  /// unreachable.
+  [[nodiscard]] const std::vector<Path>& paths(NodeId src, NodeId dst);
+
+  [[nodiscard]] int k() const { return k_; }
+
+ private:
+  const Graph* graph_;
+  int k_;
+  PathSelection selection_;
+  std::map<std::pair<NodeId, NodeId>, std::vector<Path>> cache_;
+};
+
+}  // namespace spider

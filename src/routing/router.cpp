@@ -1,0 +1,39 @@
+#include "routing/router.hpp"
+
+#include <algorithm>
+
+namespace spider {
+
+void Router::init(const Network&, const RouterInitContext&) {}
+
+void Router::on_tick(const Network&, TimePoint) {}
+
+Amount VirtualBalances::available(NodeId from, EdgeId e) const {
+  const Channel& ch = network_->channel(e);
+  const int side = ch.side_of(from);
+  Amount avail = ch.balance(side);
+  const auto it = used_.find({e, side});
+  if (it != used_.end()) avail -= it->second;
+  return std::max<Amount>(0, avail);
+}
+
+Amount VirtualBalances::path_bottleneck(const Path& path) const {
+  if (path.edges.empty()) return 0;
+  Amount bottleneck = std::numeric_limits<Amount>::max();
+  for (std::size_t h = 0; h < path.edges.size(); ++h)
+    bottleneck =
+        std::min(bottleneck, available(path.nodes[h], path.edges[h]));
+  return bottleneck;
+}
+
+void VirtualBalances::use(const Path& path, Amount amount) {
+  SPIDER_ASSERT(amount >= 0);
+  SPIDER_ASSERT_MSG(amount <= path_bottleneck(path),
+                    "virtual lock exceeds bottleneck");
+  for (std::size_t h = 0; h < path.edges.size(); ++h) {
+    const Channel& ch = network_->channel(path.edges[h]);
+    used_[{path.edges[h], ch.side_of(path.nodes[h])}] += amount;
+  }
+}
+
+}  // namespace spider

@@ -1,0 +1,89 @@
+// Routing-scheme interface.
+//
+// A Router turns (payment, amount to send now) into a set of path chunks.
+// The simulator validates and locks the chunks, schedules their settlement
+// Δ seconds later, and — for non-atomic schemes — parks any unplanned
+// remainder in the pending queue for the next poll (§6.1).
+//
+// Atomic schemes (`is_atomic() == true`: SilentWhispers, SpeedyMurmurs,
+// max-flow) must plan the FULL amount with chunks that are *jointly*
+// feasible (locking them sequentially must succeed); otherwise they must
+// return an empty plan, which the simulator records as a rejected payment.
+// VirtualBalances helps planners reason about joint feasibility when their
+// candidate paths share channels.
+//
+// Routers read global network state directly — the same visibility the
+// paper's simulator gives every scheme (§6.1).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fluid/payment_graph.hpp"
+#include "sim/network.hpp"
+#include "sim/payment.hpp"
+#include "util/random.hpp"
+#include "util/time.hpp"
+
+namespace spider {
+
+struct ChunkPlan {
+  Path path;
+  Amount amount = 0;
+};
+
+/// Context handed to Router::init. `demand_hint` is the estimated demand
+/// matrix (Spider LP and the primal-dual extension need it; others ignore
+/// it); `delta_seconds` is the confirmation delay Δ of the run.
+struct RouterInitContext {
+  const PaymentGraph* demand_hint = nullptr;
+  double delta_seconds = 0.5;
+};
+
+class Router {
+ public:
+  virtual ~Router() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual bool is_atomic() const = 0;
+
+  /// Called once before the run, after the network is constructed.
+  virtual void init(const Network& network, const RouterInitContext& context);
+
+  /// Plans chunks moving up to `amount` from payment.src to payment.dst.
+  /// Must not mutate the network. Total planned must be <= amount.
+  [[nodiscard]] virtual std::vector<ChunkPlan> plan(const Payment& payment,
+                                                    Amount amount,
+                                                    const Network& network,
+                                                    Rng& rng) = 0;
+
+  /// Periodic hook, invoked once per pending-queue poll (price updates for
+  /// the primal–dual extension; no-op otherwise).
+  virtual void on_tick(const Network& network, TimePoint now);
+};
+
+/// Read-only overlay over current balances that tracks hypothetical locks,
+/// so a planner can check that a multi-path plan is jointly feasible before
+/// committing to it.
+class VirtualBalances {
+ public:
+  explicit VirtualBalances(const Network& network) : network_(&network) {}
+
+  /// Spendable balance for `from` on edge `e`, minus hypothetical locks.
+  [[nodiscard]] Amount available(NodeId from, EdgeId e) const;
+
+  /// min over hops of available().
+  [[nodiscard]] Amount path_bottleneck(const Path& path) const;
+
+  /// Records a hypothetical lock along the path. Requires amount <=
+  /// path_bottleneck(path).
+  void use(const Path& path, Amount amount);
+
+ private:
+  const Network* network_;
+  std::map<std::pair<EdgeId, int>, Amount> used_;  // (edge, side) -> locked
+};
+
+}  // namespace spider

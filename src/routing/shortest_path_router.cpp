@@ -1,0 +1,26 @@
+#include "routing/shortest_path_router.hpp"
+
+#include <algorithm>
+
+namespace spider {
+
+void ShortestPathRouter::init(const Network& network,
+                              const RouterInitContext&) {
+  cache_.emplace(network.graph(), /*k=*/1, PathSelection::kEdgeDisjoint);
+}
+
+std::vector<ChunkPlan> ShortestPathRouter::plan(const Payment& payment,
+                                                Amount amount,
+                                                const Network& network,
+                                                Rng&) {
+  SPIDER_ASSERT(cache_.has_value());
+  const std::vector<Path>& paths = cache_->paths(payment.src, payment.dst);
+  if (paths.empty()) return {};
+  const Path& path = paths.front();
+  const Amount sendable =
+      std::min(amount, network.path_bottleneck(path));
+  if (sendable <= 0) return {};
+  return {ChunkPlan{path, sendable}};
+}
+
+}  // namespace spider

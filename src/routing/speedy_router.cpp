@@ -1,0 +1,86 @@
+#include "routing/speedy_router.hpp"
+
+#include <algorithm>
+
+namespace spider {
+
+SpeedyMurmursRouter::SpeedyMurmursRouter(int num_trees, std::uint64_t seed)
+    : num_trees_(num_trees), seed_(seed) {
+  SPIDER_ASSERT(num_trees >= 1);
+}
+
+void SpeedyMurmursRouter::init(const Network& network,
+                               const RouterInitContext&) {
+  const Graph& graph = network.graph();
+  trees_.clear();
+  Rng rng(seed_);
+  for (int t = 0; t < num_trees_; ++t) {
+    const NodeId root =
+        static_cast<NodeId>(rng.uniform_int(0, graph.num_nodes() - 1));
+    trees_.push_back(bfs_spanning_tree(graph, root, &rng));
+  }
+}
+
+Path SpeedyMurmursRouter::greedy_route(
+    const SpanningTree& tree, NodeId src, NodeId dst, Amount amount,
+    const Network& network, const VirtualBalances& virtual_balances) const {
+  const Graph& graph = network.graph();
+  std::vector<NodeId> nodes{src};
+  std::vector<EdgeId> edges;
+  NodeId current = src;
+  int current_distance = tree_distance(tree, current, dst);
+
+  // Strict distance decrease guarantees termination within n hops.
+  while (current != dst) {
+    NodeId best_peer = kInvalidNode;
+    EdgeId best_edge = kInvalidEdge;
+    int best_distance = current_distance;
+    for (const Graph::Adjacency& adj : graph.neighbors(current)) {
+      if (virtual_balances.available(current, adj.edge) < amount) continue;
+      const int d = tree_distance(tree, adj.peer, dst);
+      if (d < best_distance ||
+          (d == best_distance && best_peer != kInvalidNode &&
+           adj.peer < best_peer)) {
+        if (d < current_distance) {  // must make strict progress
+          best_distance = d;
+          best_peer = adj.peer;
+          best_edge = adj.edge;
+        }
+      }
+    }
+    if (best_peer == kInvalidNode) return Path{};  // stuck: no funded step
+    nodes.push_back(best_peer);
+    edges.push_back(best_edge);
+    current = best_peer;
+    current_distance = best_distance;
+  }
+  return Path{std::move(nodes), std::move(edges)};
+}
+
+std::vector<ChunkPlan> SpeedyMurmursRouter::plan(const Payment& payment,
+                                                 Amount amount,
+                                                 const Network& network,
+                                                 Rng&) {
+  SPIDER_ASSERT_MSG(!trees_.empty(), "init() must run before plan()");
+
+  // Equal split across trees; the first splits absorb the remainder.
+  const auto t = static_cast<Amount>(trees_.size());
+  const Amount base = amount / t;
+  Amount extra = amount % t;
+
+  VirtualBalances virtual_balances(network);
+  std::vector<ChunkPlan> chunks;
+  for (const SpanningTree& tree : trees_) {
+    Amount split = base + (extra > 0 ? 1 : 0);
+    if (extra > 0) --extra;
+    if (split <= 0) continue;
+    Path path = greedy_route(tree, payment.src, payment.dst, split, network,
+                             virtual_balances);
+    if (path.empty()) return {};  // atomic: one stuck split fails the payment
+    virtual_balances.use(path, split);
+    chunks.push_back(ChunkPlan{std::move(path), split});
+  }
+  return chunks;
+}
+
+}  // namespace spider

@@ -1,0 +1,58 @@
+// SpeedyMurmurs-style embedding routing (§3, [25]).
+//
+// SpeedyMurmurs assigns every node prefix coordinates over a set of spanning
+// trees and forwards greedily to the neighbour closest (in tree distance) to
+// the destination, considering non-tree "shortcut" edges as well. A payment
+// is split equally across the trees; each split must find a strictly
+// distance-decreasing neighbour with enough balance at every step, or the
+// whole payment fails (atomic).
+//
+// Reimplemented from the SpeedyMurmurs routing core; simplifications
+// (documented per DESIGN.md): coordinates are kept implicitly as
+// (tree parent pointers, depths) and distances computed via LCA — equivalent
+// to prefix embeddings for BFS trees; tree roots are random; dynamic
+// re-embedding on topology change is out of scope (our topologies are
+// static, as in the paper's experiments).
+#pragma once
+
+#include <vector>
+
+#include "graph/spanning_tree.hpp"
+#include "routing/router.hpp"
+
+namespace spider {
+
+class SpeedyMurmursRouter final : public Router {
+ public:
+  explicit SpeedyMurmursRouter(int num_trees = 3, std::uint64_t seed = 17);
+
+  [[nodiscard]] std::string name() const override {
+    return "SpeedyMurmurs";
+  }
+  [[nodiscard]] bool is_atomic() const override { return true; }
+
+  void init(const Network& network, const RouterInitContext& context) override;
+
+  [[nodiscard]] std::vector<ChunkPlan> plan(const Payment& payment,
+                                            Amount amount,
+                                            const Network& network,
+                                            Rng& rng) override;
+
+  [[nodiscard]] const std::vector<SpanningTree>& trees() const {
+    return trees_;
+  }
+
+ private:
+  /// Greedy distance-decreasing walk for one split; empty path on failure.
+  [[nodiscard]] Path greedy_route(const SpanningTree& tree, NodeId src,
+                                  NodeId dst, Amount amount,
+                                  const Network& network,
+                                  const VirtualBalances& virtual_balances)
+      const;
+
+  int num_trees_;
+  std::uint64_t seed_;
+  std::vector<SpanningTree> trees_;
+};
+
+}  // namespace spider

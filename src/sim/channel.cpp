@@ -1,0 +1,100 @@
+#include "sim/channel.hpp"
+
+#include <cmath>
+
+namespace spider {
+
+Channel::Channel(EdgeId id, NodeId a, NodeId b, Amount capacity,
+                 double split_a)
+    : id_(id), ends_{a, b}, capacity_(capacity) {
+  SPIDER_ASSERT(a != b);
+  SPIDER_ASSERT(capacity >= 0);
+  SPIDER_ASSERT(split_a >= 0.0 && split_a <= 1.0);
+  balance_[0] = static_cast<Amount>(std::floor(
+      static_cast<double>(capacity) * split_a));
+  balance_[1] = capacity - balance_[0];
+  check_invariant();
+}
+
+NodeId Channel::endpoint(int side) const {
+  SPIDER_ASSERT(side == 0 || side == 1);
+  return ends_[side];
+}
+
+int Channel::side_of(NodeId node) const {
+  SPIDER_ASSERT(node == ends_[0] || node == ends_[1]);
+  return node == ends_[0] ? 0 : 1;
+}
+
+Amount Channel::balance(int side) const {
+  SPIDER_ASSERT(side == 0 || side == 1);
+  return balance_[side];
+}
+
+Amount Channel::inflight(int side) const {
+  SPIDER_ASSERT(side == 0 || side == 1);
+  return inflight_[side];
+}
+
+bool Channel::can_lock(int side, Amount amount) const {
+  SPIDER_ASSERT(side == 0 || side == 1);
+  SPIDER_ASSERT(amount >= 0);
+  return balance_[side] >= amount;
+}
+
+void Channel::lock(int side, Amount amount) {
+  SPIDER_ASSERT_MSG(can_lock(side, amount),
+                    "lock of " << amount << " exceeds balance "
+                               << balance_[side] << " on channel " << id_);
+  balance_[side] -= amount;
+  inflight_[side] += amount;
+  check_invariant();
+}
+
+void Channel::settle(int side, Amount amount) {
+  SPIDER_ASSERT(side == 0 || side == 1);
+  SPIDER_ASSERT(amount >= 0);
+  SPIDER_ASSERT_MSG(inflight_[side] >= amount,
+                    "settle of " << amount << " exceeds inflight "
+                                 << inflight_[side] << " on channel " << id_);
+  inflight_[side] -= amount;
+  balance_[1 - side] += amount;
+  check_invariant();
+}
+
+void Channel::refund(int side, Amount amount) {
+  SPIDER_ASSERT(side == 0 || side == 1);
+  SPIDER_ASSERT(amount >= 0);
+  SPIDER_ASSERT_MSG(inflight_[side] >= amount,
+                    "refund of " << amount << " exceeds inflight "
+                                 << inflight_[side] << " on channel " << id_);
+  inflight_[side] -= amount;
+  balance_[side] += amount;
+  check_invariant();
+}
+
+void Channel::deposit(int side, Amount amount) {
+  SPIDER_ASSERT(side == 0 || side == 1);
+  SPIDER_ASSERT(amount >= 0);
+  balance_[side] += amount;
+  capacity_ += amount;
+  check_invariant();
+}
+
+Amount Channel::imbalance() const {
+  const Amount diff = balance_[0] - balance_[1];
+  return diff >= 0 ? diff : -diff;
+}
+
+void Channel::check_invariant() const {
+  SPIDER_ASSERT_MSG(
+      balance_[0] >= 0 && balance_[1] >= 0 && inflight_[0] >= 0 &&
+          inflight_[1] >= 0 &&
+          balance_[0] + balance_[1] + inflight_[0] + inflight_[1] ==
+              capacity_,
+      "conservation violated on channel "
+          << id_ << ": " << balance_[0] << "+" << balance_[1] << "+"
+          << inflight_[0] << "+" << inflight_[1] << " != " << capacity_);
+}
+
+}  // namespace spider

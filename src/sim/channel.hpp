@@ -1,0 +1,67 @@
+// Runtime state of one bidirectional payment channel (§2, Fig. 1).
+//
+// Each side holds a spendable balance plus an "inflight" amount: funds
+// locked under a hash-lock for chunks that have been forwarded but whose key
+// has not yet arrived (§4.2, Fig. 3). The conservation invariant
+//
+//   balance(0) + balance(1) + inflight(0) + inflight(1) == capacity
+//
+// holds exactly (integer arithmetic) through every operation; violating it
+// throws. On-chain deposits (the rebalancing extension, §5.2.3) are the only
+// operation that changes capacity.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "util/amount.hpp"
+
+namespace spider {
+
+class Channel {
+ public:
+  /// Splits `capacity` between the endpoints: side 0 (endpoint a) receives
+  /// floor(capacity * split_a); the paper's experiments use an equal split.
+  Channel(EdgeId id, NodeId a, NodeId b, Amount capacity,
+          double split_a = 0.5);
+
+  [[nodiscard]] EdgeId id() const { return id_; }
+  [[nodiscard]] NodeId endpoint(int side) const;
+  [[nodiscard]] int side_of(NodeId node) const;
+
+  [[nodiscard]] Amount capacity() const { return capacity_; }
+  [[nodiscard]] Amount balance(int side) const;
+  [[nodiscard]] Amount inflight(int side) const;
+
+  /// Spendable funds for the holder of `side`.
+  [[nodiscard]] bool can_lock(int side, Amount amount) const;
+
+  /// Moves `amount` from side's balance to side's inflight. Requires
+  /// can_lock.
+  void lock(int side, Amount amount);
+
+  /// Completion: the key arrived; inflight funds move to the *other* side's
+  /// balance.
+  void settle(int side, Amount amount);
+
+  /// Cancellation/expiry: inflight funds return to side's own balance.
+  void refund(int side, Amount amount);
+
+  /// On-chain deposit onto `side` (rebalancing extension): grows both the
+  /// side's balance and the channel capacity.
+  void deposit(int side, Amount amount);
+
+  /// |balance(0) − balance(1)|: how skewed the channel currently is.
+  [[nodiscard]] Amount imbalance() const;
+
+  /// Throws AssertionError if conservation is violated (called internally
+  /// after every mutation; cheap).
+  void check_invariant() const;
+
+ private:
+  EdgeId id_;
+  NodeId ends_[2];
+  Amount capacity_;
+  Amount balance_[2];
+  Amount inflight_[2] = {0, 0};
+};
+
+}  // namespace spider

@@ -1,0 +1,80 @@
+// Experiment metrics (§6.1): success ratio — payments fully completed over
+// payments attempted; success volume — value delivered over value attempted
+// (partial deliveries of non-atomic payments count what they delivered,
+// which is exactly what the sender's keys released).
+#pragma once
+
+#include <cstdint>
+
+#include "util/amount.hpp"
+#include "util/stats.hpp"
+
+namespace spider {
+
+struct SimMetrics {
+  std::int64_t attempted_count = 0;
+  Amount attempted_volume = 0;
+
+  std::int64_t completed_count = 0;
+  Amount completed_volume = 0;  // Σ totals of fully completed payments
+  Amount delivered_volume = 0;  // Σ delivered across all payments
+
+  std::int64_t expired_count = 0;   // non-atomic, deadline hit
+  std::int64_t rejected_count = 0;  // atomic failure or admission refusal
+  std::int64_t admission_refused = 0;  // of rejected: refused at admission
+
+  std::int64_t chunks_sent = 0;   // path-level transfers locked
+  std::int64_t retry_rounds = 0;  // pending-queue service rounds
+
+  // Router-queue mode (§4.2): in-network queueing behaviour.
+  std::int64_t chunks_queued = 0;    // units that waited inside a channel
+  std::int64_t queue_timeouts = 0;   // units rolled back after waiting
+  RunningStats queue_wait_s;         // time spent in channel queues
+
+  // On-chain rebalancing extension (§5.2.3): total deposited.
+  Amount onchain_deposited = 0;
+
+  // Routing-fee accounting (per-intermediary, on settled units).
+  Amount fees_accrued = 0;
+
+  RunningStats completion_latency_s;  // arrival -> full completion
+  RunningStats chunk_hops;            // path length of sent chunks
+
+  double final_mean_imbalance_xrp = 0.0;
+  double sim_duration_s = 0.0;
+
+  [[nodiscard]] double success_ratio() const {
+    return attempted_count == 0
+               ? 0.0
+               : static_cast<double>(completed_count) /
+                     static_cast<double>(attempted_count);
+  }
+  [[nodiscard]] double success_volume() const {
+    return attempted_volume == 0
+               ? 0.0
+               : static_cast<double>(delivered_volume) /
+                     static_cast<double>(attempted_volume);
+  }
+  /// Completion ratio among payments that passed admission control — the
+  /// quantity a §7 admission policy optimizes (equals success_ratio() when
+  /// admission control is off).
+  [[nodiscard]] double admitted_success_ratio() const {
+    const std::int64_t admitted = attempted_count - admission_refused;
+    return admitted <= 0 ? 0.0
+                         : static_cast<double>(completed_count) /
+                               static_cast<double>(admitted);
+  }
+  /// Delivered value per second of simulated time (XRP/s).
+  [[nodiscard]] double throughput_xrp_per_s() const {
+    return sim_duration_s <= 0 ? 0.0
+                               : to_xrp(delivered_volume) / sim_duration_s;
+  }
+  /// Routing cost: XRP of fees accrued per 1000 XRP delivered.
+  [[nodiscard]] double fee_per_kilo_delivered() const {
+    return delivered_volume <= 0
+               ? 0.0
+               : to_xrp(fees_accrued) * 1000.0 / to_xrp(delivered_volume);
+  }
+};
+
+}  // namespace spider

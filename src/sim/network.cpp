@@ -1,0 +1,88 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace spider {
+
+Network::Network(const Graph& graph, double split_a) : graph_(&graph) {
+  channels_.reserve(static_cast<std::size_t>(graph.num_edges()));
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const Graph::Edge& ed = graph.edge(e);
+    channels_.emplace_back(e, ed.a, ed.b, ed.capacity, split_a);
+  }
+}
+
+Channel& Network::channel(EdgeId e) {
+  SPIDER_ASSERT(e >= 0 && static_cast<std::size_t>(e) < channels_.size());
+  return channels_[static_cast<std::size_t>(e)];
+}
+
+const Channel& Network::channel(EdgeId e) const {
+  SPIDER_ASSERT(e >= 0 && static_cast<std::size_t>(e) < channels_.size());
+  return channels_[static_cast<std::size_t>(e)];
+}
+
+Amount Network::available(NodeId from, EdgeId e) const {
+  const Channel& ch = channel(e);
+  return ch.balance(ch.side_of(from));
+}
+
+Amount Network::path_bottleneck(const Path& path) const {
+  SPIDER_ASSERT(!path.empty());
+  Amount bottleneck = std::numeric_limits<Amount>::max();
+  for (std::size_t h = 0; h < path.edges.size(); ++h)
+    bottleneck =
+        std::min(bottleneck, available(path.nodes[h], path.edges[h]));
+  return path.edges.empty() ? 0 : bottleneck;
+}
+
+bool Network::can_send(const Path& path, Amount amount) const {
+  SPIDER_ASSERT(amount >= 0);
+  if (path.edges.empty()) return false;
+  for (std::size_t h = 0; h < path.edges.size(); ++h)
+    if (available(path.nodes[h], path.edges[h]) < amount) return false;
+  return true;
+}
+
+void Network::lock_path(const Path& path, Amount amount) {
+  SPIDER_ASSERT_MSG(can_send(path, amount),
+                    "lock_path: insufficient funds for " << amount);
+  for (std::size_t h = 0; h < path.edges.size(); ++h) {
+    Channel& ch = channel(path.edges[h]);
+    ch.lock(ch.side_of(path.nodes[h]), amount);
+  }
+}
+
+void Network::settle_path(const Path& path, Amount amount) {
+  for (std::size_t h = 0; h < path.edges.size(); ++h) {
+    Channel& ch = channel(path.edges[h]);
+    ch.settle(ch.side_of(path.nodes[h]), amount);
+  }
+}
+
+void Network::refund_path(const Path& path, Amount amount) {
+  for (std::size_t h = 0; h < path.edges.size(); ++h) {
+    Channel& ch = channel(path.edges[h]);
+    ch.refund(ch.side_of(path.nodes[h]), amount);
+  }
+}
+
+Amount Network::total_funds() const {
+  Amount total = 0;
+  for (const Channel& ch : channels_) total += ch.capacity();
+  return total;
+}
+
+double Network::mean_imbalance_xrp() const {
+  if (channels_.empty()) return 0.0;
+  double total = 0;
+  for (const Channel& ch : channels_) total += to_xrp(ch.imbalance());
+  return total / static_cast<double>(channels_.size());
+}
+
+void Network::check_invariants() const {
+  for (const Channel& ch : channels_) ch.check_invariant();
+}
+
+}  // namespace spider

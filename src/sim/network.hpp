@@ -1,0 +1,58 @@
+// The live payment-channel network: topology plus per-channel runtime state,
+// with path-level operations (probe / lock / settle / refund) used by the
+// simulator and by routing schemes. Path direction is implied by node order.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/channel.hpp"
+
+namespace spider {
+
+class Network {
+ public:
+  /// Builds channels from the graph's edges, splitting each capacity
+  /// `split_a` : 1−split_a between the endpoints (paper: equal split).
+  explicit Network(const Graph& graph, double split_a = 0.5);
+
+  [[nodiscard]] const Graph& graph() const { return *graph_; }
+  [[nodiscard]] Channel& channel(EdgeId e);
+  [[nodiscard]] const Channel& channel(EdgeId e) const;
+  [[nodiscard]] std::size_t num_channels() const { return channels_.size(); }
+
+  /// Spendable balance for `from` on edge `e` (i.e. in the from→peer
+  /// direction).
+  [[nodiscard]] Amount available(NodeId from, EdgeId e) const;
+
+  /// min over hops of the sender-side spendable balance: the largest amount
+  /// currently sendable along the path in one shot (what waterfilling
+  /// probes, §5.3.1).
+  [[nodiscard]] Amount path_bottleneck(const Path& path) const;
+
+  [[nodiscard]] bool can_send(const Path& path, Amount amount) const;
+
+  /// Locks `amount` at every hop. Requires can_send.
+  void lock_path(const Path& path, Amount amount);
+
+  /// End-to-end completion: at every hop, inflight funds move downstream.
+  void settle_path(const Path& path, Amount amount);
+
+  /// End-to-end cancellation: at every hop, inflight funds return upstream.
+  void refund_path(const Path& path, Amount amount);
+
+  /// Σ capacities — constant unless deposits happen; asserted by tests.
+  [[nodiscard]] Amount total_funds() const;
+
+  /// Mean over channels of |balance(a) − balance(b)| in XRP.
+  [[nodiscard]] double mean_imbalance_xrp() const;
+
+  /// Validates every channel's conservation invariant.
+  void check_invariants() const;
+
+ private:
+  const Graph* graph_;
+  std::vector<Channel> channels_;
+};
+
+}  // namespace spider

@@ -1,0 +1,42 @@
+// Payment state tracked by the simulator.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "graph/graph.hpp"
+#include "util/amount.hpp"
+#include "util/time.hpp"
+
+namespace spider {
+
+using PaymentId = std::int64_t;
+
+enum class PaymentStatus {
+  kPending,    // partially delivered / queued for further attempts
+  kCompleted,  // fully delivered
+  kExpired,    // deadline hit with funds still outstanding (non-atomic)
+  kRejected,   // atomic payment that could not be routed in full
+};
+
+struct Payment {
+  PaymentId id = -1;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  Amount total = 0;
+  Amount delivered = 0;  // settled end-to-end
+  Amount inflight = 0;   // locked, awaiting settlement
+  TimePoint arrival = 0;
+  TimePoint deadline = std::numeric_limits<TimePoint>::max();
+  bool atomic = false;
+  PaymentStatus status = PaymentStatus::kPending;
+  int attempts = 0;         // plan() invocations
+  TimePoint completed_at = -1;
+
+  /// Funds not yet delivered nor inflight — what the next attempt may send.
+  [[nodiscard]] Amount remaining() const {
+    return total - delivered - inflight;
+  }
+};
+
+}  // namespace spider

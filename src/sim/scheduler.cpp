@@ -1,0 +1,57 @@
+#include "sim/scheduler.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace spider {
+
+std::string scheduler_policy_name(SchedulerPolicy policy) {
+  switch (policy) {
+    case SchedulerPolicy::kFifo: return "FIFO";
+    case SchedulerPolicy::kLifo: return "LIFO";
+    case SchedulerPolicy::kSrpt: return "SRPT";
+    case SchedulerPolicy::kEdf: return "EDF";
+  }
+  return "?";
+}
+
+std::vector<std::size_t> schedule_order(SchedulerPolicy policy,
+                                        const std::vector<Payment>& payments,
+                                        std::vector<std::size_t> pending) {
+  const auto tie = [&](std::size_t a, std::size_t b) {
+    const Payment& pa = payments[a];
+    const Payment& pb = payments[b];
+    if (pa.arrival != pb.arrival) return pa.arrival < pb.arrival;
+    return pa.id < pb.id;
+  };
+  const auto by = [&](auto key) {
+    return [&, key](std::size_t a, std::size_t b) {
+      const auto ka = key(payments[a]);
+      const auto kb = key(payments[b]);
+      if (ka != kb) return ka < kb;
+      return tie(a, b);
+    };
+  };
+  switch (policy) {
+    case SchedulerPolicy::kSrpt:
+      std::sort(pending.begin(), pending.end(),
+                by([](const Payment& p) { return p.remaining(); }));
+      break;
+    case SchedulerPolicy::kFifo:
+      std::sort(pending.begin(), pending.end(),
+                by([](const Payment& p) { return p.arrival; }));
+      break;
+    case SchedulerPolicy::kLifo:
+      std::sort(pending.begin(), pending.end(),
+                by([](const Payment& p) { return -p.arrival; }));
+      break;
+    case SchedulerPolicy::kEdf:
+      std::sort(pending.begin(), pending.end(),
+                by([](const Payment& p) { return p.deadline; }));
+      break;
+  }
+  return pending;
+}
+
+}  // namespace spider

@@ -1,0 +1,30 @@
+// Pending-payment scheduling policies.
+//
+// §6.1: "All non-atomic payments are scheduled in order of increasing
+// incomplete payment amount, i.e. according to the shortest remaining
+// processing time (SRPT) policy." FIFO/LIFO/EDF are included for the
+// scheduling ablation (bench_scheduling_ablation), mirroring the service-
+// class discussion in §4.2.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/payment.hpp"
+
+namespace spider {
+
+enum class SchedulerPolicy { kFifo, kLifo, kSrpt, kEdf };
+
+[[nodiscard]] std::string scheduler_policy_name(SchedulerPolicy policy);
+
+/// Orders `pending` (indices into `payments`) for the next service round:
+///   SRPT — increasing remaining amount;  FIFO — increasing arrival;
+///   LIFO — decreasing arrival;           EDF  — increasing deadline.
+/// All ties break by arrival time then payment id, so runs are
+/// deterministic.
+[[nodiscard]] std::vector<std::size_t> schedule_order(
+    SchedulerPolicy policy, const std::vector<Payment>& payments,
+    std::vector<std::size_t> pending);
+
+}  // namespace spider

@@ -1,0 +1,543 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+
+namespace spider {
+
+Simulator::Simulator(Network& network, Router& router, SimConfig config)
+    : network_(&network), router_(&router), config_(config), rng_(config.seed) {
+  SPIDER_ASSERT(config.delta > 0);
+  SPIDER_ASSERT(config.poll_interval > 0);
+  SPIDER_ASSERT(config.mtu >= 0);
+  SPIDER_ASSERT(config.hop_delay > 0);
+  SPIDER_ASSERT(config.queue_timeout > 0);
+  SPIDER_ASSERT(config.rebalance_interval >= 0);
+  SPIDER_ASSERT(config.rebalance_rate_xrp_per_s >= 0);
+  SPIDER_ASSERT(config.admission_cap >= 0);
+  if (config.queueing == QueueingMode::kRouterQueue)
+    SPIDER_ASSERT_MSG(!router.is_atomic(),
+                      "router-queue mode requires a non-atomic scheme "
+                      "(queued units cannot honour all-or-nothing)");
+}
+
+void Simulator::push_event(TimePoint time, EventKind kind, std::size_t index,
+                           std::uint64_t stamp) {
+  events_.push(Event{time, next_seq_++, kind, index, stamp});
+}
+
+SimMetrics Simulator::run(const std::vector<PaymentSpec>& trace) {
+  trace_ = &trace;
+  payments_.clear();
+  payments_.reserve(trace.size());
+  pending_.clear();
+  in_pending_.clear();
+  inflight_.clear();
+  free_chunks_.clear();
+  metrics_ = SimMetrics{};
+  next_arrival_ = 0;
+  now_ = 0;
+  poll_scheduled_ = false;
+  rebalance_scheduled_ = false;
+  next_stamp_ = 1;
+
+  const auto num_edges =
+      static_cast<std::size_t>(network_->graph().num_edges());
+  channel_queues_.assign(num_edges, {});
+  initial_side_funds_.assign(num_edges, {0, 0});
+  for (std::size_t e = 0; e < num_edges; ++e) {
+    const Channel& ch = network_->channel(static_cast<EdgeId>(e));
+    initial_side_funds_[e] = {ch.balance(0), ch.balance(1)};
+  }
+
+  if (!trace.empty()) {
+    push_event(trace.front().arrival, EventKind::kArrival, 0);
+    if (config_.rebalance_interval > 0 &&
+        config_.rebalance_rate_xrp_per_s > 0) {
+      push_event(trace.front().arrival + config_.rebalance_interval,
+                 EventKind::kRebalance, 0);
+      rebalance_scheduled_ = true;
+    }
+  }
+
+  while (!events_.empty()) {
+    const Event ev = events_.top();
+    events_.pop();
+    SPIDER_ASSERT_MSG(ev.time >= now_, "event time went backwards");
+    now_ = ev.time;
+    switch (ev.kind) {
+      case EventKind::kArrival: handle_arrival(ev.index); break;
+      case EventKind::kSettle: handle_settle(ev.index); break;
+      case EventKind::kPoll:
+        poll_scheduled_ = false;
+        handle_poll();
+        break;
+      case EventKind::kHopArrive: handle_hop_arrive(ev.index); break;
+      case EventKind::kQueueTimeout:
+        handle_queue_timeout(ev.index, ev.stamp);
+        break;
+      case EventKind::kRebalance:
+        rebalance_scheduled_ = false;
+        handle_rebalance();
+        break;
+    }
+  }
+
+  metrics_.sim_duration_s = to_seconds(now_);
+  metrics_.final_mean_imbalance_xrp = network_->mean_imbalance_xrp();
+  network_->check_invariants();
+  return metrics_;
+}
+
+void Simulator::ensure_pending(std::size_t payment_index) {
+  if (payments_[payment_index].status != PaymentStatus::kPending) return;
+  if (in_pending_[payment_index]) return;
+  in_pending_[payment_index] = 1;
+  pending_.push_back(payment_index);
+  if (!poll_scheduled_) {
+    push_event(now_ + config_.poll_interval, EventKind::kPoll, 0);
+    poll_scheduled_ = true;
+  }
+}
+
+void Simulator::handle_arrival(std::size_t trace_index) {
+  const PaymentSpec& spec = (*trace_)[trace_index];
+  // Chain the next arrival so the heap stays small.
+  if (trace_index + 1 < trace_->size())
+    push_event((*trace_)[trace_index + 1].arrival, EventKind::kArrival,
+               trace_index + 1);
+  ++next_arrival_;
+
+  Payment p;
+  p.id = static_cast<PaymentId>(trace_index);
+  p.src = spec.src;
+  p.dst = spec.dst;
+  p.total = spec.amount;
+  p.arrival = spec.arrival;
+  const Duration rel =
+      spec.deadline > 0 ? spec.deadline : config_.default_deadline;
+  p.deadline = spec.arrival + rel;
+  p.atomic = router_->is_atomic();
+  payments_.push_back(p);
+  in_pending_.push_back(0);
+  const std::size_t index = payments_.size() - 1;
+
+  metrics_.attempted_count += 1;
+  metrics_.attempted_volume += spec.amount;
+
+  if (config_.admission_cap > 0 && spec.amount > config_.admission_cap) {
+    metrics_.admission_refused += 1;
+    finish_payment(index, PaymentStatus::kRejected);
+    return;
+  }
+
+  attempt(index);
+  Payment& stored = payments_[index];
+  if (stored.status != PaymentStatus::kPending) return;
+  if (stored.atomic) {
+    // Atomic schemes get exactly one shot; if nothing was locked the
+    // payment failed, and if everything was locked it completes at settle.
+    if (stored.inflight == 0 && stored.delivered == 0)
+      finish_payment(index, PaymentStatus::kRejected);
+    return;
+  }
+  if (stored.remaining() > 0) ensure_pending(index);
+}
+
+std::size_t Simulator::new_chunk(Path path, Amount amount,
+                                 std::size_t payment_index) {
+  InflightChunk chunk;
+  chunk.path = std::move(path);
+  chunk.amount = amount;
+  chunk.payment = payment_index;
+  chunk.stamp = next_stamp_++;
+  std::size_t ci;
+  if (!free_chunks_.empty()) {
+    ci = free_chunks_.back();
+    free_chunks_.pop_back();
+    inflight_[ci] = std::move(chunk);
+  } else {
+    ci = inflight_.size();
+    inflight_.push_back(std::move(chunk));
+  }
+  return ci;
+}
+
+void Simulator::release_chunk_slot(std::size_t chunk_index) {
+  inflight_[chunk_index] = InflightChunk{};
+  free_chunks_.push_back(chunk_index);
+}
+
+Amount Simulator::attempt(std::size_t payment_index) {
+  Payment& p = payments_[payment_index];
+  Amount want = p.remaining();
+  if (want <= 0) return 0;
+  ++p.attempts;
+
+  std::vector<ChunkPlan> plan = router_->plan(p, want, *network_, rng_);
+
+  if (config_.queueing == QueueingMode::kRouterQueue) {
+    // §4.2 mode: lock only the FIRST hop; the unit then travels hop by hop
+    // and waits inside channel queues when a downstream hop is dry.
+    Amount locked_total = 0;
+    for (ChunkPlan& chunk : plan) {
+      Amount amount = std::min(chunk.amount, want - locked_total);
+      if (config_.mtu > 0) amount = std::min(amount, config_.mtu);
+      if (amount <= 0 || chunk.path.edges.empty()) continue;
+      SPIDER_ASSERT_MSG(chunk.path.source() == p.src &&
+                            chunk.path.destination() == p.dst,
+                        "router produced a foreign path");
+      Channel& first = network_->channel(chunk.path.edges[0]);
+      const int side = first.side_of(chunk.path.nodes[0]);
+      amount = std::min(amount, first.balance(side));
+      if (amount <= 0) continue;
+      first.lock(side, amount);
+      const std::size_t ci = new_chunk(std::move(chunk.path), amount,
+                                       payment_index);
+      inflight_[ci].hops_locked = 1;
+      p.inflight += amount;
+      locked_total += amount;
+      metrics_.chunks_sent += 1;
+      metrics_.chunk_hops.add(
+          static_cast<double>(inflight_[ci].path.length()));
+      push_event(now_ + config_.hop_delay, EventKind::kHopArrive, ci);
+      if (locked_total >= want) break;
+    }
+    return locked_total;
+  }
+
+  // Source-queue mode (§6.1): validate and lock whole paths sequentially.
+  // Atomic payments must lock the full amount or nothing.
+  std::vector<std::size_t> locked_chunks;
+  Amount locked_total = 0;
+  for (ChunkPlan& chunk : plan) {
+    Amount amount = std::min(chunk.amount, want - locked_total);
+    if (config_.mtu > 0 && !p.atomic) amount = std::min(amount, config_.mtu);
+    if (amount <= 0) continue;
+    SPIDER_ASSERT_MSG(!chunk.path.empty() &&
+                          chunk.path.source() == p.src &&
+                          chunk.path.destination() == p.dst,
+                      "router produced a foreign path");
+    if (!network_->can_send(chunk.path, amount)) {
+      if (!p.atomic) {
+        // Take whatever the path still supports.
+        amount = std::min(amount, network_->path_bottleneck(chunk.path));
+        if (amount <= 0) continue;
+      } else {
+        // Jointly infeasible atomic plan: roll back everything.
+        for (std::size_t ci : locked_chunks) {
+          network_->refund_path(inflight_[ci].path, inflight_[ci].amount);
+          release_chunk_slot(ci);
+        }
+        p.inflight = 0;
+        return 0;
+      }
+    }
+    network_->lock_path(chunk.path, amount);
+    const std::size_t ci = new_chunk(std::move(chunk.path), amount,
+                                     payment_index);
+    locked_chunks.push_back(ci);
+    locked_total += amount;
+    p.inflight += amount;
+    if (locked_total >= want) break;
+  }
+
+  if (p.atomic && locked_total < want) {
+    // Plan covered less than the full amount: atomic failure.
+    for (std::size_t ci : locked_chunks) {
+      network_->refund_path(inflight_[ci].path, inflight_[ci].amount);
+      release_chunk_slot(ci);
+    }
+    p.inflight = 0;
+    return 0;
+  }
+
+  // Schedule settlement Δ after the send.
+  for (std::size_t ci : locked_chunks) {
+    metrics_.chunks_sent += 1;
+    metrics_.chunk_hops.add(static_cast<double>(inflight_[ci].path.length()));
+    push_event(now_ + config_.delta, EventKind::kSettle, ci);
+  }
+  return locked_total;
+}
+
+void Simulator::accrue_fees(const Path& path, Amount amount) {
+  if (path.length() < 2) return;  // direct channel: no intermediaries
+  if (config_.fee_base == 0 && config_.fee_rate == 0.0) return;
+  const auto intermediaries = static_cast<Amount>(path.length() - 1);
+  const Amount per_hop =
+      config_.fee_base +
+      xrp_from_double(config_.fee_rate * to_xrp(amount));
+  metrics_.fees_accrued += intermediaries * per_hop;
+}
+
+void Simulator::handle_settle(std::size_t chunk_index) {
+  SPIDER_ASSERT(config_.queueing == QueueingMode::kSourceQueue);
+  InflightChunk chunk = std::move(inflight_[chunk_index]);
+  release_chunk_slot(chunk_index);
+  if (chunk.amount == 0) return;  // rolled back before settling
+
+  network_->settle_path(chunk.path, chunk.amount);
+  accrue_fees(chunk.path, chunk.amount);
+  Payment& p = payments_[chunk.payment];
+  SPIDER_ASSERT(p.inflight >= chunk.amount);
+  p.inflight -= chunk.amount;
+  p.delivered += chunk.amount;
+  metrics_.delivered_volume += chunk.amount;
+
+  if (p.status == PaymentStatus::kPending && p.delivered == p.total)
+    finish_payment(chunk.payment, PaymentStatus::kCompleted);
+}
+
+void Simulator::handle_hop_arrive(std::size_t chunk_index) {
+  InflightChunk& chunk = inflight_[chunk_index];
+  SPIDER_ASSERT(chunk.amount > 0);
+  SPIDER_ASSERT(!chunk.queued);
+  if (chunk.hops_locked == chunk.path.length()) {
+    complete_chunk(chunk_index);
+    return;
+  }
+  if (try_lock_next_hop(chunk_index)) {
+    push_event(now_ + config_.hop_delay, EventKind::kHopArrive, chunk_index);
+    return;
+  }
+  // Dry channel: wait inside its queue (Fig. 3), upstream locks held.
+  const EdgeId edge = chunk.path.edges[chunk.hops_locked];
+  const Channel& ch = network_->channel(edge);
+  const int side = ch.side_of(chunk.path.nodes[chunk.hops_locked]);
+  chunk.queued = true;
+  chunk.queued_at = now_;
+  chunk.stamp = next_stamp_++;
+  channel_queues_[static_cast<std::size_t>(edge)][static_cast<std::size_t>(
+      side)]
+      .push_back(chunk_index);
+  metrics_.chunks_queued += 1;
+  push_event(now_ + config_.queue_timeout, EventKind::kQueueTimeout,
+             chunk_index, chunk.stamp);
+}
+
+bool Simulator::try_lock_next_hop(std::size_t chunk_index) {
+  InflightChunk& chunk = inflight_[chunk_index];
+  const EdgeId edge = chunk.path.edges[chunk.hops_locked];
+  Channel& ch = network_->channel(edge);
+  const int side = ch.side_of(chunk.path.nodes[chunk.hops_locked]);
+  if (!ch.can_lock(side, chunk.amount)) return false;
+  ch.lock(side, chunk.amount);
+  ++chunk.hops_locked;
+  return true;
+}
+
+void Simulator::complete_chunk(std::size_t chunk_index) {
+  InflightChunk chunk = std::move(inflight_[chunk_index]);
+  release_chunk_slot(chunk_index);
+  SPIDER_ASSERT(chunk.hops_locked == chunk.path.length());
+
+  for (std::size_t h = 0; h < chunk.path.edges.size(); ++h) {
+    Channel& ch = network_->channel(chunk.path.edges[h]);
+    ch.settle(ch.side_of(chunk.path.nodes[h]), chunk.amount);
+  }
+  accrue_fees(chunk.path, chunk.amount);
+  Payment& p = payments_[chunk.payment];
+  SPIDER_ASSERT(p.inflight >= chunk.amount);
+  p.inflight -= chunk.amount;
+  p.delivered += chunk.amount;
+  metrics_.delivered_volume += chunk.amount;
+  if (p.status == PaymentStatus::kPending && p.delivered == p.total)
+    finish_payment(chunk.payment, PaymentStatus::kCompleted);
+
+  // Settling credited the downstream side of every hop: serve the waiters.
+  for (std::size_t h = 0; h < chunk.path.edges.size(); ++h) {
+    const Channel& ch = network_->channel(chunk.path.edges[h]);
+    serve_channel_queue(chunk.path.edges[h],
+                        1 - ch.side_of(chunk.path.nodes[h]));
+  }
+}
+
+void Simulator::abort_chunk(std::size_t chunk_index) {
+  InflightChunk chunk = std::move(inflight_[chunk_index]);
+  release_chunk_slot(chunk_index);
+  for (std::size_t h = 0; h < chunk.hops_locked; ++h) {
+    Channel& ch = network_->channel(chunk.path.edges[h]);
+    ch.refund(ch.side_of(chunk.path.nodes[h]), chunk.amount);
+  }
+  Payment& p = payments_[chunk.payment];
+  SPIDER_ASSERT(p.inflight >= chunk.amount);
+  p.inflight -= chunk.amount;
+  // The refunded remainder becomes sendable again.
+  if (p.status == PaymentStatus::kPending && p.remaining() > 0 &&
+      now_ < p.deadline)
+    ensure_pending(chunk.payment);
+  // Refunds credited the upstream side of the locked hops.
+  for (std::size_t h = 0; h < chunk.hops_locked; ++h) {
+    const Channel& ch = network_->channel(chunk.path.edges[h]);
+    serve_channel_queue(chunk.path.edges[h],
+                        ch.side_of(chunk.path.nodes[h]));
+  }
+}
+
+void Simulator::handle_queue_timeout(std::size_t chunk_index,
+                                     std::uint64_t stamp) {
+  InflightChunk& chunk = inflight_[chunk_index];
+  if (!chunk.queued || chunk.stamp != stamp) return;  // served meanwhile
+  const EdgeId edge = chunk.path.edges[chunk.hops_locked];
+  const Channel& ch = network_->channel(edge);
+  const int side = ch.side_of(chunk.path.nodes[chunk.hops_locked]);
+  auto& queue = channel_queues_[static_cast<std::size_t>(edge)]
+                               [static_cast<std::size_t>(side)];
+  const auto it = std::find(queue.begin(), queue.end(), chunk_index);
+  SPIDER_ASSERT(it != queue.end());
+  queue.erase(it);
+  metrics_.queue_timeouts += 1;
+  metrics_.queue_wait_s.add(to_seconds(now_ - chunk.queued_at));
+  abort_chunk(chunk_index);
+  // The departed unit may have been the head-of-line blocker: smaller units
+  // behind it can possibly be served from the funds already there.
+  serve_channel_queue(edge, side);
+}
+
+void Simulator::serve_channel_queue(EdgeId edge, int side) {
+  if (config_.queueing != QueueingMode::kRouterQueue) return;
+  auto& queue = channel_queues_[static_cast<std::size_t>(edge)]
+                               [static_cast<std::size_t>(side)];
+  while (!queue.empty()) {
+    const std::size_t ci = queue.front();
+    InflightChunk& chunk = inflight_[ci];
+    SPIDER_ASSERT(chunk.queued);
+    Channel& ch = network_->channel(edge);
+    if (!ch.can_lock(side, chunk.amount)) break;  // head-of-line blocking
+    queue.pop_front();
+    ch.lock(side, chunk.amount);
+    ++chunk.hops_locked;
+    chunk.queued = false;
+    metrics_.queue_wait_s.add(to_seconds(now_ - chunk.queued_at));
+    chunk.stamp = next_stamp_++;  // invalidate the pending timeout
+    push_event(now_ + config_.hop_delay, EventKind::kHopArrive, ci);
+  }
+}
+
+void Simulator::handle_rebalance() {
+  // Allocate this tick's deposit budget across channel sides in proportion
+  // to how far each has fallen below its initial share (§5.2.3's b_(u,v),
+  // discretized).
+  const double interval_s = to_seconds(config_.rebalance_interval);
+  const Amount budget =
+      xrp_from_double(config_.rebalance_rate_xrp_per_s * interval_s);
+  Amount total_deficit = 0;
+  const auto num_edges =
+      static_cast<std::size_t>(network_->graph().num_edges());
+  std::vector<std::array<Amount, 2>> deficits(num_edges, {0, 0});
+  for (std::size_t e = 0; e < num_edges; ++e) {
+    const Channel& ch = network_->channel(static_cast<EdgeId>(e));
+    for (int side = 0; side < 2; ++side) {
+      const Amount deficit = std::max<Amount>(
+          0, initial_side_funds_[e][static_cast<std::size_t>(side)] -
+                 ch.balance(side));
+      deficits[e][static_cast<std::size_t>(side)] = deficit;
+      total_deficit += deficit;
+    }
+  }
+  if (total_deficit > 0 && budget > 0) {
+    for (std::size_t e = 0; e < num_edges; ++e) {
+      for (int side = 0; side < 2; ++side) {
+        const Amount deficit = deficits[e][static_cast<std::size_t>(side)];
+        if (deficit == 0) continue;
+        // 128-bit-safe proportional share (budget, deficit fit in 63 bits
+        // but their product may not).
+        const Amount share = static_cast<Amount>(
+            static_cast<__int128>(budget) * deficit / total_deficit);
+        if (share <= 0) continue;
+        network_->channel(static_cast<EdgeId>(e)).deposit(side, share);
+        metrics_.onchain_deposited += share;
+        serve_channel_queue(static_cast<EdgeId>(e), side);
+      }
+    }
+  }
+  // Keep ticking while there is still work the deposits could help.
+  if (next_arrival_ < trace_->size() || !pending_.empty()) {
+    push_event(now_ + config_.rebalance_interval, EventKind::kRebalance, 0);
+    rebalance_scheduled_ = true;
+  }
+}
+
+void Simulator::handle_poll() {
+  if (pending_.empty()) return;
+  metrics_.retry_rounds += 1;
+  router_->on_tick(*network_, now_);
+
+  // Expire overdue payments first; then serve the rest in policy order.
+  std::vector<std::size_t> alive;
+  alive.reserve(pending_.size());
+  for (std::size_t pi : pending_) {
+    Payment& p = payments_[pi];
+    in_pending_[pi] = 0;
+    if (p.status != PaymentStatus::kPending) continue;  // completed meanwhile
+    if (now_ >= p.deadline) {
+      expire(pi);
+      continue;
+    }
+    alive.push_back(pi);
+  }
+  pending_ = schedule_order(config_.scheduler, payments_, std::move(alive));
+
+  std::vector<std::size_t> still_pending;
+  for (std::size_t pi : pending_) {
+    Payment& p = payments_[pi];
+    if (p.status != PaymentStatus::kPending) continue;
+    if (p.remaining() > 0) attempt(pi);
+    const bool unfinished_business =
+        p.status == PaymentStatus::kPending &&
+        (p.remaining() > 0 || p.inflight > 0);
+    if (unfinished_business) {
+      still_pending.push_back(pi);
+      in_pending_[pi] = 1;
+    }
+  }
+  pending_ = std::move(still_pending);
+
+  if (!pending_.empty() && !poll_scheduled_) {
+    push_event(now_ + config_.poll_interval, EventKind::kPoll, 0);
+    poll_scheduled_ = true;
+  }
+}
+
+void Simulator::expire(std::size_t payment_index) {
+  Payment& p = payments_[payment_index];
+  // Inflight chunks still settle (their keys are in flight); only the
+  // never-sent remainder is abandoned.
+  finish_payment(payment_index,
+                 p.delivered == p.total ? PaymentStatus::kCompleted
+                                        : PaymentStatus::kExpired);
+}
+
+void Simulator::finish_payment(std::size_t payment_index,
+                               PaymentStatus status) {
+  Payment& p = payments_[payment_index];
+  SPIDER_ASSERT(p.status == PaymentStatus::kPending);
+  p.status = status;
+  switch (status) {
+    case PaymentStatus::kCompleted:
+      p.completed_at = now_;
+      metrics_.completed_count += 1;
+      metrics_.completed_volume += p.total;
+      metrics_.completion_latency_s.add(to_seconds(now_ - p.arrival));
+      break;
+    case PaymentStatus::kExpired: metrics_.expired_count += 1; break;
+    case PaymentStatus::kRejected: metrics_.rejected_count += 1; break;
+    case PaymentStatus::kPending: break;
+  }
+}
+
+SimMetrics run_simulation(const Graph& graph, Router& router,
+                          const std::vector<PaymentSpec>& trace,
+                          const SimConfig& config) {
+  Network network(graph);
+  const PaymentGraph demands =
+      estimate_demand_matrix(graph.num_nodes(), trace);
+  RouterInitContext context;
+  context.demand_hint = &demands;
+  context.delta_seconds = to_seconds(config.delta);
+  router.init(network, context);
+  Simulator sim(network, router, config);
+  return sim.run(trace);
+}
+
+}  // namespace spider

@@ -1,0 +1,200 @@
+// The discrete-event payment-channel simulator (§6.1).
+//
+// Mechanics reproduced from the paper's description:
+//   - arriving payments are routed immediately if the chosen paths have
+//     funds; routed chunks hold their funds inflight for Δ = 0.5 s and
+//     settle downstream on completion;
+//   - non-atomic payments park their unrouted remainder in a global pending
+//     queue that is polled periodically and served in scheduler order
+//     (default SRPT);
+//   - atomic payments (max-flow, SilentWhispers, SpeedyMurmurs) either lock
+//     their full amount at arrival or fail outright;
+//   - payments whose deadline passes are cancelled; whatever they already
+//     delivered counts toward success volume (the sender released those
+//     keys), the payment itself counts as not completed.
+//
+// Determinism: integer microsecond timestamps plus a per-event sequence
+// number give the event queue a total order; all randomness flows from the
+// config seed.
+#pragma once
+
+#include <array>
+#include <deque>
+#include <queue>
+#include <vector>
+
+#include "routing/router.hpp"
+#include "sim/metrics.hpp"
+#include "sim/network.hpp"
+#include "sim/payment.hpp"
+#include "sim/scheduler.hpp"
+#include "workload/traffic.hpp"
+
+namespace spider {
+
+/// Where transaction units wait for funds (§4.2 vs §6.1).
+enum class QueueingMode {
+  /// The paper's evaluation setup: unrouted remainders wait at the SOURCE
+  /// in a global pending queue, polled periodically.
+  kSourceQueue,
+  /// The §4.2/Fig. 3 architecture: chunks travel hop by hop; a chunk that
+  /// reaches a dry channel waits in that channel's queue, holding its
+  /// upstream locks (real head-of-line blocking), until funds arrive or its
+  /// queueing timeout fires. Requires a non-atomic routing scheme.
+  kRouterQueue,
+};
+
+struct SimConfig {
+  /// End-to-end confirmation delay Δ (lock -> settle).
+  Duration delta = seconds(0.5);
+  /// Pending-queue poll interval ("periodically polled", §6.1).
+  Duration poll_interval = seconds(0.5);
+  SchedulerPolicy scheduler = SchedulerPolicy::kSrpt;
+  /// Maximum transaction-unit size (§4): caps each chunk per attempt.
+  /// 0 = uncapped (chunk granularity limited only by path balance).
+  Amount mtu = 0;
+  /// Deadline applied to payments whose spec carries none.
+  Duration default_deadline = seconds(5.0);
+  /// Seed for the router's RNG stream.
+  std::uint64_t seed = 99;
+
+  QueueingMode queueing = QueueingMode::kSourceQueue;
+  /// Router-queue mode: per-hop traversal delay and the longest a unit may
+  /// wait inside one channel queue before its locks are rolled back.
+  Duration hop_delay = milliseconds(100);
+  Duration queue_timeout = seconds(1.0);
+
+  /// §5.2.3 on-chain rebalancing, simulated: every `rebalance_interval` the
+  /// network deposits fresh funds onto depleted channel sides, at a total
+  /// rate of `rebalance_rate_xrp_per_s`, split proportionally to each
+  /// side's deficit below its initial share. 0 disables (the default; the
+  /// paper's evaluation runs without rebalancing).
+  Duration rebalance_interval = 0;
+  double rebalance_rate_xrp_per_s = 0.0;
+
+  /// §7 admission control: payments larger than this are refused at
+  /// arrival (they would monopolize inflight funds and still miss their
+  /// deadline). 0 disables (the default — the paper's evaluation admits
+  /// everything). Refusals count as rejected and as admission_refused.
+  Amount admission_cap = 0;
+
+  /// Routing-fee accounting (§2: intermediaries earn fees; §4.1 expects
+  /// non-atomic routing to be cheaper). Each intermediary hop of a settled
+  /// unit accrues fee_base + fee_rate * amount. Fees are ACCOUNTED, not
+  /// deducted from the transfer — the paper's simulator routes fee-free
+  /// too; the metric lets schemes be compared on routing cost. Defaults 0.
+  Amount fee_base = 0;
+  double fee_rate = 0.0;
+};
+
+class Simulator {
+ public:
+  /// The network is taken by reference and mutated by the run; the router
+  /// must outlive the simulator.
+  Simulator(Network& network, Router& router, SimConfig config);
+
+  /// Runs the full trace to completion (all settles drained, all deadlines
+  /// resolved) and returns the metrics.
+  [[nodiscard]] SimMetrics run(const std::vector<PaymentSpec>& trace);
+
+  /// Payment table after run() — tests inspect per-payment outcomes.
+  [[nodiscard]] const std::vector<Payment>& payments() const {
+    return payments_;
+  }
+
+ private:
+  enum class EventKind {
+    kArrival,
+    kSettle,
+    kPoll,
+    kHopArrive,      // router-queue mode: chunk reached its next node
+    kQueueTimeout,   // router-queue mode: bounded channel-queue wait
+    kRebalance,      // on-chain deposit tick
+  };
+
+  struct Event {
+    TimePoint time = 0;
+    std::uint64_t seq = 0;
+    EventKind kind = EventKind::kArrival;
+    std::size_t index = 0;   // trace index / inflight-chunk index
+    std::uint64_t stamp = 0; // kQueueTimeout: matches InflightChunk::stamp
+    [[nodiscard]] bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  struct InflightChunk {
+    Path path;
+    Amount amount = 0;
+    std::size_t payment = 0;  // index into payments_
+    // Router-queue mode state:
+    std::size_t hops_locked = 0;   // hops [0, hops_locked) hold our funds
+    bool queued = false;           // waiting inside a channel queue
+    TimePoint queued_at = 0;
+    std::uint64_t stamp = 0;       // invalidates stale timeout events
+  };
+
+  void push_event(TimePoint time, EventKind kind, std::size_t index,
+                  std::uint64_t stamp = 0);
+  void handle_arrival(std::size_t trace_index);
+  void handle_settle(std::size_t chunk_index);
+  void handle_poll();
+  void handle_hop_arrive(std::size_t chunk_index);
+  void handle_queue_timeout(std::size_t chunk_index, std::uint64_t stamp);
+  void handle_rebalance();
+  /// Plans + locks for `payment`; returns the amount locked this attempt.
+  Amount attempt(std::size_t payment_index);
+  void expire(std::size_t payment_index);
+  void finish_payment(std::size_t payment_index, PaymentStatus status);
+  void accrue_fees(const Path& path, Amount amount);
+
+  // Router-queue helpers.
+  std::size_t new_chunk(Path path, Amount amount, std::size_t payment_index);
+  void release_chunk_slot(std::size_t chunk_index);
+  /// Locks hop `hops_locked` if funds allow; returns success.
+  [[nodiscard]] bool try_lock_next_hop(std::size_t chunk_index);
+  /// Chunk reached the destination: settle every hop, credit the payment.
+  void complete_chunk(std::size_t chunk_index);
+  /// Rolls back all locks held by the chunk and returns funds upstream.
+  void abort_chunk(std::size_t chunk_index);
+  /// Funds appeared on (edge, side): admit queued chunks in FIFO order.
+  void serve_channel_queue(EdgeId edge, int side);
+  void ensure_pending(std::size_t payment_index);
+
+  Network* network_;
+  Router* router_;
+  SimConfig config_;
+  Rng rng_;
+
+  const std::vector<PaymentSpec>* trace_ = nullptr;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::uint64_t next_seq_ = 0;
+  TimePoint now_ = 0;
+  bool poll_scheduled_ = false;
+  std::size_t next_arrival_ = 0;
+
+  std::vector<Payment> payments_;
+  std::vector<std::size_t> pending_;  // payment indices with remaining > 0
+  std::vector<char> in_pending_;      // membership flags for pending_
+  std::vector<InflightChunk> inflight_;
+  std::vector<std::size_t> free_chunks_;
+  std::uint64_t next_stamp_ = 1;
+
+  // Router-queue mode: FIFO of chunk indices per (edge, direction-side).
+  std::vector<std::array<std::deque<std::size_t>, 2>> channel_queues_;
+  // On-chain rebalancing: the initial per-side share each deposit tops
+  // back up toward, and whether a rebalance tick is scheduled.
+  std::vector<std::array<Amount, 2>> initial_side_funds_;
+  bool rebalance_scheduled_ = false;
+
+  SimMetrics metrics_;
+};
+
+/// Convenience driver used by benches/examples: builds the network, inits
+/// the router (estimating the demand matrix from the trace), runs the trace.
+[[nodiscard]] SimMetrics run_simulation(const Graph& graph, Router& router,
+                                        const std::vector<PaymentSpec>& trace,
+                                        const SimConfig& config = {});
+
+}  // namespace spider

@@ -1,0 +1,13 @@
+// Umbrella header: the full public API of the Spider library.
+#pragma once
+
+#include "core/config.hpp"       // IWYU pragma: export
+#include "core/experiment.hpp"   // IWYU pragma: export
+#include "core/spider.hpp"       // IWYU pragma: export
+#include "fluid/circulation.hpp" // IWYU pragma: export
+#include "fluid/primal_dual.hpp" // IWYU pragma: export
+#include "fluid/routing_lp.hpp"  // IWYU pragma: export
+#include "graph/ksp.hpp"         // IWYU pragma: export
+#include "graph/maxflow.hpp"     // IWYU pragma: export
+#include "topology/topology.hpp" // IWYU pragma: export
+#include "workload/trace_io.hpp" // IWYU pragma: export

@@ -1,0 +1,253 @@
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "topology/topology.hpp"
+
+namespace spider {
+
+Graph line_topology(NodeId n, Amount capacity) {
+  SPIDER_ASSERT(n >= 1);
+  Graph g(n);
+  for (NodeId i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1, capacity);
+  return g;
+}
+
+Graph ring_topology(NodeId n, Amount capacity) {
+  SPIDER_ASSERT(n >= 3);
+  Graph g(n);
+  for (NodeId i = 0; i < n; ++i) g.add_edge(i, (i + 1) % n, capacity);
+  return g;
+}
+
+Graph star_topology(NodeId n, Amount capacity) {
+  SPIDER_ASSERT(n >= 2);
+  Graph g(n);
+  for (NodeId i = 1; i < n; ++i) g.add_edge(0, i, capacity);
+  return g;
+}
+
+Graph grid_topology(NodeId rows, NodeId cols, Amount capacity) {
+  SPIDER_ASSERT(rows >= 1 && cols >= 1);
+  Graph g(rows * cols);
+  const auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1), capacity);
+      if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c), capacity);
+    }
+  }
+  return g;
+}
+
+Graph complete_topology(NodeId n, Amount capacity) {
+  SPIDER_ASSERT(n >= 2);
+  Graph g(n);
+  for (NodeId i = 0; i < n; ++i)
+    for (NodeId j = i + 1; j < n; ++j) g.add_edge(i, j, capacity);
+  return g;
+}
+
+Graph motivating_example_topology(Amount capacity) {
+  // Paper nodes 1..5 are our 0..4. Channels (Fig. 4): 1-2, 2-3, 2-4, 3-4,
+  // 4-5, 5-1. Insertion order puts 2-4 before 3-4 so BFS from node 4
+  // reaches node 1 via node 2 (the green 4->2->1 flow of Fig. 4b).
+  Graph g(5);
+  g.add_edge(0, 1, capacity);  // 1-2
+  g.add_edge(1, 2, capacity);  // 2-3
+  g.add_edge(1, 3, capacity);  // 2-4
+  g.add_edge(2, 3, capacity);  // 3-4
+  g.add_edge(3, 4, capacity);  // 4-5
+  g.add_edge(4, 0, capacity);  // 5-1
+  return g;
+}
+
+namespace {
+
+/// Adds a uniformly random spanning tree (random attachment order) so the
+/// random families below are always connected.
+void add_random_spanning_tree(Graph& g, Amount capacity, Rng& rng,
+                              std::set<std::pair<NodeId, NodeId>>& present) {
+  std::vector<NodeId> order(static_cast<std::size_t>(g.num_nodes()));
+  for (NodeId i = 0; i < g.num_nodes(); ++i)
+    order[static_cast<std::size_t>(i)] = i;
+  rng.shuffle(order);
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    const NodeId a = order[i];
+    const NodeId b =
+        order[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(i) - 1))];
+    const auto key = std::minmax(a, b);
+    if (present.insert({key.first, key.second}).second)
+      g.add_edge(a, b, capacity);
+  }
+}
+
+}  // namespace
+
+Graph erdos_renyi_topology(NodeId n, double p, Amount capacity, Rng& rng) {
+  SPIDER_ASSERT(n >= 2);
+  SPIDER_ASSERT(p >= 0 && p <= 1);
+  Graph g(n);
+  std::set<std::pair<NodeId, NodeId>> present;
+  add_random_spanning_tree(g, capacity, rng, present);
+  for (NodeId i = 0; i < n; ++i)
+    for (NodeId j = i + 1; j < n; ++j)
+      if (!present.count({i, j}) && rng.chance(p)) {
+        present.insert({i, j});
+        g.add_edge(i, j, capacity);
+      }
+  return g;
+}
+
+Graph barabasi_albert_topology(NodeId n, int m, Amount capacity, Rng& rng) {
+  SPIDER_ASSERT(m >= 1);
+  SPIDER_ASSERT(n > m);
+  Graph g(n);
+  // Start from a clique on m+1 nodes; each subsequent node attaches to m
+  // distinct targets chosen proportionally to degree ("repeated nodes" urn).
+  std::vector<NodeId> urn;  // one entry per edge endpoint
+  for (NodeId i = 0; i <= m; ++i)
+    for (NodeId j = i + 1; j <= m; ++j) {
+      g.add_edge(i, j, capacity);
+      urn.push_back(i);
+      urn.push_back(j);
+    }
+  for (NodeId v = static_cast<NodeId>(m) + 1; v < n; ++v) {
+    std::set<NodeId> targets;
+    while (static_cast<int>(targets.size()) < m) {
+      const NodeId t = rng.pick(urn);
+      if (t != v) targets.insert(t);
+    }
+    for (NodeId t : targets) {
+      g.add_edge(v, t, capacity);
+      urn.push_back(v);
+      urn.push_back(t);
+    }
+  }
+  return g;
+}
+
+Graph watts_strogatz_topology(NodeId n, int k, double beta, Amount capacity,
+                              Rng& rng) {
+  SPIDER_ASSERT(n >= 4);
+  SPIDER_ASSERT(k >= 1 && 2 * k < n);
+  SPIDER_ASSERT(beta >= 0 && beta <= 1);
+  std::set<std::pair<NodeId, NodeId>> present;
+  // Ring lattice: each node connects to its k nearest clockwise neighbours.
+  std::vector<std::pair<NodeId, NodeId>> lattice;
+  for (NodeId i = 0; i < n; ++i)
+    for (int d = 1; d <= k; ++d) {
+      const NodeId j = static_cast<NodeId>((i + d) % n);
+      const auto key = std::minmax(i, j);
+      if (present.insert({key.first, key.second}).second)
+        lattice.push_back({i, j});
+    }
+  // Rewire the far endpoint with probability beta.
+  for (auto& [a, b] : lattice) {
+    if (!rng.chance(beta)) continue;
+    for (int attempt = 0; attempt < 32; ++attempt) {
+      const NodeId c = static_cast<NodeId>(rng.uniform_int(0, n - 1));
+      if (c == a || c == b) continue;
+      const auto key = std::minmax(a, c);
+      if (present.count({key.first, key.second})) continue;
+      present.erase({std::min(a, b), std::max(a, b)});
+      present.insert({key.first, key.second});
+      b = c;
+      break;
+    }
+  }
+  Graph g(n);
+  for (const auto& [a, b] : lattice) g.add_edge(a, b, capacity);
+  // Rewiring can in principle disconnect the ring; patch with a tree.
+  if (!g.is_connected()) {
+    add_random_spanning_tree(g, capacity, rng, present);
+  }
+  return g;
+}
+
+Graph random_regular_topology(NodeId n, int d, Amount capacity, Rng& rng) {
+  SPIDER_ASSERT(d >= 2);
+  SPIDER_ASSERT(n > d);
+  SPIDER_ASSERT_MSG((static_cast<std::int64_t>(n) * d) % 2 == 0,
+                    "n*d must be even for a d-regular graph");
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    // Configuration model: pair up d "stubs" per node uniformly.
+    std::vector<NodeId> stubs;
+    stubs.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(d));
+    for (NodeId i = 0; i < n; ++i)
+      for (int j = 0; j < d; ++j) stubs.push_back(i);
+    rng.shuffle(stubs);
+    std::set<std::pair<NodeId, NodeId>> present;
+    bool simple = true;
+    for (std::size_t i = 0; i < stubs.size(); i += 2) {
+      const NodeId a = stubs[i];
+      const NodeId b = stubs[i + 1];
+      if (a == b) {
+        simple = false;
+        break;
+      }
+      const auto key = std::minmax(a, b);
+      if (!present.insert({key.first, key.second}).second) {
+        simple = false;
+        break;
+      }
+    }
+    if (!simple) continue;
+    Graph g(n);
+    for (const auto& [a, b] : present) g.add_edge(a, b, capacity);
+    if (g.is_connected()) return g;
+  }
+  throw std::runtime_error(
+      "random_regular_topology: no simple connected pairing found");
+}
+
+Graph isp_topology(Amount capacity, std::uint64_t seed) {
+  Rng rng(seed ^ 0x15b0991ULL);
+  constexpr NodeId kCore = 8;
+  constexpr NodeId kAccess = 24;
+  constexpr NodeId kNodes = kCore + kAccess;  // 32
+  constexpr int kTargetEdges = 76;            // 152 directed
+
+  Graph g(kNodes);
+  std::set<std::pair<NodeId, NodeId>> present;
+  auto add = [&](NodeId a, NodeId b) {
+    const auto key = std::minmax(a, b);
+    if (present.insert({key.first, key.second}).second)
+      g.add_edge(a, b, capacity);
+  };
+
+  // Core ring + crossing chords: a typical densely meshed ISP backbone.
+  for (NodeId i = 0; i < kCore; ++i) add(i, (i + 1) % kCore);
+  for (NodeId i = 0; i < kCore / 2; ++i) add(i, i + kCore / 2);
+
+  // Each access node homes to two distinct core routers.
+  for (NodeId a = 0; a < kAccess; ++a) {
+    const NodeId node = kCore + a;
+    const NodeId primary = a % kCore;
+    NodeId secondary =
+        static_cast<NodeId>(rng.uniform_int(0, kCore - 1));
+    while (secondary == primary)
+      secondary = static_cast<NodeId>(rng.uniform_int(0, kCore - 1));
+    add(node, primary);
+    add(node, secondary);
+  }
+
+  // Random peering links (access-access or access-core) up to the budget.
+  while (g.num_edges() < kTargetEdges) {
+    const NodeId a = static_cast<NodeId>(rng.uniform_int(0, kNodes - 1));
+    const NodeId b = static_cast<NodeId>(rng.uniform_int(0, kNodes - 1));
+    if (a == b) continue;
+    add(a, b);
+  }
+  SPIDER_ASSERT(g.num_edges() == kTargetEdges);
+  SPIDER_ASSERT(g.is_connected());
+  return g;
+}
+
+Graph ripple_like_topology(NodeId n, Amount capacity, std::uint64_t seed) {
+  Rng rng(seed ^ 0x41991eULL);
+  return barabasi_albert_topology(n, /*m=*/3, capacity, rng);
+}
+
+}  // namespace spider

@@ -1,0 +1,23 @@
+#include <fstream>
+#include <sstream>
+
+#include "topology/topology.hpp"
+
+namespace spider {
+
+void save_topology(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_topology: cannot open " + path);
+  out << g.serialize();
+  if (!out) throw std::runtime_error("save_topology: write failed " + path);
+}
+
+Graph load_topology(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_topology: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return Graph::parse(buffer.str());
+}
+
+}  // namespace spider

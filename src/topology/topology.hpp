@@ -1,0 +1,94 @@
+// Topology generators.
+//
+// The paper's evaluation uses (a) an ISP topology from the Topology Zoo with
+// 32 nodes and 152 (directed) edges and (b) a pruned snapshot of the Ripple
+// network (3774 nodes / 12512 edges, a heavy-tailed scale-free credit
+// graph). Neither dataset ships with the paper, so both are replaced by
+// deterministic synthetic generators matching their published statistics
+// (see DESIGN.md). Classic parametric families are included for tests and
+// ablations.
+//
+// All generators return connected graphs and are deterministic in their
+// seed. `capacity` is the per-channel escrow (total across both directions);
+// experiments typically override it per run (§6 sweeps 10k–100k XRP).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "util/random.hpp"
+
+namespace spider {
+
+// ---- Deterministic small families (tests, analytical examples) ----
+
+/// n nodes in a line: 0-1-2-...-(n-1).
+[[nodiscard]] Graph line_topology(NodeId n, Amount capacity);
+
+/// n nodes in a cycle.
+[[nodiscard]] Graph ring_topology(NodeId n, Amount capacity);
+
+/// Star with node 0 at the center.
+[[nodiscard]] Graph star_topology(NodeId n, Amount capacity);
+
+/// rows x cols grid.
+[[nodiscard]] Graph grid_topology(NodeId rows, NodeId cols, Amount capacity);
+
+/// Complete graph K_n.
+[[nodiscard]] Graph complete_topology(NodeId n, Amount capacity);
+
+/// The 5-node topology of the paper's motivating example (§5.1, Fig. 4).
+/// Nodes are 0-indexed (paper node k = our node k-1). Edge insertion order
+/// is chosen so BFS tie-breaking matches the flows drawn in Fig. 4b.
+[[nodiscard]] Graph motivating_example_topology(Amount capacity);
+
+// ---- Random families ----
+
+/// Erdős–Rényi G(n, p), made connected by seeding with a random spanning
+/// tree before sprinkling the independent edges.
+[[nodiscard]] Graph erdos_renyi_topology(NodeId n, double p, Amount capacity,
+                                         Rng& rng);
+
+/// Barabási–Albert preferential attachment; each new node attaches to
+/// `m` distinct existing nodes. Produces the heavy-tailed degree
+/// distribution characteristic of the Ripple credit graph.
+[[nodiscard]] Graph barabasi_albert_topology(NodeId n, int m, Amount capacity,
+                                             Rng& rng);
+
+/// Watts–Strogatz small world: ring lattice with k neighbours per side
+/// rewired with probability beta (rewires that would disconnect or
+/// self-loop are skipped).
+[[nodiscard]] Graph watts_strogatz_topology(NodeId n, int k, double beta,
+                                            Amount capacity, Rng& rng);
+
+/// Random d-regular graph via the configuration model (resampled until
+/// simple and connected; throws after too many attempts).
+[[nodiscard]] Graph random_regular_topology(NodeId n, int d, Amount capacity,
+                                            Rng& rng);
+
+// ---- The paper's two evaluation topologies (synthetic stand-ins) ----
+
+/// ISP-like backbone: 32 nodes, 76 channels (= 152 directed edges, matching
+/// the paper's Topology Zoo graph). Two-tier: an 8-node densely meshed core
+/// and 24 access nodes, each dual-homed to the core, plus random peering
+/// links up to the edge budget.
+[[nodiscard]] Graph isp_topology(Amount capacity, std::uint64_t seed = 1);
+
+/// Ripple-like credit network: Barabási–Albert with m = 3, matching the
+/// pruned Ripple snapshot's edge/node ratio (12512/3774 ≈ 3.3). The paper's
+/// full scale is n = 3774; benches default to a few hundred nodes so
+/// everything finishes on a laptop (see EXPERIMENTS.md).
+[[nodiscard]] Graph ripple_like_topology(NodeId n, Amount capacity,
+                                         std::uint64_t seed = 1);
+
+// ---- Persistence ----
+
+/// Writes graph.serialize() to `path`; throws std::runtime_error on I/O
+/// failure.
+void save_topology(const Graph& g, const std::string& path);
+
+/// Reads a topology written by save_topology.
+[[nodiscard]] Graph load_topology(const std::string& path);
+
+}  // namespace spider

@@ -1,0 +1,53 @@
+// Integer money.
+//
+// All channel balances, payment sizes and inflight holds are expressed as an
+// integral number of milli-XRP ("millis"). Integer arithmetic lets the
+// simulator assert conservation exactly: for every channel,
+//   balance(a) + balance(b) + inflight(a) + inflight(b) == capacity
+// holds bit-for-bit at all times. The fluid/LP layer works in doubles (it is
+// a rate model, not a ledger) and converts at the boundary.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace spider {
+
+/// Money in milli-XRP. Signed so that differences/imbalances are expressible;
+/// ledger quantities (balances, payment amounts) must stay non-negative and
+/// the sim asserts that.
+using Amount = std::int64_t;
+
+/// Millis per whole XRP.
+inline constexpr Amount kMillisPerXrp = 1000;
+
+/// Whole-XRP literal helper: xrp(170) == 170'000 millis.
+[[nodiscard]] constexpr Amount xrp(std::int64_t whole) {
+  return whole * kMillisPerXrp;
+}
+
+/// Fractional conversion, rounding to nearest milli (ties away from zero).
+[[nodiscard]] constexpr Amount xrp_from_double(double value) {
+  const double scaled = value * static_cast<double>(kMillisPerXrp);
+  return static_cast<Amount>(scaled >= 0 ? scaled + 0.5 : scaled - 0.5);
+}
+
+/// Millis -> XRP as a double (for reporting only).
+[[nodiscard]] constexpr double to_xrp(Amount a) {
+  return static_cast<double>(a) / static_cast<double>(kMillisPerXrp);
+}
+
+/// Human-readable rendering, e.g. "170.250 XRP".
+[[nodiscard]] inline std::string format_xrp(Amount a) {
+  const bool neg = a < 0;
+  const Amount abs = neg ? -a : a;
+  std::string s = (neg ? "-" : "") + std::to_string(abs / kMillisPerXrp);
+  const Amount frac = abs % kMillisPerXrp;
+  if (frac != 0) {
+    std::string f = std::to_string(frac);
+    s += "." + std::string(3 - f.size(), '0') + f;
+  }
+  return s + " XRP";
+}
+
+}  // namespace spider

@@ -1,0 +1,51 @@
+// Always-on invariant checking.
+//
+// The simulator maintains hard financial invariants (channel conservation,
+// non-negative balances). Violating them silently would corrupt every metric
+// downstream, so checks stay on in release builds; they are cheap integer
+// comparisons on paths that are dominated by event-queue work.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace spider {
+
+/// Thrown when an internal invariant is violated. Catching it is only
+/// appropriate in tests; production code treats it as a bug.
+class AssertionError : public std::logic_error {
+ public:
+  explicit AssertionError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "SPIDER_ASSERT failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw AssertionError(os.str());
+}
+}  // namespace detail
+
+}  // namespace spider
+
+/// Checks `expr`; throws spider::AssertionError with location info otherwise.
+#define SPIDER_ASSERT(expr)                                              \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::spider::detail::assert_fail(#expr, __FILE__, __LINE__, "");      \
+  } while (false)
+
+/// Like SPIDER_ASSERT but appends a streamed message, e.g.
+/// SPIDER_ASSERT_MSG(a == b, "a=" << a << " b=" << b).
+#define SPIDER_ASSERT_MSG(expr, stream_expr)                             \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      std::ostringstream spider_assert_os_;                              \
+      spider_assert_os_ << stream_expr;                                  \
+      ::spider::detail::assert_fail(#expr, __FILE__, __LINE__,           \
+                                    spider_assert_os_.str());            \
+    }                                                                    \
+  } while (false)

@@ -1,0 +1,77 @@
+#include "util/csv.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace spider {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quoting =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quoting) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row_mixed(const std::vector<std::string>& strings,
+                                const std::vector<double>& numbers) {
+  std::vector<std::string> row = strings;
+  for (double v : numbers) {
+    std::ostringstream os;
+    os.precision(6);
+    os << v;
+    row.push_back(os.str());
+  }
+  write_row(row);
+}
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(cur);
+      cur.clear();
+    } else if (c == '\r') {
+      // tolerate CRLF
+    } else {
+      cur += c;
+    }
+  }
+  fields.push_back(cur);
+  return fields;
+}
+
+}  // namespace spider

@@ -1,0 +1,32 @@
+// Minimal CSV output, used by the bench harnesses to dump figure data.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace spider {
+
+/// Writes RFC-4180-style CSV. Fields containing commas, quotes or newlines
+/// are quoted; embedded quotes are doubled.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Convenience: formats doubles with 6 significant digits.
+  void write_row_mixed(const std::vector<std::string>& strings,
+                       const std::vector<double>& numbers);
+
+  [[nodiscard]] static std::string escape(const std::string& field);
+
+ private:
+  std::ofstream out_;
+};
+
+/// Splits one CSV line (handles quoted fields). Used for trace round-trips.
+[[nodiscard]] std::vector<std::string> split_csv_line(const std::string& line);
+
+}  // namespace spider

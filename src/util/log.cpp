@@ -1,0 +1,54 @@
+#include "util/log.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+
+namespace spider {
+
+namespace {
+
+LogLevel parse_env_level() {
+  const char* env = std::getenv("SPIDER_LOG");
+  if (env == nullptr) return LogLevel::kOff;
+  const std::string v(env);
+  if (v == "debug") return LogLevel::kDebug;
+  if (v == "info") return LogLevel::kInfo;
+  if (v == "warn") return LogLevel::kWarn;
+  if (v == "error") return LogLevel::kError;
+  return LogLevel::kOff;
+}
+
+LogLevel& level_storage() {
+  static LogLevel level = parse_env_level();
+  return level;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() { return level_storage(); }
+
+void set_log_level(LogLevel level) { level_storage() = level; }
+
+namespace detail {
+
+void log_write(LogLevel level, const std::string& message) {
+  static std::mutex mu;
+  const std::lock_guard<std::mutex> lock(mu);
+  std::cerr << "[spider " << level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace detail
+
+}  // namespace spider

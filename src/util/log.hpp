@@ -1,0 +1,39 @@
+// Leveled logging to stderr. Silent by default; set the SPIDER_LOG
+// environment variable to "debug", "info", "warn" or "error" to enable.
+// Logging is for humans debugging a run; experiment output goes through
+// Table/CsvWriter instead.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace spider {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Current threshold (initialized once from SPIDER_LOG).
+[[nodiscard]] LogLevel log_level();
+
+/// Overrides the threshold (tests use this).
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_write(LogLevel level, const std::string& message);
+}
+
+}  // namespace spider
+
+#define SPIDER_LOG_AT(level, stream_expr)                          \
+  do {                                                              \
+    if (static_cast<int>(level) >=                                  \
+        static_cast<int>(::spider::log_level())) {                  \
+      std::ostringstream spider_log_os_;                            \
+      spider_log_os_ << stream_expr;                                \
+      ::spider::detail::log_write(level, spider_log_os_.str());     \
+    }                                                               \
+  } while (false)
+
+#define SPIDER_DEBUG(s) SPIDER_LOG_AT(::spider::LogLevel::kDebug, s)
+#define SPIDER_INFO(s) SPIDER_LOG_AT(::spider::LogLevel::kInfo, s)
+#define SPIDER_WARN(s) SPIDER_LOG_AT(::spider::LogLevel::kWarn, s)
+#define SPIDER_ERROR(s) SPIDER_LOG_AT(::spider::LogLevel::kError, s)

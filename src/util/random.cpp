@@ -1,0 +1,127 @@
+#include "util/random.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace spider {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+[[nodiscard]] constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+  // All-zero state would be absorbing; splitmix64 cannot produce four zero
+  // outputs in a row from any seed, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  SPIDER_ASSERT(lo <= hi);
+  return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  SPIDER_ASSERT(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
+  // Rejection sampling to remove modulo bias.
+  const std::uint64_t limit = (~std::uint64_t{0} / span) * span;
+  std::uint64_t draw = next_u64();
+  while (draw >= limit) draw = next_u64();
+  return lo + static_cast<std::int64_t>(draw % span);
+}
+
+bool Rng::chance(double p) { return uniform() < p; }
+
+double Rng::exponential(double mean) {
+  SPIDER_ASSERT(mean > 0);
+  double u = uniform();
+  // uniform() can return exactly 0; log(0) is -inf.
+  while (u <= 0.0) u = uniform();
+  return -mean * std::log(u);
+}
+
+double Rng::normal() {
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+std::int64_t Rng::poisson(double mean) {
+  SPIDER_ASSERT(mean >= 0);
+  if (mean == 0) return 0;
+  if (mean > 64.0) {
+    // Normal approximation with continuity correction; exact inversion
+    // underflows exp(-mean) here.
+    const double draw = normal(mean, std::sqrt(mean));
+    return draw < 0 ? 0 : static_cast<std::int64_t>(draw + 0.5);
+  }
+  const double limit = std::exp(-mean);
+  std::int64_t count = -1;
+  double product = 1.0;
+  do {
+    ++count;
+    product *= uniform();
+  } while (product > limit);
+  return count;
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  SPIDER_ASSERT(!weights.empty());
+  double total = 0;
+  for (double w : weights) {
+    SPIDER_ASSERT(w >= 0);
+    total += w;
+  }
+  SPIDER_ASSERT(total > 0);
+  double draw = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    draw -= weights[i];
+    if (draw < 0) return i;
+  }
+  // Floating-point edge: land on the last positive weight.
+  for (std::size_t i = weights.size(); i-- > 0;)
+    if (weights[i] > 0) return i;
+  return 0;  // unreachable given total > 0
+}
+
+Rng Rng::fork() { return Rng(next_u64()); }
+
+}  // namespace spider

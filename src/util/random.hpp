@@ -1,0 +1,87 @@
+// Deterministic random number generation.
+//
+// We avoid <random>'s distributions because their outputs are not specified
+// bit-for-bit across standard library implementations; experiments must
+// reproduce identically everywhere. The generator is xoshiro256** seeded via
+// splitmix64, with hand-rolled distributions on top.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace spider {
+
+/// splitmix64 step; used for seeding and as a cheap stateless mixer.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** PRNG wrapped with the distributions the project needs.
+/// Copyable (copies fork the stream deterministically).
+class Rng {
+ public:
+  /// Seeds all 256 bits of state from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL);
+
+  /// Uniform over all 64-bit values.
+  [[nodiscard]] std::uint64_t next_u64();
+
+  /// Uniform in [0, 1) with 53 bits of randomness.
+  [[nodiscard]] double uniform();
+
+  /// Uniform real in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli(p).
+  [[nodiscard]] bool chance(double p);
+
+  /// Exponential with the given mean (= 1/rate). Requires mean > 0.
+  [[nodiscard]] double exponential(double mean);
+
+  /// Standard normal via Box–Muller (deterministic, no cached spare).
+  [[nodiscard]] double normal();
+
+  /// Normal with the given mean and standard deviation.
+  [[nodiscard]] double normal(double mean, double stddev);
+
+  /// Log-normal: exp(N(mu, sigma)).
+  [[nodiscard]] double lognormal(double mu, double sigma);
+
+  /// Poisson-distributed count with the given mean (inversion for small
+  /// means, normal approximation above 64).
+  [[nodiscard]] std::int64_t poisson(double mean);
+
+  /// Index sampled proportionally to `weights` (all >= 0, sum > 0).
+  [[nodiscard]] std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Uniformly chosen element. Requires non-empty.
+  template <typename T>
+  [[nodiscard]] const T& pick(const std::vector<T>& v) {
+    SPIDER_ASSERT(!v.empty());
+    return v[static_cast<std::size_t>(
+        uniform_int(0, static_cast<std::int64_t>(v.size()) - 1))];
+  }
+
+  /// Deterministically derives an independent child stream; used to give
+  /// each module its own RNG from one experiment seed.
+  [[nodiscard]] Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace spider

@@ -1,0 +1,70 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace spider {
+
+void RunningStats::add(double x) {
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const { return count_ > 0 ? min_ : 0.0; }
+
+double RunningStats::max() const { return count_ > 0 ? max_ : 0.0; }
+
+double quantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  SPIDER_ASSERT(q >= 0.0 && q <= 1.0);
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double mean_of(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double total = 0;
+  for (double v : values) total += v;
+  return total / static_cast<double>(values.size());
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  SPIDER_ASSERT(hi > lo);
+  SPIDER_ASSERT(buckets > 0);
+}
+
+void Histogram::add(double x) {
+  const double span = hi_ - lo_;
+  auto idx = static_cast<std::int64_t>((x - lo_) / span *
+                                       static_cast<double>(counts_.size()));
+  idx = std::clamp<std::int64_t>(idx, 0,
+                                 static_cast<std::int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bucket_lo(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(counts_.size());
+}
+
+}  // namespace spider

@@ -1,0 +1,39 @@
+// Console table rendering for the figure-reproduction harnesses. Produces
+// aligned, paper-style rows such as:
+//
+//   scheme                 success_ratio   success_volume
+//   Spider (Waterfilling)          71.2%            48.9%
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace spider {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats a double with the given precision (fixed notation).
+  [[nodiscard]] static std::string num(double v, int precision = 2);
+  /// Formats a ratio in [0,1] as a percentage, e.g. 0.712 -> "71.2%".
+  [[nodiscard]] static std::string pct(double ratio, int precision = 1);
+
+  /// Renders the table (first column left-aligned, rest right-aligned).
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] const std::vector<std::string>& headers() const {
+    return headers_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const {
+    return rows_;
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace spider

@@ -1,0 +1,33 @@
+// Integer simulation time.
+//
+// Simulation time is a count of microseconds from the start of the run.
+// Integer time plus a per-event sequence number gives the event queue a
+// strict total order, which makes every run bit-identical for a fixed seed.
+#pragma once
+
+#include <cstdint>
+
+namespace spider {
+
+/// Absolute simulation time in microseconds since t=0.
+using TimePoint = std::int64_t;
+
+/// Time difference in microseconds.
+using Duration = std::int64_t;
+
+inline constexpr Duration kMicrosPerSecond = 1'000'000;
+
+[[nodiscard]] constexpr Duration seconds(double s) {
+  return static_cast<Duration>(s * static_cast<double>(kMicrosPerSecond) +
+                               (s >= 0 ? 0.5 : -0.5));
+}
+
+[[nodiscard]] constexpr Duration milliseconds(std::int64_t ms) {
+  return ms * 1000;
+}
+
+[[nodiscard]] constexpr double to_seconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMicrosPerSecond);
+}
+
+}  // namespace spider

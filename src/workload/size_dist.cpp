@@ -1,0 +1,64 @@
+#include "workload/size_dist.hpp"
+
+#include <cmath>
+
+namespace spider {
+
+FixedSize::FixedSize(Amount amount) : amount_(amount) {
+  SPIDER_ASSERT(amount >= 1);
+}
+
+Amount FixedSize::sample(Rng&) const { return amount_; }
+
+UniformSize::UniformSize(Amount lo, Amount hi) : lo_(lo), hi_(hi) {
+  SPIDER_ASSERT(lo >= 1 && hi >= lo);
+}
+
+Amount UniformSize::sample(Rng& rng) const {
+  return rng.uniform_int(lo_, hi_);
+}
+
+TruncatedLognormalSize::TruncatedLognormalSize(double mu, double sigma,
+                                               Amount max)
+    : mu_(mu), sigma_(sigma), max_(max) {
+  SPIDER_ASSERT(sigma > 0);
+  SPIDER_ASSERT(max >= kMillisPerXrp);
+}
+
+Amount TruncatedLognormalSize::sample(Rng& rng) const {
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    const double draw_xrp = rng.lognormal(mu_, sigma_);
+    const Amount amount = xrp_from_double(draw_xrp);
+    if (amount >= 1 && amount <= max_) return amount;
+  }
+  // Pathological parameters (e.g. mu far above the cap): clamp.
+  return max_;
+}
+
+double TruncatedLognormalSize::mean_xrp() const {
+  // Mean of the law truncated to (0, max]:
+  //   E[X | X <= max] = e^{mu+sigma^2/2} * Phi((ln max - mu - sigma^2)/sigma)
+  //                     / Phi((ln max - mu)/sigma).
+  const auto phi = [](double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); };
+  const double lmax = std::log(to_xrp(max_));
+  const double untruncated = std::exp(mu_ + sigma_ * sigma_ / 2.0);
+  const double numer = phi((lmax - mu_ - sigma_ * sigma_) / sigma_);
+  const double denom = phi((lmax - mu_) / sigma_);
+  if (denom <= 0) return to_xrp(max_);
+  return untruncated * numer / denom;
+}
+
+std::unique_ptr<SizeDistribution> ripple_synthetic_sizes() {
+  // sigma = 1 gives a realistic spread; mu = ln(170) - 0.5 puts the
+  // *untruncated* mean at 170 XRP. Truncation at 1780 XRP (the published
+  // max) trims ~0.2% of draws, leaving the mean at ≈ 166 XRP.
+  return std::make_unique<TruncatedLognormalSize>(std::log(170.0) - 0.5, 1.0,
+                                                  xrp(1780));
+}
+
+std::unique_ptr<SizeDistribution> ripple_subgraph_sizes() {
+  return std::make_unique<TruncatedLognormalSize>(std::log(345.0) - 0.5, 1.0,
+                                                  xrp(2892));
+}
+
+}  // namespace spider

@@ -1,0 +1,47 @@
+#include "workload/trace_io.hpp"
+
+#include <fstream>
+
+#include "util/csv.hpp"
+
+namespace spider {
+
+void write_trace_csv(const std::string& path,
+                     const std::vector<PaymentSpec>& trace) {
+  CsvWriter writer(path);
+  writer.write_row({"arrival_us", "src", "dst", "amount_millis",
+                    "deadline_us"});
+  for (const PaymentSpec& spec : trace)
+    writer.write_row({std::to_string(spec.arrival), std::to_string(spec.src),
+                      std::to_string(spec.dst), std::to_string(spec.amount),
+                      std::to_string(spec.deadline)});
+}
+
+std::vector<PaymentSpec> read_trace_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_trace_csv: cannot open " + path);
+  std::string line;
+  if (!std::getline(in, line))
+    throw std::runtime_error("read_trace_csv: empty file " + path);
+  std::vector<PaymentSpec> trace;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = split_csv_line(line);
+    if (fields.size() != 5)
+      throw std::runtime_error("read_trace_csv: bad row '" + line + "'");
+    try {
+      PaymentSpec spec;
+      spec.arrival = std::stoll(fields[0]);
+      spec.src = static_cast<NodeId>(std::stol(fields[1]));
+      spec.dst = static_cast<NodeId>(std::stol(fields[2]));
+      spec.amount = std::stoll(fields[3]);
+      spec.deadline = std::stoll(fields[4]);
+      trace.push_back(spec);
+    } catch (const std::exception&) {
+      throw std::runtime_error("read_trace_csv: bad row '" + line + "'");
+    }
+  }
+  return trace;
+}
+
+}  // namespace spider

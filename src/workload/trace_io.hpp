@@ -1,0 +1,21 @@
+// CSV round-trip for transaction traces, so experiments can be re-run on
+// identical workloads (and external traces can be imported in the same
+// format: arrival_us,src,dst,amount_millis,deadline_us).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workload/traffic.hpp"
+
+namespace spider {
+
+/// Writes a trace with a header row. Throws std::runtime_error on failure.
+void write_trace_csv(const std::string& path,
+                     const std::vector<PaymentSpec>& trace);
+
+/// Reads a trace written by write_trace_csv (or hand-authored in the same
+/// schema). Throws std::runtime_error on malformed input.
+[[nodiscard]] std::vector<PaymentSpec> read_trace_csv(const std::string& path);
+
+}  // namespace spider

@@ -1,0 +1,71 @@
+#include "workload/traffic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spider {
+
+TrafficGenerator::TrafficGenerator(NodeId num_nodes, TrafficConfig config,
+                                   const SizeDistribution& sizes)
+    : num_nodes_(num_nodes),
+      config_(config),
+      sizes_(&sizes),
+      rng_(config.seed) {
+  SPIDER_ASSERT(num_nodes >= 2);
+  SPIDER_ASSERT(config.tx_per_second > 0);
+  sender_weights_.resize(static_cast<std::size_t>(num_nodes));
+  switch (config_.sender_skew) {
+    case SenderSkew::kUniform:
+      std::fill(sender_weights_.begin(), sender_weights_.end(), 1.0);
+      break;
+    case SenderSkew::kExponentialRank: {
+      SPIDER_ASSERT(config.sender_scale_fraction > 0);
+      const double scale =
+          static_cast<double>(num_nodes) * config_.sender_scale_fraction;
+      for (NodeId i = 0; i < num_nodes; ++i)
+        sender_weights_[static_cast<std::size_t>(i)] =
+            std::exp(-static_cast<double>(i) / scale);
+      break;
+    }
+  }
+}
+
+std::vector<PaymentSpec> TrafficGenerator::generate(int count) {
+  SPIDER_ASSERT(count >= 0);
+  std::vector<PaymentSpec> trace;
+  trace.reserve(static_cast<std::size_t>(count));
+  double now_seconds = 0.0;
+  const double mean_gap = 1.0 / config_.tx_per_second;
+  for (int i = 0; i < count; ++i) {
+    now_seconds += rng_.exponential(mean_gap);
+    PaymentSpec spec;
+    spec.arrival = seconds(now_seconds);
+    spec.src = static_cast<NodeId>(rng_.weighted_index(sender_weights_));
+    do {
+      spec.dst = static_cast<NodeId>(rng_.uniform_int(0, num_nodes_ - 1));
+    } while (spec.dst == spec.src);
+    spec.amount = sizes_->sample(rng_);
+    spec.deadline = config_.deadline;
+    trace.push_back(spec);
+  }
+  return trace;
+}
+
+PaymentGraph estimate_demand_matrix(NodeId num_nodes,
+                                    const std::vector<PaymentSpec>& trace,
+                                    Duration duration) {
+  PaymentGraph pg(num_nodes);
+  if (trace.empty()) return pg;
+  Duration span = duration;
+  if (span <= 0) {
+    TimePoint last = 0;
+    for (const PaymentSpec& spec : trace) last = std::max(last, spec.arrival);
+    span = std::max<Duration>(last, kMicrosPerSecond);
+  }
+  const double span_seconds = to_seconds(span);
+  for (const PaymentSpec& spec : trace)
+    pg.add_demand(spec.src, spec.dst, to_xrp(spec.amount) / span_seconds);
+  return pg;
+}
+
+}  // namespace spider

@@ -1,0 +1,193 @@
+// Tests for channel and network state: the exact-conservation ledger.
+#include <gtest/gtest.h>
+
+#include "graph/shortest_path.hpp"
+#include "routing/router.hpp"
+#include "sim/network.hpp"
+#include "topology/topology.hpp"
+
+namespace spider {
+namespace {
+
+TEST(Channel, EqualSplitAtConstruction) {
+  const Channel ch(0, 1, 2, xrp(30000));
+  EXPECT_EQ(ch.balance(0), xrp(15000));
+  EXPECT_EQ(ch.balance(1), xrp(15000));
+  EXPECT_EQ(ch.inflight(0), 0);
+  EXPECT_EQ(ch.capacity(), xrp(30000));
+  EXPECT_EQ(ch.endpoint(0), 1);
+  EXPECT_EQ(ch.endpoint(1), 2);
+  EXPECT_EQ(ch.side_of(2), 1);
+}
+
+TEST(Channel, OddCapacitySplitsConservatively) {
+  const Channel ch(0, 0, 1, 5, 0.5);
+  EXPECT_EQ(ch.balance(0) + ch.balance(1), 5);
+}
+
+TEST(Channel, AsymmetricSplit) {
+  const Channel ch(0, 0, 1, xrp(10), 0.8);
+  EXPECT_EQ(ch.balance(0), xrp(8));
+  EXPECT_EQ(ch.balance(1), xrp(2));
+}
+
+TEST(Channel, LockSettleMovesFundsDownstream) {
+  Channel ch(0, 0, 1, xrp(10));
+  ch.lock(0, xrp(3));
+  EXPECT_EQ(ch.balance(0), xrp(2));
+  EXPECT_EQ(ch.inflight(0), xrp(3));
+  ch.settle(0, xrp(3));
+  EXPECT_EQ(ch.inflight(0), 0);
+  EXPECT_EQ(ch.balance(1), xrp(8));
+  EXPECT_EQ(ch.balance(0) + ch.balance(1), xrp(10));
+}
+
+TEST(Channel, LockRefundRestoresFunds) {
+  Channel ch(0, 0, 1, xrp(10));
+  ch.lock(1, xrp(4));
+  ch.refund(1, xrp(4));
+  EXPECT_EQ(ch.balance(1), xrp(5));
+  EXPECT_EQ(ch.inflight(1), 0);
+}
+
+TEST(Channel, PartialSettles) {
+  Channel ch(0, 0, 1, xrp(10));
+  ch.lock(0, xrp(5));
+  ch.settle(0, xrp(2));
+  ch.refund(0, xrp(1));
+  EXPECT_EQ(ch.inflight(0), xrp(2));
+  EXPECT_EQ(ch.balance(0), xrp(1));
+  EXPECT_EQ(ch.balance(1), xrp(7));
+}
+
+TEST(Channel, OverdraftRejected) {
+  Channel ch(0, 0, 1, xrp(10));
+  EXPECT_FALSE(ch.can_lock(0, xrp(6)));
+  EXPECT_THROW(ch.lock(0, xrp(6)), AssertionError);
+  ch.lock(0, xrp(5));
+  EXPECT_THROW(ch.settle(0, xrp(6)), AssertionError);
+  EXPECT_THROW(ch.refund(0, xrp(6)), AssertionError);
+}
+
+TEST(Channel, DepositGrowsCapacity) {
+  Channel ch(0, 0, 1, xrp(10));
+  ch.deposit(0, xrp(4));
+  EXPECT_EQ(ch.capacity(), xrp(14));
+  EXPECT_EQ(ch.balance(0), xrp(9));
+}
+
+TEST(Channel, ImbalanceTracksSkew) {
+  Channel ch(0, 0, 1, xrp(10));
+  EXPECT_EQ(ch.imbalance(), 0);
+  ch.lock(0, xrp(3));
+  ch.settle(0, xrp(3));
+  EXPECT_EQ(ch.imbalance(), xrp(6));  // 2 vs 8
+}
+
+TEST(Channel, RandomOperationSequencePreservesConservation) {
+  Rng rng(1234);
+  Channel ch(0, 0, 1, xrp(100));
+  for (int i = 0; i < 5000; ++i) {
+    const int side = static_cast<int>(rng.uniform_int(0, 1));
+    const Amount amount = rng.uniform_int(0, 2000);
+    switch (rng.uniform_int(0, 2)) {
+      case 0:
+        if (ch.can_lock(side, amount)) ch.lock(side, amount);
+        break;
+      case 1:
+        if (ch.inflight(side) >= amount) ch.settle(side, amount);
+        break;
+      default:
+        if (ch.inflight(side) >= amount) ch.refund(side, amount);
+        break;
+    }
+    ch.check_invariant();  // throws on any violation
+    EXPECT_EQ(ch.balance(0) + ch.balance(1) + ch.inflight(0) +
+                  ch.inflight(1),
+              xrp(100));
+  }
+}
+
+TEST(Network, BuildsChannelsFromGraph) {
+  const Graph g = isp_topology(xrp(30000));
+  const Network net(g);
+  EXPECT_EQ(net.num_channels(), static_cast<std::size_t>(g.num_edges()));
+  EXPECT_EQ(net.total_funds(), g.total_capacity());
+  net.check_invariants();
+}
+
+TEST(Network, AvailableIsDirectional) {
+  Graph g(2);
+  const EdgeId e = g.add_edge(0, 1, xrp(10));
+  Network net(g, /*split_a=*/0.7);
+  EXPECT_EQ(net.available(0, e), xrp(7));
+  EXPECT_EQ(net.available(1, e), xrp(3));
+}
+
+TEST(Network, PathBottleneck) {
+  const Graph g = line_topology(4, xrp(10));
+  Network net(g);
+  const Path p = bfs_path(g, 0, 3);
+  EXPECT_EQ(net.path_bottleneck(p), xrp(5));
+  // Drain one hop and the bottleneck follows.
+  net.lock_path(make_path(g, {1, 2}), xrp(4));
+  EXPECT_EQ(net.path_bottleneck(p), xrp(1));
+}
+
+TEST(Network, LockSettleAlongPathShiftsEveryHop) {
+  const Graph g = line_topology(3, xrp(10));
+  Network net(g);
+  const Path p = bfs_path(g, 0, 2);
+  ASSERT_TRUE(net.can_send(p, xrp(2)));
+  net.lock_path(p, xrp(2));
+  EXPECT_FALSE(net.can_send(p, xrp(4)));  // 5-2 = 3 left per hop
+  net.settle_path(p, xrp(2));
+  // Funds moved downstream on each hop: node1 gained on channel 0.
+  EXPECT_EQ(net.available(1, 0), xrp(7));
+  EXPECT_EQ(net.available(2, 1), xrp(7));
+  EXPECT_EQ(net.total_funds(), 2 * xrp(10));
+  net.check_invariants();
+}
+
+TEST(Network, RefundRestoresPath) {
+  const Graph g = line_topology(3, xrp(10));
+  Network net(g);
+  const Path p = bfs_path(g, 0, 2);
+  net.lock_path(p, xrp(5));
+  net.refund_path(p, xrp(5));
+  EXPECT_EQ(net.available(0, 0), xrp(5));
+  EXPECT_EQ(net.available(1, 1), xrp(5));
+}
+
+TEST(Network, CannotSendOnEmptyPath) {
+  const Graph g = line_topology(3, xrp(10));
+  const Network net(g);
+  EXPECT_FALSE(net.can_send(Path{{1}, {}}, xrp(1)));
+}
+
+TEST(Network, MeanImbalanceReflectsSkew) {
+  const Graph g = line_topology(3, xrp(10));
+  Network net(g);
+  EXPECT_DOUBLE_EQ(net.mean_imbalance_xrp(), 0.0);
+  const Path p = bfs_path(g, 0, 2);
+  net.lock_path(p, xrp(3));
+  net.settle_path(p, xrp(3));
+  EXPECT_DOUBLE_EQ(net.mean_imbalance_xrp(), 6.0);
+}
+
+TEST(VirtualBalances, TracksHypotheticalLocks) {
+  const Graph g = line_topology(3, xrp(10));
+  const Network net(g);
+  VirtualBalances vb(net);
+  const Path p = bfs_path(g, 0, 2);
+  EXPECT_EQ(vb.path_bottleneck(p), xrp(5));
+  vb.use(p, xrp(3));
+  EXPECT_EQ(vb.path_bottleneck(p), xrp(2));
+  EXPECT_EQ(vb.available(0, 0), xrp(2));
+  // Real network untouched.
+  EXPECT_EQ(net.available(0, 0), xrp(5));
+  EXPECT_THROW(vb.use(p, xrp(3)), AssertionError);
+}
+
+}  // namespace
+}  // namespace spider

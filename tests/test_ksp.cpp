@@ -1,0 +1,162 @@
+// Unit and property tests for K-shortest-path selection (Yen's algorithm and
+// greedy edge-disjoint paths).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/ksp.hpp"
+#include "graph/shortest_path.hpp"
+#include "topology/topology.hpp"
+
+namespace spider {
+namespace {
+
+TEST(Yen, FirstPathIsShortest) {
+  const Graph g = isp_topology(xrp(100));
+  const auto paths = yen_k_shortest_paths(g, 8, 20, 4);
+  ASSERT_FALSE(paths.empty());
+  const Path direct = bfs_path(g, 8, 20);
+  EXPECT_EQ(paths.front().length(), direct.length());
+}
+
+TEST(Yen, PathsAreSortedDistinctValidTrails) {
+  const Graph g = isp_topology(xrp(100));
+  const auto paths = yen_k_shortest_paths(g, 9, 27, 6);
+  ASSERT_GE(paths.size(), 2u);
+  std::set<std::vector<NodeId>> seen;
+  std::size_t prev_len = 0;
+  for (const Path& p : paths) {
+    EXPECT_TRUE(is_valid_trail(g, p));
+    EXPECT_EQ(p.source(), 9);
+    EXPECT_EQ(p.destination(), 27);
+    EXPECT_GE(p.length(), prev_len);
+    prev_len = p.length();
+    EXPECT_TRUE(seen.insert(p.nodes).second) << "duplicate path";
+  }
+}
+
+TEST(Yen, RingHasExactlyTwoPaths) {
+  const Graph g = ring_topology(6, 1);
+  const auto paths = yen_k_shortest_paths(g, 0, 3, 10);
+  ASSERT_EQ(paths.size(), 2u);  // clockwise and counter-clockwise only
+  EXPECT_EQ(paths[0].length(), 3u);
+  EXPECT_EQ(paths[1].length(), 3u);
+}
+
+TEST(Yen, LineHasExactlyOnePath) {
+  const Graph g = line_topology(5, 1);
+  const auto paths = yen_k_shortest_paths(g, 0, 4, 5);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].length(), 4u);
+}
+
+TEST(Yen, KZeroReturnsNothing) {
+  const Graph g = ring_topology(5, 1);
+  EXPECT_TRUE(yen_k_shortest_paths(g, 0, 2, 0).empty());
+}
+
+TEST(Yen, UnreachableReturnsNothing) {
+  Graph g(4);
+  g.add_edge(0, 1, 1);
+  g.add_edge(2, 3, 1);
+  EXPECT_TRUE(yen_k_shortest_paths(g, 0, 3, 3).empty());
+}
+
+TEST(Yen, CompleteGraphCounts) {
+  const Graph g = complete_topology(5, 1);
+  // K5 paths 0->4 sorted by length: 1 direct, 3 two-hop, then longer.
+  const auto paths = yen_k_shortest_paths(g, 0, 4, 4);
+  ASSERT_EQ(paths.size(), 4u);
+  EXPECT_EQ(paths[0].length(), 1u);
+  EXPECT_EQ(paths[1].length(), 2u);
+  EXPECT_EQ(paths[2].length(), 2u);
+  EXPECT_EQ(paths[3].length(), 2u);
+}
+
+TEST(EdgeDisjoint, PathsShareNoEdges) {
+  const Graph g = isp_topology(xrp(100));
+  const auto paths = edge_disjoint_paths(g, 10, 25, 4);
+  ASSERT_GE(paths.size(), 2u);
+  std::set<EdgeId> used;
+  for (const Path& p : paths) {
+    EXPECT_TRUE(is_valid_trail(g, p));
+    for (EdgeId e : p.edges) EXPECT_TRUE(used.insert(e).second);
+  }
+}
+
+TEST(EdgeDisjoint, ShortestFirstAndBounded) {
+  const Graph g = isp_topology(xrp(100));
+  const Path direct = bfs_path(g, 12, 30);
+  const auto paths = edge_disjoint_paths(g, 12, 30, 4);
+  ASSERT_FALSE(paths.empty());
+  EXPECT_EQ(paths.front().length(), direct.length());
+  EXPECT_LE(paths.size(), 4u);
+  for (std::size_t i = 1; i < paths.size(); ++i)
+    EXPECT_GE(paths[i].length(), paths[i - 1].length());
+}
+
+TEST(EdgeDisjoint, LineYieldsSinglePath) {
+  const Graph g = line_topology(6, 1);
+  EXPECT_EQ(edge_disjoint_paths(g, 0, 5, 4).size(), 1u);
+}
+
+TEST(EdgeDisjoint, DiamondYieldsTwo) {
+  Graph g(4);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 3, 1);
+  g.add_edge(0, 2, 1);
+  g.add_edge(2, 3, 1);
+  EXPECT_EQ(edge_disjoint_paths(g, 0, 3, 4).size(), 2u);
+}
+
+TEST(EdgeDisjoint, CountBoundedByMinDegree) {
+  const Graph g = ripple_like_topology(60, xrp(100), 4);
+  for (NodeId s : {0, 10, 35}) {
+    for (NodeId t : {50, 59}) {
+      const auto paths = edge_disjoint_paths(g, s, t, 8);
+      EXPECT_LE(paths.size(),
+                std::min(g.degree(s), g.degree(t)));
+    }
+  }
+}
+
+/// Property sweep: on random graphs, both selections return valid, correctly
+/// terminated trails, and edge-disjoint paths never share edges.
+class PathSelectionProperty : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PathSelectionProperty, RandomGraphInvariants) {
+  Rng rng(GetParam());
+  const Graph g = erdos_renyi_topology(24, 0.12, xrp(10), rng);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto src = static_cast<NodeId>(rng.uniform_int(0, 23));
+    auto dst = static_cast<NodeId>(rng.uniform_int(0, 23));
+    if (dst == src) dst = (dst + 1) % 24;
+
+    const auto disjoint = edge_disjoint_paths(g, src, dst, 4);
+    std::set<EdgeId> used;
+    for (const Path& p : disjoint) {
+      EXPECT_TRUE(is_valid_trail(g, p));
+      EXPECT_EQ(p.source(), src);
+      EXPECT_EQ(p.destination(), dst);
+      for (EdgeId e : p.edges) EXPECT_TRUE(used.insert(e).second);
+    }
+
+    const auto yen = yen_k_shortest_paths(g, src, dst, 4);
+    EXPECT_GE(yen.size(), std::min<std::size_t>(1, disjoint.size()));
+    for (const Path& p : yen) {
+      EXPECT_TRUE(is_valid_trail(g, p));
+      EXPECT_EQ(p.source(), src);
+      EXPECT_EQ(p.destination(), dst);
+    }
+    // Yen explores a superset of routes: its k-th path is never longer than
+    // the k-th edge-disjoint path.
+    for (std::size_t i = 0; i < std::min(yen.size(), disjoint.size()); ++i)
+      EXPECT_LE(yen[i].length(), disjoint[i].length());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PathSelectionProperty,
+                         testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace spider

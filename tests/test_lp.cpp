@@ -1,0 +1,188 @@
+// Unit tests for the two-phase simplex solver.
+#include <gtest/gtest.h>
+
+#include "lp/simplex.hpp"
+#include "util/random.hpp"
+
+namespace spider {
+namespace {
+
+TEST(Simplex, SimpleTwoVariable) {
+  // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6 -> x=4, y=0, obj 12.
+  LpModel m;
+  const int x = m.add_variable(3.0);
+  const int y = m.add_variable(2.0);
+  m.add_constraint({{x, 1}, {y, 1}}, RowSense::kLeq, 4);
+  m.add_constraint({{x, 1}, {y, 3}}, RowSense::kLeq, 6);
+  const LpSolution s = solve_lp(m);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 12.0, 1e-7);
+  EXPECT_NEAR(s.x[static_cast<std::size_t>(x)], 4.0, 1e-7);
+  EXPECT_NEAR(s.x[static_cast<std::size_t>(y)], 0.0, 1e-7);
+}
+
+TEST(Simplex, InteriorOptimum) {
+  // max x + y s.t. 2x + y <= 4, x + 2y <= 4 -> x=y=4/3, obj 8/3.
+  LpModel m;
+  const int x = m.add_variable(1.0);
+  const int y = m.add_variable(1.0);
+  m.add_constraint({{x, 2}, {y, 1}}, RowSense::kLeq, 4);
+  m.add_constraint({{x, 1}, {y, 2}}, RowSense::kLeq, 4);
+  const LpSolution s = solve_lp(m);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 8.0 / 3.0, 1e-7);
+  EXPECT_NEAR(s.x[static_cast<std::size_t>(x)], 4.0 / 3.0, 1e-7);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  LpModel m;
+  const int x = m.add_variable(1.0);
+  m.add_constraint({{x, -1}}, RowSense::kLeq, 1);  // -x <= 1: no upper bound
+  EXPECT_EQ(solve_lp(m).status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  LpModel m;
+  const int x = m.add_variable(1.0);
+  m.add_constraint({{x, 1}}, RowSense::kLeq, 1);
+  m.add_constraint({{x, 1}}, RowSense::kGeq, 3);
+  EXPECT_EQ(solve_lp(m).status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, EqualityRows) {
+  // max x + 2y s.t. x + y == 3, y <= 2 -> x=1, y=2, obj 5.
+  LpModel m;
+  const int x = m.add_variable(1.0);
+  const int y = m.add_variable(2.0);
+  m.add_constraint({{x, 1}, {y, 1}}, RowSense::kEq, 3);
+  m.add_constraint({{y, 1}}, RowSense::kLeq, 2);
+  const LpSolution s = solve_lp(m);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 5.0, 1e-7);
+  EXPECT_NEAR(s.x[static_cast<std::size_t>(x)], 1.0, 1e-7);
+  EXPECT_NEAR(s.x[static_cast<std::size_t>(y)], 2.0, 1e-7);
+}
+
+TEST(Simplex, GeqRowsNeedPhaseOne) {
+  // max -x s.t. x >= 2, x <= 5 -> x=2.
+  LpModel m;
+  const int x = m.add_variable(-1.0);
+  m.add_constraint({{x, 1}}, RowSense::kGeq, 2);
+  m.add_constraint({{x, 1}}, RowSense::kLeq, 5);
+  const LpSolution s = solve_lp(m);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.x[static_cast<std::size_t>(x)], 2.0, 1e-7);
+}
+
+TEST(Simplex, NegativeRhsNormalization) {
+  // x - y <= -1 (i.e. y >= x + 1), y <= 3, max x -> x=2, y=3.
+  LpModel m;
+  const int x = m.add_variable(1.0);
+  const int y = m.add_variable(0.0);
+  m.add_constraint({{x, 1}, {y, -1}}, RowSense::kLeq, -1);
+  m.add_constraint({{y, 1}}, RowSense::kLeq, 3);
+  const LpSolution s = solve_lp(m);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.x[static_cast<std::size_t>(x)], 2.0, 1e-7);
+}
+
+TEST(Simplex, DegenerateRhsZeroRowsTerminate) {
+  // Balance-style rows with rhs 0 (heavy degeneracy).
+  LpModel m;
+  const int x = m.add_variable(1.0);
+  const int y = m.add_variable(1.0);
+  m.add_constraint({{x, 1}, {y, -1}}, RowSense::kLeq, 0);
+  m.add_constraint({{y, 1}, {x, -1}}, RowSense::kLeq, 0);
+  m.add_constraint({{x, 1}}, RowSense::kLeq, 2);
+  const LpSolution s = solve_lp(m);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 4.0, 1e-7);  // x = y = 2
+}
+
+TEST(Simplex, ZeroObjectiveReturnsFeasiblePoint) {
+  LpModel m;
+  const int x = m.add_variable(0.0);
+  m.add_constraint({{x, 1}}, RowSense::kLeq, 10);
+  const LpSolution s = solve_lp(m);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(m.max_violation(s.x), 0.0, 1e-9);
+}
+
+TEST(Simplex, EmptyModelIsTrivial) {
+  LpModel m;
+  const int x = m.add_variable(5.0);
+  (void)x;
+  // No constraints at all: unbounded.
+  EXPECT_EQ(solve_lp(m).status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, RepeatedVariableTermsAreSummed) {
+  // max x with (0.5x + 0.5x) <= 3 -> x = 3.
+  LpModel m;
+  const int x = m.add_variable(1.0);
+  m.add_constraint({{x, 0.5}, {x, 0.5}}, RowSense::kLeq, 3);
+  const LpSolution s = solve_lp(m);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.x[static_cast<std::size_t>(x)], 3.0, 1e-7);
+}
+
+TEST(LpModel, EvaluateAndViolation) {
+  LpModel m;
+  const int x = m.add_variable(2.0);
+  const int y = m.add_variable(1.0);
+  m.add_constraint({{x, 1}, {y, 1}}, RowSense::kLeq, 3);
+  m.add_constraint({{x, 1}}, RowSense::kGeq, 1);
+  m.add_constraint({{y, 1}}, RowSense::kEq, 1);
+  const std::vector<double> feasible{2.0, 1.0};
+  EXPECT_DOUBLE_EQ(m.evaluate_objective(feasible), 5.0);
+  EXPECT_NEAR(m.max_violation(feasible), 0.0, 1e-12);
+  const std::vector<double> infeasible{0.0, 3.0};
+  EXPECT_GT(m.max_violation(infeasible), 0.9);
+}
+
+TEST(LpModel, RejectsUnknownVariable) {
+  LpModel m;
+  (void)m.add_variable(1.0);
+  EXPECT_THROW(m.add_constraint({{5, 1.0}}, RowSense::kLeq, 1),
+               AssertionError);
+}
+
+/// Property: on random small LPs with b >= 0 (always feasible at 0), the
+/// solver's optimum matches brute-force enumeration over a fine grid lower
+/// bound and is feasible.
+class SimplexProperty : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimplexProperty, OptimumIsFeasibleAndDominatesGridSearch) {
+  Rng rng(GetParam());
+  LpModel m;
+  const int nv = 3;
+  for (int v = 0; v < nv; ++v) m.add_variable(rng.uniform(0.1, 2.0));
+  for (int c = 0; c < 4; ++c) {
+    std::vector<LpTerm> terms;
+    for (int v = 0; v < nv; ++v)
+      terms.push_back({v, rng.uniform(0.05, 1.0)});  // positive: bounded
+    m.add_constraint(std::move(terms), RowSense::kLeq, rng.uniform(1.0, 5.0));
+  }
+  const LpSolution s = solve_lp(m);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_LE(m.max_violation(s.x), 1e-6);
+
+  // Coarse grid search can only find feasible points at least as bad.
+  double best_grid = 0;
+  const int steps = 12;
+  for (int i = 0; i <= steps; ++i)
+    for (int j = 0; j <= steps; ++j)
+      for (int k = 0; k <= steps; ++k) {
+        const std::vector<double> x{i * 0.5, j * 0.5, k * 0.5};
+        if (m.max_violation(x) <= 1e-9)
+          best_grid = std::max(best_grid, m.evaluate_objective(x));
+      }
+  EXPECT_GE(s.objective, best_grid - 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexProperty,
+                         testing::Values(101, 102, 103, 104, 105, 106, 107,
+                                         108, 109, 110));
+
+}  // namespace
+}  // namespace spider

@@ -1,0 +1,167 @@
+// Unit and property tests for max-flow (Dinic, Edmonds–Karp) and flow
+// decomposition.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/maxflow.hpp"
+#include "topology/topology.hpp"
+
+namespace spider {
+namespace {
+
+std::vector<Arc> classic_network() {
+  // The textbook 6-node example with max flow 23 (CLRS Fig. 26.6 numbers
+  // scaled by 1): s=0, t=5.
+  return {
+      {0, 1, 16}, {0, 2, 13}, {1, 2, 10}, {2, 1, 4}, {1, 3, 12},
+      {3, 2, 9},  {2, 4, 14}, {4, 3, 7},  {3, 5, 20}, {4, 5, 4},
+  };
+}
+
+void expect_valid_flow(const std::vector<Arc>& arcs,
+                       const MaxFlowResult& result, NodeId num_nodes,
+                       NodeId src, NodeId dst) {
+  ASSERT_EQ(result.flow.size(), arcs.size());
+  std::vector<Amount> net(static_cast<std::size_t>(num_nodes), 0);
+  for (std::size_t i = 0; i < arcs.size(); ++i) {
+    EXPECT_GE(result.flow[i], 0);
+    EXPECT_LE(result.flow[i], arcs[i].capacity);
+    net[static_cast<std::size_t>(arcs[i].from)] -= result.flow[i];
+    net[static_cast<std::size_t>(arcs[i].to)] += result.flow[i];
+  }
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    if (n == src)
+      EXPECT_EQ(net[static_cast<std::size_t>(n)], -result.value);
+    else if (n == dst)
+      EXPECT_EQ(net[static_cast<std::size_t>(n)], result.value);
+    else
+      EXPECT_EQ(net[static_cast<std::size_t>(n)], 0);
+  }
+}
+
+TEST(Dinic, ClassicExample) {
+  const auto arcs = classic_network();
+  const MaxFlowResult r = dinic_max_flow(6, arcs, 0, 5);
+  EXPECT_EQ(r.value, 23);
+  expect_valid_flow(arcs, r, 6, 0, 5);
+}
+
+TEST(EdmondsKarp, ClassicExample) {
+  const auto arcs = classic_network();
+  const MaxFlowResult r = edmonds_karp_max_flow(6, arcs, 0, 5);
+  EXPECT_EQ(r.value, 23);
+  expect_valid_flow(arcs, r, 6, 0, 5);
+}
+
+TEST(Dinic, RespectsLimit) {
+  const auto arcs = classic_network();
+  const MaxFlowResult r = dinic_max_flow(6, arcs, 0, 5, 10);
+  EXPECT_EQ(r.value, 10);
+  expect_valid_flow(arcs, r, 6, 0, 5);
+}
+
+TEST(Dinic, ZeroLimit) {
+  const auto arcs = classic_network();
+  EXPECT_EQ(dinic_max_flow(6, arcs, 0, 5, 0).value, 0);
+}
+
+TEST(Dinic, DisconnectedIsZero) {
+  const std::vector<Arc> arcs{{0, 1, 5}};
+  EXPECT_EQ(dinic_max_flow(3, arcs, 0, 2).value, 0);
+}
+
+TEST(Dinic, SingleArc) {
+  const std::vector<Arc> arcs{{0, 1, 7}};
+  const MaxFlowResult r = dinic_max_flow(2, arcs, 0, 1);
+  EXPECT_EQ(r.value, 7);
+  EXPECT_EQ(r.flow[0], 7);
+}
+
+TEST(Dinic, ParallelArcsAggregate) {
+  const std::vector<Arc> arcs{{0, 1, 3}, {0, 1, 4}};
+  EXPECT_EQ(dinic_max_flow(2, arcs, 0, 1).value, 7);
+}
+
+TEST(Dinic, AntiparallelArcs) {
+  const std::vector<Arc> arcs{{0, 1, 3}, {1, 0, 5}, {1, 2, 2}};
+  EXPECT_EQ(dinic_max_flow(3, arcs, 0, 2).value, 2);
+}
+
+TEST(Decompose, PathsCarryFullValueOnClassicExample) {
+  const auto arcs = classic_network();
+  const MaxFlowResult r = dinic_max_flow(6, arcs, 0, 5);
+  const auto paths = decompose_flow(6, arcs, r.flow, 0, 5);
+  Amount total = 0;
+  for (const FlowPath& fp : paths) {
+    EXPECT_GE(fp.amount, 1);
+    EXPECT_EQ(fp.nodes.front(), 0);
+    EXPECT_EQ(fp.nodes.back(), 5);
+    // Node-simple: no repeats.
+    std::set<NodeId> seen(fp.nodes.begin(), fp.nodes.end());
+    EXPECT_EQ(seen.size(), fp.nodes.size());
+    total += fp.amount;
+  }
+  EXPECT_EQ(total, r.value);
+}
+
+TEST(Decompose, DropsPureCycles) {
+  // A flow that is a cycle around 1-2-3 plus a direct s->t arc.
+  const std::vector<Arc> arcs{{0, 4, 5}, {1, 2, 3}, {2, 3, 3}, {3, 1, 3}};
+  const std::vector<Amount> flow{5, 3, 3, 3};
+  const auto paths = decompose_flow(5, arcs, flow, 0, 4);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].amount, 5);
+}
+
+TEST(Decompose, EmptyFlow) {
+  const std::vector<Arc> arcs{{0, 1, 5}};
+  const std::vector<Amount> flow{0};
+  EXPECT_TRUE(decompose_flow(2, arcs, flow, 0, 1).empty());
+}
+
+/// Property: Dinic and Edmonds–Karp agree on random graphs, and the
+/// decomposition always recovers the full flow value.
+class MaxFlowProperty : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MaxFlowProperty, DinicMatchesEdmondsKarp) {
+  Rng rng(GetParam());
+  const NodeId n = 14;
+  std::vector<Arc> arcs;
+  for (int i = 0; i < 60; ++i) {
+    const auto a = static_cast<NodeId>(rng.uniform_int(0, n - 1));
+    const auto b = static_cast<NodeId>(rng.uniform_int(0, n - 1));
+    if (a == b) continue;
+    arcs.push_back(Arc{a, b, rng.uniform_int(0, 40)});
+  }
+  const MaxFlowResult dinic = dinic_max_flow(n, arcs, 0, n - 1);
+  const MaxFlowResult ek = edmonds_karp_max_flow(n, arcs, 0, n - 1);
+  EXPECT_EQ(dinic.value, ek.value);
+  expect_valid_flow(arcs, dinic, n, 0, n - 1);
+  expect_valid_flow(arcs, ek, n, 0, n - 1);
+
+  const auto paths = decompose_flow(n, arcs, dinic.flow, 0, n - 1);
+  Amount total = 0;
+  for (const FlowPath& fp : paths) total += fp.amount;
+  EXPECT_EQ(total, dinic.value);
+}
+
+TEST_P(MaxFlowProperty, LimitNeverExceeded) {
+  Rng rng(GetParam() ^ 0xabcdULL);
+  const Graph g = ripple_like_topology(30, xrp(50), GetParam());
+  std::vector<Arc> arcs;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    arcs.push_back(Arc{g.edge(e).a, g.edge(e).b, g.edge(e).capacity / 2});
+    arcs.push_back(Arc{g.edge(e).b, g.edge(e).a, g.edge(e).capacity / 2});
+  }
+  const Amount limit = xrp(40);
+  const MaxFlowResult r = dinic_max_flow(g.num_nodes(), arcs, 0, 29, limit);
+  EXPECT_LE(r.value, limit);
+  expect_valid_flow(arcs, r, g.num_nodes(), 0, 29);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaxFlowProperty,
+                         testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace spider

@@ -1,0 +1,425 @@
+// Per-scheme unit tests: each router's planning behaviour on small networks
+// where the right answer is known.
+#include <gtest/gtest.h>
+
+#include "routing/landmark_router.hpp"
+#include "routing/lp_router.hpp"
+#include "routing/maxflow_router.hpp"
+#include "routing/path_cache.hpp"
+#include "routing/primal_dual_router.hpp"
+#include "routing/shortest_path_router.hpp"
+#include "routing/speedy_router.hpp"
+#include "routing/waterfilling_router.hpp"
+#include "sim/simulator.hpp"
+#include "topology/topology.hpp"
+
+namespace spider {
+namespace {
+
+Payment make_payment(NodeId src, NodeId dst, Amount total) {
+  Payment p;
+  p.id = 1;
+  p.src = src;
+  p.dst = dst;
+  p.total = total;
+  return p;
+}
+
+Graph diamond(Amount cap) {
+  Graph g(4);
+  g.add_edge(0, 1, cap);
+  g.add_edge(1, 3, cap);
+  g.add_edge(0, 2, cap);
+  g.add_edge(2, 3, cap);
+  return g;
+}
+
+TEST(PathCacheTest, CachesAndHonoursSelection) {
+  const Graph g = diamond(xrp(10));
+  PathCache cache(g, 4, PathSelection::kEdgeDisjoint);
+  const auto& paths = cache.paths(0, 3);
+  EXPECT_EQ(paths.size(), 2u);
+  EXPECT_EQ(&cache.paths(0, 3), &paths);  // same object: cached
+  PathCache yen(g, 4, PathSelection::kYen);
+  EXPECT_GE(yen.paths(0, 3).size(), 2u);
+}
+
+// ---- Shortest path ----
+
+TEST(ShortestPathRouterTest, SendsBottleneckOnShortestPath) {
+  const Graph g = line_topology(3, xrp(10));
+  Network net(g);
+  ShortestPathRouter router;
+  router.init(net, RouterInitContext{});
+  Rng rng(1);
+  const auto plan =
+      router.plan(make_payment(0, 2, xrp(8)), xrp(8), net, rng);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].amount, xrp(5));  // bottleneck, not the full 8
+  EXPECT_EQ(plan[0].path.length(), 2u);
+}
+
+TEST(ShortestPathRouterTest, EmptyPlanWhenDrained) {
+  const Graph g = line_topology(2, xrp(10));
+  Network net(g);
+  net.lock_path(make_path(g, {0, 1}), xrp(5));
+  ShortestPathRouter router;
+  router.init(net, RouterInitContext{});
+  Rng rng(1);
+  EXPECT_TRUE(router.plan(make_payment(0, 1, xrp(1)), xrp(1), net, rng)
+                  .empty());
+}
+
+TEST(ShortestPathRouterTest, NotAtomic) {
+  EXPECT_FALSE(ShortestPathRouter().is_atomic());
+}
+
+// ---- Waterfilling ----
+
+TEST(Waterfill, EqualizesCapacities) {
+  // caps 10, 6, 2; amount 8 -> fill top to 6 (4), then both to 4 (4):
+  // alloc = 6, 2, 0.
+  const auto alloc = waterfill(8, {10, 6, 2});
+  EXPECT_EQ(alloc, (std::vector<Amount>{6, 2, 0}));
+}
+
+TEST(Waterfill, ExhaustsAllCapacity) {
+  const auto alloc = waterfill(100, {10, 6, 2});
+  EXPECT_EQ(alloc, (std::vector<Amount>{10, 6, 2}));
+}
+
+TEST(Waterfill, SpreadsRemainderEvenly) {
+  const auto alloc = waterfill(5, {10, 10});
+  EXPECT_EQ(alloc[0] + alloc[1], 5);
+  EXPECT_LE(std::abs(alloc[0] - alloc[1]), 1);
+}
+
+TEST(Waterfill, ZeroAmountAndEmptyPaths) {
+  EXPECT_EQ(waterfill(0, {5, 5}), (std::vector<Amount>{0, 0}));
+  EXPECT_TRUE(waterfill(5, {}).empty());
+}
+
+TEST(Waterfill, SinglePath) {
+  EXPECT_EQ(waterfill(3, {10}), (std::vector<Amount>{3}));
+  EXPECT_EQ(waterfill(30, {10}), (std::vector<Amount>{10}));
+}
+
+TEST(Waterfill, PropertyRandomInstances) {
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(1, 6));
+    std::vector<Amount> caps;
+    Amount cap_total = 0;
+    for (int i = 0; i < n; ++i) {
+      caps.push_back(rng.uniform_int(0, 50));
+      cap_total += caps.back();
+    }
+    const Amount amount = rng.uniform_int(0, 70);
+    const auto alloc = waterfill(amount, caps);
+    Amount total = 0;
+    for (std::size_t i = 0; i < caps.size(); ++i) {
+      EXPECT_GE(alloc[i], 0);
+      EXPECT_LE(alloc[i], caps[i]);
+      total += alloc[i];
+    }
+    EXPECT_EQ(total, std::min(amount, cap_total));
+    // Water-level invariant: all touched paths end within one rounding
+    // quantum of a common residual level L, and every untouched path's
+    // full capacity already sits at or below that level.
+    Amount level_lo = std::numeric_limits<Amount>::max();
+    Amount level_hi = -1;
+    for (std::size_t i = 0; i < caps.size(); ++i) {
+      if (alloc[i] == 0) continue;
+      const Amount residual = caps[i] - alloc[i];
+      level_lo = std::min(level_lo, residual);
+      level_hi = std::max(level_hi, residual);
+    }
+    if (level_hi >= 0) {
+      EXPECT_LE(level_hi - level_lo, 1) << "touched paths not equalized";
+      for (std::size_t j = 0; j < caps.size(); ++j)
+        if (alloc[j] == 0) EXPECT_LE(caps[j], level_hi + 1);
+    }
+  }
+}
+
+TEST(WaterfillingRouterTest, SplitsAcrossDisjointPaths) {
+  const Graph g = diamond(xrp(10));
+  Network net(g);
+  WaterfillingRouter router(4);
+  router.init(net, RouterInitContext{});
+  Rng rng(1);
+  const auto plan = router.plan(make_payment(0, 3, xrp(8)), xrp(8), net, rng);
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan[0].amount + plan[1].amount, xrp(8));
+  EXPECT_LE(std::abs(plan[0].amount - plan[1].amount), 1);
+}
+
+TEST(WaterfillingRouterTest, PrefersFatterPath) {
+  Graph g(4);
+  g.add_edge(0, 1, xrp(20));
+  g.add_edge(1, 3, xrp(20));
+  g.add_edge(0, 2, xrp(4));
+  g.add_edge(2, 3, xrp(4));
+  Network net(g);
+  WaterfillingRouter router(4);
+  router.init(net, RouterInitContext{});
+  Rng rng(1);
+  const auto plan = router.plan(make_payment(0, 3, xrp(6)), xrp(6), net, rng);
+  ASSERT_FALSE(plan.empty());
+  // The 10-XRP-per-hop path takes the lion's share (waterfilling drains the
+  // highest-capacity path down to the level of the next one).
+  Amount fat = 0;
+  for (const auto& chunk : plan)
+    if (chunk.path.nodes[1] == 1) fat += chunk.amount;
+  EXPECT_GE(fat, xrp(5));
+}
+
+// ---- LP router ----
+
+TEST(LpRouterTest, RequiresDemandHint) {
+  const Graph g = diamond(xrp(10));
+  Network net(g);
+  LpRouter router(4);
+  EXPECT_THROW(router.init(net, RouterInitContext{}), AssertionError);
+}
+
+TEST(LpRouterTest, CirculationDemandGetsWeights) {
+  const Graph g = line_topology(2, xrp(10));
+  Network net(g);
+  PaymentGraph demands(2);
+  demands.add_demand(0, 1, 2.0);
+  demands.add_demand(1, 0, 2.0);
+  RouterInitContext context;
+  context.demand_hint = &demands;
+  context.delta_seconds = 0.5;
+  LpRouter router(4);
+  router.init(net, context);
+  EXPECT_NEAR(router.fluid_throughput(), 4.0, 1e-5);
+  Rng rng(1);
+  const auto plan = router.plan(make_payment(0, 1, xrp(3)), xrp(3), net, rng);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].amount, xrp(3));
+}
+
+TEST(LpRouterTest, ZeroRatePairsNeverAttempted) {
+  // Pure DAG demand: the balanced LP assigns zero everywhere, so the router
+  // plans nothing — the §6.2 caveat, reproduced.
+  const Graph g = line_topology(2, xrp(10));
+  Network net(g);
+  PaymentGraph demands(2);
+  demands.add_demand(0, 1, 2.0);  // no reverse demand
+  RouterInitContext context;
+  context.demand_hint = &demands;
+  LpRouter router(4);
+  router.init(net, context);
+  EXPECT_NEAR(router.fluid_throughput(), 0.0, 1e-6);
+  Rng rng(1);
+  EXPECT_TRUE(
+      router.plan(make_payment(0, 1, xrp(1)), xrp(1), net, rng).empty());
+}
+
+TEST(LpRouterTest, UnknownPairPlansNothing) {
+  const Graph g = diamond(xrp(10));
+  Network net(g);
+  PaymentGraph demands(4);
+  demands.add_demand(0, 3, 1.0);
+  demands.add_demand(3, 0, 1.0);
+  RouterInitContext context;
+  context.demand_hint = &demands;
+  LpRouter router(4);
+  router.init(net, context);
+  Rng rng(1);
+  EXPECT_TRUE(
+      router.plan(make_payment(1, 2, xrp(1)), xrp(1), net, rng).empty());
+}
+
+// ---- Max-flow ----
+
+TEST(MaxFlowRouterTest, UsesMultiplePathsWhereOneIsTooThin) {
+  const Graph g = diamond(xrp(10));  // each direction holds 5
+  Network net(g);
+  MaxFlowRouter router;
+  Rng rng(1);
+  // 8 XRP > any single path (5) but max-flow 0->3 is 10.
+  const auto plan = router.plan(make_payment(0, 3, xrp(8)), xrp(8), net, rng);
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan[0].amount + plan[1].amount, xrp(8));
+}
+
+TEST(MaxFlowRouterTest, FailsWhenMaxFlowInsufficient) {
+  const Graph g = diamond(xrp(10));
+  Network net(g);
+  MaxFlowRouter router;
+  Rng rng(1);
+  EXPECT_TRUE(
+      router.plan(make_payment(0, 3, xrp(11)), xrp(11), net, rng).empty());
+}
+
+TEST(MaxFlowRouterTest, PlansAreJointlyLockable) {
+  const Graph g = isp_topology(xrp(300));
+  Network net(g);
+  MaxFlowRouter router;
+  Rng rng(4);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto s = static_cast<NodeId>(rng.uniform_int(0, 31));
+    auto d = static_cast<NodeId>(rng.uniform_int(0, 31));
+    if (d == s) d = (d + 1) % 32;
+    const Amount amount = rng.uniform_int(1, xrp(400));
+    const auto plan = router.plan(make_payment(s, d, amount), amount, net,
+                                  rng);
+    Amount total = 0;
+    for (const auto& chunk : plan) {
+      ASSERT_TRUE(net.can_send(chunk.path, chunk.amount));
+      net.lock_path(chunk.path, chunk.amount);
+      total += chunk.amount;
+    }
+    if (!plan.empty()) EXPECT_EQ(total, amount);
+    for (const auto& chunk : plan) net.refund_path(chunk.path, chunk.amount);
+  }
+}
+
+// ---- SilentWhispers (landmarks) ----
+
+TEST(RemoveWalkLoops, SplicesRepeats) {
+  EXPECT_EQ(remove_walk_loops({0, 1, 2, 1, 3}),
+            (std::vector<NodeId>{0, 1, 3}));
+  EXPECT_EQ(remove_walk_loops({0, 1, 2}), (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_EQ(remove_walk_loops({0, 1, 0}), (std::vector<NodeId>{0}));
+}
+
+TEST(LandmarkRouterTest, PicksTopDegreeLandmarks) {
+  const Graph g = star_topology(6, xrp(10));
+  Network net(g);
+  LandmarkRouter router(1);
+  router.init(net, RouterInitContext{});
+  ASSERT_EQ(router.landmarks().size(), 1u);
+  EXPECT_EQ(router.landmarks()[0], 0);  // the hub
+}
+
+TEST(LandmarkRouterTest, RoutesThroughLandmark) {
+  const Graph g = star_topology(6, xrp(10));
+  Network net(g);
+  LandmarkRouter router(1);
+  router.init(net, RouterInitContext{});
+  Rng rng(1);
+  const auto plan = router.plan(make_payment(1, 2, xrp(3)), xrp(3), net, rng);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].path.nodes, (std::vector<NodeId>{1, 0, 2}));
+  EXPECT_EQ(plan[0].amount, xrp(3));
+}
+
+TEST(LandmarkRouterTest, AtomicFailureWhenShort) {
+  const Graph g = star_topology(6, xrp(10));  // 5 per direction
+  Network net(g);
+  LandmarkRouter router(3);
+  router.init(net, RouterInitContext{});
+  Rng rng(1);
+  EXPECT_TRUE(
+      router.plan(make_payment(1, 2, xrp(9)), xrp(9), net, rng).empty());
+}
+
+TEST(LandmarkRouterTest, MultiLandmarkSplit) {
+  const Graph g = diamond(xrp(10));
+  Network net(g);
+  LandmarkRouter router(2);  // top-degree: any two of the four (deg 2 each)
+  router.init(net, RouterInitContext{});
+  Rng rng(1);
+  const auto plan = router.plan(make_payment(0, 3, xrp(8)), xrp(8), net, rng);
+  // Needs both 0-1-3 and 0-2-3 (5 each): possible only if the two landmark
+  // paths are distinct; landmarks 0 and 1 give paths via loops spliced.
+  Amount total = 0;
+  for (const auto& chunk : plan) total += chunk.amount;
+  if (!plan.empty()) EXPECT_EQ(total, xrp(8));
+}
+
+// ---- SpeedyMurmurs ----
+
+TEST(SpeedyMurmursTest, ReachesDestinationOnTree) {
+  const Graph g = grid_topology(4, 4, xrp(100));
+  Network net(g);
+  SpeedyMurmursRouter router(3, 7);
+  router.init(net, RouterInitContext{});
+  EXPECT_EQ(router.trees().size(), 3u);
+  Rng rng(1);
+  const auto plan =
+      router.plan(make_payment(0, 15, xrp(6)), xrp(6), net, rng);
+  ASSERT_FALSE(plan.empty());
+  Amount total = 0;
+  for (const auto& chunk : plan) {
+    EXPECT_EQ(chunk.path.source(), 0);
+    EXPECT_EQ(chunk.path.destination(), 15);
+    EXPECT_TRUE(is_valid_trail(g, chunk.path));
+    total += chunk.amount;
+  }
+  EXPECT_EQ(total, xrp(6));
+}
+
+TEST(SpeedyMurmursTest, FailsWhenStuck) {
+  // Line 0-1-2 where the middle hop is drained in the forward direction.
+  const Graph g = line_topology(3, xrp(10));
+  Network net(g);
+  net.lock_path(make_path(g, {1, 2}), xrp(5));  // node 1 now has 0 forward
+  SpeedyMurmursRouter router(2, 3);
+  router.init(net, RouterInitContext{});
+  Rng rng(1);
+  EXPECT_TRUE(
+      router.plan(make_payment(0, 2, xrp(2)), xrp(2), net, rng).empty());
+}
+
+TEST(SpeedyMurmursTest, SplitsAcrossTrees) {
+  const Graph g = complete_topology(8, xrp(100));
+  Network net(g);
+  SpeedyMurmursRouter router(4, 11);
+  router.init(net, RouterInitContext{});
+  Rng rng(1);
+  const auto plan = router.plan(make_payment(0, 7, xrp(8)), xrp(8), net, rng);
+  ASSERT_EQ(plan.size(), 4u);  // one split per tree
+  for (const auto& chunk : plan) EXPECT_EQ(chunk.amount, xrp(2));
+}
+
+// ---- Primal-dual extension ----
+
+TEST(PrimalDualRouterTest, WarmupThenRoutesCirculation) {
+  const Graph g = line_topology(2, xrp(1000));
+  Network net(g);
+  PaymentGraph demands(2);
+  demands.add_demand(0, 1, 5.0);
+  demands.add_demand(1, 0, 5.0);
+  RouterInitContext context;
+  context.demand_hint = &demands;
+  context.delta_seconds = 0.5;
+  PrimalDualRouterConfig config;
+  config.solver.alpha = 0.05;
+  config.solver.kappa = 0.05;
+  config.warmup_steps = 3000;
+  PrimalDualRouter router(config);
+  router.init(net, context);
+  // Two ticks to open the token buckets.
+  router.on_tick(net, seconds(0.0));
+  router.on_tick(net, seconds(1.0));
+  Rng rng(1);
+  const auto plan = router.plan(make_payment(0, 1, xrp(2)), xrp(2), net, rng);
+  ASSERT_FALSE(plan.empty());
+  EXPECT_GT(plan[0].amount, 0);
+}
+
+TEST(PrimalDualRouterTest, TokensGateSending) {
+  const Graph g = line_topology(2, xrp(1000));
+  Network net(g);
+  PaymentGraph demands(2);
+  demands.add_demand(0, 1, 5.0);
+  demands.add_demand(1, 0, 5.0);
+  RouterInitContext context;
+  context.demand_hint = &demands;
+  PrimalDualRouterConfig config;
+  config.warmup_steps = 2000;
+  PrimalDualRouter router(config);
+  router.init(net, context);
+  Rng rng(1);
+  // No tick yet: buckets are empty, nothing can be sent.
+  EXPECT_TRUE(
+      router.plan(make_payment(0, 1, xrp(5)), xrp(5), net, rng).empty());
+}
+
+}  // namespace
+}  // namespace spider

@@ -1,0 +1,96 @@
+// Tests for pending-queue scheduling policies (§6.1 SRPT + ablation peers).
+#include <gtest/gtest.h>
+
+#include "sim/scheduler.hpp"
+
+namespace spider {
+namespace {
+
+std::vector<Payment> sample_payments() {
+  // id, total, delivered, arrival, deadline
+  std::vector<Payment> payments(4);
+  payments[0].id = 0;
+  payments[0].total = xrp(100);
+  payments[0].delivered = xrp(90);  // remaining 10
+  payments[0].arrival = seconds(3);
+  payments[0].deadline = seconds(30);
+
+  payments[1].id = 1;
+  payments[1].total = xrp(50);  // remaining 50
+  payments[1].arrival = seconds(1);
+  payments[1].deadline = seconds(10);
+
+  payments[2].id = 2;
+  payments[2].total = xrp(5);  // remaining 5
+  payments[2].arrival = seconds(2);
+  payments[2].deadline = seconds(40);
+
+  payments[3].id = 3;
+  payments[3].total = xrp(5);  // remaining 5, later arrival than 2
+  payments[3].arrival = seconds(4);
+  payments[3].deadline = seconds(20);
+  return payments;
+}
+
+const std::vector<std::size_t> kAll{0, 1, 2, 3};
+
+TEST(Scheduler, SrptOrdersByRemaining) {
+  const auto payments = sample_payments();
+  const auto order = schedule_order(SchedulerPolicy::kSrpt, payments, kAll);
+  EXPECT_EQ(order, (std::vector<std::size_t>{2, 3, 0, 1}));
+}
+
+TEST(Scheduler, SrptUsesArrivalAsTieBreak) {
+  const auto payments = sample_payments();
+  const auto order = schedule_order(SchedulerPolicy::kSrpt, payments, kAll);
+  // Payments 2 and 3 both have 5 remaining; 2 arrived earlier.
+  EXPECT_LT(std::find(order.begin(), order.end(), 2u),
+            std::find(order.begin(), order.end(), 3u));
+}
+
+TEST(Scheduler, SrptAccountsForInflight) {
+  auto payments = sample_payments();
+  payments[1].inflight = xrp(49);  // remaining drops to 1
+  const auto order = schedule_order(SchedulerPolicy::kSrpt, payments, kAll);
+  EXPECT_EQ(order.front(), 1u);
+}
+
+TEST(Scheduler, FifoOrdersByArrival) {
+  const auto payments = sample_payments();
+  const auto order = schedule_order(SchedulerPolicy::kFifo, payments, kAll);
+  EXPECT_EQ(order, (std::vector<std::size_t>{1, 2, 0, 3}));
+}
+
+TEST(Scheduler, LifoReversesFifo) {
+  const auto payments = sample_payments();
+  const auto order = schedule_order(SchedulerPolicy::kLifo, payments, kAll);
+  EXPECT_EQ(order, (std::vector<std::size_t>{3, 0, 2, 1}));
+}
+
+TEST(Scheduler, EdfOrdersByDeadline) {
+  const auto payments = sample_payments();
+  const auto order = schedule_order(SchedulerPolicy::kEdf, payments, kAll);
+  EXPECT_EQ(order, (std::vector<std::size_t>{1, 3, 0, 2}));
+}
+
+TEST(Scheduler, EmptyPendingIsFine) {
+  const auto payments = sample_payments();
+  EXPECT_TRUE(schedule_order(SchedulerPolicy::kSrpt, payments, {}).empty());
+}
+
+TEST(Scheduler, SubsetOnlyReordersSubset) {
+  const auto payments = sample_payments();
+  const auto order =
+      schedule_order(SchedulerPolicy::kSrpt, payments, {1, 0});
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(Scheduler, PolicyNames) {
+  EXPECT_EQ(scheduler_policy_name(SchedulerPolicy::kSrpt), "SRPT");
+  EXPECT_EQ(scheduler_policy_name(SchedulerPolicy::kFifo), "FIFO");
+  EXPECT_EQ(scheduler_policy_name(SchedulerPolicy::kLifo), "LIFO");
+  EXPECT_EQ(scheduler_policy_name(SchedulerPolicy::kEdf), "EDF");
+}
+
+}  // namespace
+}  // namespace spider

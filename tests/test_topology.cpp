@@ -1,0 +1,207 @@
+// Tests for every topology generator: counts, connectivity, determinism,
+// structural properties.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/shortest_path.hpp"
+#include "topology/topology.hpp"
+
+namespace spider {
+namespace {
+
+TEST(Line, StructureAndCounts) {
+  const Graph g = line_topology(5, xrp(10));
+  EXPECT_EQ(g.num_nodes(), 5);
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(2), 2u);
+}
+
+TEST(Ring, EveryNodeDegreeTwo) {
+  const Graph g = ring_topology(7, xrp(10));
+  EXPECT_EQ(g.num_edges(), 7);
+  for (NodeId n = 0; n < 7; ++n) EXPECT_EQ(g.degree(n), 2u);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(Star, HubAndSpokes) {
+  const Graph g = star_topology(6, xrp(10));
+  EXPECT_EQ(g.num_edges(), 5);
+  EXPECT_EQ(g.degree(0), 5u);
+  for (NodeId n = 1; n < 6; ++n) EXPECT_EQ(g.degree(n), 1u);
+}
+
+TEST(Grid, CountsAndConnectivity) {
+  const Graph g = grid_topology(3, 4, xrp(10));
+  EXPECT_EQ(g.num_nodes(), 12);
+  EXPECT_EQ(g.num_edges(), 3 * 3 + 2 * 4);  // horizontal + vertical
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(Complete, AllPairsConnected) {
+  const Graph g = complete_topology(6, xrp(10));
+  EXPECT_EQ(g.num_edges(), 15);
+  for (NodeId i = 0; i < 6; ++i)
+    for (NodeId j = 0; j < 6; ++j)
+      if (i != j) EXPECT_TRUE(g.find_edge(i, j).has_value());
+}
+
+TEST(MotivatingExample, MatchesFig4Topology) {
+  const Graph g = motivating_example_topology(xrp(30000));
+  EXPECT_EQ(g.num_nodes(), 5);
+  EXPECT_EQ(g.num_edges(), 6);
+  EXPECT_TRUE(g.is_connected());
+  // Paper channels: 1-2, 2-3, 2-4, 3-4, 4-5, 5-1 (0-indexed shifted).
+  EXPECT_TRUE(g.find_edge(0, 1).has_value());
+  EXPECT_TRUE(g.find_edge(1, 2).has_value());
+  EXPECT_TRUE(g.find_edge(1, 3).has_value());
+  EXPECT_TRUE(g.find_edge(2, 3).has_value());
+  EXPECT_TRUE(g.find_edge(3, 4).has_value());
+  EXPECT_TRUE(g.find_edge(4, 0).has_value());
+  // The Fig. 4b tie-break: BFS from node 4 (paper 5... our 3) reaches node 0
+  // via node 1 — the 4->2->1 green flow.
+  const Path p = bfs_path(g, 3, 0);
+  ASSERT_EQ(p.nodes.size(), 3u);
+  EXPECT_EQ(p.nodes[1], 1);
+}
+
+TEST(ErdosRenyi, ConnectedAndDeterministic) {
+  Rng rng1(5);
+  Rng rng2(5);
+  const Graph a = erdos_renyi_topology(30, 0.1, xrp(10), rng1);
+  const Graph b = erdos_renyi_topology(30, 0.1, xrp(10), rng2);
+  EXPECT_TRUE(a.is_connected());
+  EXPECT_EQ(a.serialize(), b.serialize());
+  // p = 0 still yields the connectivity spanning tree.
+  Rng rng3(5);
+  const Graph tree = erdos_renyi_topology(30, 0.0, xrp(10), rng3);
+  EXPECT_EQ(tree.num_edges(), 29);
+  EXPECT_TRUE(tree.is_connected());
+}
+
+TEST(BarabasiAlbert, CountsAndHubs) {
+  Rng rng(5);
+  const Graph g = barabasi_albert_topology(200, 3, xrp(10), rng);
+  EXPECT_EQ(g.num_nodes(), 200);
+  // Clique on 4 nodes (6 edges) + 3 per remaining node.
+  EXPECT_EQ(g.num_edges(), 6 + 3 * 196);
+  EXPECT_TRUE(g.is_connected());
+  // Preferential attachment must create hubs well above the minimum degree.
+  std::size_t max_degree = 0;
+  for (NodeId n = 0; n < 200; ++n)
+    max_degree = std::max(max_degree, g.degree(n));
+  EXPECT_GE(max_degree, 15u);
+}
+
+TEST(BarabasiAlbert, NoSelfLoopsOrParallelEdges) {
+  Rng rng(9);
+  const Graph g = barabasi_albert_topology(80, 2, xrp(10), rng);
+  std::set<std::pair<NodeId, NodeId>> seen;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto& ed = g.edge(e);
+    EXPECT_NE(ed.a, ed.b);
+    const auto key = std::minmax(ed.a, ed.b);
+    EXPECT_TRUE(seen.insert({key.first, key.second}).second);
+  }
+}
+
+TEST(WattsStrogatz, CountsPreservedByRewiring) {
+  Rng rng(7);
+  const Graph g = watts_strogatz_topology(40, 2, 0.3, xrp(10), rng);
+  EXPECT_EQ(g.num_nodes(), 40);
+  EXPECT_GE(g.num_edges(), 80);  // n*k lattice edges (+ possible patches)
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(WattsStrogatz, BetaZeroIsLattice) {
+  Rng rng(7);
+  const Graph g = watts_strogatz_topology(12, 2, 0.0, xrp(10), rng);
+  EXPECT_EQ(g.num_edges(), 24);
+  for (NodeId n = 0; n < 12; ++n) EXPECT_EQ(g.degree(n), 4u);
+}
+
+TEST(RandomRegular, ExactDegrees) {
+  Rng rng(11);
+  const Graph g = random_regular_topology(20, 4, xrp(10), rng);
+  EXPECT_EQ(g.num_nodes(), 20);
+  EXPECT_EQ(g.num_edges(), 40);
+  for (NodeId n = 0; n < 20; ++n) EXPECT_EQ(g.degree(n), 4u);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(RandomRegular, RejectsOddProduct) {
+  Rng rng(11);
+  EXPECT_THROW(random_regular_topology(5, 3, xrp(10), rng), AssertionError);
+}
+
+TEST(Isp, MatchesPaperCounts) {
+  const Graph g = isp_topology(xrp(30000));
+  EXPECT_EQ(g.num_nodes(), 32);
+  EXPECT_EQ(g.num_edges(), 76);  // 152 directed edges, as in §6.1
+  EXPECT_TRUE(g.is_connected());
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    EXPECT_EQ(g.edge(e).capacity, xrp(30000));
+}
+
+TEST(Isp, CoreIsDenserThanAccess) {
+  const Graph g = isp_topology(xrp(100));
+  double core_degree = 0;
+  double access_degree = 0;
+  for (NodeId n = 0; n < 8; ++n) core_degree += static_cast<double>(g.degree(n));
+  for (NodeId n = 8; n < 32; ++n)
+    access_degree += static_cast<double>(g.degree(n));
+  EXPECT_GT(core_degree / 8.0, access_degree / 24.0);
+}
+
+TEST(Isp, DeterministicBySeed) {
+  EXPECT_EQ(isp_topology(xrp(10), 3).serialize(),
+            isp_topology(xrp(10), 3).serialize());
+  EXPECT_NE(isp_topology(xrp(10), 3).serialize(),
+            isp_topology(xrp(10), 4).serialize());
+}
+
+TEST(RippleLike, MatchesRippleEdgeRatio) {
+  const Graph g = ripple_like_topology(300, xrp(30000), 2);
+  EXPECT_EQ(g.num_nodes(), 300);
+  // Paper's pruned Ripple graph: 12512/3774 ≈ 3.3 edges per node.
+  const double ratio =
+      static_cast<double>(g.num_edges()) / static_cast<double>(g.num_nodes());
+  EXPECT_GT(ratio, 2.5);
+  EXPECT_LT(ratio, 3.5);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(RippleLike, DeterministicBySeed) {
+  EXPECT_EQ(ripple_like_topology(100, xrp(10), 8).serialize(),
+            ripple_like_topology(100, xrp(10), 8).serialize());
+}
+
+/// Property sweep: every random family yields a connected graph whose edges
+/// all carry the requested capacity.
+class GeneratorProperty : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorProperty, AllFamiliesConnectedWithUniformCapacity) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  const std::vector<Graph> graphs{
+      erdos_renyi_topology(25, 0.15, xrp(7), rng),
+      barabasi_albert_topology(40, 2, xrp(7), rng),
+      watts_strogatz_topology(30, 2, 0.2, xrp(7), rng),
+      random_regular_topology(24, 4, xrp(7), rng),
+      isp_topology(xrp(7), seed),
+      ripple_like_topology(50, xrp(7), seed),
+  };
+  for (const Graph& g : graphs) {
+    EXPECT_TRUE(g.is_connected());
+    for (EdgeId e = 0; e < g.num_edges(); ++e)
+      EXPECT_EQ(g.edge(e).capacity, xrp(7));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorProperty,
+                         testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace spider

@@ -1,0 +1,254 @@
+// Unit tests for src/util: RNG, statistics, CSV, tables, money and time.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/amount.hpp"
+#include "util/assert.hpp"
+#include "util/csv.hpp"
+#include "util/random.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/time.hpp"
+
+namespace spider {
+namespace {
+
+TEST(Assert, ThrowsWithLocationAndMessage) {
+  try {
+    SPIDER_ASSERT_MSG(1 == 2, "custom " << 42);
+    FAIL() << "expected AssertionError";
+  } catch (const AssertionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("custom 42"), std::string::npos);
+  }
+}
+
+TEST(Assert, PassesSilently) {
+  EXPECT_NO_THROW(SPIDER_ASSERT(2 + 2 == 4));
+}
+
+TEST(Amount, XrpConversionsRoundTrip) {
+  EXPECT_EQ(xrp(170), 170'000);
+  EXPECT_EQ(xrp_from_double(1.2345), 1235);  // rounds to nearest milli
+  EXPECT_EQ(xrp_from_double(-1.2345), -1235);
+  EXPECT_DOUBLE_EQ(to_xrp(xrp(30000)), 30000.0);
+}
+
+TEST(Amount, Formatting) {
+  EXPECT_EQ(format_xrp(xrp(170)), "170 XRP");
+  EXPECT_EQ(format_xrp(170'250), "170.250 XRP");
+  EXPECT_EQ(format_xrp(-5), "-0.005 XRP");
+}
+
+TEST(Time, SecondsConversions) {
+  EXPECT_EQ(seconds(0.5), 500'000);
+  EXPECT_EQ(seconds(200.0), 200'000'000);
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(1.25)), 1.25);
+  EXPECT_EQ(milliseconds(3), 3000);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntRespectsBoundsAndCoversRange) {
+  Rng rng(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2'000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(9);
+  EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, ExponentialMeanApproximatelyCorrect) {
+  Rng rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 50'000; ++i) stats.add(rng.exponential(2.0));
+  EXPECT_NEAR(stats.mean(), 2.0, 0.05);
+  EXPECT_GE(stats.min(), 0.0);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  RunningStats stats;
+  for (int i = 0; i < 50'000; ++i) stats.add(rng.normal(5.0, 3.0));
+  EXPECT_NEAR(stats.mean(), 5.0, 0.1);
+  EXPECT_NEAR(stats.stddev(), 3.0, 0.1);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng rng(17);
+  std::vector<double> draws;
+  for (int i = 0; i < 20'000; ++i) draws.push_back(rng.lognormal(2.0, 1.0));
+  EXPECT_NEAR(quantile(draws, 0.5), std::exp(2.0), 0.3);
+}
+
+TEST(Rng, PoissonSmallMean) {
+  Rng rng(19);
+  RunningStats stats;
+  for (int i = 0; i < 30'000; ++i)
+    stats.add(static_cast<double>(rng.poisson(3.5)));
+  EXPECT_NEAR(stats.mean(), 3.5, 0.1);
+}
+
+TEST(Rng, PoissonLargeMeanUsesApproximation) {
+  Rng rng(23);
+  RunningStats stats;
+  for (int i = 0; i < 20'000; ++i)
+    stats.add(static_cast<double>(rng.poisson(200.0)));
+  EXPECT_NEAR(stats.mean(), 200.0, 2.0);
+}
+
+TEST(Rng, WeightedIndexFollowsWeights) {
+  Rng rng(29);
+  const std::vector<double> weights{1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 40'000; ++i)
+    ++counts[rng.weighted_index(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.2);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(31);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(5);
+  Rng child = a.fork();
+  EXPECT_NE(a.next_u64(), child.next_u64());
+}
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  const RunningStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(Quantile, InterpolatesBetweenOrderStatistics) {
+  EXPECT_DOUBLE_EQ(quantile({1, 2, 3, 4}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile({1, 2, 3, 4}, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile({1, 2, 3, 4}, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile({4, 1, 3, 2}, 0.5), 2.5);  // unsorted input
+  EXPECT_DOUBLE_EQ(quantile({}, 0.5), 0.0);
+}
+
+TEST(MeanOf, HandlesEmptyAndNonEmpty) {
+  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean_of({1.0, 2.0, 6.0}), 3.0);
+}
+
+TEST(Histogram, BucketsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);    // bucket 0
+  h.add(9.9);    // bucket 4
+  h.add(-3.0);   // clamped to 0
+  h.add(100.0);  // clamped to 4
+  EXPECT_EQ(h.bucket(0), 2);
+  EXPECT_EQ(h.bucket(4), 2);
+  EXPECT_EQ(h.total(), 4);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(1), 2.0);
+}
+
+TEST(Csv, EscapingRules) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, SplitLineHandlesQuotes) {
+  const auto fields = split_csv_line("a,\"b,c\",\"d\"\"e\"");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b,c");
+  EXPECT_EQ(fields[2], "d\"e");
+}
+
+TEST(Csv, WriterRoundTrip) {
+  const std::string path = testing::TempDir() + "/spider_csv_test.csv";
+  {
+    CsvWriter w(path);
+    w.write_row({"h1", "h2"});
+    w.write_row({"x,y", "2"});
+  }
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "h1,h2");
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(split_csv_line(line)[0], "x,y");
+}
+
+TEST(Table, FormattingHelpers) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::pct(0.7123), "71.2%");
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"scheme", "ratio"});
+  t.add_row({"Spider", "71.2%"});
+  t.add_row({"Max-flow", "68.0%"});
+  const std::string rendered = t.render();
+  EXPECT_NE(rendered.find("scheme"), std::string::npos);
+  EXPECT_NE(rendered.find("Spider"), std::string::npos);
+  EXPECT_NE(rendered.find("-----"), std::string::npos);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), AssertionError);
+}
+
+}  // namespace
+}  // namespace spider

@@ -1,0 +1,208 @@
+// Tests for workload synthesis: size laws, arrival process, sender skew,
+// demand estimation, trace round-trips.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "util/stats.hpp"
+#include "workload/size_dist.hpp"
+#include "workload/trace_io.hpp"
+#include "workload/traffic.hpp"
+
+namespace spider {
+namespace {
+
+TEST(FixedSize, AlwaysSame) {
+  Rng rng(1);
+  FixedSize d(xrp(5));
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(d.sample(rng), xrp(5));
+  EXPECT_DOUBLE_EQ(d.mean_xrp(), 5.0);
+}
+
+TEST(UniformSize, WithinBounds) {
+  Rng rng(2);
+  UniformSize d(xrp(1), xrp(9));
+  RunningStats stats;
+  for (int i = 0; i < 20'000; ++i) {
+    const Amount a = d.sample(rng);
+    EXPECT_GE(a, xrp(1));
+    EXPECT_LE(a, xrp(9));
+    stats.add(to_xrp(a));
+  }
+  EXPECT_NEAR(stats.mean(), 5.0, 0.1);
+}
+
+TEST(RippleSyntheticSizes, MatchesPaperStatistics) {
+  // §6.1: mean ≈ 170 XRP, max 1780 XRP.
+  Rng rng(3);
+  const auto d = ripple_synthetic_sizes();
+  RunningStats stats;
+  Amount max_seen = 0;
+  for (int i = 0; i < 100'000; ++i) {
+    const Amount a = d->sample(rng);
+    EXPECT_GE(a, 1);
+    EXPECT_LE(a, xrp(1780));
+    stats.add(to_xrp(a));
+    max_seen = std::max(max_seen, a);
+  }
+  EXPECT_NEAR(stats.mean(), 170.0, 15.0);
+  EXPECT_GT(max_seen, xrp(1000));  // the tail is actually exercised
+  EXPECT_NEAR(d->mean_xrp(), stats.mean(), 10.0);  // analytic ≈ empirical
+}
+
+TEST(RippleSubgraphSizes, MatchesPaperStatistics) {
+  // §6.1: Ripple-subgraph transactions, mean ≈ 345 XRP, max 2892 XRP.
+  Rng rng(4);
+  const auto d = ripple_subgraph_sizes();
+  RunningStats stats;
+  for (int i = 0; i < 60'000; ++i) {
+    const Amount a = d->sample(rng);
+    EXPECT_LE(a, xrp(2892));
+    stats.add(to_xrp(a));
+  }
+  EXPECT_NEAR(stats.mean(), 345.0, 30.0);
+}
+
+TEST(SizeDistributions, HeavyTail) {
+  Rng rng(5);
+  const auto d = ripple_synthetic_sizes();
+  std::vector<double> draws;
+  for (int i = 0; i < 50'000; ++i) draws.push_back(to_xrp(d->sample(rng)));
+  // Median far below mean: the law is right-skewed like real payments.
+  EXPECT_LT(quantile(draws, 0.5), 130.0);
+  EXPECT_GT(quantile(draws, 0.99), 600.0);
+}
+
+TEST(Traffic, CountAndOrdering) {
+  const auto sizes = ripple_synthetic_sizes();
+  TrafficConfig config;
+  config.tx_per_second = 500;
+  TrafficGenerator gen(32, config, *sizes);
+  const auto trace = gen.generate(5000);
+  ASSERT_EQ(trace.size(), 5000u);
+  for (std::size_t i = 1; i < trace.size(); ++i)
+    EXPECT_GE(trace[i].arrival, trace[i - 1].arrival);
+}
+
+TEST(Traffic, ArrivalRateMatchesConfig) {
+  const auto sizes = ripple_synthetic_sizes();
+  TrafficConfig config;
+  config.tx_per_second = 1000;
+  TrafficGenerator gen(32, config, *sizes);
+  const auto trace = gen.generate(20'000);
+  const double span = to_seconds(trace.back().arrival);
+  EXPECT_NEAR(span, 20.0, 1.0);  // 20k tx at 1000 tx/s
+}
+
+TEST(Traffic, SenderNeverEqualsReceiver) {
+  const auto sizes = ripple_synthetic_sizes();
+  TrafficGenerator gen(5, TrafficConfig{}, *sizes);
+  for (const PaymentSpec& spec : gen.generate(3000))
+    EXPECT_NE(spec.src, spec.dst);
+}
+
+TEST(Traffic, ExponentialSenderSkewIsSkewed) {
+  const auto sizes = ripple_synthetic_sizes();
+  TrafficConfig config;
+  config.sender_skew = SenderSkew::kExponentialRank;
+  TrafficGenerator gen(32, config, *sizes);
+  std::vector<int> counts(32, 0);
+  for (const PaymentSpec& spec : gen.generate(30'000))
+    ++counts[static_cast<std::size_t>(spec.src)];
+  // Low-rank nodes send much more than high-rank nodes.
+  EXPECT_GT(counts[0], counts[31] * 5);
+  // Weights decay geometrically.
+  const auto& w = gen.sender_weights();
+  for (std::size_t i = 1; i < w.size(); ++i) EXPECT_LT(w[i], w[i - 1]);
+}
+
+TEST(Traffic, UniformSenderSkewIsFlat) {
+  const auto sizes = ripple_synthetic_sizes();
+  TrafficConfig config;
+  config.sender_skew = SenderSkew::kUniform;
+  TrafficGenerator gen(16, config, *sizes);
+  std::vector<int> counts(16, 0);
+  for (const PaymentSpec& spec : gen.generate(32'000))
+    ++counts[static_cast<std::size_t>(spec.src)];
+  for (int c : counts) EXPECT_NEAR(c, 2000, 350);
+}
+
+TEST(Traffic, ReceiversUniform) {
+  const auto sizes = ripple_synthetic_sizes();
+  TrafficGenerator gen(16, TrafficConfig{}, *sizes);
+  std::vector<int> counts(16, 0);
+  for (const PaymentSpec& spec : gen.generate(32'000))
+    ++counts[static_cast<std::size_t>(spec.dst)];
+  for (int c : counts) EXPECT_GT(c, 1000);
+}
+
+TEST(Traffic, DeterministicBySeed) {
+  const auto sizes = ripple_synthetic_sizes();
+  TrafficConfig config;
+  config.seed = 42;
+  TrafficGenerator g1(10, config, *sizes);
+  TrafficGenerator g2(10, config, *sizes);
+  const auto t1 = g1.generate(500);
+  const auto t2 = g2.generate(500);
+  ASSERT_EQ(t1.size(), t2.size());
+  for (std::size_t i = 0; i < t1.size(); ++i) {
+    EXPECT_EQ(t1[i].arrival, t2[i].arrival);
+    EXPECT_EQ(t1[i].src, t2[i].src);
+    EXPECT_EQ(t1[i].dst, t2[i].dst);
+    EXPECT_EQ(t1[i].amount, t2[i].amount);
+  }
+}
+
+TEST(Traffic, DeadlinePropagates) {
+  const auto sizes = ripple_synthetic_sizes();
+  TrafficConfig config;
+  config.deadline = seconds(9.0);
+  TrafficGenerator gen(8, config, *sizes);
+  for (const PaymentSpec& spec : gen.generate(100))
+    EXPECT_EQ(spec.deadline, seconds(9.0));
+}
+
+TEST(DemandMatrix, SkewCreatesDagComponent) {
+  // Exponential senders + uniform receivers → demand is NOT a circulation;
+  // its circulation fraction is strictly between 0 and 1. This is the
+  // workload property behind the paper's Spider (LP) observation.
+  const auto sizes = ripple_synthetic_sizes();
+  TrafficConfig config;
+  config.sender_skew = SenderSkew::kExponentialRank;
+  TrafficGenerator gen(12, config, *sizes);
+  const auto trace = gen.generate(20'000);
+  const PaymentGraph pg = estimate_demand_matrix(12, trace);
+  EXPECT_FALSE(pg.is_circulation(1e-3));
+  EXPECT_GT(pg.total_demand(), 0.0);
+}
+
+TEST(TraceIo, RoundTrip) {
+  const auto sizes = ripple_synthetic_sizes();
+  TrafficGenerator gen(8, TrafficConfig{}, *sizes);
+  const auto trace = gen.generate(300);
+  const std::string path = testing::TempDir() + "/spider_trace_test.csv";
+  write_trace_csv(path, trace);
+  const auto loaded = read_trace_csv(path);
+  ASSERT_EQ(loaded.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(loaded[i].arrival, trace[i].arrival);
+    EXPECT_EQ(loaded[i].src, trace[i].src);
+    EXPECT_EQ(loaded[i].dst, trace[i].dst);
+    EXPECT_EQ(loaded[i].amount, trace[i].amount);
+    EXPECT_EQ(loaded[i].deadline, trace[i].deadline);
+  }
+}
+
+TEST(TraceIo, RejectsMalformedRows) {
+  const std::string path = testing::TempDir() + "/spider_trace_bad.csv";
+  {
+    std::ofstream out(path);
+    out << "arrival_us,src,dst,amount_millis,deadline_us\n";
+    out << "1,2,3\n";  // too few fields
+  }
+  EXPECT_THROW(read_trace_csv(path), std::runtime_error);
+  EXPECT_THROW(read_trace_csv("/nonexistent/path.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace spider
