@@ -13,7 +13,7 @@ int main() {
                 "tightening the cap raises the completion ratio AMONG "
                 "ADMITTED payments (refused volume is the price)");
 
-  bench::IspSetup setup = bench::isp_setup(/*traffic_seed=*/10);
+  const ScenarioInstance setup = bench::isp_setup(/*traffic_seed=*/10);
 
   Table table({"admission_cap_xrp", "admitted_ratio", "overall_ratio",
                "success_volume", "refused", "delivered_xrp"});

@@ -11,7 +11,7 @@ int main() {
                 "non-atomic delivery dominates on volume (partials count, "
                 "retries drain the queue); atomic pays for all-or-nothing");
 
-  bench::IspSetup setup = bench::isp_setup(/*traffic_seed=*/9);
+  const ScenarioInstance setup = bench::isp_setup(/*traffic_seed=*/9);
 
   Table table({"scheme", "mode", "success_ratio", "success_volume",
                "rejected", "expired"});

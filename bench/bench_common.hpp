@@ -1,12 +1,19 @@
 // Shared helpers for the figure-reproduction harnesses (see DESIGN.md
 // experiment index). Each harness runs argument-free at laptop scale;
-// environment variables scale runs up to paper scale (EXPERIMENTS.md).
+// environment variables scale runs up to paper scale (DESIGN.md).
+//
+// All topology/trace/config setup flows through the scenario registry
+// (core/scenario.hpp): a bench names a scenario, the registry materializes
+// it, and the SPIDER_* environment overrides apply uniformly. No bench
+// hand-rolls a topology.
 #pragma once
 
 #include <iostream>
 #include <string>
 
 #include "core/experiment.hpp"
+#include "core/runner.hpp"
+#include "core/scenario.hpp"
 #include "topology/topology.hpp"
 #include "workload/trace_io.hpp"
 
@@ -23,29 +30,23 @@ inline void banner(const std::string& experiment_id,
                "=\n";
 }
 
-/// The §6.1 ISP workload at bench scale. Defaults keep the network loaded
-/// the way the paper's 200 s saturated runs are; SPIDER_TXNS /
-/// SPIDER_TX_RATE / SPIDER_CAPACITY_XRP scale to paper size
-/// (200000 / 1000 / 30000).
-struct IspSetup {
-  Graph graph;
-  std::vector<PaymentSpec> trace;
-  SpiderConfig config;
-};
+/// Materializes a registered scenario with the SPIDER_* env overrides
+/// applied. `traffic_seed` != 0 is the bench's default workload stream
+/// (benches use distinct streams so their traces are independent draws);
+/// an explicit SPIDER_TRAFFIC_SEED in the environment wins over it.
+inline ScenarioInstance scenario(const std::string& name,
+                                 std::uint64_t traffic_seed = 0) {
+  ScenarioParams params = ScenarioParams::from_env();
+  if (params.traffic_seed == 0) params.traffic_seed = traffic_seed;
+  return build_scenario(name, params);
+}
 
-inline IspSetup isp_setup(std::uint64_t traffic_seed = 1) {
-  IspSetup setup{
-      isp_topology(xrp(env_int("SPIDER_CAPACITY_XRP", 3000)),
-                   static_cast<std::uint64_t>(env_int("SPIDER_SEED", 1))),
-      {},
-      {}};
-  const SpiderNetwork net(setup.graph, setup.config);
-  TrafficConfig traffic;
-  traffic.tx_per_second = env_double("SPIDER_TX_RATE", 400.0);
-  traffic.seed = traffic_seed;
-  setup.trace =
-      net.synthesize_workload(env_int("SPIDER_TXNS", 6000), traffic);
-  return setup;
+/// The §6.1 ISP workload at bench scale — the registry's `isp` scenario.
+/// Defaults keep the network loaded the way the paper's 200 s saturated
+/// runs are; SPIDER_TXNS / SPIDER_TX_RATE / SPIDER_CAPACITY_XRP scale to
+/// paper size (200000 / 1000 / 30000).
+inline ScenarioInstance isp_setup(std::uint64_t traffic_seed = 1) {
+  return scenario("isp", traffic_seed);
 }
 
 }  // namespace spider::bench

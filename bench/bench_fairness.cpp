@@ -15,7 +15,7 @@ int main() {
                 "max-min serves every pair (higher success ratio, no "
                 "zero-weight pairs) at a modest volume cost");
 
-  bench::IspSetup setup = bench::isp_setup(/*traffic_seed=*/12);
+  const ScenarioInstance setup = bench::isp_setup(/*traffic_seed=*/12);
 
   Table table({"objective", "success_ratio", "success_volume",
                "zero_weight_pairs", "fluid_throughput_xrp_s",

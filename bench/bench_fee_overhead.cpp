@@ -14,7 +14,7 @@ int main() {
                 "Spider buys its extra delivered volume with longer, "
                 "multi-path routes; fee per delivered XRP quantifies it");
 
-  bench::IspSetup setup = bench::isp_setup(/*traffic_seed=*/11);
+  ScenarioInstance setup = bench::isp_setup(/*traffic_seed=*/11);
   setup.config.sim.fee_base = xrp_from_double(0.01);  // 0.01 XRP per hop
   setup.config.sim.fee_rate = 0.001;                  // +0.1% of the unit
 

@@ -8,7 +8,7 @@
 // fraction of the demand (52% ISP / 22% Ripple in the paper's workloads).
 //
 // Defaults are a load-equivalent laptop-scale run; env overrides
-// (EXPERIMENTS.md) reproduce paper scale.
+// (DESIGN.md) reproduce paper scale.
 #include "bench_common.hpp"
 
 namespace spider {
@@ -66,29 +66,16 @@ int main() {
 
   // Part A: ISP topology with the §6.1 synthetic workload.
   {
-    bench::IspSetup setup = bench::isp_setup(/*traffic_seed=*/1);
+    const ScenarioInstance setup = bench::scenario("isp", /*traffic_seed=*/1);
     run_topology("isp", setup.graph, setup.trace, setup.config);
   }
 
   // Part B: Ripple-like topology with Ripple-subgraph-sized transactions
   // (mean 345 XRP, max 2892 XRP). Node count defaults to 60 (paper: 3774;
-  // see EXPERIMENTS.md for scaling).
+  // SPIDER_NODES scales it up).
   {
-    const NodeId nodes =
-        static_cast<NodeId>(env_int("SPIDER_RIPPLE_NODES", 60));
-    const Graph graph = ripple_like_topology(
-        nodes, xrp(env_int("SPIDER_CAPACITY_XRP", 3000)),
-        static_cast<std::uint64_t>(env_int("SPIDER_SEED", 1)));
-    SpiderConfig config;
-    config.lp_max_pairs = env_int("SPIDER_LP_MAX_PAIRS", 900);
-    const auto sizes = ripple_subgraph_sizes();
-    TrafficConfig traffic;
-    traffic.tx_per_second = env_double("SPIDER_TX_RATE", 400.0);
-    traffic.seed = 2;
-    TrafficGenerator generator(nodes, traffic, *sizes);
-    const auto trace =
-        generator.generate(env_int("SPIDER_RIPPLE_TXNS", 4000));
-    run_topology("ripple", graph, trace, config);
+    const ScenarioInstance setup = bench::scenario("ripple-like");
+    run_topology("ripple", setup.graph, setup.trace, setup.config);
   }
   return 0;
 }

@@ -5,6 +5,10 @@
 // (Waterfilling) reaches any given success level with far less escrow than
 // the baselines; Spider (LP) is nearly flat in capacity (it avoids
 // imbalance, so capacity is not its binding constraint).
+//
+// The whole sweep (capacities x schemes) is one ExperimentRunner grid: each
+// capacity point materializes the `isp` scenario at that escrow and every
+// (scenario, scheme) cell runs in parallel.
 #include "bench_common.hpp"
 
 int main() {
@@ -20,27 +24,35 @@ int main() {
   if (const int single = env_int("SPIDER_CAPACITY_XRP", 0); single > 0)
     capacities_xrp = {single};
 
+  std::vector<ScenarioInstance> scenarios;
+  scenarios.reserve(capacities_xrp.size());
+  for (int capacity : capacities_xrp) {
+    ScenarioParams params = ScenarioParams::from_env();
+    params.capacity_xrp = capacity;
+    if (params.traffic_seed == 0) params.traffic_seed = 1;
+    scenarios.push_back(build_scenario("isp", params));
+  }
+
+  ExperimentRunner runner;
+  const std::vector<CellResult> results =
+      runner.run_grid(scenarios, paper_schemes());
+
   Table ratio_table({"capacity_xrp", "Spider (LP)", "Spider (Waterfilling)",
                      "Max-flow", "Shortest Path", "SilentWhispers",
                      "SpeedyMurmurs"});
   Table volume_table(ratio_table.headers());
 
-  for (int capacity : capacities_xrp) {
-    const Graph graph = isp_topology(xrp(capacity), 1);
-    SpiderConfig config;
-    const SpiderNetwork net(graph, config);
-    TrafficConfig traffic;
-    traffic.tx_per_second = env_double("SPIDER_TX_RATE", 400.0);
-    traffic.seed = 1;
-    const auto trace =
-        net.synthesize_workload(env_int("SPIDER_TXNS", 6000), traffic);
-
-    std::vector<std::string> ratio_row{std::to_string(capacity)};
-    std::vector<std::string> volume_row{std::to_string(capacity)};
-    for (Scheme scheme : paper_schemes()) {
-      const SimMetrics m = net.run(scheme, trace);
-      ratio_row.push_back(Table::pct(m.success_ratio()));
-      volume_row.push_back(Table::pct(m.success_volume()));
+  // results are in deterministic grid order (scenario-outer, then scheme,
+  // one seed per scenario), so cells index directly.
+  const std::size_t num_schemes = paper_schemes().size();
+  for (std::size_t s = 0; s < scenarios.size(); ++s) {
+    std::vector<std::string> ratio_row{std::to_string(capacities_xrp[s])};
+    std::vector<std::string> volume_row{std::to_string(capacities_xrp[s])};
+    for (std::size_t k = 0; k < num_schemes; ++k) {
+      const CellResult& cell = results[s * num_schemes + k];
+      SPIDER_ASSERT(cell.cell.scenario_index == s);
+      ratio_row.push_back(Table::pct(cell.metrics.success_ratio()));
+      volume_row.push_back(Table::pct(cell.metrics.success_volume()));
     }
     ratio_table.add_row(std::move(ratio_row));
     volume_table.add_row(std::move(volume_row));

@@ -3,20 +3,37 @@
 // Quantifies the §3 overhead claim for max-flow routing (O(|V|·|E|^2) per
 // transaction) against the cheap per-payment work of Spider's schemes, plus
 // the cost of the offline machinery (K-shortest paths, simplex, circulation
-// LP) and the simulator's raw event rate.
+// LP) and the simulator's raw event rate. All topologies/workloads come from
+// the scenario registry.
+//
+// The custom main additionally runs the planner-throughput guardrail:
+// plans/sec through the flat (edge, side)-indexed VirtualBalances overlay
+// versus the std::map overlay it replaced, emitted via maybe_write_csv so
+// future PRs can track the trajectory (SPIDER_BENCH_CSV_DIR=<dir> writes
+// micro_planner_throughput.csv).
 #include <benchmark/benchmark.h>
 
-#include "core/spider.hpp"
+#include <chrono>
+#include <map>
+
+#include "bench_common.hpp"
 #include "fluid/circulation.hpp"
 #include "graph/ksp.hpp"
 #include "graph/maxflow.hpp"
 #include "lp/simplex.hpp"
+#include "routing/path_cache.hpp"
 #include "routing/waterfilling_router.hpp"
 #include "sim/simulator.hpp"
-#include "topology/topology.hpp"
 
 namespace spider {
 namespace {
+
+ScenarioInstance paper_scale_isp() {
+  ScenarioParams params;
+  params.payments = 1;  // fixtures below need the topology, not the trace
+  params.capacity_xrp = 30000;
+  return build_scenario("isp", params);
+}
 
 std::vector<Arc> balance_arcs(const Network& net) {
   std::vector<Arc> arcs;
@@ -31,7 +48,7 @@ std::vector<Arc> balance_arcs(const Network& net) {
 }
 
 void BM_DinicIsp(benchmark::State& state) {
-  const Graph g = isp_topology(xrp(30000));
+  const Graph g = paper_scale_isp().graph;
   const Network net(g);
   const auto arcs = balance_arcs(net);
   for (auto _ : state)
@@ -40,7 +57,7 @@ void BM_DinicIsp(benchmark::State& state) {
 BENCHMARK(BM_DinicIsp);
 
 void BM_EdmondsKarpIsp(benchmark::State& state) {
-  const Graph g = isp_topology(xrp(30000));
+  const Graph g = paper_scale_isp().graph;
   const Network net(g);
   const auto arcs = balance_arcs(net);
   for (auto _ : state)
@@ -50,9 +67,12 @@ void BM_EdmondsKarpIsp(benchmark::State& state) {
 BENCHMARK(BM_EdmondsKarpIsp);
 
 void BM_DinicRippleLike(benchmark::State& state) {
-  const Graph g =
-      ripple_like_topology(static_cast<NodeId>(state.range(0)), xrp(30000),
-                           3);
+  ScenarioParams params;
+  params.payments = 1;
+  params.capacity_xrp = 30000;
+  params.nodes = static_cast<NodeId>(state.range(0));
+  params.topology_seed = 3;
+  const Graph g = build_scenario("ripple-like", params).graph;
   const Network net(g);
   const auto arcs = balance_arcs(net);
   for (auto _ : state)
@@ -63,14 +83,14 @@ void BM_DinicRippleLike(benchmark::State& state) {
 BENCHMARK(BM_DinicRippleLike)->Arg(64)->Arg(256)->Arg(1024)->Complexity();
 
 void BM_EdgeDisjointK4(benchmark::State& state) {
-  const Graph g = isp_topology(xrp(30000));
+  const Graph g = paper_scale_isp().graph;
   for (auto _ : state)
     benchmark::DoNotOptimize(edge_disjoint_paths(g, 9, 27, 4));
 }
 BENCHMARK(BM_EdgeDisjointK4);
 
 void BM_YenK4(benchmark::State& state) {
-  const Graph g = isp_topology(xrp(30000));
+  const Graph g = paper_scale_isp().graph;
   for (auto _ : state)
     benchmark::DoNotOptimize(yen_k_shortest_paths(g, 9, 27, 4));
 }
@@ -86,7 +106,7 @@ void BM_WaterfillAllocation(benchmark::State& state) {
 BENCHMARK(BM_WaterfillAllocation);
 
 void BM_SimplexRoutingLpIsp(benchmark::State& state) {
-  const Graph g = isp_topology(xrp(30000));
+  const Graph g = paper_scale_isp().graph;
   // Demand matrix over the first 12 nodes (all pairs), rate 1 each.
   PaymentGraph demands(g.num_nodes());
   for (NodeId i = 0; i < 12; ++i)
@@ -113,33 +133,161 @@ void BM_MaxCirculationLp(benchmark::State& state) {
 }
 BENCHMARK(BM_MaxCirculationLp)->Unit(benchmark::kMillisecond);
 
+ScenarioInstance simulator_fixture() {
+  ScenarioParams params;
+  params.payments = 1000;
+  return build_scenario("isp", params);
+}
+
 void BM_SimulatorWaterfilling1k(benchmark::State& state) {
-  const Graph g = isp_topology(xrp(3000));
-  SpiderConfig config;
-  const SpiderNetwork net(g, config);
-  TrafficConfig traffic;
-  traffic.tx_per_second = 400;
-  const auto trace = net.synthesize_workload(1000, traffic);
+  const ScenarioInstance scenario = simulator_fixture();
+  const SpiderNetwork net(scenario.graph, scenario.config);
   for (auto _ : state)
-    benchmark::DoNotOptimize(net.run(Scheme::kSpiderWaterfilling, trace));
+    benchmark::DoNotOptimize(
+        net.run(Scheme::kSpiderWaterfilling, scenario.trace));
   state.SetItemsProcessed(state.iterations() *
-                          static_cast<std::int64_t>(trace.size()));
+                          static_cast<std::int64_t>(scenario.trace.size()));
 }
 BENCHMARK(BM_SimulatorWaterfilling1k)->Unit(benchmark::kMillisecond);
 
 void BM_SimulatorMaxFlow1k(benchmark::State& state) {
-  const Graph g = isp_topology(xrp(3000));
-  SpiderConfig config;
-  const SpiderNetwork net(g, config);
-  TrafficConfig traffic;
-  traffic.tx_per_second = 400;
-  const auto trace = net.synthesize_workload(1000, traffic);
+  const ScenarioInstance scenario = simulator_fixture();
+  const SpiderNetwork net(scenario.graph, scenario.config);
   for (auto _ : state)
-    benchmark::DoNotOptimize(net.run(Scheme::kMaxFlow, trace));
+    benchmark::DoNotOptimize(net.run(Scheme::kMaxFlow, scenario.trace));
   state.SetItemsProcessed(state.iterations() *
-                          static_cast<std::int64_t>(trace.size()));
+                          static_cast<std::int64_t>(scenario.trace.size()));
 }
 BENCHMARK(BM_SimulatorMaxFlow1k)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// Planner-throughput guardrail: flat overlay vs the replaced std::map one.
+// ---------------------------------------------------------------------------
+
+/// The pre-refactor std::map overlay, kept as the "before" baseline.
+class MapVirtualBalances {
+ public:
+  explicit MapVirtualBalances(const Network& network) : network_(&network) {}
+
+  [[nodiscard]] Amount available(NodeId from, EdgeId e) const {
+    const Channel& ch = network_->channel(e);
+    const int side = ch.side_of(from);
+    Amount avail = ch.balance(side);
+    const auto it = used_.find({e, side});
+    if (it != used_.end()) avail -= it->second;
+    return std::max<Amount>(0, avail);
+  }
+
+  [[nodiscard]] Amount path_bottleneck(const Path& path) const {
+    Amount bottleneck = std::numeric_limits<Amount>::max();
+    for (std::size_t h = 0; h < path.edges.size(); ++h)
+      bottleneck =
+          std::min(bottleneck, available(path.nodes[h], path.edges[h]));
+    return bottleneck;
+  }
+
+  void use(const Path& path, Amount amount) {
+    for (std::size_t h = 0; h < path.edges.size(); ++h) {
+      const Channel& ch = network_->channel(path.edges[h]);
+      used_[{path.edges[h], ch.side_of(path.nodes[h])}] += amount;
+    }
+  }
+
+ private:
+  const Network* network_;
+  std::map<std::pair<EdgeId, int>, Amount> used_;
+};
+
+struct PlannerFixture {
+  Graph graph;
+  Network network;
+  PathCache cache;
+  std::vector<PaymentSpec> trace;
+
+  explicit PlannerFixture(const ScenarioInstance& scenario)
+      : graph(scenario.graph),
+        network(graph),
+        cache(graph, 4, PathSelection::kEdgeDisjoint),
+        trace(scenario.trace) {}
+};
+
+/// One waterfilling-style planning pass (probe bottlenecks, waterfill,
+/// commit virtual locks) over every payment, through the overlay
+/// `make_overlay` yields. The factory may return by value (fresh overlay
+/// per plan — the old std::map discipline) or by reference (reused flat
+/// overlay with an epoch reset — the routers' discipline).
+template <typename MakeOverlay>
+double plans_per_second(PlannerFixture& fx, MakeOverlay make_overlay,
+                        int min_millis) {
+  using Clock = std::chrono::steady_clock;
+  std::vector<Amount> capacities;
+  std::int64_t plans = 0;
+  const auto start = Clock::now();
+  double elapsed = 0;
+  while (elapsed * 1000 < min_millis) {
+    for (const PaymentSpec& spec : fx.trace) {
+      decltype(auto) overlay = make_overlay(fx.network);
+      const std::vector<Path>& paths = fx.cache.paths(spec.src, spec.dst);
+      if (paths.empty()) continue;
+      capacities.clear();
+      for (const Path& p : paths)
+        capacities.push_back(overlay.path_bottleneck(p));
+      const std::vector<Amount> alloc = waterfill(spec.amount, capacities);
+      for (std::size_t i = 0; i < paths.size(); ++i) {
+        const Amount sendable =
+            std::min(alloc[i], overlay.path_bottleneck(paths[i]));
+        if (sendable <= 0) continue;
+        overlay.use(paths[i], sendable);
+        benchmark::DoNotOptimize(sendable);
+      }
+      ++plans;
+    }
+    elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  }
+  return static_cast<double>(plans) / elapsed;
+}
+
+void report_planner_throughput() {
+  ScenarioParams params;
+  params.payments = 2000;
+  const ScenarioInstance scenario = build_scenario("isp", params);
+  PlannerFixture fx(scenario);
+
+  const int min_millis = env_int("SPIDER_MICRO_PLANNER_MS", 500);
+  // Reuse one flat overlay across plans (epoch reset), exactly as the
+  // routers do; the map baseline reconstructs per plan, exactly as the old
+  // code did.
+  VirtualBalances reused;
+  const double flat = plans_per_second(
+      fx,
+      [&](const Network& net) -> VirtualBalances& {
+        reused.attach(net);
+        return reused;
+      },
+      min_millis);
+  const double mapped = plans_per_second(
+      fx, [](const Network& net) { return MapVirtualBalances(net); },
+      min_millis);
+
+  Table table({"planner", "overlay", "plans_per_sec", "speedup_vs_map"});
+  table.add_row({"waterfilling-probe", "flat-epoch",
+                 Table::num(flat, 0),
+                 Table::num(mapped > 0 ? flat / mapped : 0.0, 2)});
+  table.add_row({"waterfilling-probe", "std::map", Table::num(mapped, 0),
+                 Table::num(1.0, 2)});
+  std::cout << "\nPlanner throughput (plans/sec, higher is better):\n"
+            << table.render();
+  maybe_write_csv("micro_planner_throughput", table);
+}
+
 }  // namespace
 }  // namespace spider
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  spider::report_planner_throughput();
+  return 0;
+}

@@ -12,7 +12,7 @@ int main() {
                 "small MTUs pace payments across polls (higher latency); "
                 "success is stable until the MTU starves the deadline");
 
-  bench::IspSetup setup = bench::isp_setup(/*traffic_seed=*/6);
+  const ScenarioInstance setup = bench::isp_setup(/*traffic_seed=*/6);
 
   Table table({"mtu_xrp", "success_ratio", "success_volume",
                "mean_latency_s", "chunks/payment"});

@@ -11,7 +11,7 @@ int main() {
                 "more paths help up to the topology's diversity; "
                 "edge-disjoint selection avoids self-interference");
 
-  bench::IspSetup setup = bench::isp_setup(/*traffic_seed=*/5);
+  const ScenarioInstance setup = bench::isp_setup(/*traffic_seed=*/5);
 
   Table table({"selection", "K", "success_ratio", "success_volume",
                "chunks/payment"});

@@ -13,7 +13,7 @@ int main() {
                 "router queues absorb transient imbalance (units wait at "
                 "the dry hop instead of failing the whole attempt)");
 
-  bench::IspSetup setup = bench::isp_setup(/*traffic_seed=*/7);
+  const ScenarioInstance setup = bench::isp_setup(/*traffic_seed=*/7);
 
   Table table({"scheme", "queueing", "success_ratio", "success_volume",
                "mean_latency_s", "queued_units", "hol_timeouts",

@@ -14,7 +14,7 @@ int main() {
                 "success volume climbs from the circulation-limited level "
                 "with diminishing returns as the deposit budget grows");
 
-  bench::IspSetup setup = bench::isp_setup(/*traffic_seed=*/8);
+  const ScenarioInstance setup = bench::isp_setup(/*traffic_seed=*/8);
   const SpiderNetwork base(setup.graph, setup.config);
   const double circulation =
       base.workload_circulation_fraction(setup.trace);

@@ -11,7 +11,7 @@ int main() {
                 "SRPT completes the most payments (ratio); volume is less "
                 "sensitive (SRPT favours small payments)");
 
-  bench::IspSetup setup = bench::isp_setup(/*traffic_seed=*/4);
+  const ScenarioInstance setup = bench::isp_setup(/*traffic_seed=*/4);
 
   Table table({"scheme", "scheduler", "success_ratio", "success_volume",
                "mean_latency_s"});

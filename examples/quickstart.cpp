@@ -1,5 +1,5 @@
-// Quickstart: build a payment-channel network, generate a workload, route
-// it with Spider, and read the metrics. This is the README example.
+// Quickstart: materialize a named scenario, route its workload with Spider,
+// and read the metrics. This is the README example.
 #include <iostream>
 
 #include "spider.hpp"
@@ -7,24 +7,25 @@
 int main() {
   using namespace spider;
 
-  // 1. A topology: the paper's 32-node ISP graph with 3000 XRP escrowed per
-  //    channel (split equally between the two endpoints).
-  const Graph topology = isp_topology(xrp(3000));
+  // 1. A scenario from the registry: the paper's 32-node ISP graph with its
+  //    §6.1 workload (Poisson arrivals, skewed senders, uniform receivers,
+  //    Ripple-shaped payment sizes) and the paper's defaults — Δ = 0.5 s
+  //    confirmation delay, 4 edge-disjoint paths, SRPT queueing, 5 s
+  //    deadlines. ScenarioParams override any knob; everything else about
+  //    the topology and trace is the scenario's job.
+  ScenarioParams params;
+  params.payments = 5000;
+  const ScenarioInstance scenario = build_scenario("isp", params);
 
-  // 2. A network with the paper's defaults: Δ = 0.5 s confirmation delay,
-  //    4 edge-disjoint paths, SRPT queueing, 5 s payment deadlines.
-  const SpiderNetwork network(topology);
+  // 2. A network over the scenario's topology and configuration.
+  const SpiderNetwork network(scenario.graph, scenario.config);
 
-  // 3. A workload, synthesized the way §6.1 describes: Poisson arrivals,
-  //    skewed senders, uniform receivers, Ripple-shaped payment sizes.
-  TrafficConfig traffic;
-  traffic.tx_per_second = 400;
-  const std::vector<PaymentSpec> trace =
-      network.synthesize_workload(5000, traffic);
-
-  // 4. Route it with Spider's waterfilling algorithm, then with a baseline.
-  const SimMetrics spider = network.run(Scheme::kSpiderWaterfilling, trace);
-  const SimMetrics baseline = network.run(Scheme::kSpeedyMurmurs, trace);
+  // 3. Route the workload with Spider's waterfilling algorithm, then with a
+  //    baseline.
+  const SimMetrics spider =
+      network.run(Scheme::kSpiderWaterfilling, scenario.trace);
+  const SimMetrics baseline =
+      network.run(Scheme::kSpeedyMurmurs, scenario.trace);
 
   std::cout << "Spider (Waterfilling): "
             << Table::pct(spider.success_ratio()) << " of payments, "
@@ -35,10 +36,10 @@ int main() {
             << Table::pct(baseline.success_ratio()) << " of payments, "
             << Table::pct(baseline.success_volume()) << " of volume\n";
 
-  // 5. The theory: no balanced scheme can deliver more volume than the
+  // 4. The theory: no balanced scheme can deliver more volume than the
   //    circulation fraction of the demand (Proposition 1).
   std::cout << "Circulation fraction of this workload's demand: "
-            << Table::pct(network.workload_circulation_fraction(trace))
+            << Table::pct(network.workload_circulation_fraction(scenario.trace))
             << '\n';
   return 0;
 }

@@ -1,8 +1,10 @@
 #include "core/experiment.hpp"
 
 #include <cstdlib>
+#include <mutex>
 #include <string>
 
+#include "core/runner.hpp"
 #include "util/csv.hpp"
 #include "util/log.hpp"
 
@@ -11,13 +13,22 @@ namespace spider {
 std::vector<SchemeResult> run_schemes(const SpiderNetwork& network,
                                       const std::vector<PaymentSpec>& trace,
                                       const std::vector<Scheme>& schemes) {
-  std::vector<SchemeResult> results;
-  results.reserve(schemes.size());
-  for (Scheme scheme : schemes) {
-    SPIDER_INFO("running " << scheme_name(scheme) << " over " << trace.size()
-                           << " payments");
-    results.push_back(SchemeResult{scheme, network.run(scheme, trace)});
-  }
+  // Scheme runs are independent (fresh network per run), so fan them out on
+  // the pool; each worker writes only its own slot, which keeps the result
+  // order — and every metric byte — identical to the old serial loop. The
+  // pool is shared across calls so per-data-point sweeps don't pay thread
+  // spawn/teardown each time; the mutex keeps this entry point callable
+  // from concurrent threads (as the old serial loop was) by serializing
+  // them onto the one pool.
+  static std::mutex runner_mutex;
+  static ExperimentRunner runner;
+  const std::lock_guard<std::mutex> lock(runner_mutex);
+  std::vector<SchemeResult> results(schemes.size());
+  runner.for_each(schemes.size(), [&](std::size_t i) {
+    SPIDER_INFO("running " << scheme_name(schemes[i]) << " over "
+                           << trace.size() << " payments");
+    results[i] = SchemeResult{schemes[i], network.run(schemes[i], trace)};
+  });
   return results;
 }
 

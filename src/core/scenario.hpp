@@ -1,0 +1,91 @@
+// Named-scenario registry: the experiment layer's catalogue of workloads.
+//
+// A scenario bundles everything one simulation run needs besides the routing
+// scheme: a topology, a SpiderConfig, and a transaction trace. The built-in
+// scenarios cover the paper's two evaluation topologies (`isp`,
+// `ripple-like`) plus synthetic families for scaling studies (`scale-free`,
+// `lightning-snapshot-synthetic`, `hub-spoke`, `small-world`). Benches and
+// examples build their setup through the registry — adding a workload to the
+// whole bench suite is one add() call — and the ExperimentRunner consumes
+// ScenarioInstances as the scenario axis of its (scheme × seed × scenario)
+// grid.
+//
+// Every builder is deterministic in its ScenarioParams, so a scenario name
+// plus params fully reproduces a run.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "workload/traffic.hpp"
+
+namespace spider {
+
+/// Knobs shared by every scenario. 0 (or empty) means "use the scenario's
+/// default"; from_env() fills them from the SPIDER_* environment variables
+/// the benches have always honoured, so argument-free bench runs stay
+/// laptop-scale while DESIGN.md-documented overrides reproduce paper scale.
+struct ScenarioParams {
+  int payments = 0;            // trace length            (SPIDER_TXNS)
+  double tx_per_second = 0.0;  // arrival rate            (SPIDER_TX_RATE)
+  int capacity_xrp = 0;        // per-channel escrow      (SPIDER_CAPACITY_XRP)
+  NodeId nodes = 0;            // scalable families only  (SPIDER_NODES)
+  int lp_max_pairs = 0;        // Spider (LP) pair cap    (SPIDER_LP_MAX_PAIRS)
+  std::uint64_t topology_seed = 0;  //                    (SPIDER_SEED)
+  std::uint64_t traffic_seed = 0;   //                    (SPIDER_TRAFFIC_SEED)
+
+  /// Reads the SPIDER_* overrides; anything unset stays "scenario default".
+  [[nodiscard]] static ScenarioParams from_env();
+};
+
+/// A fully materialized scenario: what the runner executes a scheme over.
+struct ScenarioInstance {
+  std::string name;
+  Graph graph;
+  SpiderConfig config;
+  std::vector<PaymentSpec> trace;
+};
+
+using ScenarioBuilder =
+    std::function<ScenarioInstance(const ScenarioParams&)>;
+
+class ScenarioRegistry {
+ public:
+  struct Entry {
+    std::string name;
+    std::string description;
+  };
+
+  /// The process-wide registry, with the built-in scenarios pre-registered.
+  [[nodiscard]] static ScenarioRegistry& instance();
+
+  /// Registers a scenario; throws std::invalid_argument on a duplicate name.
+  void add(const std::string& name, const std::string& description,
+           ScenarioBuilder builder);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+
+  /// Materializes `name`; throws std::invalid_argument for unknown names.
+  [[nodiscard]] ScenarioInstance build(
+      const std::string& name, const ScenarioParams& params = {}) const;
+
+  /// All registered scenarios, sorted by name.
+  [[nodiscard]] std::vector<Entry> list() const;
+
+ private:
+  ScenarioRegistry();  // registers the built-ins
+
+  struct Registered {
+    std::string description;
+    ScenarioBuilder builder;
+  };
+  std::vector<std::pair<std::string, Registered>> entries_;  // insertion order
+};
+
+/// Convenience: ScenarioRegistry::instance().build(name, params).
+[[nodiscard]] ScenarioInstance build_scenario(
+    const std::string& name, const ScenarioParams& params = {});
+
+}  // namespace spider

@@ -22,6 +22,15 @@ SimMetrics SpiderNetwork::run(Scheme scheme,
   return run_simulation(topology_, *router, trace, config_.sim);
 }
 
+SimMetrics SpiderNetwork::run(Scheme scheme,
+                              const std::vector<PaymentSpec>& trace,
+                              std::uint64_t seed) const {
+  SpiderConfig config = config_;
+  config.sim.seed = seed;
+  const std::unique_ptr<Router> router = make_router(scheme, config);
+  return run_simulation(topology_, *router, trace, config.sim);
+}
+
 double SpiderNetwork::workload_circulation_fraction(
     const std::vector<PaymentSpec>& trace) const {
   const PaymentGraph demands =

@@ -35,9 +35,18 @@ class SpiderNetwork {
   [[nodiscard]] std::vector<PaymentSpec> synthesize_workload(
       int count, const TrafficConfig& traffic = {}) const;
 
-  /// Runs `scheme` over `trace` on a fresh network instance.
+  /// Runs `scheme` over `trace` on a fresh network instance. Thread-safe:
+  /// run() shares nothing mutable, so independent runs (the ExperimentRunner
+  /// grid) may execute concurrently on one SpiderNetwork.
   [[nodiscard]] SimMetrics run(Scheme scheme,
                                const std::vector<PaymentSpec>& trace) const;
+
+  /// Same, but with the simulation seed replaced by `seed` — the seed axis
+  /// of an experiment grid. The trace is unchanged; only the router RNG
+  /// stream (and scheme-internal seeds derived from it) move.
+  [[nodiscard]] SimMetrics run(Scheme scheme,
+                               const std::vector<PaymentSpec>& trace,
+                               std::uint64_t seed) const;
 
   /// ν(C*) / total demand for the trace's estimated demand matrix — the
   /// Prop. 1 ceiling on balanced-routing success volume.

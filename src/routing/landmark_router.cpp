@@ -79,10 +79,10 @@ std::vector<ChunkPlan> LandmarkRouter::plan(const Payment& payment,
   if (paths.empty()) return {};
 
   // Probe each path's joint bottleneck, then fill highest-capacity first.
-  VirtualBalances virtual_balances(network);
+  virtual_balances_.attach(network);
   std::vector<std::pair<Amount, std::size_t>> capacity_order;
   for (std::size_t i = 0; i < paths.size(); ++i)
-    capacity_order.push_back({virtual_balances.path_bottleneck(paths[i]), i});
+    capacity_order.push_back({virtual_balances_.path_bottleneck(paths[i]), i});
   std::sort(capacity_order.begin(), capacity_order.end(),
             [](const auto& a, const auto& b) {
               if (a.first != b.first) return a.first > b.first;
@@ -94,9 +94,9 @@ std::vector<ChunkPlan> LandmarkRouter::plan(const Payment& payment,
   for (const auto& [unused, index] : capacity_order) {
     if (left <= 0) break;
     const Amount sendable =
-        std::min(left, virtual_balances.path_bottleneck(paths[index]));
+        std::min(left, virtual_balances_.path_bottleneck(paths[index]));
     if (sendable <= 0) continue;
-    virtual_balances.use(paths[index], sendable);
+    virtual_balances_.use(paths[index], sendable);
     chunks.push_back(ChunkPlan{paths[index], sendable});
     left -= sendable;
   }

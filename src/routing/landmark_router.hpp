@@ -49,6 +49,7 @@ class LandmarkRouter final : public Router {
   int num_landmarks_;
   std::vector<NodeId> landmarks_;
   std::map<std::pair<NodeId, NodeId>, std::vector<Path>> path_cache_;
+  VirtualBalances virtual_balances_;  // reattached per plan(); O(1) reset
 };
 
 /// Splices out loops from a node walk (keeps the segment between the first

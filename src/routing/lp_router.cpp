@@ -94,15 +94,15 @@ std::vector<ChunkPlan> LpRouter::plan(const Payment& payment, Amount amount,
     ++assigned;
   }
 
-  VirtualBalances virtual_balances(network);
+  virtual_balances_.attach(network);
   std::vector<ChunkPlan> chunks;
   for (std::size_t i = 0; i < n; ++i) {
     if (share[i] <= 0) continue;
     const Amount sendable =
-        std::min(share[i], virtual_balances.path_bottleneck(
+        std::min(share[i], virtual_balances_.path_bottleneck(
                                pair_plan.paths[i]));
     if (sendable <= 0) continue;
-    virtual_balances.use(pair_plan.paths[i], sendable);
+    virtual_balances_.use(pair_plan.paths[i], sendable);
     chunks.push_back(ChunkPlan{pair_plan.paths[i], sendable});
   }
   return chunks;

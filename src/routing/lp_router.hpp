@@ -72,6 +72,7 @@ class LpRouter final : public Router {
   int max_pairs_;
   LpObjective objective_;
   std::map<std::pair<NodeId, NodeId>, PairPlan> pair_plans_;
+  VirtualBalances virtual_balances_;  // reattached per plan(); O(1) reset
   double fluid_throughput_ = 0.0;
   double fair_fraction_ = 0.0;
   int zero_weight_pairs_ = 0;

@@ -71,7 +71,7 @@ std::vector<ChunkPlan> PrimalDualRouter::plan(const Payment& payment,
   if (it == pair_index_.end()) return {};
   const std::size_t pi = it->second;
   const std::vector<Path>& paths = solver_->pairs()[pi].paths;
-  VirtualBalances virtual_balances(network);
+  virtual_balances_.attach(network);
   std::vector<ChunkPlan> chunks;
   Amount left = amount;
   for (std::size_t qi = 0; qi < paths.size() && left > 0; ++qi) {
@@ -79,9 +79,9 @@ std::vector<ChunkPlan> PrimalDualRouter::plan(const Payment& payment,
     if (token_cap <= 0) continue;
     const Amount sendable =
         std::min({left, token_cap,
-                  virtual_balances.path_bottleneck(paths[qi])});
+                  virtual_balances_.path_bottleneck(paths[qi])});
     if (sendable <= 0) continue;
-    virtual_balances.use(paths[qi], sendable);
+    virtual_balances_.use(paths[qi], sendable);
     tokens_[pi][qi] -= to_xrp(sendable);
     chunks.push_back(ChunkPlan{paths[qi], sendable});
     left -= sendable;

@@ -56,6 +56,7 @@ class PrimalDualRouter final : public Router {
   std::unique_ptr<PrimalDualSolver> solver_;
   std::map<std::pair<NodeId, NodeId>, std::size_t> pair_index_;
   std::vector<std::vector<double>> tokens_;  // XRP, per pair per path
+  VirtualBalances virtual_balances_;  // reattached per plan(); O(1) reset
   TimePoint last_tick_ = -1;
 };
 

@@ -1,6 +1,7 @@
 #include "routing/router.hpp"
 
 #include <algorithm>
+#include <limits>
 
 namespace spider {
 
@@ -8,13 +9,28 @@ void Router::init(const Network&, const RouterInitContext&) {}
 
 void Router::on_tick(const Network&, TimePoint) {}
 
+void VirtualBalances::attach(const Network& network) {
+  network_ = &network;
+  const auto slots_needed =
+      static_cast<std::size_t>(network.graph().num_edges()) * 2;
+  if (slots_.size() < slots_needed) slots_.resize(slots_needed);
+  reset();
+}
+
+void VirtualBalances::reset() {
+  ++epoch_;
+  if (epoch_ == 0) {
+    // Epoch counter wrapped (needs 2^64 resets): wipe slots so stale entries
+    // from the previous epoch-0 era cannot resurface.
+    std::fill(slots_.begin(), slots_.end(), Slot{});
+    epoch_ = 1;
+  }
+}
+
 Amount VirtualBalances::available(NodeId from, EdgeId e) const {
   const Channel& ch = network_->channel(e);
   const int side = ch.side_of(from);
-  Amount avail = ch.balance(side);
-  const auto it = used_.find({e, side});
-  if (it != used_.end()) avail -= it->second;
-  return std::max<Amount>(0, avail);
+  return std::max<Amount>(0, ch.balance(side) - used(e, side));
 }
 
 Amount VirtualBalances::path_bottleneck(const Path& path) const {
@@ -31,8 +47,15 @@ void VirtualBalances::use(const Path& path, Amount amount) {
   SPIDER_ASSERT_MSG(amount <= path_bottleneck(path),
                     "virtual lock exceeds bottleneck");
   for (std::size_t h = 0; h < path.edges.size(); ++h) {
-    const Channel& ch = network_->channel(path.edges[h]);
-    used_[{path.edges[h], ch.side_of(path.nodes[h])}] += amount;
+    const EdgeId e = path.edges[h];
+    const Channel& ch = network_->channel(e);
+    const auto side = static_cast<std::size_t>(ch.side_of(path.nodes[h]));
+    Slot& slot = slots_[static_cast<std::size_t>(e) * 2 + side];
+    if (slot.epoch != epoch_) {
+      slot.epoch = epoch_;
+      slot.used = 0;
+    }
+    slot.used += amount;
   }
 }
 

@@ -16,7 +16,7 @@
 // paper's simulator gives every scheme (§6.1).
 #pragma once
 
-#include <map>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -67,9 +67,25 @@ class Router {
 /// Read-only overlay over current balances that tracks hypothetical locks,
 /// so a planner can check that a multi-path plan is jointly feasible before
 /// committing to it.
+///
+/// This sits on every planner's hot path (every plan() probes it per hop),
+/// so the overlay is a flat array indexed by (edge, side) — no tree walks,
+/// no per-plan allocation. Clearing between plans is O(1): each slot carries
+/// the epoch that wrote it, and attach()/reset() just bump the current
+/// epoch, which invalidates every stale entry at once. Routers keep one
+/// instance alive across calls and re-attach it per plan; storage is only
+/// (re)allocated when the network's edge count grows.
 class VirtualBalances {
  public:
-  explicit VirtualBalances(const Network& network) : network_(&network) {}
+  VirtualBalances() = default;
+  explicit VirtualBalances(const Network& network) { attach(network); }
+
+  /// Rebinds the overlay to `network` and drops all hypothetical locks.
+  /// O(1) unless the edge count grew since the last attach.
+  void attach(const Network& network);
+
+  /// Drops all hypothetical locks, keeping the bound network. O(1).
+  void reset();
 
   /// Spendable balance for `from` on edge `e`, minus hypothetical locks.
   [[nodiscard]] Amount available(NodeId from, EdgeId e) const;
@@ -82,8 +98,20 @@ class VirtualBalances {
   void use(const Path& path, Amount amount);
 
  private:
-  const Network* network_;
-  std::map<std::pair<EdgeId, int>, Amount> used_;  // (edge, side) -> locked
+  struct Slot {
+    std::uint64_t epoch = 0;  // valid iff == epoch_
+    Amount used = 0;
+  };
+
+  [[nodiscard]] Amount used(EdgeId e, int side) const {
+    const Slot& slot =
+        slots_[static_cast<std::size_t>(e) * 2 + static_cast<std::size_t>(side)];
+    return slot.epoch == epoch_ ? slot.used : 0;
+  }
+
+  const Network* network_ = nullptr;
+  std::uint64_t epoch_ = 0;
+  std::vector<Slot> slots_;  // 2 * num_edges, index = 2 * edge + side
 };
 
 }  // namespace spider

@@ -68,16 +68,16 @@ std::vector<ChunkPlan> SpeedyMurmursRouter::plan(const Payment& payment,
   const Amount base = amount / t;
   Amount extra = amount % t;
 
-  VirtualBalances virtual_balances(network);
+  virtual_balances_.attach(network);
   std::vector<ChunkPlan> chunks;
   for (const SpanningTree& tree : trees_) {
     Amount split = base + (extra > 0 ? 1 : 0);
     if (extra > 0) --extra;
     if (split <= 0) continue;
     Path path = greedy_route(tree, payment.src, payment.dst, split, network,
-                             virtual_balances);
+                             virtual_balances_);
     if (path.empty()) return {};  // atomic: one stuck split fails the payment
-    virtual_balances.use(path, split);
+    virtual_balances_.use(path, split);
     chunks.push_back(ChunkPlan{std::move(path), split});
   }
   return chunks;

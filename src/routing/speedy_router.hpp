@@ -53,6 +53,7 @@ class SpeedyMurmursRouter final : public Router {
   int num_trees_;
   std::uint64_t seed_;
   std::vector<SpanningTree> trees_;
+  VirtualBalances virtual_balances_;  // reattached per plan(); O(1) reset
 };
 
 }  // namespace spider

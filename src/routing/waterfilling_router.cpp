@@ -72,11 +72,11 @@ std::vector<ChunkPlan> WaterfillingRouter::plan(const Payment& payment,
 
   // Probe bottlenecks through a virtual overlay so allocations stay jointly
   // feasible even when candidate paths share channels (Yen mode).
-  VirtualBalances virtual_balances(network);
+  virtual_balances_.attach(network);
   std::vector<Amount> capacities;
   capacities.reserve(paths.size());
   for (const Path& p : paths)
-    capacities.push_back(virtual_balances.path_bottleneck(p));
+    capacities.push_back(virtual_balances_.path_bottleneck(p));
 
   const std::vector<Amount> alloc = waterfill(amount, capacities);
   std::vector<ChunkPlan> chunks;
@@ -86,9 +86,9 @@ std::vector<ChunkPlan> WaterfillingRouter::plan(const Payment& payment,
     // paths share channels (Yen mode) an earlier chunk may have consumed
     // part of this path's bottleneck, so re-clamp before committing.
     const Amount sendable =
-        std::min(alloc[i], virtual_balances.path_bottleneck(paths[i]));
+        std::min(alloc[i], virtual_balances_.path_bottleneck(paths[i]));
     if (sendable <= 0) continue;
-    virtual_balances.use(paths[i], sendable);
+    virtual_balances_.use(paths[i], sendable);
     chunks.push_back(ChunkPlan{paths[i], sendable});
   }
   return chunks;

@@ -45,6 +45,7 @@ class WaterfillingRouter final : public Router {
   int num_paths_;
   PathSelection selection_;
   std::optional<PathCache> cache_;
+  VirtualBalances virtual_balances_;  // reattached per plan(); O(1) reset
 };
 
 }  // namespace spider

@@ -1,0 +1,22 @@
+#include "sim/event_queue.hpp"
+
+namespace spider {
+
+SimEvent EventQueue::pop() {
+  SPIDER_ASSERT(!heap_.empty());
+  const SimEvent ev = heap_.top();
+  heap_.pop();
+  SPIDER_ASSERT_MSG(ev.time >= now_, "event time went backwards");
+  now_ = ev.time;
+  ++processed_;
+  return ev;
+}
+
+void EventQueue::reset(TimePoint start) {
+  heap_ = {};
+  next_seq_ = 0;
+  processed_ = 0;
+  now_ = start;
+}
+
+}  // namespace spider

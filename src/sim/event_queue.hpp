@@ -1,0 +1,76 @@
+// Reusable discrete-event core: a totally-ordered event queue plus the
+// simulation clock (netsim-style).
+//
+// Events are keyed by (time, insertion sequence number); integer microsecond
+// timestamps plus the sequence tiebreak give the queue a strict total order,
+// which is what makes every run bit-identical for a fixed seed. The queue
+// owns the clock: now() is the timestamp of the last popped event, and
+// popping asserts monotonicity, so a component driving its handlers off an
+// EventQueue cannot observe time running backwards.
+//
+// The payload is deliberately plain (an integer kind tag plus two integer
+// operands) so the queue stays a dumb, reusable engine component: the
+// Simulator — and any future event-driven subsystem — layers its own enum
+// over `kind` and keeps the real state in side tables indexed by `index`.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/time.hpp"
+
+namespace spider {
+
+/// One scheduled occurrence. `kind` is an opaque tag (the owner's enum),
+/// `index` addresses the owner's side tables (trace index, chunk slot, ...),
+/// `stamp` lets the owner invalidate stale occurrences (timeout races).
+struct SimEvent {
+  TimePoint time = 0;
+  std::uint64_t seq = 0;
+  int kind = 0;
+  std::size_t index = 0;
+  std::uint64_t stamp = 0;
+};
+
+class EventQueue {
+ public:
+  /// Enqueues an event at absolute time `time` (must be >= now()).
+  void schedule(TimePoint time, int kind, std::size_t index,
+                std::uint64_t stamp = 0) {
+    SPIDER_ASSERT_MSG(time >= now_, "scheduling into the past");
+    heap_.push(SimEvent{time, next_seq_++, kind, index, stamp});
+  }
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  /// Pops the earliest event and advances the clock to its timestamp.
+  SimEvent pop();
+
+  /// The timestamp of the most recently popped event (0 before the first).
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  /// Total events popped since construction/reset — the denominator of the
+  /// engine's raw event rate.
+  [[nodiscard]] std::uint64_t processed() const { return processed_; }
+
+  /// Clears all pending events and rewinds the clock to `start`.
+  void reset(TimePoint start = 0);
+
+ private:
+  struct Later {
+    [[nodiscard]] bool operator()(const SimEvent& a, const SimEvent& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<SimEvent, std::vector<SimEvent>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  TimePoint now_ = 0;
+};
+
+}  // namespace spider

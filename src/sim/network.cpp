@@ -30,41 +30,56 @@ Amount Network::available(NodeId from, EdgeId e) const {
 
 Amount Network::path_bottleneck(const Path& path) const {
   SPIDER_ASSERT(!path.empty());
+  if (path.edges.empty()) return 0;
   Amount bottleneck = std::numeric_limits<Amount>::max();
-  for (std::size_t h = 0; h < path.edges.size(); ++h)
-    bottleneck =
-        std::min(bottleneck, available(path.nodes[h], path.edges[h]));
-  return path.edges.empty() ? 0 : bottleneck;
+  for (std::size_t h = 0; h < path.edges.size(); ++h) {
+    const Channel& c = ch(path.edges[h]);
+    bottleneck = std::min(bottleneck, c.balance(c.side_of(path.nodes[h])));
+  }
+  return bottleneck;
 }
 
 bool Network::can_send(const Path& path, Amount amount) const {
   SPIDER_ASSERT(amount >= 0);
   if (path.edges.empty()) return false;
-  for (std::size_t h = 0; h < path.edges.size(); ++h)
-    if (available(path.nodes[h], path.edges[h]) < amount) return false;
+  for (std::size_t h = 0; h < path.edges.size(); ++h) {
+    const Channel& c = ch(path.edges[h]);
+    if (c.balance(c.side_of(path.nodes[h])) < amount) return false;
+  }
   return true;
 }
 
 void Network::lock_path(const Path& path, Amount amount) {
-  SPIDER_ASSERT_MSG(can_send(path, amount),
-                    "lock_path: insufficient funds for " << amount);
-  for (std::size_t h = 0; h < path.edges.size(); ++h) {
-    Channel& ch = channel(path.edges[h]);
-    ch.lock(ch.side_of(path.nodes[h]), amount);
+  // Pass 1: resolve each hop's side once into the scratch buffer while
+  // checking feasibility; pass 2 mutates. Mutation only starts after every
+  // hop is validated, so a failed assert cannot leave a partial lock.
+  // Edgeless paths were rejected by the old can_send precondition; keep
+  // rejecting them so a degenerate plan cannot silently "lock" nothing.
+  SPIDER_ASSERT(!path.edges.empty());
+  const std::size_t hops = path.edges.size();
+  if (side_scratch_.size() < hops) side_scratch_.resize(hops);
+  for (std::size_t h = 0; h < hops; ++h) {
+    const Channel& c = ch(path.edges[h]);
+    const int side = c.side_of(path.nodes[h]);
+    SPIDER_ASSERT_MSG(c.balance(side) >= amount,
+                      "lock_path: insufficient funds for " << amount);
+    side_scratch_[h] = side;
   }
+  for (std::size_t h = 0; h < hops; ++h)
+    ch(path.edges[h]).lock(side_scratch_[h], amount);
 }
 
 void Network::settle_path(const Path& path, Amount amount) {
   for (std::size_t h = 0; h < path.edges.size(); ++h) {
-    Channel& ch = channel(path.edges[h]);
-    ch.settle(ch.side_of(path.nodes[h]), amount);
+    Channel& c = ch(path.edges[h]);
+    c.settle(c.side_of(path.nodes[h]), amount);
   }
 }
 
 void Network::refund_path(const Path& path, Amount amount) {
   for (std::size_t h = 0; h < path.edges.size(); ++h) {
-    Channel& ch = channel(path.edges[h]);
-    ch.refund(ch.side_of(path.nodes[h]), amount);
+    Channel& c = ch(path.edges[h]);
+    c.refund(c.side_of(path.nodes[h]), amount);
   }
 }
 

@@ -51,8 +51,25 @@ class Network {
   void check_invariants() const;
 
  private:
+  // Hot-path accessor: same always-on bounds check as channel() (the repo
+  // keeps financial asserts on in release; they are cheap integer
+  // compares), without the extra available()/side_of indirections.
+  [[nodiscard]] const Channel& ch(EdgeId e) const {
+    SPIDER_ASSERT(e >= 0 && static_cast<std::size_t>(e) < channels_.size());
+    return channels_[static_cast<std::size_t>(e)];
+  }
+  [[nodiscard]] Channel& ch(EdgeId e) {
+    SPIDER_ASSERT(e >= 0 && static_cast<std::size_t>(e) < channels_.size());
+    return channels_[static_cast<std::size_t>(e)];
+  }
+
   const Graph* graph_;
   std::vector<Channel> channels_;
+  // Per-hop side indices resolved once per lock_path and reused for the
+  // mutation pass, so the hot path performs no allocation (the buffer only
+  // ever grows) and no repeated endpoint lookups. A Network is owned by one
+  // run/thread, so a mutable scratch is safe.
+  mutable std::vector<int> side_scratch_;
 };
 
 }  // namespace spider

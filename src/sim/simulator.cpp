@@ -22,7 +22,7 @@ Simulator::Simulator(Network& network, Router& router, SimConfig config)
 
 void Simulator::push_event(TimePoint time, EventKind kind, std::size_t index,
                            std::uint64_t stamp) {
-  events_.push(Event{time, next_seq_++, kind, index, stamp});
+  events_.schedule(time, static_cast<int>(kind), index, stamp);
 }
 
 SimMetrics Simulator::run(const std::vector<PaymentSpec>& trace) {
@@ -35,7 +35,7 @@ SimMetrics Simulator::run(const std::vector<PaymentSpec>& trace) {
   free_chunks_.clear();
   metrics_ = SimMetrics{};
   next_arrival_ = 0;
-  now_ = 0;
+  events_.reset();
   poll_scheduled_ = false;
   rebalance_scheduled_ = false;
   next_stamp_ = 1;
@@ -60,11 +60,8 @@ SimMetrics Simulator::run(const std::vector<PaymentSpec>& trace) {
   }
 
   while (!events_.empty()) {
-    const Event ev = events_.top();
-    events_.pop();
-    SPIDER_ASSERT_MSG(ev.time >= now_, "event time went backwards");
-    now_ = ev.time;
-    switch (ev.kind) {
+    const SimEvent ev = events_.pop();
+    switch (static_cast<EventKind>(ev.kind)) {
       case EventKind::kArrival: handle_arrival(ev.index); break;
       case EventKind::kSettle: handle_settle(ev.index); break;
       case EventKind::kPoll:
@@ -82,7 +79,7 @@ SimMetrics Simulator::run(const std::vector<PaymentSpec>& trace) {
     }
   }
 
-  metrics_.sim_duration_s = to_seconds(now_);
+  metrics_.sim_duration_s = to_seconds(now());
   metrics_.final_mean_imbalance_xrp = network_->mean_imbalance_xrp();
   network_->check_invariants();
   return metrics_;
@@ -94,7 +91,7 @@ void Simulator::ensure_pending(std::size_t payment_index) {
   in_pending_[payment_index] = 1;
   pending_.push_back(payment_index);
   if (!poll_scheduled_) {
-    push_event(now_ + config_.poll_interval, EventKind::kPoll, 0);
+    push_event(now() + config_.poll_interval, EventKind::kPoll, 0);
     poll_scheduled_ = true;
   }
 }
@@ -199,7 +196,7 @@ Amount Simulator::attempt(std::size_t payment_index) {
       metrics_.chunks_sent += 1;
       metrics_.chunk_hops.add(
           static_cast<double>(inflight_[ci].path.length()));
-      push_event(now_ + config_.hop_delay, EventKind::kHopArrive, ci);
+      push_event(now() + config_.hop_delay, EventKind::kHopArrive, ci);
       if (locked_total >= want) break;
     }
     return locked_total;
@@ -255,7 +252,7 @@ Amount Simulator::attempt(std::size_t payment_index) {
   for (std::size_t ci : locked_chunks) {
     metrics_.chunks_sent += 1;
     metrics_.chunk_hops.add(static_cast<double>(inflight_[ci].path.length()));
-    push_event(now_ + config_.delta, EventKind::kSettle, ci);
+    push_event(now() + config_.delta, EventKind::kSettle, ci);
   }
   return locked_total;
 }
@@ -297,7 +294,7 @@ void Simulator::handle_hop_arrive(std::size_t chunk_index) {
     return;
   }
   if (try_lock_next_hop(chunk_index)) {
-    push_event(now_ + config_.hop_delay, EventKind::kHopArrive, chunk_index);
+    push_event(now() + config_.hop_delay, EventKind::kHopArrive, chunk_index);
     return;
   }
   // Dry channel: wait inside its queue (Fig. 3), upstream locks held.
@@ -305,13 +302,13 @@ void Simulator::handle_hop_arrive(std::size_t chunk_index) {
   const Channel& ch = network_->channel(edge);
   const int side = ch.side_of(chunk.path.nodes[chunk.hops_locked]);
   chunk.queued = true;
-  chunk.queued_at = now_;
+  chunk.queued_at = now();
   chunk.stamp = next_stamp_++;
   channel_queues_[static_cast<std::size_t>(edge)][static_cast<std::size_t>(
       side)]
       .push_back(chunk_index);
   metrics_.chunks_queued += 1;
-  push_event(now_ + config_.queue_timeout, EventKind::kQueueTimeout,
+  push_event(now() + config_.queue_timeout, EventKind::kQueueTimeout,
              chunk_index, chunk.stamp);
 }
 
@@ -364,7 +361,7 @@ void Simulator::abort_chunk(std::size_t chunk_index) {
   p.inflight -= chunk.amount;
   // The refunded remainder becomes sendable again.
   if (p.status == PaymentStatus::kPending && p.remaining() > 0 &&
-      now_ < p.deadline)
+      now() < p.deadline)
     ensure_pending(chunk.payment);
   // Refunds credited the upstream side of the locked hops.
   for (std::size_t h = 0; h < chunk.hops_locked; ++h) {
@@ -387,7 +384,7 @@ void Simulator::handle_queue_timeout(std::size_t chunk_index,
   SPIDER_ASSERT(it != queue.end());
   queue.erase(it);
   metrics_.queue_timeouts += 1;
-  metrics_.queue_wait_s.add(to_seconds(now_ - chunk.queued_at));
+  metrics_.queue_wait_s.add(to_seconds(now() - chunk.queued_at));
   abort_chunk(chunk_index);
   // The departed unit may have been the head-of-line blocker: smaller units
   // behind it can possibly be served from the funds already there.
@@ -408,9 +405,9 @@ void Simulator::serve_channel_queue(EdgeId edge, int side) {
     ch.lock(side, chunk.amount);
     ++chunk.hops_locked;
     chunk.queued = false;
-    metrics_.queue_wait_s.add(to_seconds(now_ - chunk.queued_at));
+    metrics_.queue_wait_s.add(to_seconds(now() - chunk.queued_at));
     chunk.stamp = next_stamp_++;  // invalidate the pending timeout
-    push_event(now_ + config_.hop_delay, EventKind::kHopArrive, ci);
+    push_event(now() + config_.hop_delay, EventKind::kHopArrive, ci);
   }
 }
 
@@ -453,7 +450,7 @@ void Simulator::handle_rebalance() {
   }
   // Keep ticking while there is still work the deposits could help.
   if (next_arrival_ < trace_->size() || !pending_.empty()) {
-    push_event(now_ + config_.rebalance_interval, EventKind::kRebalance, 0);
+    push_event(now() + config_.rebalance_interval, EventKind::kRebalance, 0);
     rebalance_scheduled_ = true;
   }
 }
@@ -461,7 +458,7 @@ void Simulator::handle_rebalance() {
 void Simulator::handle_poll() {
   if (pending_.empty()) return;
   metrics_.retry_rounds += 1;
-  router_->on_tick(*network_, now_);
+  router_->on_tick(*network_, now());
 
   // Expire overdue payments first; then serve the rest in policy order.
   std::vector<std::size_t> alive;
@@ -470,7 +467,7 @@ void Simulator::handle_poll() {
     Payment& p = payments_[pi];
     in_pending_[pi] = 0;
     if (p.status != PaymentStatus::kPending) continue;  // completed meanwhile
-    if (now_ >= p.deadline) {
+    if (now() >= p.deadline) {
       expire(pi);
       continue;
     }
@@ -494,7 +491,7 @@ void Simulator::handle_poll() {
   pending_ = std::move(still_pending);
 
   if (!pending_.empty() && !poll_scheduled_) {
-    push_event(now_ + config_.poll_interval, EventKind::kPoll, 0);
+    push_event(now() + config_.poll_interval, EventKind::kPoll, 0);
     poll_scheduled_ = true;
   }
 }
@@ -515,10 +512,10 @@ void Simulator::finish_payment(std::size_t payment_index,
   p.status = status;
   switch (status) {
     case PaymentStatus::kCompleted:
-      p.completed_at = now_;
+      p.completed_at = now();
       metrics_.completed_count += 1;
       metrics_.completed_volume += p.total;
-      metrics_.completion_latency_s.add(to_seconds(now_ - p.arrival));
+      metrics_.completion_latency_s.add(to_seconds(now() - p.arrival));
       break;
     case PaymentStatus::kExpired: metrics_.expired_count += 1; break;
     case PaymentStatus::kRejected: metrics_.rejected_count += 1; break;

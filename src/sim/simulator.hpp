@@ -20,10 +20,10 @@
 
 #include <array>
 #include <deque>
-#include <queue>
 #include <vector>
 
 #include "routing/router.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/metrics.hpp"
 #include "sim/network.hpp"
 #include "sim/payment.hpp"
@@ -103,6 +103,7 @@ class Simulator {
   }
 
  private:
+  /// Layered over SimEvent::kind; the queue itself is kind-agnostic.
   enum class EventKind {
     kArrival,
     kSettle,
@@ -110,18 +111,6 @@ class Simulator {
     kHopArrive,      // router-queue mode: chunk reached its next node
     kQueueTimeout,   // router-queue mode: bounded channel-queue wait
     kRebalance,      // on-chain deposit tick
-  };
-
-  struct Event {
-    TimePoint time = 0;
-    std::uint64_t seq = 0;
-    EventKind kind = EventKind::kArrival;
-    std::size_t index = 0;   // trace index / inflight-chunk index
-    std::uint64_t stamp = 0; // kQueueTimeout: matches InflightChunk::stamp
-    [[nodiscard]] bool operator>(const Event& other) const {
-      if (time != other.time) return time > other.time;
-      return seq > other.seq;
-    }
   };
 
   struct InflightChunk {
@@ -167,10 +156,11 @@ class Simulator {
   SimConfig config_;
   Rng rng_;
 
+  /// The injected event loop: owns ordering and the clock.
+  [[nodiscard]] TimePoint now() const { return events_.now(); }
+
   const std::vector<PaymentSpec>* trace_ = nullptr;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
-  std::uint64_t next_seq_ = 0;
-  TimePoint now_ = 0;
+  EventQueue events_;
   bool poll_scheduled_ = false;
   std::size_t next_arrival_ = 0;
 

@@ -3,6 +3,8 @@
 
 #include "core/config.hpp"       // IWYU pragma: export
 #include "core/experiment.hpp"   // IWYU pragma: export
+#include "core/runner.hpp"       // IWYU pragma: export
+#include "core/scenario.hpp"     // IWYU pragma: export
 #include "core/spider.hpp"       // IWYU pragma: export
 #include "fluid/circulation.hpp" // IWYU pragma: export
 #include "fluid/primal_dual.hpp" // IWYU pragma: export

@@ -78,7 +78,7 @@ namespace spider {
 /// Ripple-like credit network: Barabási–Albert with m = 3, matching the
 /// pruned Ripple snapshot's edge/node ratio (12512/3774 ≈ 3.3). The paper's
 /// full scale is n = 3774; benches default to a few hundred nodes so
-/// everything finishes on a laptop (see EXPERIMENTS.md).
+/// everything finishes on a laptop (see DESIGN.md).
 [[nodiscard]] Graph ripple_like_topology(NodeId n, Amount capacity,
                                          std::uint64_t seed = 1);
 

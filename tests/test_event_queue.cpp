@@ -1,0 +1,82 @@
+// Tests for the reusable event core: total order, clock ownership,
+// monotonicity enforcement, reset semantics.
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hpp"
+
+namespace spider {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  q.schedule(30, 1, 100);
+  q.schedule(10, 2, 200);
+  q.schedule(20, 3, 300);
+
+  const SimEvent first = q.pop();
+  EXPECT_EQ(first.time, 10);
+  EXPECT_EQ(first.kind, 2);
+  EXPECT_EQ(first.index, 200u);
+  EXPECT_EQ(q.now(), 10);
+
+  EXPECT_EQ(q.pop().time, 20);
+  EXPECT_EQ(q.pop().time, 30);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.now(), 30);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  for (int k = 0; k < 5; ++k) q.schedule(42, k, 0);
+  for (int k = 0; k < 5; ++k) {
+    const SimEvent ev = q.pop();
+    EXPECT_EQ(ev.time, 42);
+    EXPECT_EQ(ev.kind, k);  // FIFO among equal timestamps
+  }
+}
+
+TEST(EventQueue, CarriesStampPayload) {
+  EventQueue q;
+  q.schedule(5, 0, 7, 0xfeedULL);
+  EXPECT_EQ(q.pop().stamp, 0xfeedULL);
+}
+
+TEST(EventQueue, CountsProcessedEvents) {
+  EventQueue q;
+  q.schedule(1, 0, 0);
+  q.schedule(2, 0, 0);
+  EXPECT_EQ(q.processed(), 0u);
+  (void)q.pop();
+  (void)q.pop();
+  EXPECT_EQ(q.processed(), 2u);
+}
+
+TEST(EventQueue, RefusesSchedulingIntoThePast) {
+  EventQueue q;
+  q.schedule(100, 0, 0);
+  (void)q.pop();
+  EXPECT_EQ(q.now(), 100);
+  EXPECT_THROW(q.schedule(99, 0, 0), AssertionError);
+  q.schedule(100, 0, 0);  // now() itself is fine
+}
+
+TEST(EventQueue, PopOnEmptyThrows) {
+  EventQueue q;
+  EXPECT_THROW((void)q.pop(), AssertionError);
+}
+
+TEST(EventQueue, ResetRewindsClockAndDropsEvents) {
+  EventQueue q;
+  q.schedule(50, 0, 0);
+  q.schedule(60, 0, 0);
+  (void)q.pop();
+  q.reset();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.now(), 0);
+  EXPECT_EQ(q.processed(), 0u);
+  q.schedule(1, 0, 0);  // scheduling before the old now() is legal again
+  EXPECT_EQ(q.pop().time, 1);
+}
+
+}  // namespace
+}  // namespace spider

@@ -139,7 +139,7 @@ TEST(MiniSrpt, SrptBeatsFifoOnSuccessRatio) {
 
 TEST(Integration, TraceFileDrivesIdenticalRun) {
   // Write a trace to disk, read it back, and verify the run is identical —
-  // the reproducibility workflow EXPERIMENTS.md documents.
+  // the reproducibility workflow DESIGN.md documents.
   const SpiderNetwork net(isp_topology(xrp(5000)));
   TrafficConfig traffic;
   traffic.tx_per_second = 100;

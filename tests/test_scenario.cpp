@@ -1,0 +1,99 @@
+// Tests for the named-scenario registry: built-in coverage, determinism,
+// parameter overrides, and registration errors.
+#include <gtest/gtest.h>
+
+#include "core/scenario.hpp"
+
+namespace spider {
+namespace {
+
+TEST(ScenarioRegistry, ListsTheBuiltInCatalogue) {
+  const auto& registry = ScenarioRegistry::instance();
+  for (const char* name :
+       {"isp", "ripple-like", "scale-free", "lightning-snapshot-synthetic",
+        "hub-spoke", "small-world"})
+    EXPECT_TRUE(registry.contains(name)) << name;
+
+  const auto entries = registry.list();
+  EXPECT_GE(entries.size(), 6u);
+  for (std::size_t i = 1; i < entries.size(); ++i)
+    EXPECT_LT(entries[i - 1].name, entries[i].name);  // sorted
+  for (const auto& entry : entries)
+    EXPECT_FALSE(entry.description.empty()) << entry.name;
+}
+
+TEST(ScenarioRegistry, UnknownNameThrows) {
+  EXPECT_THROW((void)build_scenario("no-such-scenario"),
+               std::invalid_argument);
+}
+
+TEST(ScenarioRegistry, DuplicateRegistrationThrows) {
+  EXPECT_THROW(ScenarioRegistry::instance().add(
+                   "isp", "dup", [](const ScenarioParams&) {
+                     return ScenarioInstance{};
+                   }),
+               std::invalid_argument);
+}
+
+TEST(ScenarioRegistry, EveryBuiltInMaterializesAValidRun) {
+  ScenarioParams params;
+  params.payments = 50;  // keep the test fast
+  for (const auto& entry : ScenarioRegistry::instance().list()) {
+    const ScenarioInstance instance = build_scenario(entry.name, params);
+    EXPECT_EQ(instance.name, entry.name);
+    EXPECT_GE(instance.graph.num_nodes(), 2) << entry.name;
+    EXPECT_TRUE(instance.graph.is_connected()) << entry.name;
+    ASSERT_EQ(instance.trace.size(), 50u) << entry.name;
+    for (const PaymentSpec& spec : instance.trace) {
+      EXPECT_GE(spec.src, 0);
+      EXPECT_LT(spec.src, instance.graph.num_nodes());
+      EXPECT_LT(spec.dst, instance.graph.num_nodes());
+      EXPECT_NE(spec.src, spec.dst);
+      EXPECT_GT(spec.amount, 0);
+    }
+    EXPECT_NO_THROW(instance.config.validate()) << entry.name;
+  }
+}
+
+TEST(ScenarioRegistry, BuildsAreDeterministic) {
+  ScenarioParams params;
+  params.payments = 80;
+  const ScenarioInstance a = build_scenario("ripple-like", params);
+  const ScenarioInstance b = build_scenario("ripple-like", params);
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(a.trace[i].src, b.trace[i].src);
+    EXPECT_EQ(a.trace[i].dst, b.trace[i].dst);
+    EXPECT_EQ(a.trace[i].amount, b.trace[i].amount);
+    EXPECT_EQ(a.trace[i].arrival, b.trace[i].arrival);
+  }
+  EXPECT_EQ(a.graph.serialize(), b.graph.serialize());
+}
+
+TEST(ScenarioRegistry, ParamsOverrideScenarioDefaults) {
+  ScenarioParams params;
+  params.payments = 10;
+  params.capacity_xrp = 777;
+  params.nodes = 40;
+  params.traffic_seed = 5;
+
+  const ScenarioInstance defaults = build_scenario("scale-free", {
+      // defaults except a short trace, to compare against
+  });
+  const ScenarioInstance custom = build_scenario("scale-free", params);
+  EXPECT_EQ(custom.graph.num_nodes(), 40);
+  EXPECT_NE(custom.graph.num_nodes(), defaults.graph.num_nodes());
+  EXPECT_EQ(custom.graph.edge(0).capacity, xrp(777));
+  EXPECT_EQ(custom.trace.size(), 10u);
+}
+
+TEST(ScenarioRegistry, IspScenarioMatchesPaperTopologyShape) {
+  ScenarioParams params;
+  params.payments = 20;
+  const ScenarioInstance isp = build_scenario("isp", params);
+  EXPECT_EQ(isp.graph.num_nodes(), 32);   // §6.1 Topology Zoo graph
+  EXPECT_EQ(isp.graph.num_edges(), 76);   // 152 directed edges
+}
+
+}  // namespace
+}  // namespace spider

@@ -1,0 +1,152 @@
+// The flat (edge, side)-indexed VirtualBalances overlay must be
+// semantically identical to the std::map implementation it replaced —
+// checked here against an inline reference copy of the old code, on plans
+// whose candidate paths share channels in both directions.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "routing/router.hpp"
+#include "topology/topology.hpp"
+#include "util/random.hpp"
+
+namespace spider {
+namespace {
+
+/// The pre-refactor implementation, kept verbatim as the semantic oracle.
+class MapVirtualBalances {
+ public:
+  explicit MapVirtualBalances(const Network& network) : network_(&network) {}
+
+  [[nodiscard]] Amount available(NodeId from, EdgeId e) const {
+    const Channel& ch = network_->channel(e);
+    const int side = ch.side_of(from);
+    Amount avail = ch.balance(side);
+    const auto it = used_.find({e, side});
+    if (it != used_.end()) avail -= it->second;
+    return std::max<Amount>(0, avail);
+  }
+
+  [[nodiscard]] Amount path_bottleneck(const Path& path) const {
+    if (path.edges.empty()) return 0;
+    Amount bottleneck = std::numeric_limits<Amount>::max();
+    for (std::size_t h = 0; h < path.edges.size(); ++h)
+      bottleneck =
+          std::min(bottleneck, available(path.nodes[h], path.edges[h]));
+    return bottleneck;
+  }
+
+  void use(const Path& path, Amount amount) {
+    for (std::size_t h = 0; h < path.edges.size(); ++h) {
+      const Channel& ch = network_->channel(path.edges[h]);
+      used_[{path.edges[h], ch.side_of(path.nodes[h])}] += amount;
+    }
+  }
+
+ private:
+  const Network* network_;
+  std::map<std::pair<EdgeId, int>, Amount> used_;
+};
+
+TEST(VirtualBalances, MatchesMapSemanticsOnSharedChannelPlans) {
+  // Ring of 6: paths 0->1->2->3 and 5->1->2->4 would share nothing on a
+  // ring, so use a small dense graph where multi-path plans overlap.
+  const Graph g = complete_topology(6, xrp(100));
+  const Network net(g);
+
+  const Path p1 = make_path(g, {0, 1, 2});
+  const Path p2 = make_path(g, {0, 1, 3});   // shares edge 0-1 forward
+  const Path p3 = make_path(g, {2, 1, 0});   // traverses 1-2 and 0-1 reversed
+  const Path p4 = make_path(g, {3, 1, 2});   // shares 1-3 reversed, 1-2
+
+  VirtualBalances flat(net);
+  MapVirtualBalances reference(net);
+
+  const std::vector<std::pair<Path, Amount>> plan = {
+      {p1, xrp(10)}, {p2, xrp(7)}, {p3, xrp(5)}, {p4, xrp(3)}};
+  for (const auto& [path, amount] : plan) {
+    ASSERT_EQ(flat.path_bottleneck(path), reference.path_bottleneck(path));
+    const Amount sendable =
+        std::min(amount, flat.path_bottleneck(path));
+    if (sendable <= 0) continue;
+    flat.use(path, sendable);
+    reference.use(path, sendable);
+  }
+
+  // Every (node, incident edge) view must agree after the whole plan.
+  for (NodeId n = 0; n < g.num_nodes(); ++n)
+    for (const Graph::Adjacency& adj : g.neighbors(n))
+      EXPECT_EQ(flat.available(n, adj.edge), reference.available(n, adj.edge))
+          << "node " << n << " edge " << adj.edge;
+}
+
+TEST(VirtualBalances, RandomizedAgreementWithReference) {
+  Rng rng(2024);
+  const Graph g = complete_topology(8, xrp(50));
+  const Network net(g);
+
+  VirtualBalances flat;
+  for (int round = 0; round < 20; ++round) {
+    flat.attach(net);  // O(1) epoch reset between plans
+    MapVirtualBalances reference(net);
+    for (int step = 0; step < 15; ++step) {
+      // Random 2-hop path via a random middle node.
+      NodeId a = static_cast<NodeId>(rng.uniform_int(0, 7));
+      NodeId b = static_cast<NodeId>(rng.uniform_int(0, 7));
+      NodeId c = static_cast<NodeId>(rng.uniform_int(0, 7));
+      if (a == b || b == c || a == c) continue;
+      const Path path = make_path(g, {a, b, c});
+      ASSERT_EQ(flat.path_bottleneck(path), reference.path_bottleneck(path));
+      const Amount amount = std::min<Amount>(
+          rng.uniform_int(1, xrp(9)), flat.path_bottleneck(path));
+      if (amount <= 0) continue;
+      flat.use(path, amount);
+      reference.use(path, amount);
+      const NodeId probe = static_cast<NodeId>(rng.uniform_int(0, 7));
+      for (const Graph::Adjacency& adj : g.neighbors(probe))
+        ASSERT_EQ(flat.available(probe, adj.edge),
+                  reference.available(probe, adj.edge));
+    }
+  }
+}
+
+TEST(VirtualBalances, AttachResetsHypotheticalLocks) {
+  const Graph g = line_topology(3, xrp(10));
+  const Network net(g);
+  const Path path = make_path(g, {0, 1, 2});
+
+  VirtualBalances vb(net);
+  const Amount before = vb.path_bottleneck(path);
+  vb.use(path, before);
+  EXPECT_EQ(vb.path_bottleneck(path), 0);
+  vb.attach(net);  // new epoch: all locks gone, no per-slot work
+  EXPECT_EQ(vb.path_bottleneck(path), before);
+  vb.use(path, xrp(2));
+  vb.reset();
+  EXPECT_EQ(vb.path_bottleneck(path), before);
+}
+
+TEST(VirtualBalances, UseBeyondBottleneckAsserts) {
+  const Graph g = line_topology(3, xrp(10));
+  const Network net(g);
+  const Path path = make_path(g, {0, 1, 2});
+  VirtualBalances vb(net);
+  EXPECT_THROW(vb.use(path, vb.path_bottleneck(path) + 1), AssertionError);
+}
+
+TEST(VirtualBalances, ReattachAcrossNetworksOfDifferentSize) {
+  const Graph small = line_topology(3, xrp(10));
+  const Graph large = complete_topology(7, xrp(10));
+  const Network small_net(small);
+  const Network large_net(large);
+
+  VirtualBalances vb(small_net);
+  vb.use(make_path(small, {0, 1}), xrp(4));
+  vb.attach(large_net);  // grows storage, drops stale locks
+  for (NodeId n = 0; n < large.num_nodes(); ++n)
+    for (const Graph::Adjacency& adj : large.neighbors(n))
+      EXPECT_EQ(vb.available(n, adj.edge), large_net.available(n, adj.edge));
+}
+
+}  // namespace
+}  // namespace spider
