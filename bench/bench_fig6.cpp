@@ -24,7 +24,7 @@ void run_topology(const std::string& label, const Graph& graph,
             << " payments, circulation fraction of demand = "
             << Table::pct(circulation) << " ---\n";
   const auto results = run_schemes(net, trace, paper_schemes());
-  const Table table = results_table(results);
+  const Table table = results_table(results, net.config().num_paths);
   std::cout << table.render();
   maybe_write_csv("fig6_" + label, table);
 

@@ -15,6 +15,7 @@
 
 #include <chrono>
 #include <map>
+#include <queue>
 
 #include "bench_common.hpp"
 #include "fluid/circulation.hpp"
@@ -161,6 +162,104 @@ void BM_SimulatorMaxFlow1k(benchmark::State& state) {
 BENCHMARK(BM_SimulatorMaxFlow1k)->Unit(benchmark::kMillisecond);
 
 // ---------------------------------------------------------------------------
+// Event-queue guardrail: the inlined 4-ary heap vs the replaced
+// std::priority_queue, on the simulator's schedule/pop churn pattern.
+// ---------------------------------------------------------------------------
+
+/// Hold-model churn: keep `depth` events pending, pop one / push one — the
+/// classic discrete-event-queue access pattern.
+template <typename Queue>
+void event_churn(Queue& q, benchmark::State& state) {
+  Rng rng(42);
+  constexpr std::size_t kDepth = 4096;
+  for (std::size_t i = 0; i < kDepth; ++i)
+    q.schedule(static_cast<TimePoint>(rng.uniform_int(0, 1 << 20)), 0, i);
+  for (auto _ : state) {
+    const auto ev = q.pop();
+    benchmark::DoNotOptimize(ev.index);
+    q.schedule(ev.time + static_cast<TimePoint>(rng.uniform_int(1, 1000)), 0,
+               ev.index);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+/// The pre-overhaul event core, kept as the "before" baseline.
+class BinaryHeapQueue {
+ public:
+  void schedule(TimePoint time, int kind, std::size_t index) {
+    heap_.push(SimEvent{time, next_seq_++, kind, index, 0});
+  }
+  SimEvent pop() {
+    const SimEvent ev = heap_.top();
+    heap_.pop();
+    now_ = ev.time;
+    return ev;
+  }
+
+ private:
+  struct Later {
+    bool operator()(const SimEvent& a, const SimEvent& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<SimEvent, std::vector<SimEvent>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+  TimePoint now_ = 0;
+};
+
+void BM_EventQueue4aryChurn(benchmark::State& state) {
+  EventQueue q;
+  event_churn(q, state);
+}
+BENCHMARK(BM_EventQueue4aryChurn);
+
+void BM_EventQueueBinaryHeapChurn(benchmark::State& state) {
+  BinaryHeapQueue q;
+  event_churn(q, state);
+}
+BENCHMARK(BM_EventQueueBinaryHeapChurn);
+
+// ---------------------------------------------------------------------------
+// Path-store guardrail: flat dense-index lookup vs the replaced std::map.
+// ---------------------------------------------------------------------------
+
+void BM_FlatPathStoreLookup(benchmark::State& state) {
+  const ScenarioInstance scenario = simulator_fixture();
+  PathCache store(scenario.graph, 4, PathSelection::kEdgeDisjoint);
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  for (const PaymentSpec& spec : scenario.trace)
+    pairs.emplace_back(spec.src, spec.dst);
+  store.warm(pairs);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& pair = pairs[i++ % pairs.size()];
+    benchmark::DoNotOptimize(store.cached(pair.first, pair.second).data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FlatPathStoreLookup);
+
+void BM_MapPathCacheLookup(benchmark::State& state) {
+  const ScenarioInstance scenario = simulator_fixture();
+  // The pre-overhaul layout: map of heap-allocated path vectors.
+  std::map<std::pair<NodeId, NodeId>, std::vector<Path>> cache;
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  for (const PaymentSpec& spec : scenario.trace)
+    pairs.emplace_back(spec.src, spec.dst);
+  for (const auto& [src, dst] : pairs)
+    cache.try_emplace({src, dst},
+                      edge_disjoint_paths(scenario.graph, src, dst, 4));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& pair = pairs[i++ % pairs.size()];
+    benchmark::DoNotOptimize(cache.find(pair)->second.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MapPathCacheLookup);
+
+// ---------------------------------------------------------------------------
 // Planner-throughput guardrail: flat overlay vs the replaced std::map one.
 // ---------------------------------------------------------------------------
 
@@ -227,7 +326,7 @@ double plans_per_second(PlannerFixture& fx, MakeOverlay make_overlay,
   while (elapsed * 1000 < min_millis) {
     for (const PaymentSpec& spec : fx.trace) {
       decltype(auto) overlay = make_overlay(fx.network);
-      const std::vector<Path>& paths = fx.cache.paths(spec.src, spec.dst);
+      const std::span<const Path> paths = fx.cache.paths(spec.src, spec.dst);
       if (paths.empty()) continue;
       capacities.clear();
       for (const Path& p : paths)

@@ -1,0 +1,279 @@
+// E18 — engine-throughput harness: the repo's machine-readable perf
+// trajectory.
+//
+// For each scenario (default "isp,ripple-like,ripple-like@1000"; override
+// with SPIDER_BENCH_SCENARIOS, a comma list where "name@N" pins
+// SPIDER_NODES-style node counts per entry), warms the shared candidate-path
+// store once (timed separately) and then runs each measured scheme, timing
+// the simulation phase alone. Reported rates:
+//
+//   events/sec   — EventQueue pops per wall second (raw engine rate)
+//   payments/sec — trace payments per wall second (end-to-end rate)
+//   plans/sec    — router plan() invocations per wall second
+//
+// Output: a table on stdout, the optional CSV dump every bench supports,
+// and a JSON report (default ./BENCH_throughput.json; SPIDER_BENCH_JSON
+// overrides) whose checked-in copy at the repo root is the baseline future
+// PRs are compared against. Schema (schema_version 1):
+//
+//   { "bench": "bench_throughput", "schema_version": 1, "paths_k": K,
+//     "results": [ { "scenario", "scheme", "nodes", "edges", "payments",
+//                    "paths_k", "warm_s", "wall_s", "events",
+//                    "events_per_s", "payments_per_s", "plans_per_s",
+//                    "success_ratio", "sim_duration_s" }, ... ] }
+//
+// Perf-smoke gate: SPIDER_BENCH_FLOOR=<file> reads a floor file (lines of
+// "scenario scheme events_per_s", '#' comments) and exits non-zero if any
+// measured scenario/scheme pair regresses more than 30% below its floor —
+// the CI job keeps conservative floors checked in at bench/perf_floor.txt.
+//
+// The paper point: SPIDER_BENCH_SCENARIOS=ripple-full runs the pruned-Ripple
+// scale (3774 nodes, 200k transactions by default — §6.1's headline setup).
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace spider {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct ThroughputRow {
+  std::string scenario;
+  std::string scheme;
+  NodeId nodes = 0;
+  EdgeId edges = 0;
+  std::size_t payments = 0;
+  int paths_k = 0;
+  double warm_s = 0.0;
+  double wall_s = 0.0;
+  std::uint64_t events = 0;
+  double events_per_s = 0.0;
+  double payments_per_s = 0.0;
+  double plans_per_s = 0.0;
+  double success_ratio = 0.0;
+  double sim_duration_s = 0.0;
+};
+
+/// "name" or "name@nodes" -> (scenario name, node override). Exits with a
+/// usable message on a malformed node suffix instead of an uncaught throw.
+std::pair<std::string, NodeId> parse_spec(const std::string& spec) {
+  const std::size_t at = spec.find('@');
+  if (at == std::string::npos) return {spec, 0};
+  const std::string suffix = spec.substr(at + 1);
+  try {
+    std::size_t consumed = 0;
+    const int nodes = std::stoi(suffix, &consumed);
+    if (consumed != suffix.size() || nodes <= 0)
+      throw std::invalid_argument(suffix);
+    return {spec.substr(0, at), static_cast<NodeId>(nodes)};
+  } catch (const std::exception&) {
+    std::cerr << "bench_throughput: bad scenario spec '" << spec
+              << "' — expected \"name\" or \"name@<positive node count>\"\n";
+    std::exit(2);
+  }
+}
+
+std::vector<std::string> split_list(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream stream(csv);
+  std::string item;
+  while (std::getline(stream, item, ','))
+    if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string json_num(double v, int precision = 3) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(precision);
+  out << v;
+  return out.str();
+}
+
+void write_json(const std::string& path, int paths_k,
+                const std::vector<ThroughputRow>& rows) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "bench_throughput: cannot write " << path << "\n";
+    return;
+  }
+  out << "{\n  \"bench\": \"bench_throughput\",\n"
+      << "  \"schema_version\": 1,\n"
+      << "  \"paths_k\": " << paths_k << ",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ThroughputRow& r = rows[i];
+    out << "    {\"scenario\": \"" << json_escape(r.scenario)
+        << "\", \"scheme\": \"" << json_escape(r.scheme)
+        << "\", \"nodes\": " << r.nodes << ", \"edges\": " << r.edges
+        << ", \"payments\": " << r.payments
+        << ", \"paths_k\": " << r.paths_k
+        << ", \"warm_s\": " << json_num(r.warm_s)
+        << ", \"wall_s\": " << json_num(r.wall_s)
+        << ", \"events\": " << r.events
+        << ", \"events_per_s\": " << json_num(r.events_per_s, 0)
+        << ", \"payments_per_s\": " << json_num(r.payments_per_s, 0)
+        << ", \"plans_per_s\": " << json_num(r.plans_per_s, 0)
+        << ", \"success_ratio\": " << json_num(r.success_ratio, 4)
+        << ", \"sim_duration_s\": " << json_num(r.sim_duration_s) << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "\nwrote " << path << "\n";
+}
+
+/// Returns the number of floor violations (measured < 0.7 * floor).
+int check_floor(const std::string& floor_path,
+                const std::vector<ThroughputRow>& rows) {
+  std::ifstream in(floor_path);
+  if (!in) {
+    std::cerr << "bench_throughput: cannot read floor file " << floor_path
+              << "\n";
+    return 1;
+  }
+  constexpr double kAllowedRegression = 0.30;
+  int violations = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::stringstream fields(line);
+    std::string scenario, scheme;
+    double floor = 0.0;
+    if (!(fields >> scenario >> scheme >> floor)) continue;
+    bool matched = false;
+    for (const ThroughputRow& r : rows) {
+      // Floor schemes use the scheme name with spaces replaced by '-'.
+      std::string flat = r.scheme;
+      for (char& c : flat)
+        if (c == ' ') c = '-';
+      if (r.scenario != scenario || flat != scheme) continue;
+      matched = true;
+      const double minimum = floor * (1.0 - kAllowedRegression);
+      if (r.events_per_s < minimum) {
+        std::cerr << "PERF REGRESSION: " << scenario << " / " << r.scheme
+                  << " at " << json_num(r.events_per_s, 0)
+                  << " events/s, below " << json_num(minimum, 0)
+                  << " (floor " << json_num(floor, 0) << " - 30%)\n";
+        ++violations;
+      }
+    }
+    // Fail closed: a floor line no measured row matches (renamed scheme,
+    // dropped scenario, typo) means that pair is silently ungated — treat
+    // it as a violation rather than passing green.
+    if (!matched) {
+      std::cerr << "PERF FLOOR UNMATCHED: '" << scenario << " " << scheme
+                << "' matched no measured scenario/scheme pair\n";
+      ++violations;
+    }
+  }
+  return violations;
+}
+
+int run() {
+  bench::banner("E18", "engine throughput (events/sec, payments/sec, "
+                       "plans/sec per scenario)",
+                "paper-scale runs (3774 nodes / 200k txns) complete "
+                "routinely; trajectory tracked in BENCH_throughput.json");
+
+  const std::string scenario_list =
+      std::getenv("SPIDER_BENCH_SCENARIOS") != nullptr
+          ? std::getenv("SPIDER_BENCH_SCENARIOS")
+          : "isp,ripple-like,ripple-like@1000";
+  const std::vector<Scheme> schemes = {Scheme::kSpiderWaterfilling,
+                                       Scheme::kShortestPath};
+
+  std::vector<ThroughputRow> rows;
+  int paths_k = 4;
+  for (const std::string& spec : split_list(scenario_list)) {
+    const auto [name, node_override] = parse_spec(spec);
+    ScenarioParams params = ScenarioParams::from_env();
+    if (node_override > 0) params.nodes = node_override;
+    if (params.traffic_seed == 0) params.traffic_seed = 18;  // E18 stream
+    const ScenarioInstance scenario = build_scenario(name, params);
+    const SpiderNetwork net(scenario.graph, scenario.config);
+    paths_k = net.config().num_paths;
+
+    // Warm the shared path store once per scenario — this is the precompute
+    // a run grid amortizes, so it is timed apart from the simulation phase.
+    const auto warm_start = Clock::now();
+    net.warm_paths(scenario.trace);
+    const double warm_s = seconds_since(warm_start);
+    std::cout << spec << ": " << scenario.graph.num_nodes() << " nodes, "
+              << scenario.graph.num_edges() << " channels, "
+              << scenario.trace.size() << " payments; path warm "
+              << Table::num(warm_s, 3) << " s ("
+              << net.path_store()->pair_count() << " pairs, "
+              << net.path_store()->path_count() << " paths)\n";
+
+    for (const Scheme scheme : schemes) {
+      const auto start = Clock::now();
+      const SimMetrics m = net.run(scheme, scenario.trace);
+      const double wall = seconds_since(start);
+      ThroughputRow row;
+      row.scenario = spec;
+      row.scheme = scheme_name(scheme);
+      row.nodes = scenario.graph.num_nodes();
+      row.edges = scenario.graph.num_edges();
+      row.payments = scenario.trace.size();
+      row.paths_k = paths_k;
+      row.warm_s = warm_s;
+      row.wall_s = wall;
+      row.events = m.events_processed;
+      row.events_per_s = static_cast<double>(m.events_processed) / wall;
+      row.payments_per_s = static_cast<double>(row.payments) / wall;
+      row.plans_per_s = static_cast<double>(m.plans_requested) / wall;
+      row.success_ratio = m.success_ratio();
+      row.sim_duration_s = m.sim_duration_s;
+      rows.push_back(row);
+    }
+  }
+
+  Table table({"scenario", "scheme (k=" + std::to_string(paths_k) + ")",
+               "payments", "warm_s", "wall_s", "events/s", "payments/s",
+               "plans/s", "success_ratio"});
+  for (const ThroughputRow& r : rows)
+    table.add_row({r.scenario, r.scheme, std::to_string(r.payments),
+                   Table::num(r.warm_s, 3), Table::num(r.wall_s, 3),
+                   Table::num(r.events_per_s, 0),
+                   Table::num(r.payments_per_s, 0),
+                   Table::num(r.plans_per_s, 0),
+                   Table::pct(r.success_ratio)});
+  std::cout << "\n" << table.render();
+  maybe_write_csv("throughput", table);
+
+  const std::string json_path = std::getenv("SPIDER_BENCH_JSON") != nullptr
+                                    ? std::getenv("SPIDER_BENCH_JSON")
+                                    : "BENCH_throughput.json";
+  write_json(json_path, paths_k, rows);
+
+  if (const char* floor = std::getenv("SPIDER_BENCH_FLOOR")) {
+    const int violations = check_floor(floor, rows);
+    if (violations > 0) return 1;
+    std::cout << "perf floor check passed (" << floor << ")\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace spider
+
+int main() { return spider::run(); }

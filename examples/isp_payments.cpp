@@ -55,6 +55,6 @@ int main(int argc, char** argv) {
             << " XRP per channel, " << txns << " payments at " << rate
             << " tx/s (trace saved to isp_payments_trace.csv)\n\n";
   const auto results = run_schemes(network, trace, schemes);
-  std::cout << results_table(results).render();
+  std::cout << results_table(results, network.config().num_paths).render();
   return 0;
 }

@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
       network, trace,
       {Scheme::kSpiderWaterfilling, Scheme::kSpiderLp, Scheme::kMaxFlow,
        Scheme::kShortestPath, Scheme::kSpeedyMurmurs});
-  std::cout << results_table(results).render();
+  std::cout << results_table(results, network.config().num_paths).render();
 
   // Hubs accumulate imbalance: show the channel skew waterfilling leaves.
   std::cout << "\nPost-run mean channel imbalance (Spider Waterfilling): "

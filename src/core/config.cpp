@@ -37,6 +37,11 @@ std::vector<Scheme> all_schemes() {
   return schemes;
 }
 
+bool scheme_uses_path_store(Scheme scheme) {
+  return scheme == Scheme::kSpiderWaterfilling ||
+         scheme == Scheme::kShortestPath;
+}
+
 void SpiderConfig::validate() const {
   if (sim.delta <= 0)
     throw std::invalid_argument("SpiderConfig: delta must be positive");

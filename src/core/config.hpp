@@ -37,6 +37,13 @@ enum class Scheme {
 /// All implemented schemes (paper six + primal–dual extension).
 [[nodiscard]] std::vector<Scheme> all_schemes();
 
+/// True if `scheme`'s router consumes the shared candidate-path store
+/// (RouterInitContext::shared_paths) — the schemes that plan over cached
+/// Yen / edge-disjoint candidates. SpiderNetwork::run only pays the warm
+/// pass for these; the rest (max-flow, embeddings, landmarks, LP) compute
+/// their own routes and would never read the store.
+[[nodiscard]] bool scheme_uses_path_store(Scheme scheme);
+
 struct SpiderConfig {
   SimConfig sim;
   int num_paths = 4;  // §6.1: "4 disjoint shortest paths"

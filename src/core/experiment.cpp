@@ -32,9 +32,11 @@ std::vector<SchemeResult> run_schemes(const SpiderNetwork& network,
   return results;
 }
 
-Table results_table(const std::vector<SchemeResult>& results) {
-  Table table({"scheme", "success_ratio", "success_volume", "p50_latency_s",
-               "chunks/payment", "delivered_xrp"});
+Table results_table(const std::vector<SchemeResult>& results, int paths_k) {
+  const std::string scheme_header =
+      paths_k > 0 ? "scheme (k=" + std::to_string(paths_k) + ")" : "scheme";
+  Table table({scheme_header, "success_ratio", "success_volume",
+               "p50_latency_s", "chunks/payment", "delivered_xrp"});
   for (const SchemeResult& r : results) {
     const SimMetrics& m = r.metrics;
     const double chunks_per_payment =

@@ -25,8 +25,12 @@ struct SchemeResult {
     const std::vector<Scheme>& schemes);
 
 /// Paper-style summary table: scheme, success ratio, success volume, plus
-/// completion-latency and overhead columns.
-[[nodiscard]] Table results_table(const std::vector<SchemeResult>& results);
+/// completion-latency and overhead columns. A positive `paths_k` reports
+/// the active candidate-path count in the scheme column header, e.g.
+/// "scheme (k=4)" — benches pass their scenario's config.num_paths so
+/// SPIDER_PATHS_K overrides are visible in every table.
+[[nodiscard]] Table results_table(const std::vector<SchemeResult>& results,
+                                  int paths_k = 0);
 
 /// Integer/double environment overrides for bench scaling, e.g.
 /// env_int("SPIDER_TXNS", 20000). Malformed values fall back to the default.

@@ -17,6 +17,7 @@ ScenarioParams ScenarioParams::from_env() {
   params.capacity_xrp = env_int("SPIDER_CAPACITY_XRP", 0);
   params.nodes = static_cast<NodeId>(env_int("SPIDER_NODES", 0));
   params.lp_max_pairs = env_int("SPIDER_LP_MAX_PAIRS", 0);
+  params.paths_k = env_int("SPIDER_PATHS_K", 0);
   params.topology_seed =
       static_cast<std::uint64_t>(env_int("SPIDER_SEED", 0));
   params.traffic_seed =
@@ -57,10 +58,14 @@ Resolved resolve(const ScenarioParams& p, const Defaults& d) {
   return r;
 }
 
-/// Finishes a scenario: synthesizes the trace over `graph` with `sizes`.
+/// Finishes a scenario: synthesizes the trace over `graph` with `sizes`,
+/// applying the cross-scenario knobs (currently the SPIDER_PATHS_K
+/// candidate-path override) to the config.
 ScenarioInstance materialize(std::string name, Graph graph,
                              SpiderConfig config, const Resolved& r,
-                             const SizeDistribution& sizes) {
+                             const SizeDistribution& sizes,
+                             const ScenarioParams& p) {
+  if (p.paths_k > 0) config.num_paths = p.paths_k;
   TrafficConfig traffic;
   traffic.tx_per_second = r.tx_per_second;
   traffic.seed = r.traffic_seed;
@@ -85,7 +90,7 @@ ScenarioRegistry::ScenarioRegistry() {
         const Resolved r = resolve(p, {6000, 400.0, 3000, 32});
         Graph graph = isp_topology(r.capacity, r.topology_seed);
         return materialize("isp", std::move(graph), SpiderConfig{}, r,
-                           *ripple_synthetic_sizes());
+                           *ripple_synthetic_sizes(), p);
       });
   add("ripple-like",
       "Barabási–Albert credit graph matching the pruned Ripple snapshot's "
@@ -98,7 +103,22 @@ ScenarioRegistry::ScenarioRegistry() {
         // Keep the dense offline LP tractable at Ripple-scale pair counts.
         config.lp_max_pairs = p.lp_max_pairs > 0 ? p.lp_max_pairs : 900;
         return materialize("ripple-like", std::move(graph), config, r,
-                           *ripple_subgraph_sizes());
+                           *ripple_subgraph_sizes(), p);
+      });
+  add("ripple-full",
+      "The paper point: BA m=3 credit graph at the pruned Ripple snapshot's "
+      "full scale (3774 nodes, ~11.3k channels) with the §6.1 workload "
+      "defaults (200k payments @ 1000 tx/s, Ripple-subgraph sizes)",
+      [](const ScenarioParams& p) {
+        const Resolved r = resolve(p, {200000, 1000.0, 3000, 3774, 1, 2});
+        Graph graph =
+            ripple_like_topology(r.nodes, r.capacity, r.topology_seed);
+        SpiderConfig config;
+        // Same LP pair cap as ripple-like: the dense offline simplex cannot
+        // model millions of demand pairs.
+        config.lp_max_pairs = p.lp_max_pairs > 0 ? p.lp_max_pairs : 900;
+        return materialize("ripple-full", std::move(graph), config, r,
+                           *ripple_subgraph_sizes(), p);
       });
 
   // --- Synthetic families for scaling studies beyond the paper ---
@@ -109,7 +129,7 @@ ScenarioRegistry::ScenarioRegistry() {
         Rng rng(r.topology_seed);
         Graph graph = barabasi_albert_topology(r.nodes, 2, r.capacity, rng);
         return materialize("scale-free", std::move(graph), SpiderConfig{}, r,
-                           *ripple_synthetic_sizes());
+                           *ripple_synthetic_sizes(), p);
       });
   add("lightning-snapshot-synthetic",
       "Lightning-like snapshot: hub-dominated Barabási–Albert (m = 5) with "
@@ -119,7 +139,7 @@ ScenarioRegistry::ScenarioRegistry() {
         Rng rng(r.topology_seed);
         Graph graph = barabasi_albert_topology(r.nodes, 5, r.capacity, rng);
         return materialize("lightning-snapshot-synthetic", std::move(graph),
-                           SpiderConfig{}, r, *ripple_synthetic_sizes());
+                           SpiderConfig{}, r, *ripple_synthetic_sizes(), p);
       });
   add("hub-spoke",
       "Single-hub star: every payment crosses the hub — the worst case for "
@@ -128,7 +148,7 @@ ScenarioRegistry::ScenarioRegistry() {
         const Resolved r = resolve(p, {3000, 200.0, 4000, 24});
         Graph graph = star_topology(r.nodes, r.capacity);
         return materialize("hub-spoke", std::move(graph), SpiderConfig{}, r,
-                           *ripple_synthetic_sizes());
+                           *ripple_synthetic_sizes(), p);
       });
   add("small-world",
       "Watts–Strogatz small world (k = 4, beta = 0.1): short path lengths "
@@ -139,7 +159,7 @@ ScenarioRegistry::ScenarioRegistry() {
         Graph graph =
             watts_strogatz_topology(r.nodes, 4, 0.1, r.capacity, rng);
         return materialize("small-world", std::move(graph), SpiderConfig{},
-                           r, *ripple_synthetic_sizes());
+                           r, *ripple_synthetic_sizes(), p);
       });
 }
 

@@ -33,6 +33,7 @@ struct ScenarioParams {
   int capacity_xrp = 0;        // per-channel escrow      (SPIDER_CAPACITY_XRP)
   NodeId nodes = 0;            // scalable families only  (SPIDER_NODES)
   int lp_max_pairs = 0;        // Spider (LP) pair cap    (SPIDER_LP_MAX_PAIRS)
+  int paths_k = 0;             // candidate-path count    (SPIDER_PATHS_K)
   std::uint64_t topology_seed = 0;  //                    (SPIDER_SEED)
   std::uint64_t traffic_seed = 0;   //                    (SPIDER_TRAFFIC_SEED)
 

@@ -1,9 +1,20 @@
 #include "core/spider.hpp"
 
+#include <mutex>
+
 namespace spider {
 
+/// Guards lazy construction/warming of the shared candidate-path store so
+/// concurrent run()s (the ExperimentRunner grid) warm it exactly once.
+struct SpiderNetwork::SharedPathState {
+  std::mutex mutex;
+  std::unique_ptr<PathCache> store;
+};
+
 SpiderNetwork::SpiderNetwork(Graph topology, SpiderConfig config)
-    : topology_(std::move(topology)), config_(config) {
+    : topology_(std::move(topology)),
+      config_(config),
+      paths_(std::make_shared<SharedPathState>()) {
   config_.validate();
   SPIDER_ASSERT_MSG(topology_.num_nodes() >= 2,
                     "a payment network needs at least two nodes");
@@ -16,19 +27,43 @@ std::vector<PaymentSpec> SpiderNetwork::synthesize_workload(
   return generator.generate(count);
 }
 
+void SpiderNetwork::warm_paths(const std::vector<PaymentSpec>& trace) const {
+  const std::lock_guard<std::mutex> lock(paths_->mutex);
+  if (!paths_->store)
+    paths_->store = std::make_unique<PathCache>(
+        topology_, config_.num_paths, config_.path_selection);
+  // Collect only the pairs still missing, so re-warming an already-warmed
+  // trace (every run after the first) is a pure read with no allocation.
+  std::vector<std::pair<NodeId, NodeId>> missing;
+  for (const PaymentSpec& spec : trace)
+    if (!paths_->store->contains(spec.src, spec.dst))
+      missing.emplace_back(spec.src, spec.dst);
+  if (!missing.empty()) paths_->store->warm(missing);
+}
+
+const PathCache* SpiderNetwork::path_store() const {
+  const std::lock_guard<std::mutex> lock(paths_->mutex);
+  return paths_->store.get();
+}
+
 SimMetrics SpiderNetwork::run(Scheme scheme,
                               const std::vector<PaymentSpec>& trace) const {
-  const std::unique_ptr<Router> router = make_router(scheme, config_);
-  return run_simulation(topology_, *router, trace, config_.sim);
+  return run(scheme, trace, config_.sim.seed);
 }
 
 SimMetrics SpiderNetwork::run(Scheme scheme,
                               const std::vector<PaymentSpec>& trace,
                               std::uint64_t seed) const {
+  // Only the cached-path schemes read the store; sparing the rest the warm
+  // pass keeps e.g. a max-flow-only run at paper scale from paying ~a
+  // minute of path precompute it would never use.
+  const bool warms = scheme_uses_path_store(scheme);
+  if (warms) warm_paths(trace);
   SpiderConfig config = config_;
   config.sim.seed = seed;
   const std::unique_ptr<Router> router = make_router(scheme, config);
-  return run_simulation(topology_, *router, trace, config.sim);
+  return run_simulation(topology_, *router, trace, config.sim,
+                        warms ? path_store() : nullptr);
 }
 
 double SpiderNetwork::workload_circulation_fraction(

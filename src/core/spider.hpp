@@ -53,9 +53,27 @@ class SpiderNetwork {
   [[nodiscard]] double workload_circulation_fraction(
       const std::vector<PaymentSpec>& trace) const;
 
+  /// Precomputes the shared candidate-path store (k = config.num_paths,
+  /// config.path_selection) for every (src, dst) pair in `trace`.
+  /// Idempotent and cheap once warmed; run() calls it automatically, so a
+  /// grid of runs over one trace computes each pair's paths exactly once
+  /// instead of once per run. Thread-safe under the ExperimentRunner
+  /// pattern (concurrent run()s over the SAME trace); concurrently warming
+  /// DIFFERENT traces while other runs are in flight is not supported.
+  void warm_paths(const std::vector<PaymentSpec>& trace) const;
+
+  /// The shared store (nullptr before the first warm_paths()/run()).
+  [[nodiscard]] const PathCache* path_store() const;
+
  private:
+  struct SharedPathState;  // mutex + lazily-built PathCache
+
   Graph topology_;
   SpiderConfig config_;
+  // shared_ptr so SpiderNetwork stays copyable/movable (copies share the
+  // store — they share the same immutable topology and config, so the
+  // cached paths are valid for every copy).
+  std::shared_ptr<SharedPathState> paths_;
 };
 
 }  // namespace spider

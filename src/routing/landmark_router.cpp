@@ -97,7 +97,8 @@ std::vector<ChunkPlan> LandmarkRouter::plan(const Payment& payment,
         std::min(left, virtual_balances_.path_bottleneck(paths[index]));
     if (sendable <= 0) continue;
     virtual_balances_.use(paths[index], sendable);
-    chunks.push_back(ChunkPlan{paths[index], sendable});
+    // path_cache_ map storage is stable until the next init().
+    chunks.push_back(ChunkPlan{&paths[index], sendable});
     left -= sendable;
   }
   if (left > 0) return {};  // atomic: cannot carry the full amount

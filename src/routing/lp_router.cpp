@@ -103,7 +103,9 @@ std::vector<ChunkPlan> LpRouter::plan(const Payment& payment, Amount amount,
                                pair_plan.paths[i]));
     if (sendable <= 0) continue;
     virtual_balances_.use(pair_plan.paths[i], sendable);
-    chunks.push_back(ChunkPlan{pair_plan.paths[i], sendable});
+    // pair_plans_ map storage is stable until the next init(): the pointer
+    // outlives the simulator's immediate consumption of the plan.
+    chunks.push_back(ChunkPlan{&pair_plan.paths[i], sendable});
   }
   return chunks;
 }

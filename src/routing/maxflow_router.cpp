@@ -25,10 +25,16 @@ std::vector<ChunkPlan> MaxFlowRouter::plan(const Payment& payment,
   const std::vector<FlowPath> decomposition =
       decompose_flow(graph.num_nodes(), arcs, flow.flow, payment.src,
                      payment.dst);
+  // Materialize every path before taking pointers: scratch_paths_ must not
+  // grow once a ChunkPlan borrows into it.
+  scratch_paths_.clear();
+  scratch_paths_.reserve(decomposition.size());
+  for (const FlowPath& fp : decomposition)
+    scratch_paths_.push_back(make_path(graph, fp.nodes));
   std::vector<ChunkPlan> chunks;
   chunks.reserve(decomposition.size());
-  for (const FlowPath& fp : decomposition)
-    chunks.push_back(ChunkPlan{make_path(graph, fp.nodes), fp.amount});
+  for (std::size_t i = 0; i < decomposition.size(); ++i)
+    chunks.push_back(ChunkPlan{&scratch_paths_[i], decomposition[i].amount});
   return chunks;
 }
 

@@ -28,6 +28,11 @@ class MaxFlowRouter final : public Router {
                                             Amount amount,
                                             const Network& network,
                                             Rng& rng) override;
+
+ private:
+  // Per-plan scratch holding the decomposition's paths: ChunkPlans borrow
+  // pointers into it, valid until the next plan() (the router contract).
+  std::vector<Path> scratch_paths_;
 };
 
 }  // namespace spider

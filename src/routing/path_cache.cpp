@@ -1,5 +1,7 @@
 #include "routing/path_cache.hpp"
 
+#include <algorithm>
+
 #include "graph/ksp.hpp"
 #include "util/assert.hpp"
 
@@ -16,13 +18,23 @@ std::string path_selection_name(PathSelection selection) {
 PathCache::PathCache(const Graph& graph, int k, PathSelection selection)
     : graph_(&graph), k_(k), selection_(selection) {
   SPIDER_ASSERT(k >= 1);
+  const auto n = static_cast<std::size_t>(graph.num_nodes());
+  dense_ = graph.num_nodes() <= kDenseNodeLimit;
+  if (dense_) dense_index_.assign(n * n, PairEntry{});
 }
 
-const std::vector<Path>& PathCache::paths(NodeId src, NodeId dst) {
-  SPIDER_ASSERT(src != dst);
-  const auto key = std::make_pair(src, dst);
-  auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second;
+PathCache::PairEntry PathCache::lookup(NodeId src, NodeId dst) const {
+  // Every public entry point funnels through here, so a degenerate trace
+  // with out-of-range node ids hits a clean assert instead of indexing the
+  // dense table out of bounds.
+  SPIDER_ASSERT(src >= 0 && src < graph_->num_nodes());
+  SPIDER_ASSERT(dst >= 0 && dst < graph_->num_nodes());
+  if (dense_) return dense_index_[dense_key(src, dst)];
+  const auto it = sparse_index_.find(sparse_key(src, dst));
+  return it == sparse_index_.end() ? PairEntry{} : it->second;
+}
+
+PathCache::PairEntry PathCache::compute_and_store(NodeId src, NodeId dst) {
   std::vector<Path> found;
   switch (selection_) {
     case PathSelection::kEdgeDisjoint:
@@ -32,7 +44,66 @@ const std::vector<Path>& PathCache::paths(NodeId src, NodeId dst) {
       found = yen_k_shortest_paths(*graph_, src, dst, k_);
       break;
   }
-  return cache_.emplace(key, std::move(found)).first->second;
+  PairEntry entry;
+  entry.begin = static_cast<std::uint32_t>(arena_.size());
+  entry.count = static_cast<std::int32_t>(found.size());
+  arena_.insert(arena_.end(), std::make_move_iterator(found.begin()),
+                std::make_move_iterator(found.end()));
+  if (dense_)
+    dense_index_[dense_key(src, dst)] = entry;
+  else
+    sparse_index_[sparse_key(src, dst)] = entry;
+  ++pair_count_;
+  return entry;
+}
+
+std::span<const Path> PathCache::paths(NodeId src, NodeId dst) {
+  if (src == dst) return {};
+  PairEntry entry = lookup(src, dst);
+  if (entry.count < 0) entry = compute_and_store(src, dst);
+  return resolve(entry);
+}
+
+std::span<const Path> PathCache::cached(NodeId src, NodeId dst) const {
+  if (src == dst) return {};
+  const PairEntry entry = lookup(src, dst);
+  return entry.count < 0 ? std::span<const Path>{} : resolve(entry);
+}
+
+bool PathCache::contains(NodeId src, NodeId dst) const {
+  return src == dst || lookup(src, dst).count >= 0;
+}
+
+void PathCache::warm(std::span<const std::pair<NodeId, NodeId>> pairs) {
+  for (const auto& [src, dst] : pairs) {
+    if (src == dst) continue;
+    if (lookup(src, dst).count >= 0) continue;
+    (void)compute_and_store(src, dst);
+  }
+}
+
+void CandidatePaths::init(const Graph& graph, int k, PathSelection selection,
+                          const PathCache* shared) {
+  SPIDER_ASSERT(k >= 1);
+  graph_ = &graph;
+  k_ = k;
+  selection_ = selection;
+  shared_ = (shared != nullptr && shared->k() >= k &&
+             shared->selection() == selection)
+                ? shared
+                : nullptr;
+  own_.reset();
+}
+
+std::span<const Path> CandidatePaths::paths(NodeId src, NodeId dst) {
+  SPIDER_ASSERT_MSG(graph_ != nullptr, "init() must run before paths()");
+  if (shared_ != nullptr && shared_->contains(src, dst)) {
+    const std::span<const Path> stored = shared_->cached(src, dst);
+    return stored.first(
+        std::min(stored.size(), static_cast<std::size_t>(k_)));
+  }
+  if (!own_) own_.emplace(*graph_, k_, selection_);
+  return own_->paths(src, dst);
 }
 
 }  // namespace spider

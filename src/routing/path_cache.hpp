@@ -1,13 +1,29 @@
-// Lazy per-pair candidate-path cache.
+// Flat per-pair candidate-path store.
 //
 // §5.3.1: practical schemes restrict each pair to a small candidate set —
 // the paper's evaluation uses 4 edge-disjoint shortest paths. Paths depend
-// only on topology, so they are computed once per (src, dst) and cached.
-// Yen's K-shortest is available as the alternative selection strategy for
-// the path-selection ablation.
+// only on topology, so they are computed once per (src, dst) and stored.
+//
+// Layout (netsim-style flat tables, not a tree): all computed paths live in
+// one contiguous arena, a pair's paths occupying a contiguous ordinal range;
+// the pair -> range mapping is a dense n*n offset index (O(1) array lookup)
+// up to kDenseNodeLimit nodes — sized for the paper's 3774-node pruned
+// Ripple snapshot — and a hash index beyond that. `paths()` is therefore an
+// allocation-free lookup after the first computation, and `warm()`
+// precomputes a whole trace's pairs up front so a fully-warmed store can be
+// shared read-only across ExperimentRunner workers instead of every run
+// redoing Yen / edge-disjoint searches.
+//
+// Thread-safety: const lookups (`cached`, `contains`) may run concurrently
+// from any number of threads. Mutations (`paths` on a miss, `warm`) must be
+// externally serialized and must not overlap const readers — the
+// SpiderNetwork facade warms under a lock before handing the store out.
 #pragma once
 
-#include <map>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -23,17 +39,92 @@ class PathCache {
  public:
   PathCache(const Graph& graph, int k, PathSelection selection);
 
-  /// Up to k candidate paths, shortest first. May be empty only if dst is
-  /// unreachable.
-  [[nodiscard]] const std::vector<Path>& paths(NodeId src, NodeId dst);
+  /// Up to k candidate paths, shortest first; empty if dst is unreachable or
+  /// src == dst (synthetic generators can emit self-pairs at large scale).
+  /// Computes and stores the pair on first miss. The returned span is
+  /// invalidated by the next *miss* (the arena may grow); callers consume it
+  /// before their next lookup, which is the router discipline.
+  [[nodiscard]] std::span<const Path> paths(NodeId src, NodeId dst);
+
+  /// Read-only lookup: the stored paths, or an empty span if the pair was
+  /// never computed. Never mutates, so it is safe to share across threads
+  /// once warming is complete.
+  [[nodiscard]] std::span<const Path> cached(NodeId src, NodeId dst) const;
+
+  /// True if the pair's paths are already stored (src == dst pairs count as
+  /// always stored: their answer is the empty set).
+  [[nodiscard]] bool contains(NodeId src, NodeId dst) const;
+
+  /// Precomputes every listed pair not yet stored. Idempotent.
+  void warm(std::span<const std::pair<NodeId, NodeId>> pairs);
 
   [[nodiscard]] int k() const { return k_; }
+  [[nodiscard]] PathSelection selection() const { return selection_; }
+  /// Number of (src, dst) pairs stored / total paths across them.
+  [[nodiscard]] std::size_t pair_count() const { return pair_count_; }
+  [[nodiscard]] std::size_t path_count() const { return arena_.size(); }
+
+  /// Largest node count served by the dense n*n offset index; larger graphs
+  /// fall back to a hash index (same API, same results).
+  static constexpr NodeId kDenseNodeLimit = 4096;
 
  private:
+  struct PairEntry {
+    std::uint32_t begin = 0;
+    std::int32_t count = -1;  // -1: not yet computed
+  };
+
+  [[nodiscard]] std::size_t dense_key(NodeId src, NodeId dst) const {
+    return static_cast<std::size_t>(src) *
+               static_cast<std::size_t>(graph_->num_nodes()) +
+           static_cast<std::size_t>(dst);
+  }
+  [[nodiscard]] static std::uint64_t sparse_key(NodeId src, NodeId dst) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src))
+            << 32) |
+           static_cast<std::uint32_t>(dst);
+  }
+  [[nodiscard]] PairEntry lookup(NodeId src, NodeId dst) const;
+  [[nodiscard]] PairEntry compute_and_store(NodeId src, NodeId dst);
+  [[nodiscard]] std::span<const Path> resolve(const PairEntry& entry) const {
+    return {arena_.data() + entry.begin,
+            static_cast<std::size_t>(entry.count)};
+  }
+
   const Graph* graph_;
   int k_;
   PathSelection selection_;
-  std::map<std::pair<NodeId, NodeId>, std::vector<Path>> cache_;
+  std::size_t pair_count_ = 0;
+  bool dense_;
+  std::vector<PairEntry> dense_index_;                    // n*n when dense
+  std::unordered_map<std::uint64_t, PairEntry> sparse_index_;
+  std::vector<Path> arena_;  // contiguous; a pair's paths are one range
+};
+
+/// Router-side path source: prefers a shared warmed PathCache (const,
+/// sharable across ExperimentRunner workers) when its parameters are
+/// compatible, and falls back to a private lazy cache for pairs the shared
+/// store does not hold. A router may want fewer paths than the shared store
+/// computed (k <= shared k): both selection strategies grow their result
+/// prefix-stably, so the first min(k, stored) paths equal a direct k-path
+/// computation — asserted by tests/test_hot_paths.cpp.
+class CandidatePaths {
+ public:
+  /// `shared` may be nullptr (always use a private cache); an incompatible
+  /// shared store (smaller k or different selection) is ignored.
+  void init(const Graph& graph, int k, PathSelection selection,
+            const PathCache* shared);
+
+  /// Up to k candidate paths, shortest first (empty if unreachable or
+  /// src == dst). Same span-lifetime rule as PathCache::paths.
+  [[nodiscard]] std::span<const Path> paths(NodeId src, NodeId dst);
+
+ private:
+  const Graph* graph_ = nullptr;
+  int k_ = 1;
+  PathSelection selection_ = PathSelection::kEdgeDisjoint;
+  const PathCache* shared_ = nullptr;
+  std::optional<PathCache> own_;  // built on first shared-store miss
 };
 
 }  // namespace spider

@@ -83,7 +83,8 @@ std::vector<ChunkPlan> PrimalDualRouter::plan(const Payment& payment,
     if (sendable <= 0) continue;
     virtual_balances_.use(paths[qi], sendable);
     tokens_[pi][qi] -= to_xrp(sendable);
-    chunks.push_back(ChunkPlan{paths[qi], sendable});
+    // Solver-owned pair paths are stable until the next init().
+    chunks.push_back(ChunkPlan{&paths[qi], sendable});
     left -= sendable;
   }
   return chunks;

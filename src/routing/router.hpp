@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "fluid/payment_graph.hpp"
+#include "routing/path_cache.hpp"
 #include "sim/network.hpp"
 #include "sim/payment.hpp"
 #include "util/random.hpp"
@@ -29,17 +30,28 @@
 
 namespace spider {
 
+/// One planned transfer: a borrowed path plus the amount to move on it.
+/// `path` is NOT owned — it points into router-owned storage (a path cache,
+/// a per-pair plan table, or the router's per-plan scratch) and is only
+/// guaranteed valid until the router's next plan() call. The simulator
+/// copies the hops it needs into its pooled chunk table immediately, so the
+/// plan -> lock -> inflight pipeline allocates nothing per chunk.
 struct ChunkPlan {
-  Path path;
+  const Path* path = nullptr;
   Amount amount = 0;
 };
 
 /// Context handed to Router::init. `demand_hint` is the estimated demand
 /// matrix (Spider LP and the primal-dual extension need it; others ignore
-/// it); `delta_seconds` is the confirmation delay Δ of the run.
+/// it); `delta_seconds` is the confirmation delay Δ of the run;
+/// `shared_paths` is an optional pre-warmed candidate-path store shared
+/// across runs (and ExperimentRunner workers) — routers that plan over
+/// cached paths read it instead of recomputing Yen / edge-disjoint searches
+/// per run.
 struct RouterInitContext {
   const PaymentGraph* demand_hint = nullptr;
   double delta_seconds = 0.5;
+  const PathCache* shared_paths = nullptr;
 };
 
 class Router {

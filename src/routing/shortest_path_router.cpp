@@ -5,22 +5,24 @@
 namespace spider {
 
 void ShortestPathRouter::init(const Network& network,
-                              const RouterInitContext&) {
-  cache_.emplace(network.graph(), /*k=*/1, PathSelection::kEdgeDisjoint);
+                              const RouterInitContext& context) {
+  // A k > 1 shared store works too: edge-disjoint selection is greedy, so
+  // its first path is the plain BFS shortest path regardless of k.
+  paths_.init(network.graph(), /*k=*/1, PathSelection::kEdgeDisjoint,
+              context.shared_paths);
 }
 
 std::vector<ChunkPlan> ShortestPathRouter::plan(const Payment& payment,
                                                 Amount amount,
                                                 const Network& network,
                                                 Rng&) {
-  SPIDER_ASSERT(cache_.has_value());
-  const std::vector<Path>& paths = cache_->paths(payment.src, payment.dst);
+  const std::span<const Path> paths = paths_.paths(payment.src, payment.dst);
   if (paths.empty()) return {};
   const Path& path = paths.front();
   const Amount sendable =
       std::min(amount, network.path_bottleneck(path));
   if (sendable <= 0) return {};
-  return {ChunkPlan{path, sendable}};
+  return {ChunkPlan{&path, sendable}};
 }
 
 }  // namespace spider

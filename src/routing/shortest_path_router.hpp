@@ -4,8 +4,6 @@
 // BFS shortest path currently supports; the rest waits for the next poll.
 #pragma once
 
-#include <optional>
-
 #include "routing/path_cache.hpp"
 #include "routing/router.hpp"
 
@@ -26,7 +24,7 @@ class ShortestPathRouter final : public Router {
                                             Rng& rng) override;
 
  private:
-  std::optional<PathCache> cache_;
+  CandidatePaths paths_;  // shared warmed store when available, else lazy
 };
 
 }  // namespace spider

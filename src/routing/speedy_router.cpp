@@ -69,7 +69,10 @@ std::vector<ChunkPlan> SpeedyMurmursRouter::plan(const Payment& payment,
   Amount extra = amount % t;
 
   virtual_balances_.attach(network);
-  std::vector<ChunkPlan> chunks;
+  // Materialize every split's route before taking pointers: scratch_paths_
+  // must not grow once a ChunkPlan borrows into it.
+  scratch_paths_.clear();
+  scratch_splits_.clear();
   for (const SpanningTree& tree : trees_) {
     Amount split = base + (extra > 0 ? 1 : 0);
     if (extra > 0) --extra;
@@ -78,8 +81,13 @@ std::vector<ChunkPlan> SpeedyMurmursRouter::plan(const Payment& payment,
                              virtual_balances_);
     if (path.empty()) return {};  // atomic: one stuck split fails the payment
     virtual_balances_.use(path, split);
-    chunks.push_back(ChunkPlan{std::move(path), split});
+    scratch_paths_.push_back(std::move(path));
+    scratch_splits_.push_back(split);
   }
+  std::vector<ChunkPlan> chunks;
+  chunks.reserve(scratch_paths_.size());
+  for (std::size_t i = 0; i < scratch_paths_.size(); ++i)
+    chunks.push_back(ChunkPlan{&scratch_paths_[i], scratch_splits_[i]});
   return chunks;
 }
 

@@ -53,6 +53,10 @@ class SpeedyMurmursRouter final : public Router {
   int num_trees_;
   std::uint64_t seed_;
   std::vector<SpanningTree> trees_;
+  // Per-plan scratch holding the splits' routes: ChunkPlans borrow pointers
+  // into it, valid until the next plan() (the router contract).
+  std::vector<Path> scratch_paths_;
+  std::vector<Amount> scratch_splits_;
   VirtualBalances virtual_balances_;  // reattached per plan(); O(1) reset
 };
 

@@ -58,27 +58,25 @@ WaterfillingRouter::WaterfillingRouter(int num_paths, PathSelection selection)
 }
 
 void WaterfillingRouter::init(const Network& network,
-                              const RouterInitContext&) {
-  cache_.emplace(network.graph(), num_paths_, selection_);
+                              const RouterInitContext& context) {
+  paths_.init(network.graph(), num_paths_, selection_, context.shared_paths);
 }
 
 std::vector<ChunkPlan> WaterfillingRouter::plan(const Payment& payment,
                                                 Amount amount,
                                                 const Network& network,
                                                 Rng&) {
-  SPIDER_ASSERT(cache_.has_value());
-  const std::vector<Path>& paths = cache_->paths(payment.src, payment.dst);
+  const std::span<const Path> paths = paths_.paths(payment.src, payment.dst);
   if (paths.empty()) return {};
 
   // Probe bottlenecks through a virtual overlay so allocations stay jointly
   // feasible even when candidate paths share channels (Yen mode).
   virtual_balances_.attach(network);
-  std::vector<Amount> capacities;
-  capacities.reserve(paths.size());
+  capacities_.clear();
   for (const Path& p : paths)
-    capacities.push_back(virtual_balances_.path_bottleneck(p));
+    capacities_.push_back(virtual_balances_.path_bottleneck(p));
 
-  const std::vector<Amount> alloc = waterfill(amount, capacities);
+  const std::vector<Amount> alloc = waterfill(amount, capacities_);
   std::vector<ChunkPlan> chunks;
   for (std::size_t i = 0; i < paths.size(); ++i) {
     if (alloc[i] <= 0) continue;
@@ -89,7 +87,7 @@ std::vector<ChunkPlan> WaterfillingRouter::plan(const Payment& payment,
         std::min(alloc[i], virtual_balances_.path_bottleneck(paths[i]));
     if (sendable <= 0) continue;
     virtual_balances_.use(paths[i], sendable);
-    chunks.push_back(ChunkPlan{paths[i], sendable});
+    chunks.push_back(ChunkPlan{&paths[i], sendable});
   }
   return chunks;
 }

@@ -8,8 +8,6 @@
 // algorithm. Non-atomic: whatever does not fit waits in the pending queue.
 #pragma once
 
-#include <optional>
-
 #include "routing/path_cache.hpp"
 #include "routing/router.hpp"
 
@@ -44,7 +42,8 @@ class WaterfillingRouter final : public Router {
  private:
   int num_paths_;
   PathSelection selection_;
-  std::optional<PathCache> cache_;
+  CandidatePaths paths_;  // shared warmed store when available, else lazy
+  std::vector<Amount> capacities_;    // per-plan scratch, reused
   VirtualBalances virtual_balances_;  // reattached per plan(); O(1) reset
 };
 

@@ -2,18 +2,12 @@
 
 namespace spider {
 
-SimEvent EventQueue::pop() {
-  SPIDER_ASSERT(!heap_.empty());
-  const SimEvent ev = heap_.top();
-  heap_.pop();
-  SPIDER_ASSERT_MSG(ev.time >= now_, "event time went backwards");
-  now_ = ev.time;
-  ++processed_;
-  return ev;
-}
-
 void EventQueue::reset(TimePoint start) {
-  heap_ = {};
+  // clear() keeps the vectors' capacity: a queue reused across runs (the
+  // Simulator pattern) schedules and pops without ever reallocating.
+  heap_.clear();
+  now_ring_.clear();
+  ring_head_ = 0;
   next_seq_ = 0;
   processed_ = 0;
   now_ = start;

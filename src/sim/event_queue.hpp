@@ -8,14 +8,25 @@
 // popping asserts monotonicity, so a component driving its handlers off an
 // EventQueue cannot observe time running backwards.
 //
+// Hot-path layout: the heap is an inlined 4-ary heap over a flat vector —
+// a 4-ary sift touches 1/2 the levels of a binary heap and its four children
+// sit in adjacent cache lines, which is the standard discrete-event-core
+// trade (see netsim). Events scheduled at exactly now() skip the heap
+// entirely and go through a FIFO ring (`schedule_at_now` fast path): while
+// any such event is pending the clock cannot advance, so the ring holds a
+// single timestamp and plain FIFO order IS (time, seq) order; pop() merges
+// ring and heap by seq, preserving the exact total order of a pure heap.
+// All storage (heap vector and ring) is pooled: reset() keeps capacity, so
+// a reused queue schedules and pops without allocating.
+//
 // The payload is deliberately plain (an integer kind tag plus two integer
 // operands) so the queue stays a dumb, reusable engine component: the
 // Simulator — and any future event-driven subsystem — layers its own enum
 // over `kind` and keeps the real state in side tables indexed by `index`.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <queue>
 #include <vector>
 
 #include "util/assert.hpp"
@@ -36,18 +47,62 @@ struct SimEvent {
 
 class EventQueue {
  public:
-  /// Enqueues an event at absolute time `time` (must be >= now()).
+  /// Enqueues an event at absolute time `time` (must be >= now()). Events
+  /// landing exactly at now() take the ring fast path automatically.
   void schedule(TimePoint time, int kind, std::size_t index,
                 std::uint64_t stamp = 0) {
     SPIDER_ASSERT_MSG(time >= now_, "scheduling into the past");
-    heap_.push(SimEvent{time, next_seq_++, kind, index, stamp});
+    if (time == now_) {
+      now_ring_.push_back(SimEvent{time, next_seq_++, kind, index, stamp});
+      return;
+    }
+    heap_.push_back(SimEvent{time, next_seq_++, kind, index, stamp});
+    sift_up(heap_.size() - 1);
   }
 
-  [[nodiscard]] bool empty() const { return heap_.empty(); }
-  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  /// Explicit zero-delay entry point: O(1) ring append, no heap traffic or
+  /// monotonicity compare. schedule(now(), ...) takes the same ring path
+  /// automatically (that automatic routing is what the simulator relies on
+  /// for coincident-timestamp events); this spelling is for callers that
+  /// know statically the event fires at the current instant.
+  void schedule_at_now(int kind, std::size_t index, std::uint64_t stamp = 0) {
+    now_ring_.push_back(SimEvent{now_, next_seq_++, kind, index, stamp});
+  }
+
+  [[nodiscard]] bool empty() const {
+    return heap_.empty() && ring_head_ == now_ring_.size();
+  }
+  [[nodiscard]] std::size_t size() const {
+    return heap_.size() + now_ring_.size() - ring_head_;
+  }
 
   /// Pops the earliest event and advances the clock to its timestamp.
-  SimEvent pop();
+  SimEvent pop() {
+    SPIDER_ASSERT(!empty());
+    // Ring entries all carry time == now() <= every heap entry's time, so
+    // the merge only has to compare sequence numbers on a time tie.
+    bool take_ring = ring_head_ < now_ring_.size();
+    if (take_ring && !heap_.empty()) {
+      const SimEvent& h = heap_.front();
+      const SimEvent& r = now_ring_[ring_head_];
+      take_ring = r.time < h.time || (r.time == h.time && r.seq < h.seq);
+    }
+    SimEvent ev;
+    if (take_ring) {
+      ev = now_ring_[ring_head_++];
+      if (ring_head_ == now_ring_.size()) {
+        now_ring_.clear();  // keeps capacity: the ring storage is pooled
+        ring_head_ = 0;
+      }
+    } else {
+      ev = heap_.front();
+      pop_root();
+    }
+    SPIDER_ASSERT_MSG(ev.time >= now_, "event time went backwards");
+    now_ = ev.time;
+    ++processed_;
+    return ev;
+  }
 
   /// The timestamp of the most recently popped event (0 before the first).
   [[nodiscard]] TimePoint now() const { return now_; }
@@ -56,18 +111,57 @@ class EventQueue {
   /// engine's raw event rate.
   [[nodiscard]] std::uint64_t processed() const { return processed_; }
 
-  /// Clears all pending events and rewinds the clock to `start`.
+  /// Pre-sizes the heap storage (optional; it also grows on demand).
+  void reserve(std::size_t capacity) { heap_.reserve(capacity); }
+
+  /// Clears all pending events and rewinds the clock to `start`. Storage
+  /// capacity is retained, so a reused queue stays allocation-free.
   void reset(TimePoint start = 0);
 
  private:
-  struct Later {
-    [[nodiscard]] bool operator()(const SimEvent& a, const SimEvent& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
+  static constexpr std::size_t kArity = 4;
 
-  std::priority_queue<SimEvent, std::vector<SimEvent>, Later> heap_;
+  [[nodiscard]] static bool before(const SimEvent& a, const SimEvent& b) {
+    return a.time < b.time || (a.time == b.time && a.seq < b.seq);
+  }
+
+  void sift_up(std::size_t i) {
+    const SimEvent ev = heap_[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / kArity;
+      if (!before(ev, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = ev;
+  }
+
+  void pop_root() {
+    const SimEvent last = heap_.back();
+    heap_.pop_back();
+    if (heap_.empty()) return;
+    // Hole-sink (libstdc++-style): sink the root hole to a leaf choosing the
+    // min child per level — no comparison against `last`, which came from a
+    // leaf and almost always belongs near the bottom — then sift it up.
+    const std::size_t size = heap_.size();
+    std::size_t i = 0;
+    for (;;) {
+      const std::size_t first = kArity * i + 1;
+      if (first >= size) break;
+      const std::size_t end = std::min(first + kArity, size);
+      std::size_t best = first;
+      for (std::size_t c = first + 1; c < end; ++c)
+        if (before(heap_[c], heap_[best])) best = c;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = last;
+    sift_up(i);
+  }
+
+  std::vector<SimEvent> heap_;      // 4-ary min-heap on (time, seq)
+  std::vector<SimEvent> now_ring_;  // FIFO of events at exactly now()
+  std::size_t ring_head_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
   TimePoint now_ = 0;

@@ -26,6 +26,11 @@ struct SimMetrics {
   std::int64_t chunks_sent = 0;   // path-level transfers locked
   std::int64_t retry_rounds = 0;  // pending-queue service rounds
 
+  // Engine-rate counters (bench_throughput denominators): total events the
+  // queue popped during the run, and total router plan() invocations.
+  std::uint64_t events_processed = 0;
+  std::int64_t plans_requested = 0;
+
   // Router-queue mode (§4.2): in-network queueing behaviour.
   std::int64_t chunks_queued = 0;    // units that waited inside a channel
   std::int64_t queue_timeouts = 0;   // units rolled back after waiting

@@ -42,7 +42,7 @@ SimMetrics Simulator::run(const std::vector<PaymentSpec>& trace) {
 
   const auto num_edges =
       static_cast<std::size_t>(network_->graph().num_edges());
-  channel_queues_.assign(num_edges, {});
+  channel_queues_.assign(num_edges, {ChannelQueue{}, ChannelQueue{}});
   initial_side_funds_.assign(num_edges, {0, 0});
   for (std::size_t e = 0; e < num_edges; ++e) {
     const Channel& ch = network_->channel(static_cast<EdgeId>(e));
@@ -79,6 +79,7 @@ SimMetrics Simulator::run(const std::vector<PaymentSpec>& trace) {
     }
   }
 
+  metrics_.events_processed = events_.processed();
   metrics_.sim_duration_s = to_seconds(now());
   metrics_.final_mean_imbalance_xrp = network_->mean_imbalance_xrp();
   network_->check_invariants();
@@ -140,28 +141,73 @@ void Simulator::handle_arrival(std::size_t trace_index) {
   if (stored.remaining() > 0) ensure_pending(index);
 }
 
-std::size_t Simulator::new_chunk(Path path, Amount amount,
+std::size_t Simulator::new_chunk(const Path& path, Amount amount,
                                  std::size_t payment_index) {
-  InflightChunk chunk;
-  chunk.path = std::move(path);
-  chunk.amount = amount;
-  chunk.payment = payment_index;
-  chunk.stamp = next_stamp_++;
   std::size_t ci;
   if (!free_chunks_.empty()) {
     ci = free_chunks_.back();
     free_chunks_.pop_back();
-    inflight_[ci] = std::move(chunk);
   } else {
     ci = inflight_.size();
-    inflight_.push_back(std::move(chunk));
+    inflight_.emplace_back();
   }
+  // assign() reuses the recycled slot's buffer capacity: once the pool has
+  // seen a path of this length, acquiring a chunk allocates nothing.
+  InflightChunk& chunk = inflight_[ci];
+  chunk.path.nodes.assign(path.nodes.begin(), path.nodes.end());
+  chunk.path.edges.assign(path.edges.begin(), path.edges.end());
+  chunk.amount = amount;
+  chunk.payment = payment_index;
+  chunk.hops_locked = 0;
+  chunk.queued = false;
+  chunk.queued_at = 0;
+  chunk.stamp = next_stamp_++;
+  chunk.queue_prev = -1;
+  chunk.queue_next = -1;
   return ci;
 }
 
 void Simulator::release_chunk_slot(std::size_t chunk_index) {
-  inflight_[chunk_index] = InflightChunk{};
+  InflightChunk& chunk = inflight_[chunk_index];
+  SPIDER_ASSERT(!chunk.queued);
+  chunk.path.nodes.clear();  // keeps capacity: the buffers are pooled
+  chunk.path.edges.clear();
+  chunk.amount = 0;
+  chunk.hops_locked = 0;
   free_chunks_.push_back(chunk_index);
+}
+
+void Simulator::queue_push_back(EdgeId edge, int side,
+                                std::size_t chunk_index) {
+  ChannelQueue& queue = channel_queues_[static_cast<std::size_t>(edge)]
+                                       [static_cast<std::size_t>(side)];
+  InflightChunk& chunk = inflight_[chunk_index];
+  const auto ci = static_cast<std::int32_t>(chunk_index);
+  chunk.queue_prev = queue.tail;
+  chunk.queue_next = -1;
+  if (queue.tail >= 0)
+    inflight_[static_cast<std::size_t>(queue.tail)].queue_next = ci;
+  else
+    queue.head = ci;
+  queue.tail = ci;
+}
+
+void Simulator::queue_remove(EdgeId edge, int side, std::size_t chunk_index) {
+  ChannelQueue& queue = channel_queues_[static_cast<std::size_t>(edge)]
+                                       [static_cast<std::size_t>(side)];
+  InflightChunk& chunk = inflight_[chunk_index];
+  if (chunk.queue_prev >= 0)
+    inflight_[static_cast<std::size_t>(chunk.queue_prev)].queue_next =
+        chunk.queue_next;
+  else
+    queue.head = chunk.queue_next;
+  if (chunk.queue_next >= 0)
+    inflight_[static_cast<std::size_t>(chunk.queue_next)].queue_prev =
+        chunk.queue_prev;
+  else
+    queue.tail = chunk.queue_prev;
+  chunk.queue_prev = -1;
+  chunk.queue_next = -1;
 }
 
 Amount Simulator::attempt(std::size_t payment_index) {
@@ -170,26 +216,30 @@ Amount Simulator::attempt(std::size_t payment_index) {
   if (want <= 0) return 0;
   ++p.attempts;
 
-  std::vector<ChunkPlan> plan = router_->plan(p, want, *network_, rng_);
+  const std::vector<ChunkPlan> plan =
+      router_->plan(p, want, *network_, rng_);
+  metrics_.plans_requested += 1;
 
   if (config_.queueing == QueueingMode::kRouterQueue) {
     // §4.2 mode: lock only the FIRST hop; the unit then travels hop by hop
     // and waits inside channel queues when a downstream hop is dry.
     Amount locked_total = 0;
-    for (ChunkPlan& chunk : plan) {
+    for (const ChunkPlan& chunk : plan) {
       Amount amount = std::min(chunk.amount, want - locked_total);
       if (config_.mtu > 0) amount = std::min(amount, config_.mtu);
-      if (amount <= 0 || chunk.path.edges.empty()) continue;
-      SPIDER_ASSERT_MSG(chunk.path.source() == p.src &&
-                            chunk.path.destination() == p.dst,
+      if (amount <= 0 || chunk.path == nullptr ||
+          chunk.path->edges.empty())
+        continue;
+      const Path& path = *chunk.path;
+      SPIDER_ASSERT_MSG(path.source() == p.src &&
+                            path.destination() == p.dst,
                         "router produced a foreign path");
-      Channel& first = network_->channel(chunk.path.edges[0]);
-      const int side = first.side_of(chunk.path.nodes[0]);
+      Channel& first = network_->channel(path.edges[0]);
+      const int side = first.side_of(path.nodes[0]);
       amount = std::min(amount, first.balance(side));
       if (amount <= 0) continue;
       first.lock(side, amount);
-      const std::size_t ci = new_chunk(std::move(chunk.path), amount,
-                                       payment_index);
+      const std::size_t ci = new_chunk(path, amount, payment_index);
       inflight_[ci].hops_locked = 1;
       p.inflight += amount;
       locked_total += amount;
@@ -206,18 +256,19 @@ Amount Simulator::attempt(std::size_t payment_index) {
   // Atomic payments must lock the full amount or nothing.
   std::vector<std::size_t> locked_chunks;
   Amount locked_total = 0;
-  for (ChunkPlan& chunk : plan) {
+  for (const ChunkPlan& chunk : plan) {
     Amount amount = std::min(chunk.amount, want - locked_total);
     if (config_.mtu > 0 && !p.atomic) amount = std::min(amount, config_.mtu);
     if (amount <= 0) continue;
-    SPIDER_ASSERT_MSG(!chunk.path.empty() &&
-                          chunk.path.source() == p.src &&
-                          chunk.path.destination() == p.dst,
+    SPIDER_ASSERT_MSG(chunk.path != nullptr && !chunk.path->empty() &&
+                          chunk.path->source() == p.src &&
+                          chunk.path->destination() == p.dst,
                       "router produced a foreign path");
-    if (!network_->can_send(chunk.path, amount)) {
+    const Path& path = *chunk.path;
+    if (!network_->can_send(path, amount)) {
       if (!p.atomic) {
         // Take whatever the path still supports.
-        amount = std::min(amount, network_->path_bottleneck(chunk.path));
+        amount = std::min(amount, network_->path_bottleneck(path));
         if (amount <= 0) continue;
       } else {
         // Jointly infeasible atomic plan: roll back everything.
@@ -229,9 +280,8 @@ Amount Simulator::attempt(std::size_t payment_index) {
         return 0;
       }
     }
-    network_->lock_path(chunk.path, amount);
-    const std::size_t ci = new_chunk(std::move(chunk.path), amount,
-                                     payment_index);
+    network_->lock_path(path, amount);
+    const std::size_t ci = new_chunk(path, amount, payment_index);
     locked_chunks.push_back(ci);
     locked_total += amount;
     p.inflight += amount;
@@ -269,9 +319,15 @@ void Simulator::accrue_fees(const Path& path, Amount amount) {
 
 void Simulator::handle_settle(std::size_t chunk_index) {
   SPIDER_ASSERT(config_.queueing == QueueingMode::kSourceQueue);
-  InflightChunk chunk = std::move(inflight_[chunk_index]);
-  release_chunk_slot(chunk_index);
-  if (chunk.amount == 0) return;  // rolled back before settling
+  // Work on the slot in place (nothing below touches the chunk table) and
+  // recycle it at the end, so the path buffers stay pooled.
+  const InflightChunk& chunk = inflight_[chunk_index];
+  // Settle events are only scheduled for committed chunks, and a committed
+  // chunk's slot is released nowhere but here — so the slot must be live.
+  // (Atomic rollbacks in attempt() release their slots before any settle
+  // is scheduled.) A zero amount would mean a stale event hit a recycled
+  // slot: corruption, not a condition to skip quietly.
+  SPIDER_ASSERT(chunk.amount > 0);
 
   network_->settle_path(chunk.path, chunk.amount);
   accrue_fees(chunk.path, chunk.amount);
@@ -283,6 +339,7 @@ void Simulator::handle_settle(std::size_t chunk_index) {
 
   if (p.status == PaymentStatus::kPending && p.delivered == p.total)
     finish_payment(chunk.payment, PaymentStatus::kCompleted);
+  release_chunk_slot(chunk_index);
 }
 
 void Simulator::handle_hop_arrive(std::size_t chunk_index) {
@@ -304,9 +361,7 @@ void Simulator::handle_hop_arrive(std::size_t chunk_index) {
   chunk.queued = true;
   chunk.queued_at = now();
   chunk.stamp = next_stamp_++;
-  channel_queues_[static_cast<std::size_t>(edge)][static_cast<std::size_t>(
-      side)]
-      .push_back(chunk_index);
+  queue_push_back(edge, side, chunk_index);
   metrics_.chunks_queued += 1;
   push_event(now() + config_.queue_timeout, EventKind::kQueueTimeout,
              chunk_index, chunk.stamp);
@@ -324,8 +379,10 @@ bool Simulator::try_lock_next_hop(std::size_t chunk_index) {
 }
 
 void Simulator::complete_chunk(std::size_t chunk_index) {
-  InflightChunk chunk = std::move(inflight_[chunk_index]);
-  release_chunk_slot(chunk_index);
+  // Work on the slot in place: serve_channel_queue only mutates OTHER
+  // chunks' state (it never grows the chunk table), so the reference stays
+  // valid; the slot is recycled at the very end.
+  const InflightChunk& chunk = inflight_[chunk_index];
   SPIDER_ASSERT(chunk.hops_locked == chunk.path.length());
 
   for (std::size_t h = 0; h < chunk.path.edges.size(); ++h) {
@@ -347,11 +404,12 @@ void Simulator::complete_chunk(std::size_t chunk_index) {
     serve_channel_queue(chunk.path.edges[h],
                         1 - ch.side_of(chunk.path.nodes[h]));
   }
+  release_chunk_slot(chunk_index);
 }
 
 void Simulator::abort_chunk(std::size_t chunk_index) {
-  InflightChunk chunk = std::move(inflight_[chunk_index]);
-  release_chunk_slot(chunk_index);
+  const InflightChunk& chunk = inflight_[chunk_index];
+  SPIDER_ASSERT(!chunk.queued);
   for (std::size_t h = 0; h < chunk.hops_locked; ++h) {
     Channel& ch = network_->channel(chunk.path.edges[h]);
     ch.refund(ch.side_of(chunk.path.nodes[h]), chunk.amount);
@@ -369,6 +427,7 @@ void Simulator::abort_chunk(std::size_t chunk_index) {
     serve_channel_queue(chunk.path.edges[h],
                         ch.side_of(chunk.path.nodes[h]));
   }
+  release_chunk_slot(chunk_index);
 }
 
 void Simulator::handle_queue_timeout(std::size_t chunk_index,
@@ -378,11 +437,8 @@ void Simulator::handle_queue_timeout(std::size_t chunk_index,
   const EdgeId edge = chunk.path.edges[chunk.hops_locked];
   const Channel& ch = network_->channel(edge);
   const int side = ch.side_of(chunk.path.nodes[chunk.hops_locked]);
-  auto& queue = channel_queues_[static_cast<std::size_t>(edge)]
-                               [static_cast<std::size_t>(side)];
-  const auto it = std::find(queue.begin(), queue.end(), chunk_index);
-  SPIDER_ASSERT(it != queue.end());
-  queue.erase(it);
+  queue_remove(edge, side, chunk_index);  // O(1) via the intrusive links
+  chunk.queued = false;
   metrics_.queue_timeouts += 1;
   metrics_.queue_wait_s.add(to_seconds(now() - chunk.queued_at));
   abort_chunk(chunk_index);
@@ -393,15 +449,15 @@ void Simulator::handle_queue_timeout(std::size_t chunk_index,
 
 void Simulator::serve_channel_queue(EdgeId edge, int side) {
   if (config_.queueing != QueueingMode::kRouterQueue) return;
-  auto& queue = channel_queues_[static_cast<std::size_t>(edge)]
-                               [static_cast<std::size_t>(side)];
-  while (!queue.empty()) {
-    const std::size_t ci = queue.front();
+  ChannelQueue& queue = channel_queues_[static_cast<std::size_t>(edge)]
+                                       [static_cast<std::size_t>(side)];
+  while (queue.head >= 0) {
+    const auto ci = static_cast<std::size_t>(queue.head);
     InflightChunk& chunk = inflight_[ci];
     SPIDER_ASSERT(chunk.queued);
     Channel& ch = network_->channel(edge);
     if (!ch.can_lock(side, chunk.amount)) break;  // head-of-line blocking
-    queue.pop_front();
+    queue_remove(edge, side, ci);
     ch.lock(side, chunk.amount);
     ++chunk.hops_locked;
     chunk.queued = false;
@@ -460,9 +516,11 @@ void Simulator::handle_poll() {
   metrics_.retry_rounds += 1;
   router_->on_tick(*network_, now());
 
-  // Expire overdue payments first; then serve the rest in policy order.
-  std::vector<std::size_t> alive;
-  alive.reserve(pending_.size());
+  // Expire overdue payments first (compacting the survivors in place), then
+  // serve the rest in policy order. The pending array is compacted and
+  // sorted in place and moved through schedule_order, so steady-state
+  // polling never reallocates.
+  std::size_t write = 0;
   for (std::size_t pi : pending_) {
     Payment& p = payments_[pi];
     in_pending_[pi] = 0;
@@ -471,12 +529,15 @@ void Simulator::handle_poll() {
       expire(pi);
       continue;
     }
-    alive.push_back(pi);
+    pending_[write++] = pi;
   }
-  pending_ = schedule_order(config_.scheduler, payments_, std::move(alive));
+  pending_.resize(write);
+  pending_ = schedule_order(config_.scheduler, payments_,
+                            std::move(pending_));
 
-  std::vector<std::size_t> still_pending;
-  for (std::size_t pi : pending_) {
+  write = 0;
+  for (std::size_t read = 0; read < pending_.size(); ++read) {
+    const std::size_t pi = pending_[read];
     Payment& p = payments_[pi];
     if (p.status != PaymentStatus::kPending) continue;
     if (p.remaining() > 0) attempt(pi);
@@ -484,11 +545,11 @@ void Simulator::handle_poll() {
         p.status == PaymentStatus::kPending &&
         (p.remaining() > 0 || p.inflight > 0);
     if (unfinished_business) {
-      still_pending.push_back(pi);
+      pending_[write++] = pi;
       in_pending_[pi] = 1;
     }
   }
-  pending_ = std::move(still_pending);
+  pending_.resize(write);
 
   if (!pending_.empty() && !poll_scheduled_) {
     push_event(now() + config_.poll_interval, EventKind::kPoll, 0);
@@ -525,13 +586,15 @@ void Simulator::finish_payment(std::size_t payment_index,
 
 SimMetrics run_simulation(const Graph& graph, Router& router,
                           const std::vector<PaymentSpec>& trace,
-                          const SimConfig& config) {
+                          const SimConfig& config,
+                          const PathCache* shared_paths) {
   Network network(graph);
   const PaymentGraph demands =
       estimate_demand_matrix(graph.num_nodes(), trace);
   RouterInitContext context;
   context.demand_hint = &demands;
   context.delta_seconds = to_seconds(config.delta);
+  context.shared_paths = shared_paths;
   router.init(network, context);
   Simulator sim(network, router, config);
   return sim.run(trace);

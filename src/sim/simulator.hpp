@@ -19,7 +19,7 @@
 #pragma once
 
 #include <array>
-#include <deque>
+#include <cstdint>
 #include <vector>
 
 #include "routing/router.hpp"
@@ -113,6 +113,9 @@ class Simulator {
     kRebalance,      // on-chain deposit tick
   };
 
+  /// One pooled chunk slot. Slots are recycled through a free list and the
+  /// path buffers keep their capacity across reuse, so the steady-state
+  /// chunk lifecycle (plan -> lock -> settle/abort) allocates nothing.
   struct InflightChunk {
     Path path;
     Amount amount = 0;
@@ -122,6 +125,18 @@ class Simulator {
     bool queued = false;           // waiting inside a channel queue
     TimePoint queued_at = 0;
     std::uint64_t stamp = 0;       // invalidates stale timeout events
+    // Intrusive doubly-linked channel-queue membership (slot indices into
+    // inflight_; -1 = none). Gives O(1) push/pop/remove without per-edge
+    // deque storage.
+    std::int32_t queue_prev = -1;
+    std::int32_t queue_next = -1;
+  };
+
+  /// Head/tail of one channel side's FIFO of waiting chunks, linked through
+  /// InflightChunk::queue_prev/next.
+  struct ChannelQueue {
+    std::int32_t head = -1;
+    std::int32_t tail = -1;
   };
 
   void push_event(TimePoint time, EventKind kind, std::size_t index,
@@ -138,9 +153,14 @@ class Simulator {
   void finish_payment(std::size_t payment_index, PaymentStatus status);
   void accrue_fees(const Path& path, Amount amount);
 
-  // Router-queue helpers.
-  std::size_t new_chunk(Path path, Amount amount, std::size_t payment_index);
+  // Chunk-slot pool: acquire copies the path into the slot's recycled
+  // buffers; release keeps those buffers' capacity for the next chunk.
+  std::size_t new_chunk(const Path& path, Amount amount,
+                        std::size_t payment_index);
   void release_chunk_slot(std::size_t chunk_index);
+  // Intrusive channel-queue operations (router-queue mode).
+  void queue_push_back(EdgeId edge, int side, std::size_t chunk_index);
+  void queue_remove(EdgeId edge, int side, std::size_t chunk_index);
   /// Locks hop `hops_locked` if funds allow; returns success.
   [[nodiscard]] bool try_lock_next_hop(std::size_t chunk_index);
   /// Chunk reached the destination: settle every hop, credit the payment.
@@ -171,8 +191,9 @@ class Simulator {
   std::vector<std::size_t> free_chunks_;
   std::uint64_t next_stamp_ = 1;
 
-  // Router-queue mode: FIFO of chunk indices per (edge, direction-side).
-  std::vector<std::array<std::deque<std::size_t>, 2>> channel_queues_;
+  // Router-queue mode: intrusive FIFO heads per (edge, direction-side),
+  // linked through the chunk table itself.
+  std::vector<std::array<ChannelQueue, 2>> channel_queues_;
   // On-chain rebalancing: the initial per-side share each deposit tops
   // back up toward, and whether a rebalance tick is scheduled.
   std::vector<std::array<Amount, 2>> initial_side_funds_;
@@ -183,8 +204,13 @@ class Simulator {
 
 /// Convenience driver used by benches/examples: builds the network, inits
 /// the router (estimating the demand matrix from the trace), runs the trace.
+/// `shared_paths` optionally points at a pre-warmed candidate-path store
+/// (see PathCache) handed to the router's init context so cached-path
+/// schemes skip per-run path computation.
 [[nodiscard]] SimMetrics run_simulation(const Graph& graph, Router& router,
                                         const std::vector<PaymentSpec>& trace,
-                                        const SimConfig& config = {});
+                                        const SimConfig& config = {},
+                                        const PathCache* shared_paths =
+                                            nullptr);
 
 }  // namespace spider

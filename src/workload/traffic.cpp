@@ -63,8 +63,12 @@ PaymentGraph estimate_demand_matrix(NodeId num_nodes,
     span = std::max<Duration>(last, kMicrosPerSecond);
   }
   const double span_seconds = to_seconds(span);
-  for (const PaymentSpec& spec : trace)
+  for (const PaymentSpec& spec : trace) {
+    // Tolerate degenerate self-pairs (hand-built or external traces): they
+    // carry no routable demand. Our TrafficGenerator never emits them.
+    if (spec.src == spec.dst) continue;
     pg.add_demand(spec.src, spec.dst, to_xrp(spec.amount) / span_seconds);
+  }
   return pg;
 }
 

@@ -37,11 +37,24 @@ Graph diamond(Amount cap) {
 TEST(PathCacheTest, CachesAndHonoursSelection) {
   const Graph g = diamond(xrp(10));
   PathCache cache(g, 4, PathSelection::kEdgeDisjoint);
-  const auto& paths = cache.paths(0, 3);
+  const std::span<const Path> paths = cache.paths(0, 3);
   EXPECT_EQ(paths.size(), 2u);
-  EXPECT_EQ(&cache.paths(0, 3), &paths);  // same object: cached
+  EXPECT_FALSE(cache.contains(3, 0));  // directional: only (0,3) computed
+  EXPECT_TRUE(cache.contains(0, 3));
+  // Cached: the second lookup resolves to the same stored objects.
+  EXPECT_EQ(cache.paths(0, 3).data(), paths.data());
+  EXPECT_EQ(cache.pair_count(), 1u);
   PathCache yen(g, 4, PathSelection::kYen);
   EXPECT_GE(yen.paths(0, 3).size(), 2u);
+}
+
+TEST(PathCacheTest, SelfPairYieldsNoPaths) {
+  const Graph g = diamond(xrp(10));
+  PathCache cache(g, 4, PathSelection::kEdgeDisjoint);
+  EXPECT_TRUE(cache.paths(2, 2).empty());
+  EXPECT_TRUE(cache.cached(2, 2).empty());
+  EXPECT_TRUE(cache.contains(2, 2));  // answered without storing anything
+  EXPECT_EQ(cache.pair_count(), 0u);
 }
 
 // ---- Shortest path ----
@@ -56,7 +69,7 @@ TEST(ShortestPathRouterTest, SendsBottleneckOnShortestPath) {
       router.plan(make_payment(0, 2, xrp(8)), xrp(8), net, rng);
   ASSERT_EQ(plan.size(), 1u);
   EXPECT_EQ(plan[0].amount, xrp(5));  // bottleneck, not the full 8
-  EXPECT_EQ(plan[0].path.length(), 2u);
+  EXPECT_EQ(plan[0].path->length(), 2u);
 }
 
 TEST(ShortestPathRouterTest, EmptyPlanWhenDrained) {
@@ -170,7 +183,7 @@ TEST(WaterfillingRouterTest, PrefersFatterPath) {
   // highest-capacity path down to the level of the next one).
   Amount fat = 0;
   for (const auto& chunk : plan)
-    if (chunk.path.nodes[1] == 1) fat += chunk.amount;
+    if (chunk.path->nodes[1] == 1) fat += chunk.amount;
   EXPECT_GE(fat, xrp(5));
 }
 
@@ -269,12 +282,12 @@ TEST(MaxFlowRouterTest, PlansAreJointlyLockable) {
                                   rng);
     Amount total = 0;
     for (const auto& chunk : plan) {
-      ASSERT_TRUE(net.can_send(chunk.path, chunk.amount));
-      net.lock_path(chunk.path, chunk.amount);
+      ASSERT_TRUE(net.can_send(*chunk.path, chunk.amount));
+      net.lock_path(*chunk.path, chunk.amount);
       total += chunk.amount;
     }
     if (!plan.empty()) EXPECT_EQ(total, amount);
-    for (const auto& chunk : plan) net.refund_path(chunk.path, chunk.amount);
+    for (const auto& chunk : plan) net.refund_path(*chunk.path, chunk.amount);
   }
 }
 
@@ -304,7 +317,7 @@ TEST(LandmarkRouterTest, RoutesThroughLandmark) {
   Rng rng(1);
   const auto plan = router.plan(make_payment(1, 2, xrp(3)), xrp(3), net, rng);
   ASSERT_EQ(plan.size(), 1u);
-  EXPECT_EQ(plan[0].path.nodes, (std::vector<NodeId>{1, 0, 2}));
+  EXPECT_EQ(plan[0].path->nodes, (std::vector<NodeId>{1, 0, 2}));
   EXPECT_EQ(plan[0].amount, xrp(3));
 }
 
@@ -346,9 +359,9 @@ TEST(SpeedyMurmursTest, ReachesDestinationOnTree) {
   ASSERT_FALSE(plan.empty());
   Amount total = 0;
   for (const auto& chunk : plan) {
-    EXPECT_EQ(chunk.path.source(), 0);
-    EXPECT_EQ(chunk.path.destination(), 15);
-    EXPECT_TRUE(is_valid_trail(g, chunk.path));
+    EXPECT_EQ(chunk.path->source(), 0);
+    EXPECT_EQ(chunk.path->destination(), 15);
+    EXPECT_TRUE(is_valid_trail(g, *chunk.path));
     total += chunk.amount;
   }
   EXPECT_EQ(total, xrp(6));

@@ -34,7 +34,7 @@ class ScriptedRouter final : public Router {
     ++plan_calls;
     const Amount sendable = std::min(amount, n.path_bottleneck(path_));
     if (sendable <= 0) return {};
-    return {ChunkPlan{path_, sendable}};
+    return {ChunkPlan{&path_, sendable}};
   }
 
   int plan_calls = 0;

@@ -33,24 +33,30 @@ class ChaoticRouter final : public Router {
 
   std::vector<ChunkPlan> plan(const Payment& payment, Amount amount,
                               const Network& network, Rng& rng) override {
-    std::vector<ChunkPlan> chunks;
+    // ChunkPlans borrow paths, so materialize them all into the per-plan
+    // scratch first (no reallocation once a pointer is taken).
+    scratch_paths_.clear();
+    std::vector<Amount> wilds;
     const int n = static_cast<int>(rng.uniform_int(1, 3));
     for (int i = 0; i < n; ++i) {
       const SpanningTree& tree = trees_[static_cast<std::size_t>(
           rng.uniform_int(0, static_cast<std::int64_t>(trees_.size()) - 1))];
       const auto nodes = tree_path(tree, payment.src, payment.dst);
       if (nodes.size() < 2) continue;
-      Path path = make_path(network.graph(), nodes);
+      scratch_paths_.push_back(make_path(network.graph(), nodes));
       // Deliberately oversized amounts: up to 2x what is asked.
-      const Amount wild = rng.uniform_int(1, std::max<Amount>(1, amount * 2));
-      chunks.push_back(ChunkPlan{std::move(path), wild});
+      wilds.push_back(rng.uniform_int(1, std::max<Amount>(1, amount * 2)));
     }
+    std::vector<ChunkPlan> chunks;
+    for (std::size_t i = 0; i < scratch_paths_.size(); ++i)
+      chunks.push_back(ChunkPlan{&scratch_paths_[i], wilds[i]});
     return chunks;
   }
 
  private:
   std::uint64_t seed_;
   std::vector<SpanningTree> trees_;
+  std::vector<Path> scratch_paths_;
 };
 
 std::vector<PaymentSpec> random_trace(NodeId nodes, int count,
