@@ -9,6 +9,8 @@
 //
 // Defaults are a load-equivalent laptop-scale run; env overrides
 // (DESIGN.md) reproduce paper scale.
+#include <algorithm>
+
 #include "bench_common.hpp"
 
 namespace spider {
@@ -23,10 +25,28 @@ void run_topology(const std::string& label, const Graph& graph,
             << graph.num_edges() << " channels, " << trace.size()
             << " payments, circulation fraction of demand = "
             << Table::pct(circulation) << " ---\n";
-  const auto results = run_schemes(net, trace, paper_schemes());
+  // Windowed runs: the lifetime metrics stay byte-identical to the batch
+  // run, and WindowedMetrics adds the paper's actual measurement — success
+  // over post-warmup windows. Defaults scale with the trace's arrival span
+  // (window = span/8, warmup = span/4) so both laptop-scale and paper-scale
+  // runs keep steady windows; SPIDER_WINDOW_S / SPIDER_WARMUP_S override.
+  const double span_s =
+      trace.empty() ? 0.0 : to_seconds(trace.back().arrival);
+  const Duration window =
+      seconds(env_double("SPIDER_WINDOW_S", std::max(0.5, span_s / 8.0)));
+  const Duration warmup =
+      seconds(env_double("SPIDER_WARMUP_S", span_s / 4.0));
+  const auto results =
+      run_schemes(net, trace, paper_schemes(), window, warmup);
   const Table table = results_table(results, net.config().num_paths);
   std::cout << table.render();
   maybe_write_csv("fig6_" + label, table);
+  const Table steady = steady_state_table(results, window, warmup);
+  std::cout << "\nsteady state (window series in fig6_" << label
+            << "_windows.csv when SPIDER_BENCH_CSV_DIR is set):\n"
+            << steady.render();
+  maybe_write_csv("fig6_" + label + "_steady", steady);
+  maybe_write_windows_csv("fig6_" + label, results);
 
   // The paper's headline comparison, printed explicitly.
   const auto find = [&](Scheme s) -> const SimMetrics& {

@@ -14,13 +14,21 @@
 // Output: a table on stdout, the optional CSV dump every bench supports,
 // and a JSON report (default ./BENCH_throughput.json; SPIDER_BENCH_JSON
 // overrides) whose checked-in copy at the repo root is the baseline future
-// PRs are compared against. Schema (schema_version 1):
+// PRs are compared against. Schema (schema_version 2):
 //
-//   { "bench": "bench_throughput", "schema_version": 1, "paths_k": K,
+//   { "bench": "bench_throughput", "schema_version": 2, "paths_k": K,
 //     "results": [ { "scenario", "scheme", "nodes", "edges", "payments",
 //                    "paths_k", "warm_s", "wall_s", "events",
 //                    "events_per_s", "payments_per_s", "plans_per_s",
-//                    "success_ratio", "sim_duration_s" }, ... ] }
+//                    "success_ratio", "steady_success_ratio", "windows",
+//                    "sim_duration_s" }, ... ] }
+//
+// The simulation phase always goes through the session-backed run surface
+// (SpiderNetwork::run is a session wrapper), so the floor gate asserts the
+// streaming refactor costs nothing. SPIDER_BENCH_WINDOW_S > 0 additionally
+// attaches a WindowedMetrics observer (warmup SPIDER_BENCH_WARMUP_S,
+// default 0) and fills steady_success_ratio/windows — the observer
+// pipeline measured under the same clock.
 //
 // Perf-smoke gate: SPIDER_BENCH_FLOOR=<file> reads a floor file (lines of
 // "scenario scheme events_per_s", '#' comments) and exits non-zero if any
@@ -62,6 +70,8 @@ struct ThroughputRow {
   double payments_per_s = 0.0;
   double plans_per_s = 0.0;
   double success_ratio = 0.0;
+  double steady_success_ratio = 0.0;
+  int windows = 0;
   double sim_duration_s = 0.0;
 };
 
@@ -118,7 +128,7 @@ void write_json(const std::string& path, int paths_k,
     return;
   }
   out << "{\n  \"bench\": \"bench_throughput\",\n"
-      << "  \"schema_version\": 1,\n"
+      << "  \"schema_version\": 2,\n"
       << "  \"paths_k\": " << paths_k << ",\n  \"results\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const ThroughputRow& r = rows[i];
@@ -134,6 +144,8 @@ void write_json(const std::string& path, int paths_k,
         << ", \"payments_per_s\": " << json_num(r.payments_per_s, 0)
         << ", \"plans_per_s\": " << json_num(r.plans_per_s, 0)
         << ", \"success_ratio\": " << json_num(r.success_ratio, 4)
+        << ", \"steady_success_ratio\": " << json_num(r.steady_success_ratio, 4)
+        << ", \"windows\": " << r.windows
         << ", \"sim_duration_s\": " << json_num(r.sim_duration_s) << "}"
         << (i + 1 < rows.size() ? "," : "") << "\n";
   }
@@ -225,8 +237,22 @@ int run() {
               << net.path_store()->path_count() << " paths)\n";
 
     for (const Scheme scheme : schemes) {
+      // The batch run IS a session (submit + drain), so this times the
+      // streaming surface; with SPIDER_BENCH_WINDOW_S the observer
+      // pipeline is measured under the same clock.
+      const double window_s = env_double("SPIDER_BENCH_WINDOW_S", 0.0);
+      const Duration warmup =
+          seconds(env_double("SPIDER_BENCH_WARMUP_S", 0.0));
+      WindowedRun windowed;
       const auto start = Clock::now();
-      const SimMetrics m = net.run(scheme, scenario.trace);
+      SimMetrics m;
+      if (window_s > 0) {
+        windowed = run_windowed(net, scheme, net.config().sim.seed,
+                                scenario.trace, seconds(window_s), warmup);
+        m = windowed.metrics;
+      } else {
+        m = net.run(scheme, scenario.trace);
+      }
       const double wall = seconds_since(start);
       ThroughputRow row;
       row.scenario = spec;
@@ -242,6 +268,10 @@ int run() {
       row.payments_per_s = static_cast<double>(row.payments) / wall;
       row.plans_per_s = static_cast<double>(m.plans_requested) / wall;
       row.success_ratio = m.success_ratio();
+      if (window_s > 0) {
+        row.steady_success_ratio = windowed.steady.success_ratio;
+        row.windows = windowed.steady.windows;
+      }
       row.sim_duration_s = m.sim_duration_s;
       rows.push_back(row);
     }

@@ -10,9 +10,31 @@
 
 namespace spider {
 
-std::vector<SchemeResult> run_schemes(const SpiderNetwork& network,
-                                      const std::vector<PaymentSpec>& trace,
-                                      const std::vector<Scheme>& schemes) {
+WindowedRun run_windowed(const SpiderNetwork& network, Scheme scheme,
+                         std::uint64_t seed,
+                         const std::vector<PaymentSpec>& trace,
+                         Duration metrics_window, Duration warmup) {
+  SPIDER_ASSERT(metrics_window > 0);
+  SessionOptions options;
+  options.metrics_window = metrics_window;
+  options.demand_hint = &trace;
+  SimSession session = network.session(scheme, seed, options);
+  WindowedMetrics windowed(warmup);
+  session.attach(windowed);
+  session.submit(trace);
+  WindowedRun run;
+  run.metrics = session.drain();
+  run.windows = windowed.windows();
+  run.steady = windowed.steady_state();
+  return run;
+}
+
+namespace {
+
+std::vector<SchemeResult> run_schemes_impl(
+    const SpiderNetwork& network, const std::vector<PaymentSpec>& trace,
+    const std::vector<Scheme>& schemes, Duration metrics_window,
+    Duration warmup) {
   // Scheme runs are independent (fresh network per run), so fan them out on
   // the pool; each worker writes only its own slot, which keeps the result
   // order — and every metric byte — identical to the old serial loop. The
@@ -27,9 +49,39 @@ std::vector<SchemeResult> run_schemes(const SpiderNetwork& network,
   runner.for_each(schemes.size(), [&](std::size_t i) {
     SPIDER_INFO("running " << scheme_name(schemes[i]) << " over "
                            << trace.size() << " payments");
-    results[i] = SchemeResult{schemes[i], network.run(schemes[i], trace)};
+    SchemeResult& result = results[i];
+    result.scheme = schemes[i];
+    if (metrics_window > 0) {
+      // Windowed run: identical event sequence, driven through a session
+      // so WindowedMetrics can collect the steady-state series.
+      WindowedRun run =
+          run_windowed(network, schemes[i], network.config().sim.seed,
+                       trace, metrics_window, warmup);
+      result.metrics = run.metrics;
+      result.windows = std::move(run.windows);
+      result.steady = run.steady;
+    } else {
+      result.metrics = network.run(schemes[i], trace);
+    }
   });
   return results;
+}
+
+}  // namespace
+
+std::vector<SchemeResult> run_schemes(const SpiderNetwork& network,
+                                      const std::vector<PaymentSpec>& trace,
+                                      const std::vector<Scheme>& schemes) {
+  return run_schemes_impl(network, trace, schemes, 0, 0);
+}
+
+std::vector<SchemeResult> run_schemes(const SpiderNetwork& network,
+                                      const std::vector<PaymentSpec>& trace,
+                                      const std::vector<Scheme>& schemes,
+                                      Duration metrics_window,
+                                      Duration warmup) {
+  SPIDER_ASSERT(metrics_window > 0);
+  return run_schemes_impl(network, trace, schemes, metrics_window, warmup);
 }
 
 Table results_table(const std::vector<SchemeResult>& results, int paths_k) {
@@ -51,6 +103,43 @@ Table results_table(const std::vector<SchemeResult>& results, int paths_k) {
                    Table::num(to_xrp(m.delivered_volume), 0)});
   }
   return table;
+}
+
+Table steady_state_table(const std::vector<SchemeResult>& results,
+                         Duration metrics_window, Duration warmup) {
+  Table table({"scheme", "lifetime_sr",
+               "steady_sr (warmup " + Table::num(to_seconds(warmup), 2) +
+                   " s, window " + Table::num(to_seconds(metrics_window), 2) +
+                   " s)",
+               "steady_sv", "windows", "sr_stddev"});
+  for (const SchemeResult& r : results)
+    table.add_row({scheme_name(r.scheme), Table::pct(r.metrics.success_ratio()),
+                   Table::pct(r.steady.success_ratio),
+                   Table::pct(r.steady.success_volume),
+                   std::to_string(r.steady.windows),
+                   Table::num(r.steady.per_window_success_ratio.stddev(), 3)});
+  return table;
+}
+
+void maybe_write_windows_csv(const std::string& bench_name,
+                             const std::vector<SchemeResult>& results) {
+  const char* dir = std::getenv("SPIDER_BENCH_CSV_DIR");
+  if (dir == nullptr) return;
+  CsvWriter writer(std::string(dir) + "/" + bench_name + "_windows.csv");
+  writer.write_row({"scheme", "window", "start_s", "end_s", "attempted",
+                    "completed", "failed", "attempted_xrp", "completed_xrp",
+                    "delivered_xrp", "success_ratio", "success_volume"});
+  for (const SchemeResult& r : results)
+    for (const WindowStats& w : r.windows)
+      writer.write_row({scheme_name(r.scheme), std::to_string(w.index),
+                        Table::num(w.start_s, 3), Table::num(w.end_s, 3),
+                        std::to_string(w.attempted),
+                        std::to_string(w.completed), std::to_string(w.failed),
+                        Table::num(to_xrp(w.attempted_volume), 1),
+                        Table::num(to_xrp(w.completed_volume), 1),
+                        Table::num(to_xrp(w.delivered_volume), 1),
+                        Table::num(w.success_ratio(), 4),
+                        Table::num(w.success_volume(), 4)});
 }
 
 int env_int(const char* name, int fallback) {

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/spider.hpp"
+#include "sim/observers.hpp"
 #include "util/table.hpp"
 
 namespace spider {
@@ -16,13 +17,44 @@ namespace spider {
 struct SchemeResult {
   Scheme scheme = Scheme::kShortestPath;
   SimMetrics metrics;
+  /// Per-window series + warmup-excluded aggregate; populated only by the
+  /// windowed run_schemes overload (empty/zero otherwise).
+  std::vector<WindowStats> windows;
+  WindowedMetrics::SteadyState steady;
 };
+
+/// One windowed run: lifetime metrics plus the WindowedMetrics harvest.
+struct WindowedRun {
+  SimMetrics metrics;
+  std::vector<WindowStats> windows;
+  WindowedMetrics::SteadyState steady;
+};
+
+/// Runs `scheme` over `trace` through a session with a WindowedMetrics
+/// observer attached (demand hint = the trace). The metrics are
+/// byte-identical to SpiderNetwork::run(scheme, trace, seed); the windows
+/// and steady-state aggregate ride along. The single implementation behind
+/// every windowed surface (run_grid, run_schemes, bench_throughput), so
+/// the session wiring cannot drift between them.
+[[nodiscard]] WindowedRun run_windowed(const SpiderNetwork& network,
+                                       Scheme scheme, std::uint64_t seed,
+                                       const std::vector<PaymentSpec>& trace,
+                                       Duration metrics_window,
+                                       Duration warmup);
 
 /// Runs every scheme in `schemes` over the same trace on fresh copies of the
 /// network. Logs progress at info level.
 [[nodiscard]] std::vector<SchemeResult> run_schemes(
     const SpiderNetwork& network, const std::vector<PaymentSpec>& trace,
     const std::vector<Scheme>& schemes);
+
+/// Same runs, driven through sessions with a WindowedMetrics observer per
+/// scheme: lifetime metrics stay byte-identical, and each result carries
+/// the per-window series plus steady-state aggregates excluding `warmup`.
+[[nodiscard]] std::vector<SchemeResult> run_schemes(
+    const SpiderNetwork& network, const std::vector<PaymentSpec>& trace,
+    const std::vector<Scheme>& schemes, Duration metrics_window,
+    Duration warmup);
 
 /// Paper-style summary table: scheme, success ratio, success volume, plus
 /// completion-latency and overhead columns. A positive `paths_k` reports
@@ -31,6 +63,19 @@ struct SchemeResult {
 /// SPIDER_PATHS_K overrides are visible in every table.
 [[nodiscard]] Table results_table(const std::vector<SchemeResult>& results,
                                   int paths_k = 0);
+
+/// Steady-state companion to results_table (windowed results only): the
+/// paper's actual measurement — success ratio/volume over the post-warmup
+/// windows — next to the lifetime ratio, with the per-window dispersion.
+[[nodiscard]] Table steady_state_table(
+    const std::vector<SchemeResult>& results, Duration metrics_window,
+    Duration warmup);
+
+/// If SPIDER_BENCH_CSV_DIR is set, writes the per-window time series of
+/// every windowed result (long format: one row per scheme × window) to
+/// <dir>/<bench_name>_windows.csv; otherwise does nothing.
+void maybe_write_windows_csv(const std::string& bench_name,
+                             const std::vector<SchemeResult>& results);
 
 /// Integer/double environment overrides for bench scaling, e.g.
 /// env_int("SPIDER_TXNS", 20000). Malformed values fall back to the default.

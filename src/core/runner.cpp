@@ -83,7 +83,7 @@ void ExperimentRunner::for_each(std::size_t count,
 std::vector<CellResult> ExperimentRunner::run_grid(
     const std::vector<ScenarioInstance>& scenarios,
     const std::vector<Scheme>& schemes,
-    const std::vector<std::uint64_t>& seeds) {
+    const std::vector<std::uint64_t>& seeds, const GridOptions& options) {
   // Enumerate cells in serial triple-loop order; results keep this order no
   // matter which worker finishes first.
   std::vector<GridCell> cells;
@@ -113,10 +113,25 @@ std::vector<CellResult> ExperimentRunner::run_grid(
   for_each(cells.size(), [&](std::size_t i) {
     const GridCell& cell = cells[i];
     const ScenarioInstance& scenario = scenarios[cell.scenario_index];
-    results[i] = CellResult{
-        cell, scenario.name,
-        networks[cell.scenario_index].run(cell.scheme, scenario.trace,
-                                          cell.seed)};
+    CellResult& result = results[i];
+    result.cell = cell;
+    result.scenario = scenario.name;
+    if (options.metrics_window > 0) {
+      // Windowed cell: same run, driven through a session so a
+      // WindowedMetrics observer can collect the time series. The final
+      // metrics stay byte-identical to the unwindowed run().
+      WindowedRun run =
+          run_windowed(networks[cell.scenario_index], cell.scheme,
+                       cell.seed, scenario.trace, options.metrics_window,
+                       options.warmup);
+      result.metrics = run.metrics;
+      result.windows = std::move(run.windows);
+      result.steady = run.steady;
+    } else {
+      result.metrics =
+          networks[cell.scenario_index].run(cell.scheme, scenario.trace,
+                                            cell.seed);
+    }
   });
   return results;
 }

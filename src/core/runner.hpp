@@ -26,6 +26,7 @@
 
 #include "core/scenario.hpp"
 #include "core/spider.hpp"
+#include "sim/observers.hpp"
 
 namespace spider {
 
@@ -36,12 +37,25 @@ struct GridCell {
   std::uint64_t seed = 0;
 };
 
+/// Per-grid knobs. A positive metrics_window makes every cell run through
+/// a session with a WindowedMetrics observer attached, so the grid
+/// collects a per-window time series (and a warmup-excluded steady-state
+/// aggregate) per cell on top of the lifetime metrics — which stay
+/// byte-identical to the unwindowed run.
+struct GridOptions {
+  Duration metrics_window = 0;
+  Duration warmup = 0;
+};
+
 /// A finished cell. `scenario` repeats the scenario name so results are
-/// self-describing after the instances go out of scope.
+/// self-describing after the instances go out of scope. `windows`/`steady`
+/// are populated only by windowed grids (GridOptions::metrics_window > 0).
 struct CellResult {
   GridCell cell;
   std::string scenario;
   SimMetrics metrics;
+  std::vector<WindowStats> windows;
+  WindowedMetrics::SteadyState steady;
 };
 
 class ExperimentRunner {
@@ -71,7 +85,8 @@ class ExperimentRunner {
   [[nodiscard]] std::vector<CellResult> run_grid(
       const std::vector<ScenarioInstance>& scenarios,
       const std::vector<Scheme>& schemes,
-      const std::vector<std::uint64_t>& seeds = {});
+      const std::vector<std::uint64_t>& seeds = {},
+      const GridOptions& options = {});
 
  private:
   void worker_loop();

@@ -121,6 +121,60 @@ ScenarioRegistry::ScenarioRegistry() {
                            *ripple_subgraph_sizes(), p);
       });
 
+  add("flash-crowd",
+      "Ripple-like credit graph under a mid-run arrival surge: the first "
+      "quarter of payments arrives at the base rate, the middle half at 4x "
+      "(the flash crowd), the final quarter at the base rate again — the "
+      "dynamic-workload stress case for the session API's windowed "
+      "steady-state measurement",
+      [](const ScenarioParams& p) {
+        const Resolved r = resolve(p, {4000, 400.0, 3000, 60, 1, 4});
+        Graph graph =
+            ripple_like_topology(r.nodes, r.capacity, r.topology_seed);
+        SpiderConfig config;
+        // Same LP pair cap as ripple-like (dense offline simplex limit).
+        config.lp_max_pairs = p.lp_max_pairs > 0 ? p.lp_max_pairs : 900;
+        if (p.paths_k > 0) config.num_paths = p.paths_k;
+
+        // Piecewise-rate trace: each phase draws from its own generator
+        // stream (deterministic in the traffic seed) and is shifted to
+        // start where the previous phase ended, so arrivals stay
+        // nondecreasing — ready to submit through a SimSession in spans.
+        struct Phase {
+          int count;
+          double rate;
+          std::uint64_t salt;
+        };
+        const int quarter = r.payments / 4;
+        const Phase phases[] = {
+            {quarter, r.tx_per_second, 0},
+            {r.payments - 2 * quarter, 4.0 * r.tx_per_second, 1},
+            {quarter, r.tx_per_second, 2},
+        };
+        const auto sizes = ripple_subgraph_sizes();
+        std::vector<PaymentSpec> trace;
+        trace.reserve(static_cast<std::size_t>(r.payments));
+        TimePoint offset = 0;
+        for (const Phase& phase : phases) {
+          TrafficConfig traffic;
+          traffic.tx_per_second = phase.rate;
+          traffic.seed = r.traffic_seed + phase.salt * 7919;
+          TrafficGenerator generator(graph.num_nodes(), traffic, *sizes);
+          std::vector<PaymentSpec> part =
+              generator.generate(phase.count);
+          for (PaymentSpec& spec : part) spec.arrival += offset;
+          if (!part.empty()) offset = part.back().arrival;
+          trace.insert(trace.end(), part.begin(), part.end());
+        }
+
+        ScenarioInstance instance;
+        instance.name = "flash-crowd";
+        instance.graph = std::move(graph);
+        instance.config = config;
+        instance.trace = std::move(trace);
+        return instance;
+      });
+
   // --- Synthetic families for scaling studies beyond the paper ---
   add("scale-free",
       "Barabási–Albert (m = 2) heavy-tailed topology; §6.1 synthetic sizes",

@@ -1,0 +1,97 @@
+#include "core/session.hpp"
+
+namespace spider {
+
+struct SimSession::State {
+  SpiderConfig config;
+  Scheme scheme;
+  Network network;
+  std::unique_ptr<Router> router;
+  Simulator sim;
+  // The growing trace buffer the simulator's arrival chain reads. Only
+  // ever appended to; the vector object itself stays put (the simulator
+  // holds a pointer to it, not into it).
+  std::vector<PaymentSpec> trace;
+
+  State(const Graph& topology, const SpiderConfig& cfg, Scheme s,
+        const SessionOptions& options, const PathCache* shared_paths)
+      : config(cfg),
+        scheme(s),
+        network(topology),
+        router(make_router(s, config)),
+        sim(network, *router, config.sim) {
+    init_router_for_run(*router, network, config.sim, options.demand_hint,
+                        shared_paths);
+    sim.set_metrics_window(options.metrics_window);
+    sim.begin(trace);
+  }
+};
+
+SimSession::SimSession(const Graph& topology, const SpiderConfig& config,
+                       Scheme scheme, const SessionOptions& options,
+                       const PathCache* shared_paths)
+    : state_(std::make_unique<State>(topology, config, scheme, options,
+                                     shared_paths)) {}
+
+SimSession::~SimSession() = default;
+SimSession::SimSession(SimSession&&) noexcept = default;
+SimSession& SimSession::operator=(SimSession&&) noexcept = default;
+
+void SimSession::submit(const PaymentSpec& spec) { submit(&spec, 1); }
+
+void SimSession::submit(const PaymentSpec* specs, std::size_t count) {
+  if (count == 0) return;
+  State& s = *state_;
+  // Validate the whole span before mutating anything, so a rejected span
+  // leaves the session exactly as it was (no half-committed prefix whose
+  // arrivals were never scheduled).
+  TimePoint last =
+      s.trace.empty() ? s.sim.horizon() : s.trace.back().arrival;
+  for (std::size_t i = 0; i < count; ++i) {
+    // horizon(), not now(): advance_until declares time passed (and rolls
+    // metric windows) up to its horizon, so arrivals before it would land
+    // in windows already emitted.
+    SPIDER_ASSERT_MSG(specs[i].arrival >= s.sim.horizon(),
+                      "submitted payment arrives in the clock's past");
+    SPIDER_ASSERT_MSG(specs[i].arrival >= last,
+                      "submissions must be in nondecreasing arrival order");
+    last = specs[i].arrival;
+  }
+  s.trace.insert(s.trace.end(), specs, specs + count);
+  s.sim.trace_extended();
+}
+
+void SimSession::submit(const std::vector<PaymentSpec>& specs) {
+  submit(specs.data(), specs.size());
+}
+
+void SimSession::attach(SimObserver& observer) { state_->sim.attach(observer); }
+
+std::size_t SimSession::advance_until(TimePoint horizon) {
+  return state_->sim.advance_until(horizon);
+}
+
+SimMetrics SimSession::drain() {
+  state_->sim.drain();
+  return state_->sim.metrics();
+}
+
+SimMetrics SimSession::metrics() const { return state_->sim.metrics(); }
+
+TimePoint SimSession::now() const { return state_->sim.now(); }
+
+bool SimSession::idle() const { return state_->sim.idle(); }
+
+std::size_t SimSession::submitted() const { return state_->trace.size(); }
+
+Scheme SimSession::scheme() const { return state_->scheme; }
+
+const std::vector<Payment>& SimSession::payments() const {
+  return state_->sim.payments();
+}
+
+Network& SimSession::network() { return state_->network; }
+
+const Network& SimSession::network() const { return state_->network; }
+
+}  // namespace spider

@@ -1,0 +1,110 @@
+// SimSession — the streaming run surface of the experiment layer.
+//
+// A session is one live simulation: a fresh Network over the façade's
+// topology, the scheme's router, and a resumable Simulator. Where
+// SpiderNetwork::run() swallows a whole trace and returns one lifetime
+// aggregate, a session is driven incrementally:
+//
+//   SimSession session = net.session(Scheme::kSpiderWaterfilling, seed);
+//   WindowedMetrics windows(/*warmup=*/seconds(20));
+//   session.attach(windows);                  // observer pipeline
+//   session.submit(first_batch);              // online arrivals
+//   session.advance_until(seconds(30));       // incremental execution
+//   SimMetrics so_far = session.metrics();    // mid-run snapshot
+//   session.submit(more);                     // rates may shift mid-run
+//   SimMetrics final = session.drain();       // run to completion
+//
+// Equivalence guarantee: submitting a trace through a session — all at
+// once or in arrival-ordered spans, with any advance_until stepping in
+// between — processes the exact event sequence of a batch run() with the
+// same seed, so the final SimMetrics is byte-identical (asserted in
+// tests/test_session.cpp across every scheme and both queueing modes).
+// The one requirement online submission adds is causality: a payment must
+// be submitted before the clock passes its arrival time.
+//
+// Dynamic scenarios (mid-run rate shifts, flash crowds) are plain
+// submission patterns; channel capacity changes go through network()
+// (e.g. network().channel(e).deposit(side, amount)) between advances.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/config.hpp"
+#include "sim/observer.hpp"
+#include "sim/simulator.hpp"
+
+namespace spider {
+
+/// Knobs beyond (scheme, seed) a session can be created with.
+struct SessionOptions {
+  /// Metrics-window length for the observer pipeline's on_window_roll
+  /// (WindowedMetrics et al.); 0 disables window rolls.
+  Duration metrics_window = 0;
+  /// Trace to estimate the router's demand-matrix hint from. Demand-driven
+  /// schemes (Spider LP, the primal–dual extension) require it; for the
+  /// other schemes a purely online session may leave it unset.
+  const std::vector<PaymentSpec>* demand_hint = nullptr;
+};
+
+class SimSession {
+ public:
+  /// Built by SpiderNetwork::session(); `topology` must outlive the
+  /// session (the façade's topology does). `shared_paths` may be null.
+  SimSession(const Graph& topology, const SpiderConfig& config, Scheme scheme,
+             const SessionOptions& options, const PathCache* shared_paths);
+  ~SimSession();
+  SimSession(SimSession&&) noexcept;
+  SimSession& operator=(SimSession&&) noexcept;
+  SimSession(const SimSession&) = delete;
+  SimSession& operator=(const SimSession&) = delete;
+
+  /// Submits payments for simulation. Arrivals must be nondecreasing
+  /// across ALL submissions and must not lie in the clock's past — the
+  /// ordering that makes online submission replay the batch event order.
+  void submit(const PaymentSpec& spec);
+  void submit(const PaymentSpec* specs, std::size_t count);
+  void submit(const std::vector<PaymentSpec>& specs);
+
+  /// Attaches an observer (sim/observer.hpp); hooks fire in attach order.
+  /// The observer must outlive the session and must not mutate simulation
+  /// state from a hook. Attach before the first advance.
+  void attach(SimObserver& observer);
+
+  /// Processes every event up to and including `horizon`, rolling metric
+  /// windows across idle gaps. Returns the number of events processed.
+  std::size_t advance_until(TimePoint horizon);
+
+  /// Runs until no events remain (all settles drained, deadlines
+  /// resolved), emits the trailing partial window, validates conservation,
+  /// and returns the metrics. The session stays usable: more payments may
+  /// be submitted afterwards and the run resumes where it stopped.
+  SimMetrics drain();
+
+  /// Consistent snapshot of the metrics so far. After drain() this is the
+  /// final result, byte-identical to a batch run() of the same trace/seed.
+  [[nodiscard]] SimMetrics metrics() const;
+
+  /// Simulation clock (timestamp of the last processed event).
+  [[nodiscard]] TimePoint now() const;
+  /// True when no events are pending.
+  [[nodiscard]] bool idle() const;
+  /// Total payments submitted so far.
+  [[nodiscard]] std::size_t submitted() const;
+
+  [[nodiscard]] Scheme scheme() const;
+  /// Per-payment outcomes (grows as arrivals are processed).
+  [[nodiscard]] const std::vector<Payment>& payments() const;
+  /// Live network state. The mutable overload is the dynamic-scenario
+  /// injection point (on-chain deposits, capacity changes) — mutate only
+  /// between advances, never from an observer hook.
+  [[nodiscard]] Network& network();
+  [[nodiscard]] const Network& network() const;
+
+ private:
+  struct State;
+  std::unique_ptr<State> state_;
+};
+
+}  // namespace spider

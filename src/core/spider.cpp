@@ -46,6 +46,26 @@ const PathCache* SpiderNetwork::path_store() const {
   return paths_->store.get();
 }
 
+SimSession SpiderNetwork::session(Scheme scheme, std::uint64_t seed,
+                                  const SessionOptions& options) const {
+  // Only the cached-path schemes read the store; sparing the rest the warm
+  // pass keeps e.g. a max-flow-only run at paper scale from paying ~a
+  // minute of path precompute it would never use. A purely online session
+  // (no demand hint) has no pair list to warm from — its router falls back
+  // to lazy per-pair computation.
+  const bool warms =
+      scheme_uses_path_store(scheme) && options.demand_hint != nullptr;
+  if (warms) warm_paths(*options.demand_hint);
+  SpiderConfig config = config_;
+  config.sim.seed = seed;
+  return SimSession(topology_, config, scheme, options,
+                    warms ? path_store() : nullptr);
+}
+
+SimSession SpiderNetwork::session(Scheme scheme) const {
+  return session(scheme, config_.sim.seed);
+}
+
 SimMetrics SpiderNetwork::run(Scheme scheme,
                               const std::vector<PaymentSpec>& trace) const {
   return run(scheme, trace, config_.sim.seed);
@@ -54,16 +74,11 @@ SimMetrics SpiderNetwork::run(Scheme scheme,
 SimMetrics SpiderNetwork::run(Scheme scheme,
                               const std::vector<PaymentSpec>& trace,
                               std::uint64_t seed) const {
-  // Only the cached-path schemes read the store; sparing the rest the warm
-  // pass keeps e.g. a max-flow-only run at paper scale from paying ~a
-  // minute of path precompute it would never use.
-  const bool warms = scheme_uses_path_store(scheme);
-  if (warms) warm_paths(trace);
-  SpiderConfig config = config_;
-  config.sim.seed = seed;
-  const std::unique_ptr<Router> router = make_router(scheme, config);
-  return run_simulation(topology_, *router, trace, config.sim,
-                        warms ? path_store() : nullptr);
+  SessionOptions options;
+  options.demand_hint = &trace;
+  SimSession batch = session(scheme, seed, options);
+  batch.submit(trace);
+  return batch.drain();
 }
 
 double SpiderNetwork::workload_circulation_fraction(

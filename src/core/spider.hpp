@@ -17,6 +17,7 @@
 #pragma once
 
 #include "core/config.hpp"
+#include "core/session.hpp"
 #include "fluid/circulation.hpp"
 #include "workload/traffic.hpp"
 
@@ -35,9 +36,21 @@ class SpiderNetwork {
   [[nodiscard]] std::vector<PaymentSpec> synthesize_workload(
       int count, const TrafficConfig& traffic = {}) const;
 
-  /// Runs `scheme` over `trace` on a fresh network instance. Thread-safe:
-  /// run() shares nothing mutable, so independent runs (the ExperimentRunner
-  /// grid) may execute concurrently on one SpiderNetwork.
+  /// Opens a streaming run: a fresh network instance plus the scheme's
+  /// router behind a resumable simulator (see core/session.hpp). The
+  /// session must not outlive this SpiderNetwork. Thread-safe the same way
+  /// run() is: sessions share nothing mutable, so many may live at once.
+  [[nodiscard]] SimSession session(Scheme scheme, std::uint64_t seed,
+                                   const SessionOptions& options = {}) const;
+
+  /// session() with the configured simulation seed.
+  [[nodiscard]] SimSession session(Scheme scheme) const;
+
+  /// Runs `scheme` over `trace` on a fresh network instance — a thin batch
+  /// wrapper over session(): submit the whole trace, drain, return the
+  /// final metrics. Thread-safe: run() shares nothing mutable, so
+  /// independent runs (the ExperimentRunner grid) may execute concurrently
+  /// on one SpiderNetwork.
   [[nodiscard]] SimMetrics run(Scheme scheme,
                                const std::vector<PaymentSpec>& trace) const;
 

@@ -107,6 +107,15 @@ class EventQueue {
   /// The timestamp of the most recently popped event (0 before the first).
   [[nodiscard]] TimePoint now() const { return now_; }
 
+  /// Timestamp of the earliest pending event, without popping it. Requires
+  /// !empty(). Ring entries all sit at exactly now() <= any heap entry, so
+  /// a non-empty ring decides.
+  [[nodiscard]] TimePoint next_time() const {
+    SPIDER_ASSERT(!empty());
+    if (ring_head_ < now_ring_.size()) return now_ring_[ring_head_].time;
+    return heap_.front().time;
+  }
+
   /// Total events popped since construction/reset — the denominator of the
   /// engine's raw event rate.
   [[nodiscard]] std::uint64_t processed() const { return processed_; }

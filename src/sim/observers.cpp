@@ -1,0 +1,107 @@
+#include "sim/observers.hpp"
+
+#include <algorithm>
+
+#include "sim/network.hpp"
+
+namespace spider {
+
+void WindowedMetrics::on_payment_arrival(const Payment& payment, TimePoint) {
+  current_.attempted += 1;
+  current_.attempted_volume += payment.total;
+}
+
+void WindowedMetrics::on_payment_complete(const Payment& payment, TimePoint) {
+  current_.completed += 1;
+  current_.completed_volume += payment.total;
+}
+
+void WindowedMetrics::on_payment_failed(const Payment&, TimePoint) {
+  current_.failed += 1;
+}
+
+void WindowedMetrics::on_chunk_locked(const Path&, Amount, TimePoint) {
+  current_.chunks_locked += 1;
+}
+
+void WindowedMetrics::on_chunk_settled(const Path&, Amount amount,
+                                       TimePoint) {
+  current_.delivered_volume += amount;
+}
+
+void WindowedMetrics::on_window_roll(const WindowInfo& window,
+                                     const Network&) {
+  WindowStats stats = current_;
+  stats.index = window.index;
+  stats.start_s = to_seconds(window.start);
+  stats.end_s = to_seconds(window.end);
+  stats.partial = window.partial;
+  if (window.partial) {
+    // Drain-time snapshot: the window stays open (the session may resume),
+    // so the accumulator is NOT reset and a later complete roll of this
+    // index supersedes the tail.
+    tail_ = stats;
+    has_tail_ = true;
+    return;
+  }
+  windows_.push_back(stats);
+  current_ = WindowStats{};
+  has_tail_ = false;
+}
+
+WindowedMetrics::SteadyState WindowedMetrics::steady_state() const {
+  SteadyState steady;
+  for (const WindowStats& w : windows_) {
+    if (seconds(w.start_s) < warmup_) continue;
+    steady.windows += 1;
+    steady.attempted += w.attempted;
+    steady.completed += w.completed;
+    steady.attempted_volume += w.attempted_volume;
+    steady.delivered_volume += w.delivered_volume;
+    if (w.attempted > 0)
+      steady.per_window_success_ratio.add(w.success_ratio());
+  }
+  if (steady.attempted > 0)
+    steady.success_ratio = static_cast<double>(steady.completed) /
+                           static_cast<double>(steady.attempted);
+  if (steady.attempted_volume > 0)
+    steady.success_volume = static_cast<double>(steady.delivered_volume) /
+                            static_cast<double>(steady.attempted_volume);
+  return steady;
+}
+
+void ChannelImbalanceProbe::on_window_roll(const WindowInfo& window,
+                                           const Network& network) {
+  series_.push_back(Sample{to_seconds(window.end),
+                           network.mean_imbalance_xrp()});
+
+  const auto num_channels = network.num_channels();
+  scratch_.clear();
+  scratch_.reserve(num_channels);
+  for (std::size_t e = 0; e < num_channels; ++e) {
+    const Channel& ch = network.channel(static_cast<EdgeId>(e));
+    scratch_.push_back(ChannelSample{ch.id(), ch.endpoint(0), ch.endpoint(1),
+                                     to_xrp(ch.imbalance())});
+  }
+  const auto k = std::min<std::size_t>(
+      scratch_.size(), static_cast<std::size_t>(std::max(top_k_, 0)));
+  std::partial_sort(scratch_.begin(),
+                    scratch_.begin() + static_cast<std::ptrdiff_t>(k),
+                    scratch_.end(),
+                    [](const ChannelSample& x, const ChannelSample& y) {
+                      // Descending imbalance; edge id breaks ties so the
+                      // top-k list is deterministic.
+                      if (x.imbalance_xrp != y.imbalance_xrp)
+                        return x.imbalance_xrp > y.imbalance_xrp;
+                      return x.edge < y.edge;
+                    });
+  top_.assign(scratch_.begin(),
+              scratch_.begin() + static_cast<std::ptrdiff_t>(k));
+}
+
+void QueueDepthProbe::on_poll_round(std::size_t pending, TimePoint now) {
+  depth_.add(static_cast<double>(pending));
+  series_.push_back(Sample{to_seconds(now), pending});
+}
+
+}  // namespace spider

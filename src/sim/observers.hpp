@@ -1,0 +1,168 @@
+// Built-in observers for the session API (sim/observer.hpp).
+//
+// WindowedMetrics is the paper's actual measurement: §6.1 evaluates success
+// ratio/volume in *steady state*, over a window after the network has
+// warmed up, and Figs. 11–12 are per-window time series. The lifetime
+// aggregates in SimMetrics conflate ramp-up with steady state;
+// WindowedMetrics splits the run into fixed windows (anchored at t = 0,
+// length set by the session's metrics window) and reports both the series
+// and a warmup-excluded steady-state aggregate.
+//
+// ChannelImbalanceProbe and QueueDepthProbe are the two §5/§4 state probes
+// dashboards want: how skewed channels are drifting, and how deep the
+// pending queue runs between polls.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/observer.hpp"
+#include "util/amount.hpp"
+#include "util/stats.hpp"
+
+namespace spider {
+
+/// Per-window counters. Attribution is by event time: a payment counts as
+/// attempted in the window it ARRIVES in and as completed/failed in the
+/// window it FINISHES in, so a window's ratios compare arrival and
+/// completion *rates* over the same span — the steady-state reading; in
+/// steady state the two rates coincide.
+struct WindowStats {
+  std::size_t index = 0;
+  double start_s = 0.0;
+  double end_s = 0.0;
+  bool partial = false;  // trailing drain-time snapshot (shorter window)
+
+  std::int64_t attempted = 0;
+  Amount attempted_volume = 0;
+  std::int64_t completed = 0;
+  Amount completed_volume = 0;
+  std::int64_t failed = 0;  // expired + rejected in the window
+  Amount delivered_volume = 0;
+  std::int64_t chunks_locked = 0;
+
+  /// Payments completed per payment arrived within the window (0 when the
+  /// window saw no arrivals).
+  [[nodiscard]] double success_ratio() const {
+    return attempted == 0 ? 0.0
+                          : static_cast<double>(completed) /
+                                static_cast<double>(attempted);
+  }
+  /// Value delivered per value requested within the window.
+  [[nodiscard]] double success_volume() const {
+    return attempted_volume == 0
+               ? 0.0
+               : static_cast<double>(delivered_volume) /
+                     static_cast<double>(attempted_volume);
+  }
+};
+
+/// Rolls SimMetrics-style counters per metrics window and aggregates the
+/// post-warmup windows into steady-state statistics. Attach to a session
+/// whose metrics window is set; without a window no hooks fire beyond the
+/// accumulation of the (never-rolled) first window.
+class WindowedMetrics final : public SimObserver {
+ public:
+  /// Complete windows that START before `warmup` are excluded from
+  /// steady_state() — the paper's warmup exclusion. 0 keeps every window.
+  explicit WindowedMetrics(Duration warmup = 0) : warmup_(warmup) {}
+
+  /// Complete windows, in order. The open trailing window is in tail().
+  [[nodiscard]] const std::vector<WindowStats>& windows() const {
+    return windows_;
+  }
+  /// Drain-time snapshot of the unfinished trailing window; valid while
+  /// has_tail(). Superseded (and re-emitted) if the session resumes.
+  [[nodiscard]] const WindowStats& tail() const { return tail_; }
+  [[nodiscard]] bool has_tail() const { return has_tail_; }
+
+  struct SteadyState {
+    int windows = 0;  // complete windows past warmup
+    std::int64_t attempted = 0;
+    std::int64_t completed = 0;
+    Amount attempted_volume = 0;
+    Amount delivered_volume = 0;
+    /// Aggregate ratios over the steady span (0 when it saw no arrivals).
+    double success_ratio = 0.0;
+    double success_volume = 0.0;
+    /// Dispersion of per-window success ratios (windows with arrivals).
+    RunningStats per_window_success_ratio;
+  };
+  /// Aggregates the complete windows with start_s * 1e6 >= warmup. The
+  /// partial tail is never included (its span is shorter).
+  [[nodiscard]] SteadyState steady_state() const;
+
+  void on_payment_arrival(const Payment& payment, TimePoint now) override;
+  void on_payment_complete(const Payment& payment, TimePoint now) override;
+  void on_payment_failed(const Payment& payment, TimePoint now) override;
+  void on_chunk_locked(const Path& path, Amount amount,
+                       TimePoint now) override;
+  void on_chunk_settled(const Path& path, Amount amount,
+                        TimePoint now) override;
+  void on_window_roll(const WindowInfo& window,
+                      const Network& network) override;
+
+ private:
+  Duration warmup_;
+  WindowStats current_;  // open-window accumulator (boundaries unset)
+  WindowStats tail_;
+  bool has_tail_ = false;
+  std::vector<WindowStats> windows_;
+};
+
+/// Samples channel imbalance at every window roll: a mean-imbalance time
+/// series plus the latest top-k most imbalanced channels (what a live
+/// dashboard shows and what §5.2.3 rebalancing would target first).
+class ChannelImbalanceProbe final : public SimObserver {
+ public:
+  struct ChannelSample {
+    EdgeId edge = kInvalidEdge;
+    NodeId a = kInvalidNode;
+    NodeId b = kInvalidNode;
+    double imbalance_xrp = 0.0;
+  };
+  struct Sample {
+    double t_s = 0.0;
+    double mean_imbalance_xrp = 0.0;
+  };
+
+  explicit ChannelImbalanceProbe(int top_k = 5) : top_k_(top_k) {}
+
+  /// Mean |balance(a) - balance(b)| per window roll, in roll order.
+  [[nodiscard]] const std::vector<Sample>& series() const { return series_; }
+  /// The k most imbalanced channels as of the latest roll, descending.
+  [[nodiscard]] const std::vector<ChannelSample>& top_imbalanced() const {
+    return top_;
+  }
+
+  void on_window_roll(const WindowInfo& window,
+                      const Network& network) override;
+
+ private:
+  int top_k_;
+  std::vector<Sample> series_;
+  std::vector<ChannelSample> top_;
+  std::vector<ChannelSample> scratch_;  // reused per roll
+};
+
+/// Records the pending-queue depth at every poll round: distribution stats
+/// plus the (t, depth) series — the queue-dynamics-over-time view that
+/// throughput-optimal routing work measures.
+class QueueDepthProbe final : public SimObserver {
+ public:
+  struct Sample {
+    double t_s = 0.0;
+    std::size_t depth = 0;
+  };
+
+  [[nodiscard]] const RunningStats& depth() const { return depth_; }
+  [[nodiscard]] const std::vector<Sample>& series() const { return series_; }
+
+  void on_poll_round(std::size_t pending, TimePoint now) override;
+
+ private:
+  RunningStats depth_;
+  std::vector<Sample> series_;
+};
+
+}  // namespace spider

@@ -26,6 +26,12 @@ void Simulator::push_event(TimePoint time, EventKind kind, std::size_t index,
 }
 
 SimMetrics Simulator::run(const std::vector<PaymentSpec>& trace) {
+  begin(trace);
+  drain();
+  return metrics();
+}
+
+void Simulator::begin(const std::vector<PaymentSpec>& trace) {
   trace_ = &trace;
   payments_.clear();
   payments_.reserve(trace.size());
@@ -37,8 +43,14 @@ SimMetrics Simulator::run(const std::vector<PaymentSpec>& trace) {
   next_arrival_ = 0;
   events_.reset();
   poll_scheduled_ = false;
+  arrival_scheduled_ = false;
   rebalance_scheduled_ = false;
   next_stamp_ = 1;
+  advanced_horizon_ = 0;
+  window_start_ = 0;
+  window_index_ = 0;
+  events_since_roll_ = false;
+  tail_emitted_ = false;
 
   const auto num_edges =
       static_cast<std::size_t>(network_->graph().num_edges());
@@ -49,41 +61,122 @@ SimMetrics Simulator::run(const std::vector<PaymentSpec>& trace) {
     initial_side_funds_[e] = {ch.balance(0), ch.balance(1)};
   }
 
-  if (!trace.empty()) {
-    push_event(trace.front().arrival, EventKind::kArrival, 0);
-    if (config_.rebalance_interval > 0 &&
-        config_.rebalance_rate_xrp_per_s > 0) {
-      push_event(trace.front().arrival + config_.rebalance_interval,
-                 EventKind::kRebalance, 0);
-      rebalance_scheduled_ = true;
-    }
-  }
+  sync_arrival_chain();
+}
 
+void Simulator::trace_extended() { sync_arrival_chain(); }
+
+void Simulator::sync_arrival_chain() {
+  if (arrival_scheduled_ || trace_ == nullptr) return;
+  if (next_arrival_ >= trace_->size()) return;
+  const TimePoint at = (*trace_)[next_arrival_].arrival;
+  SPIDER_ASSERT_MSG(at >= now(), "submitted payment arrives in the past");
+  push_event(at, EventKind::kArrival, next_arrival_);
+  arrival_scheduled_ = true;
+  // The rebalance tick starts (or restarts, for a streaming session whose
+  // chain ran dry) alongside the arrival chain; handle_rebalance keeps it
+  // alive while there is work the deposits could help.
+  if (config_.rebalance_interval > 0 && config_.rebalance_rate_xrp_per_s > 0 &&
+      !rebalance_scheduled_) {
+    push_event(at + config_.rebalance_interval, EventKind::kRebalance, 0);
+    rebalance_scheduled_ = true;
+  }
+}
+
+void Simulator::process_next() {
+  const SimEvent ev = events_.pop();
+  // Roll the windows the clock just crossed before dispatching, so
+  // on_window_roll observes the network exactly as the window left it.
+  if (window_ > 0) {
+    roll_windows_until(ev.time);
+    events_since_roll_ = true;
+    tail_emitted_ = false;  // the open window's snapshot is stale again
+  }
+  switch (static_cast<EventKind>(ev.kind)) {
+    case EventKind::kArrival: handle_arrival(ev.index); break;
+    case EventKind::kSettle: handle_settle(ev.index); break;
+    case EventKind::kPoll:
+      poll_scheduled_ = false;
+      handle_poll();
+      break;
+    case EventKind::kHopArrive: handle_hop_arrive(ev.index); break;
+    case EventKind::kQueueTimeout:
+      handle_queue_timeout(ev.index, ev.stamp);
+      break;
+    case EventKind::kRebalance:
+      rebalance_scheduled_ = false;
+      handle_rebalance();
+      break;
+  }
+}
+
+std::size_t Simulator::advance_until(TimePoint horizon) {
+  std::size_t processed = 0;
+  while (!events_.empty() && events_.next_time() <= horizon) {
+    process_next();
+    ++processed;
+  }
+  if (horizon > advanced_horizon_) advanced_horizon_ = horizon;
+  if (window_ > 0) roll_windows_until(horizon);
+  return processed;
+}
+
+std::size_t Simulator::drain() {
+  std::size_t processed = 0;
   while (!events_.empty()) {
-    const SimEvent ev = events_.pop();
-    switch (static_cast<EventKind>(ev.kind)) {
-      case EventKind::kArrival: handle_arrival(ev.index); break;
-      case EventKind::kSettle: handle_settle(ev.index); break;
-      case EventKind::kPoll:
-        poll_scheduled_ = false;
-        handle_poll();
-        break;
-      case EventKind::kHopArrive: handle_hop_arrive(ev.index); break;
-      case EventKind::kQueueTimeout:
-        handle_queue_timeout(ev.index, ev.stamp);
-        break;
-      case EventKind::kRebalance:
-        rebalance_scheduled_ = false;
-        handle_rebalance();
-        break;
-    }
+    process_next();
+    ++processed;
   }
-
-  metrics_.events_processed = events_.processed();
-  metrics_.sim_duration_s = to_seconds(now());
-  metrics_.final_mean_imbalance_xrp = network_->mean_imbalance_xrp();
+  finish_windows();
   network_->check_invariants();
-  return metrics_;
+  return processed;
+}
+
+SimMetrics Simulator::metrics() const {
+  SimMetrics m = metrics_;
+  m.events_processed = events_.processed();
+  m.sim_duration_s = to_seconds(now());
+  m.final_mean_imbalance_xrp = network_->mean_imbalance_xrp();
+  return m;
+}
+
+void Simulator::attach(SimObserver& observer) {
+  observers_.push_back(&observer);
+}
+
+void Simulator::set_metrics_window(Duration window) {
+  SPIDER_ASSERT(window >= 0);
+  window_ = window;
+}
+
+void Simulator::roll_windows_until(TimePoint t) {
+  while (window_start_ + window_ <= t) {
+    const WindowInfo window{window_index_, window_start_,
+                            window_start_ + window_, /*partial=*/false};
+    for (SimObserver* observer : observers_)
+      observer->on_window_roll(window, *network_);
+    window_start_ += window_;
+    ++window_index_;
+    events_since_roll_ = false;
+    tail_emitted_ = false;  // a fresh window opened
+  }
+}
+
+void Simulator::finish_windows() {
+  if (window_ <= 0) return;
+  roll_windows_until(now());
+  // Emit the open trailing window if it spans any time or absorbed any
+  // event (an event landing exactly on a boundary belongs to the window
+  // STARTING there, which can make a content-bearing zero-span tail) —
+  // but only once per snapshot: a second drain() with nothing new must not
+  // re-emit an identical tail to the observers.
+  if (tail_emitted_) return;
+  if (now() <= window_start_ && !events_since_roll_) return;
+  const WindowInfo window{window_index_, window_start_, now(),
+                          /*partial=*/true};
+  for (SimObserver* observer : observers_)
+    observer->on_window_roll(window, *network_);
+  tail_emitted_ = true;
 }
 
 void Simulator::ensure_pending(std::size_t payment_index) {
@@ -99,11 +192,12 @@ void Simulator::ensure_pending(std::size_t payment_index) {
 
 void Simulator::handle_arrival(std::size_t trace_index) {
   const PaymentSpec& spec = (*trace_)[trace_index];
-  // Chain the next arrival so the heap stays small.
-  if (trace_index + 1 < trace_->size())
-    push_event((*trace_)[trace_index + 1].arrival, EventKind::kArrival,
-               trace_index + 1);
+  // Chain the next arrival so the heap stays small. In a streaming session
+  // the chain simply runs dry when the submitter falls behind the clock;
+  // trace_extended() restarts it.
+  arrival_scheduled_ = false;
   ++next_arrival_;
+  sync_arrival_chain();
 
   Payment p;
   p.id = static_cast<PaymentId>(trace_index);
@@ -121,6 +215,8 @@ void Simulator::handle_arrival(std::size_t trace_index) {
 
   metrics_.attempted_count += 1;
   metrics_.attempted_volume += spec.amount;
+  for (SimObserver* observer : observers_)
+    observer->on_payment_arrival(payments_[index], now());
 
   if (config_.admission_cap > 0 && spec.amount > config_.admission_cap) {
     metrics_.admission_refused += 1;
@@ -246,6 +342,8 @@ Amount Simulator::attempt(std::size_t payment_index) {
       metrics_.chunks_sent += 1;
       metrics_.chunk_hops.add(
           static_cast<double>(inflight_[ci].path.length()));
+      for (SimObserver* observer : observers_)
+        observer->on_chunk_locked(inflight_[ci].path, amount, now());
       push_event(now() + config_.hop_delay, EventKind::kHopArrive, ci);
       if (locked_total >= want) break;
     }
@@ -302,6 +400,9 @@ Amount Simulator::attempt(std::size_t payment_index) {
   for (std::size_t ci : locked_chunks) {
     metrics_.chunks_sent += 1;
     metrics_.chunk_hops.add(static_cast<double>(inflight_[ci].path.length()));
+    for (SimObserver* observer : observers_)
+      observer->on_chunk_locked(inflight_[ci].path, inflight_[ci].amount,
+                                now());
     push_event(now() + config_.delta, EventKind::kSettle, ci);
   }
   return locked_total;
@@ -336,6 +437,8 @@ void Simulator::handle_settle(std::size_t chunk_index) {
   p.inflight -= chunk.amount;
   p.delivered += chunk.amount;
   metrics_.delivered_volume += chunk.amount;
+  for (SimObserver* observer : observers_)
+    observer->on_chunk_settled(chunk.path, chunk.amount, now());
 
   if (p.status == PaymentStatus::kPending && p.delivered == p.total)
     finish_payment(chunk.payment, PaymentStatus::kCompleted);
@@ -395,6 +498,8 @@ void Simulator::complete_chunk(std::size_t chunk_index) {
   p.inflight -= chunk.amount;
   p.delivered += chunk.amount;
   metrics_.delivered_volume += chunk.amount;
+  for (SimObserver* observer : observers_)
+    observer->on_chunk_settled(chunk.path, chunk.amount, now());
   if (p.status == PaymentStatus::kPending && p.delivered == p.total)
     finish_payment(chunk.payment, PaymentStatus::kCompleted);
 
@@ -514,6 +619,8 @@ void Simulator::handle_rebalance() {
 void Simulator::handle_poll() {
   if (pending_.empty()) return;
   metrics_.retry_rounds += 1;
+  for (SimObserver* observer : observers_)
+    observer->on_poll_round(pending_.size(), now());
   router_->on_tick(*network_, now());
 
   // Expire overdue payments first (compacting the survivors in place), then
@@ -577,11 +684,39 @@ void Simulator::finish_payment(std::size_t payment_index,
       metrics_.completed_count += 1;
       metrics_.completed_volume += p.total;
       metrics_.completion_latency_s.add(to_seconds(now() - p.arrival));
+      for (SimObserver* observer : observers_)
+        observer->on_payment_complete(p, now());
       break;
-    case PaymentStatus::kExpired: metrics_.expired_count += 1; break;
-    case PaymentStatus::kRejected: metrics_.rejected_count += 1; break;
+    case PaymentStatus::kExpired:
+      metrics_.expired_count += 1;
+      for (SimObserver* observer : observers_)
+        observer->on_payment_failed(p, now());
+      break;
+    case PaymentStatus::kRejected:
+      metrics_.rejected_count += 1;
+      for (SimObserver* observer : observers_)
+        observer->on_payment_failed(p, now());
+      break;
     case PaymentStatus::kPending: break;
   }
+}
+
+void init_router_for_run(Router& router, const Network& network,
+                         const SimConfig& config,
+                         const std::vector<PaymentSpec>* demand_trace,
+                         const PathCache* shared_paths) {
+  // Routers copy what they need from the context, so the estimated demand
+  // matrix can be a local.
+  const NodeId num_nodes = network.graph().num_nodes();
+  const PaymentGraph demands =
+      demand_trace != nullptr
+          ? estimate_demand_matrix(num_nodes, *demand_trace)
+          : PaymentGraph(num_nodes);
+  RouterInitContext context;
+  context.demand_hint = &demands;
+  context.delta_seconds = to_seconds(config.delta);
+  context.shared_paths = shared_paths;
+  router.init(network, context);
 }
 
 SimMetrics run_simulation(const Graph& graph, Router& router,
@@ -589,13 +724,7 @@ SimMetrics run_simulation(const Graph& graph, Router& router,
                           const SimConfig& config,
                           const PathCache* shared_paths) {
   Network network(graph);
-  const PaymentGraph demands =
-      estimate_demand_matrix(graph.num_nodes(), trace);
-  RouterInitContext context;
-  context.demand_hint = &demands;
-  context.delta_seconds = to_seconds(config.delta);
-  context.shared_paths = shared_paths;
-  router.init(network, context);
+  init_router_for_run(router, network, config, &trace, shared_paths);
   Simulator sim(network, router, config);
   return sim.run(trace);
 }

@@ -26,6 +26,7 @@
 #include "sim/event_queue.hpp"
 #include "sim/metrics.hpp"
 #include "sim/network.hpp"
+#include "sim/observer.hpp"
 #include "sim/payment.hpp"
 #include "sim/scheduler.hpp"
 #include "workload/traffic.hpp"
@@ -94,8 +95,64 @@ class Simulator {
   Simulator(Network& network, Router& router, SimConfig config);
 
   /// Runs the full trace to completion (all settles drained, all deadlines
-  /// resolved) and returns the metrics.
+  /// resolved) and returns the metrics. Implemented as begin() + drain() —
+  /// the batch and streaming surfaces share one event loop, so a fixed seed
+  /// produces byte-identical metrics either way.
   [[nodiscard]] SimMetrics run(const std::vector<PaymentSpec>& trace);
+
+  // --- Streaming surface (what SimSession drives; run() is built on it) ---
+
+  /// Re-arms the simulator over `trace` without processing anything. The
+  /// caller may keep APPENDING to the vector between events (online
+  /// submission, nondecreasing arrival order); the vector object itself
+  /// must stay alive for the whole run. Call trace_extended() after every
+  /// append batch.
+  void begin(const std::vector<PaymentSpec>& trace);
+
+  /// Notifies the simulator that the trace vector grew: restarts the
+  /// arrival chain (and the rebalance tick, if configured) when it had run
+  /// dry. No-op while an arrival event is already scheduled, so submitting
+  /// ahead of the clock keeps the exact event order of a batch run.
+  void trace_extended();
+
+  /// Processes every event with time <= horizon, then rolls metric windows
+  /// up to horizon (windows roll on time, not on events — an idle gap still
+  /// produces its empty windows). Returns the number of events processed.
+  std::size_t advance_until(TimePoint horizon);
+
+  /// Processes every queued event (all settles drained, all deadlines
+  /// resolved), emits the trailing partial window, and validates channel
+  /// conservation. After drain(), metrics() is the final result.
+  std::size_t drain();
+
+  /// No events pending (drained, or nothing submitted yet).
+  [[nodiscard]] bool idle() const { return events_.empty(); }
+
+  /// The simulation clock: timestamp of the last processed event.
+  [[nodiscard]] TimePoint now() const { return events_.now(); }
+
+  /// How far simulated time has been declared to have passed: the max of
+  /// the clock and every advance_until horizon. Metric windows roll up to
+  /// this point, so new submissions must not arrive before it (SimSession
+  /// enforces that) — they would land in windows already emitted.
+  [[nodiscard]] TimePoint horizon() const {
+    return advanced_horizon_ > now() ? advanced_horizon_ : now();
+  }
+
+  /// Snapshot of the metrics accumulated so far, with the derived fields
+  /// (events_processed, sim_duration_s, final_mean_imbalance_xrp) filled
+  /// in. Mid-run this is a consistent partial view; after drain() it is
+  /// byte-identical to what run() returns.
+  [[nodiscard]] SimMetrics metrics() const;
+
+  /// Attaches an observer (see sim/observer.hpp). Hooks fire in attach
+  /// order; the observer must outlive the run and must not mutate
+  /// simulation state. Attach before the first event is processed.
+  void attach(SimObserver& observer);
+
+  /// Fixed metrics-window length for on_window_roll (0 = no window rolls).
+  /// Windows are anchored at t = 0. Set before the first event.
+  void set_metrics_window(Duration window);
 
   /// Payment table after run() — tests inspect per-payment outcomes.
   [[nodiscard]] const std::vector<Payment>& payments() const {
@@ -141,6 +198,16 @@ class Simulator {
 
   void push_event(TimePoint time, EventKind kind, std::size_t index,
                   std::uint64_t stamp = 0);
+  /// Pops and dispatches one event, rolling windows the clock crosses.
+  void process_next();
+  /// Schedules the next unscheduled arrival (and the initial rebalance
+  /// tick) if the chain ran dry and the trace has more payments.
+  void sync_arrival_chain();
+  /// Emits every complete window with end <= t, in index order.
+  void roll_windows_until(TimePoint t);
+  /// Emits the trailing partially-filled window (if the clock sits past the
+  /// last boundary) with WindowInfo::partial set.
+  void finish_windows();
   void handle_arrival(std::size_t trace_index);
   void handle_settle(std::size_t chunk_index);
   void handle_poll();
@@ -177,12 +244,20 @@ class Simulator {
   Rng rng_;
 
   /// The injected event loop: owns ordering and the clock.
-  [[nodiscard]] TimePoint now() const { return events_.now(); }
-
   const std::vector<PaymentSpec>* trace_ = nullptr;
   EventQueue events_;
   bool poll_scheduled_ = false;
+  bool arrival_scheduled_ = false;
   std::size_t next_arrival_ = 0;
+  TimePoint advanced_horizon_ = 0;  // high-water mark of advance_until
+
+  // Observer pipeline + metrics windows (see sim/observer.hpp).
+  std::vector<SimObserver*> observers_;
+  Duration window_ = 0;
+  TimePoint window_start_ = 0;
+  std::size_t window_index_ = 0;
+  bool events_since_roll_ = false;  // open window absorbed an event
+  bool tail_emitted_ = false;       // current tail snapshot already emitted
 
   std::vector<Payment> payments_;
   std::vector<std::size_t> pending_;  // payment indices with remaining > 0
@@ -201,6 +276,16 @@ class Simulator {
 
   SimMetrics metrics_;
 };
+
+/// Initializes `router` for a run over `network`: estimates the demand
+/// matrix from `demand_trace` (an empty matrix when null — online sessions
+/// may have no trace yet) and wires the full RouterInitContext (Δ, shared
+/// path store). Shared by run_simulation and SimSession so the batch and
+/// streaming init paths cannot drift.
+void init_router_for_run(Router& router, const Network& network,
+                         const SimConfig& config,
+                         const std::vector<PaymentSpec>* demand_trace,
+                         const PathCache* shared_paths);
 
 /// Convenience driver used by benches/examples: builds the network, inits
 /// the router (estimating the demand matrix from the trace), runs the trace.

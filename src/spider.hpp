@@ -5,7 +5,9 @@
 #include "core/experiment.hpp"   // IWYU pragma: export
 #include "core/runner.hpp"       // IWYU pragma: export
 #include "core/scenario.hpp"     // IWYU pragma: export
+#include "core/session.hpp"      // IWYU pragma: export
 #include "core/spider.hpp"       // IWYU pragma: export
+#include "sim/observers.hpp"     // IWYU pragma: export
 #include "fluid/circulation.hpp" // IWYU pragma: export
 #include "fluid/primal_dual.hpp" // IWYU pragma: export
 #include "fluid/routing_lp.hpp"  // IWYU pragma: export

@@ -10,8 +10,8 @@ namespace {
 TEST(ScenarioRegistry, ListsTheBuiltInCatalogue) {
   const auto& registry = ScenarioRegistry::instance();
   for (const char* name :
-       {"isp", "ripple-like", "scale-free", "lightning-snapshot-synthetic",
-        "hub-spoke", "small-world"})
+       {"isp", "ripple-like", "flash-crowd", "scale-free",
+        "lightning-snapshot-synthetic", "hub-spoke", "small-world"})
     EXPECT_TRUE(registry.contains(name)) << name;
 
   const auto entries = registry.list();
@@ -20,6 +20,29 @@ TEST(ScenarioRegistry, ListsTheBuiltInCatalogue) {
     EXPECT_LT(entries[i - 1].name, entries[i].name);  // sorted
   for (const auto& entry : entries)
     EXPECT_FALSE(entry.description.empty()) << entry.name;
+}
+
+TEST(ScenarioRegistry, FlashCrowdSurgesInTheMiddle) {
+  ScenarioParams params;
+  params.payments = 4000;
+  const ScenarioInstance instance = build_scenario("flash-crowd", params);
+  const auto& trace = instance.trace;
+  ASSERT_EQ(trace.size(), 4000u);
+  // Arrivals stay nondecreasing across the phase seams, so the trace is
+  // session-submittable in spans.
+  for (std::size_t i = 1; i < trace.size(); ++i)
+    ASSERT_GE(trace[i].arrival, trace[i - 1].arrival) << i;
+
+  // The middle half arrives ~4x faster than the surrounding quarters.
+  const auto mean_gap_s = [&](std::size_t lo, std::size_t hi) {
+    return to_seconds(trace[hi].arrival - trace[lo].arrival) /
+           static_cast<double>(hi - lo);
+  };
+  const double head = mean_gap_s(0, 999);
+  const double crowd = mean_gap_s(1000, 2999);
+  const double tail = mean_gap_s(3000, 3999);
+  EXPECT_NEAR(head / crowd, 4.0, 1.2);
+  EXPECT_NEAR(tail / crowd, 4.0, 1.2);
 }
 
 TEST(ScenarioRegistry, UnknownNameThrows) {

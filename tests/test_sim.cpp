@@ -277,7 +277,27 @@ TEST(Simulator, EmptyTrace) {
   Simulator sim(net, router, SimConfig{});
   const SimMetrics m = sim.run({});
   EXPECT_EQ(m.attempted_count, 0);
+  // Every ratio guards its zero denominator on a degenerate trace: no
+  // division by zero, just 0.
   EXPECT_DOUBLE_EQ(m.success_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(m.success_volume(), 0.0);
+  EXPECT_DOUBLE_EQ(m.admitted_success_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(m.throughput_xrp_per_s(), 0.0);
+  EXPECT_DOUBLE_EQ(m.fee_per_kilo_delivered(), 0.0);
+}
+
+TEST(Simulator, DegenerateMetricsNeverDivideByZero) {
+  // A default-constructed SimMetrics (no run at all) takes every guarded
+  // branch, including the admitted ratio with refusals subtracted.
+  SimMetrics m;
+  EXPECT_DOUBLE_EQ(m.success_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(m.admitted_success_ratio(), 0.0);
+  m.attempted_count = 3;
+  m.admission_refused = 3;  // every attempt refused: admitted == 0
+  EXPECT_DOUBLE_EQ(m.admitted_success_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(m.success_volume(), 0.0);
+  EXPECT_DOUBLE_EQ(m.throughput_xrp_per_s(), 0.0);
+  EXPECT_DOUBLE_EQ(m.fee_per_kilo_delivered(), 0.0);
 }
 
 TEST(RunSimulation, ConvenienceDriverWorksEndToEnd) {
