@@ -260,6 +260,71 @@ void BM_MapPathCacheLookup(benchmark::State& state) {
 BENCHMARK(BM_MapPathCacheLookup);
 
 // ---------------------------------------------------------------------------
+// Generation-delta guardrail: churn-aware CandidatePaths lookups vs the
+// static warm store they wrap. The dynamic-topology acceptance bar is that
+// a lookup against a churned topology (closed-edge validation + warm delta
+// hit for stale pairs) stays within 2x of a static warm-store lookup.
+// ---------------------------------------------------------------------------
+
+/// Shared setup: a warmed store over the ISP trace plus the trace's pair
+/// list (the same mix BM_FlatPathStoreLookup cycles through).
+struct DeltaLookupFixture {
+  ScenarioInstance scenario;
+  PathCache store;
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  Network network;
+  CandidatePaths candidates;
+
+  DeltaLookupFixture()
+      : scenario(simulator_fixture()),
+        store(scenario.graph, 4, PathSelection::kEdgeDisjoint),
+        network(scenario.graph) {
+    for (const PaymentSpec& spec : scenario.trace)
+      pairs.emplace_back(spec.src, spec.dst);
+    store.warm(pairs);
+    candidates.init(network.graph(), 4, PathSelection::kEdgeDisjoint,
+                    &store);
+    candidates.sync(network.topology_generation());
+  }
+
+  /// Closes every 8th channel (a heavy churn epoch) and pre-touches every
+  /// pair so the per-generation delta is warm — the steady state the
+  /// benchmark measures.
+  void churn_and_warm_delta() {
+    for (EdgeId e = 0; e < network.graph().num_edges(); e += 8)
+      (void)network.close_channel(e);
+    candidates.sync(network.topology_generation());
+    for (const auto& [src, dst] : pairs)
+      benchmark::DoNotOptimize(candidates.paths(src, dst).data());
+  }
+};
+
+void BM_CandidatePathsStaticLookup(benchmark::State& state) {
+  DeltaLookupFixture fx;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& pair = fx.pairs[i++ % fx.pairs.size()];
+    benchmark::DoNotOptimize(
+        fx.candidates.paths(pair.first, pair.second).data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CandidatePathsStaticLookup);
+
+void BM_CandidatePathsGenerationDeltaLookup(benchmark::State& state) {
+  DeltaLookupFixture fx;
+  fx.churn_and_warm_delta();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& pair = fx.pairs[i++ % fx.pairs.size()];
+    benchmark::DoNotOptimize(
+        fx.candidates.paths(pair.first, pair.second).data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CandidatePathsGenerationDeltaLookup);
+
+// ---------------------------------------------------------------------------
 // Planner-throughput guardrail: flat overlay vs the replaced std::map one.
 // ---------------------------------------------------------------------------
 
@@ -379,6 +444,51 @@ void report_planner_throughput() {
   maybe_write_csv("micro_planner_throughput", table);
 }
 
+/// Timed lookups/sec over the trace's pair mix through `candidates`.
+double lookups_per_second(DeltaLookupFixture& fx, int min_millis) {
+  using Clock = std::chrono::steady_clock;
+  std::int64_t lookups = 0;
+  std::size_t i = 0;
+  const auto start = Clock::now();
+  double elapsed = 0;
+  while (elapsed * 1000 < min_millis) {
+    for (int batch = 0; batch < 4096; ++batch) {
+      const auto& pair = fx.pairs[i++ % fx.pairs.size()];
+      benchmark::DoNotOptimize(
+          fx.candidates.paths(pair.first, pair.second).data());
+      ++lookups;
+    }
+    elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  }
+  return static_cast<double>(lookups) / elapsed;
+}
+
+/// Dynamic-topology acceptance guardrail: steady-state generation-delta
+/// lookups (memoized verdicts after a heavy churn epoch) must stay within
+/// 2x of the static warm-store lookup through the same router surface.
+void report_generation_delta_lookup() {
+  const int min_millis = env_int("SPIDER_MICRO_PLANNER_MS", 500);
+  DeltaLookupFixture static_fx;
+  const double static_rate = lookups_per_second(static_fx, min_millis);
+  DeltaLookupFixture churned_fx;
+  churned_fx.churn_and_warm_delta();
+  const double churned_rate = lookups_per_second(churned_fx, min_millis);
+  const double slowdown =
+      churned_rate > 0 ? static_rate / churned_rate : 0.0;
+
+  Table table({"lookup", "topology", "lookups_per_sec", "slowdown"});
+  table.add_row({"candidate-paths", "static", Table::num(static_rate, 0),
+                 Table::num(1.0, 2)});
+  table.add_row({"candidate-paths", "churned (1/8 closed)",
+                 Table::num(churned_rate, 0), Table::num(slowdown, 2)});
+  std::cout << "\nGeneration-delta path lookups (2x budget vs static):\n"
+            << table.render();
+  maybe_write_csv("micro_generation_delta_lookup", table);
+  if (slowdown > 2.0)
+    std::cout << "WARNING: generation-delta lookups exceed the 2x budget ("
+              << Table::num(slowdown, 2) << "x)\n";
+}
+
 }  // namespace
 }  // namespace spider
 
@@ -388,5 +498,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   spider::report_planner_throughput();
+  spider::report_generation_delta_lookup();
   return 0;
 }

@@ -1,11 +1,15 @@
 // E18 — engine-throughput harness: the repo's machine-readable perf
 // trajectory.
 //
-// For each scenario (default "isp,ripple-like,ripple-like@1000"; override
-// with SPIDER_BENCH_SCENARIOS, a comma list where "name@N" pins
-// SPIDER_NODES-style node counts per entry), warms the shared candidate-path
-// store once (timed separately) and then runs each measured scheme, timing
-// the simulation phase alone. Reported rates:
+// For each scenario (default "isp,ripple-like,ripple-like@1000,
+// lightning-churn"; override with SPIDER_BENCH_SCENARIOS, a comma list
+// where "name@N" pins SPIDER_NODES-style node counts per entry), warms the
+// shared candidate-path store once (timed separately) and then runs each
+// measured scheme, timing the simulation phase alone. Scenarios that
+// declare churn (lightning-churn) run with their topology stream submitted,
+// so the generation-aware invalidation hot path (PathCache deltas, closed-
+// edge validation) is inside the timed region and under the CI floor gate.
+// Reported rates:
 //
 //   events/sec   — EventQueue pops per wall second (raw engine rate)
 //   payments/sec — trace payments per wall second (end-to-end rate)
@@ -209,7 +213,7 @@ int run() {
   const std::string scenario_list =
       std::getenv("SPIDER_BENCH_SCENARIOS") != nullptr
           ? std::getenv("SPIDER_BENCH_SCENARIOS")
-          : "isp,ripple-like,ripple-like@1000";
+          : "isp,ripple-like,ripple-like@1000,lightning-churn";
   const std::vector<Scheme> schemes = {Scheme::kSpiderWaterfilling,
                                        Scheme::kShortestPath};
 
@@ -243,13 +247,18 @@ int run() {
       const double window_s = env_double("SPIDER_BENCH_WINDOW_S", 0.0);
       const Duration warmup =
           seconds(env_double("SPIDER_BENCH_WARMUP_S", 0.0));
+      const std::vector<TopologyChange>* churn =
+          scenario.churn.empty() ? nullptr : &scenario.churn;
       WindowedRun windowed;
       const auto start = Clock::now();
       SimMetrics m;
       if (window_s > 0) {
         windowed = run_windowed(net, scheme, net.config().sim.seed,
-                                scenario.trace, seconds(window_s), warmup);
+                                scenario.trace, seconds(window_s), warmup,
+                                churn);
         m = windowed.metrics;
+      } else if (churn != nullptr) {
+        m = net.run(scheme, scenario.trace, net.config().sim.seed, *churn);
       } else {
         m = net.run(scheme, scenario.trace);
       }

@@ -13,7 +13,8 @@ namespace spider {
 WindowedRun run_windowed(const SpiderNetwork& network, Scheme scheme,
                          std::uint64_t seed,
                          const std::vector<PaymentSpec>& trace,
-                         Duration metrics_window, Duration warmup) {
+                         Duration metrics_window, Duration warmup,
+                         const std::vector<TopologyChange>* churn) {
   SPIDER_ASSERT(metrics_window > 0);
   SessionOptions options;
   options.metrics_window = metrics_window;
@@ -21,6 +22,7 @@ WindowedRun run_windowed(const SpiderNetwork& network, Scheme scheme,
   SimSession session = network.session(scheme, seed, options);
   WindowedMetrics windowed(warmup);
   session.attach(windowed);
+  if (churn != nullptr) session.submit_topology(*churn);
   session.submit(trace);
   WindowedRun run;
   run.metrics = session.drain();
@@ -160,6 +162,11 @@ double env_double(const char* name, double fallback) {
   } catch (const std::exception&) {
     return fallback;
   }
+}
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* value = std::getenv(name);
+  return value == nullptr ? fallback : std::string(value);
 }
 
 void maybe_write_csv(const std::string& bench_name, const Table& table) {

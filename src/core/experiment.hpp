@@ -35,12 +35,16 @@ struct WindowedRun {
 /// byte-identical to SpiderNetwork::run(scheme, trace, seed); the windows
 /// and steady-state aggregate ride along. The single implementation behind
 /// every windowed surface (run_grid, run_schemes, bench_throughput), so
-/// the session wiring cannot drift between them.
+/// the session wiring cannot drift between them. A non-null `churn` is
+/// submitted before the trace (the canonical churn-then-payments order of
+/// SpiderNetwork::run's churn overload).
 [[nodiscard]] WindowedRun run_windowed(const SpiderNetwork& network,
                                        Scheme scheme, std::uint64_t seed,
                                        const std::vector<PaymentSpec>& trace,
                                        Duration metrics_window,
-                                       Duration warmup);
+                                       Duration warmup,
+                                       const std::vector<TopologyChange>*
+                                           churn = nullptr);
 
 /// Runs every scheme in `schemes` over the same trace on fresh copies of the
 /// network. Logs progress at info level.
@@ -77,10 +81,12 @@ struct WindowedRun {
 void maybe_write_windows_csv(const std::string& bench_name,
                              const std::vector<SchemeResult>& results);
 
-/// Integer/double environment overrides for bench scaling, e.g.
+/// Integer/double/string environment overrides for bench scaling, e.g.
 /// env_int("SPIDER_TXNS", 20000). Malformed values fall back to the default.
 [[nodiscard]] int env_int(const char* name, int fallback);
 [[nodiscard]] double env_double(const char* name, double fallback);
+[[nodiscard]] std::string env_string(const char* name,
+                                     const std::string& fallback);
 
 /// If SPIDER_BENCH_CSV_DIR is set, writes `table` to
 /// <dir>/<bench_name>.csv; otherwise does nothing.

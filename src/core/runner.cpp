@@ -116,6 +116,11 @@ std::vector<CellResult> ExperimentRunner::run_grid(
     CellResult& result = results[i];
     result.cell = cell;
     result.scenario = scenario.name;
+    // Scenarios that declare churn route every cell through the
+    // churn-aware run surface (churn submitted before payments — the
+    // canonical order); static scenarios take the exact pre-churn path.
+    const std::vector<TopologyChange>* churn =
+        scenario.churn.empty() ? nullptr : &scenario.churn;
     if (options.metrics_window > 0) {
       // Windowed cell: same run, driven through a session so a
       // WindowedMetrics observer can collect the time series. The final
@@ -123,10 +128,13 @@ std::vector<CellResult> ExperimentRunner::run_grid(
       WindowedRun run =
           run_windowed(networks[cell.scenario_index], cell.scheme,
                        cell.seed, scenario.trace, options.metrics_window,
-                       options.warmup);
+                       options.warmup, churn);
       result.metrics = run.metrics;
       result.windows = std::move(run.windows);
       result.steady = run.steady;
+    } else if (churn != nullptr) {
+      result.metrics = networks[cell.scenario_index].run(
+          cell.scheme, scenario.trace, cell.seed, *churn);
     } else {
       result.metrics =
           networks[cell.scenario_index].run(cell.scheme, scenario.trace,

@@ -22,6 +22,8 @@ ScenarioParams ScenarioParams::from_env() {
       static_cast<std::uint64_t>(env_int("SPIDER_SEED", 0));
   params.traffic_seed =
       static_cast<std::uint64_t>(env_int("SPIDER_TRAFFIC_SEED", 0));
+  params.churn_rate = env_double("SPIDER_CHURN_RATE", 0.0);
+  params.churn_mode = env_string("SPIDER_CHURN_MODE", "");
   return params;
 }
 
@@ -172,6 +174,60 @@ ScenarioRegistry::ScenarioRegistry() {
         instance.graph = std::move(graph);
         instance.config = config;
         instance.trace = std::move(trace);
+        return instance;
+      });
+
+  add("lightning-churn",
+      "Lightning-like hub topology (BA m=5, small 500 XRP channels) under "
+      "continuous channel churn: a deterministic uniform open/close process "
+      "(default 2 topology events/s, SPIDER_CHURN_RATE / SPIDER_CHURN_MODE "
+      "override) interleaves with the payment stream — the dynamic-topology "
+      "stress case for generation-aware route invalidation",
+      [](const ScenarioParams& p) {
+        const Resolved r = resolve(p, {4000, 250.0, 500, 120});
+        Rng rng(r.topology_seed);
+        Graph graph = barabasi_albert_topology(r.nodes, 5, r.capacity, rng);
+        ScenarioInstance instance =
+            materialize("lightning-churn", std::move(graph), SpiderConfig{},
+                        r, *ripple_synthetic_sizes(), p);
+        const TimePoint span = instance.trace.back().arrival;
+        ChurnConfig churn;
+        churn.mode = p.churn_mode.empty()
+                         ? ChurnMode::kUniform
+                         : churn_mode_from_name(p.churn_mode);
+        churn.events_per_second = p.churn_rate > 0 ? p.churn_rate : 2.0;
+        churn.start = span / 10;  // let the network warm before churning
+        churn.stop = span;
+        churn.seed = r.topology_seed;
+        instance.churn = ChurnSchedule(instance.graph, churn).generate();
+        return instance;
+      });
+  add("partition-heal",
+      "Ripple-like credit graph that partitions mid-run and heals: every "
+      "channel crossing a node bipartition closes at one-third of the trace "
+      "span (escrow returned, in-flight chunks refunded) and a replacement "
+      "channel per severed one opens at two-thirds — watch cross-partition "
+      "success collapse and recover through WindowedMetrics",
+      [](const ScenarioParams& p) {
+        const Resolved r = resolve(p, {4000, 400.0, 3000, 60, 1, 2});
+        Graph graph =
+            ripple_like_topology(r.nodes, r.capacity, r.topology_seed);
+        SpiderConfig config;
+        // Same LP pair cap as ripple-like (dense offline simplex limit).
+        config.lp_max_pairs = p.lp_max_pairs > 0 ? p.lp_max_pairs : 900;
+        ScenarioInstance instance =
+            materialize("partition-heal", std::move(graph), config, r,
+                        *ripple_subgraph_sizes(), p);
+        const TimePoint span = instance.trace.back().arrival;
+        ChurnConfig churn;
+        churn.mode = p.churn_mode.empty()
+                         ? ChurnMode::kPartitionHeal
+                         : churn_mode_from_name(p.churn_mode);
+        churn.events_per_second = p.churn_rate > 0 ? p.churn_rate : 2.0;
+        churn.start = span / 3;
+        churn.stop = 2 * span / 3;
+        churn.seed = r.topology_seed;
+        instance.churn = ChurnSchedule(instance.graph, churn).generate();
         return instance;
       });
 

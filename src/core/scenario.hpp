@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "workload/churn.hpp"
 #include "workload/traffic.hpp"
 
 namespace spider {
@@ -36,17 +37,27 @@ struct ScenarioParams {
   int paths_k = 0;             // candidate-path count    (SPIDER_PATHS_K)
   std::uint64_t topology_seed = 0;  //                    (SPIDER_SEED)
   std::uint64_t traffic_seed = 0;   //                    (SPIDER_TRAFFIC_SEED)
+  /// Channel churn (scenarios that declare a ChurnSchedule): topology
+  /// events per simulated second, and the schedule mode ("uniform",
+  /// "drain", "partition-heal"; empty = scenario default).
+  double churn_rate = 0.0;          //                    (SPIDER_CHURN_RATE)
+  std::string churn_mode;           //                    (SPIDER_CHURN_MODE)
 
   /// Reads the SPIDER_* overrides; anything unset stays "scenario default".
   [[nodiscard]] static ScenarioParams from_env();
 };
 
 /// A fully materialized scenario: what the runner executes a scheme over.
+/// A non-empty `churn` stream makes every surface that consumes the
+/// scenario (runner grids, benches) run it as a dynamic-topology scenario:
+/// churn is submitted before the payments, interleaving deterministically
+/// through the shared event queue.
 struct ScenarioInstance {
   std::string name;
   Graph graph;
   SpiderConfig config;
   std::vector<PaymentSpec> trace;
+  std::vector<TopologyChange> churn;
 };
 
 using ScenarioBuilder =

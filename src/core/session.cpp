@@ -12,6 +12,8 @@ struct SimSession::State {
   // ever appended to; the vector object itself stays put (the simulator
   // holds a pointer to it, not into it).
   std::vector<PaymentSpec> trace;
+  // The growing topology-change stream, same contract as `trace`.
+  std::vector<TopologyChange> churn;
 
   State(const Graph& topology, const SpiderConfig& cfg, Scheme s,
         const SessionOptions& options, const PathCache* shared_paths)
@@ -24,6 +26,7 @@ struct SimSession::State {
                         shared_paths);
     sim.set_metrics_window(options.metrics_window);
     sim.begin(trace);
+    sim.begin_topology(churn);
   }
 };
 
@@ -65,6 +68,32 @@ void SimSession::submit(const std::vector<PaymentSpec>& specs) {
   submit(specs.data(), specs.size());
 }
 
+void SimSession::submit_topology(const TopologyChange& change) {
+  submit_topology(&change, 1);
+}
+
+void SimSession::submit_topology(const TopologyChange* changes,
+                                 std::size_t count) {
+  if (count == 0) return;
+  State& s = *state_;
+  // Same validate-then-commit discipline as submit(): a rejected span
+  // leaves the churn stream exactly as it was.
+  TimePoint last = s.churn.empty() ? s.sim.horizon() : s.churn.back().at;
+  for (std::size_t i = 0; i < count; ++i) {
+    SPIDER_ASSERT_MSG(changes[i].at >= s.sim.horizon(),
+                      "submitted topology change occurs in the clock's past");
+    SPIDER_ASSERT_MSG(changes[i].at >= last,
+                      "topology changes must be in nondecreasing time order");
+    last = changes[i].at;
+  }
+  s.churn.insert(s.churn.end(), changes, changes + count);
+  s.sim.topology_extended();
+}
+
+void SimSession::submit_topology(const std::vector<TopologyChange>& changes) {
+  submit_topology(changes.data(), changes.size());
+}
+
 void SimSession::attach(SimObserver& observer) { state_->sim.attach(observer); }
 
 std::size_t SimSession::advance_until(TimePoint horizon) {
@@ -90,7 +119,19 @@ const std::vector<Payment>& SimSession::payments() const {
   return state_->sim.payments();
 }
 
-Network& SimSession::network() { return state_->network; }
+std::size_t SimSession::submitted_topology() const {
+  return state_->churn.size();
+}
+
+Network& SimSession::network() {
+  // Handing out mutable network access IS a topology/capacity mutation as
+  // far as routers can tell (they cannot observe what the caller does with
+  // it), so raise the same generation bump the scheduled-churn path does.
+  // Previously such mutations were silent and routers kept planning over
+  // stale topology-derived state.
+  state_->network.note_external_mutation();
+  return state_->network;
+}
 
 const Network& SimSession::network() const { return state_->network; }
 

@@ -23,8 +23,14 @@
 // be submitted before the clock passes its arrival time.
 //
 // Dynamic scenarios (mid-run rate shifts, flash crowds) are plain
-// submission patterns; channel capacity changes go through network()
-// (e.g. network().channel(e).deposit(side, amount)) between advances.
+// submission patterns. Topology churn — channels opening, closing, being
+// re-funded — is submitted through submit_topology(), mirroring the
+// payment-submission API: changes are scheduled through the same
+// (time, seq) event queue, so churn interleaves with payments in one
+// reproducible total order. Ad-hoc mutations through the mutable
+// network() accessor remain possible between advances; every such access
+// bumps the network's topology generation so routers refresh exactly as
+// they do for scheduled churn (see the accessor's comment).
 #pragma once
 
 #include <cstddef>
@@ -67,6 +73,17 @@ class SimSession {
   void submit(const PaymentSpec* specs, std::size_t count);
   void submit(const std::vector<PaymentSpec>& specs);
 
+  /// Submits topology changes (channel open / close / deposit) for
+  /// simulation — the churn mirror of submit(): change times must be
+  /// nondecreasing across ALL topology submissions and must not lie in the
+  /// clock's past. Each change dispatches at its timestamp through the
+  /// shared event queue (SimObserver::on_topology_change fires as it
+  /// applies); a session that never submits churn schedules no topology
+  /// events and stays byte-identical to a static run.
+  void submit_topology(const TopologyChange& change);
+  void submit_topology(const TopologyChange* changes, std::size_t count);
+  void submit_topology(const std::vector<TopologyChange>& changes);
+
   /// Attaches an observer (sim/observer.hpp); hooks fire in attach order.
   /// The observer must outlive the session and must not mutate simulation
   /// state from a hook. Attach before the first advance.
@@ -96,9 +113,24 @@ class SimSession {
   [[nodiscard]] Scheme scheme() const;
   /// Per-payment outcomes (grows as arrivals are processed).
   [[nodiscard]] const std::vector<Payment>& payments() const;
-  /// Live network state. The mutable overload is the dynamic-scenario
-  /// injection point (on-chain deposits, capacity changes) — mutate only
-  /// between advances, never from an observer hook.
+  /// Total topology changes submitted so far.
+  [[nodiscard]] std::size_t submitted_topology() const;
+  /// Live network state. The mutable overload is the ad-hoc
+  /// dynamic-scenario injection point (on-chain deposits, capacity
+  /// changes) — mutate only between advances, never from an observer hook.
+  /// Every mutable access bumps the network's topology generation, the
+  /// same invalidation signal the scheduled-churn path raises, so routers
+  /// with topology-derived state (path caches, tree embeddings, landmark
+  /// routes) refresh instead of planning over a network that silently
+  /// changed under them (the staleness hazard DESIGN.md's reentrancy
+  /// section documents). The session cannot see what the caller does with
+  /// the reference, so a mutable access is indistinguishable from a
+  /// mutation and is treated as one — read through the const overload
+  /// (std::as_const(session).network()), or the conservative bump makes
+  /// generation-sensitive schemes (SpeedyMurmurs re-embeds per generation)
+  /// take a different — still deterministic — routing trajectory than the
+  /// access-free run. Prefer submit_topology() for anything that can be
+  /// expressed as a scheduled change.
   [[nodiscard]] Network& network();
   [[nodiscard]] const Network& network() const;
 

@@ -61,6 +61,18 @@ class SpiderNetwork {
                                const std::vector<PaymentSpec>& trace,
                                std::uint64_t seed) const;
 
+  /// run() under dynamic topology: submits the churn stream first (so a
+  /// change may precede the first arrival), then the whole trace, then
+  /// drains — the canonical submission order every churn-aware surface
+  /// (runner grids, benches, tests) uses, which is what makes
+  /// churn-interleaved runs reproducible. An empty `churn` is exactly the
+  /// plain run().
+  [[nodiscard]] SimMetrics run(Scheme scheme,
+                               const std::vector<PaymentSpec>& trace,
+                               std::uint64_t seed,
+                               const std::vector<TopologyChange>& churn)
+      const;
+
   /// ν(C*) / total demand for the trace's estimated demand matrix — the
   /// Prop. 1 ceiling on balanced-routing success volume.
   [[nodiscard]] double workload_circulation_fraction(

@@ -107,10 +107,24 @@ void PrimalDualSolver::primal_step() {
 void PrimalDualSolver::dual_step() {
   std::vector<double> dir_flow;
   accumulate_flows(dir_flow);
+  // Dynamic topology: the bound graph may have grown (channel opens) since
+  // construction — extend the per-directed-edge price vectors with fresh
+  // zero prices. A no-op while the edge count is unchanged.
+  const auto ndir = static_cast<std::size_t>(graph_->num_edges()) * 2;
+  if (lambda_.size() < ndir) {
+    lambda_.resize(ndir, 0.0);
+    mu_.resize(ndir, 0.0);
+    b_.resize(ndir, 0.0);
+  }
   for (EdgeId e = 0; e < graph_->num_edges(); ++e) {
     const auto fwd = static_cast<std::size_t>(e) * 2;
     const auto rev = fwd + 1;
-    const double cap_rate = to_xrp(graph_->edge(e).capacity) / delta_;
+    // A closed channel carries nothing: its capacity term drops to zero,
+    // so any residual flow on stale paths drives the price up and the
+    // sources off it.
+    const double cap_rate =
+        graph_->edge_closed(e) ? 0.0
+                               : to_xrp(graph_->edge(e).capacity) / delta_;
     const double both = dir_flow[fwd] + dir_flow[rev];
     // Eq. (23): capacity price per directed edge (same signal both ways).
     lambda_[fwd] = std::max(0.0, lambda_[fwd] +

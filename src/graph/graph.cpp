@@ -45,14 +45,42 @@ std::optional<EdgeId> Graph::find_edge(NodeId a, NodeId b) const {
   return best;
 }
 
+void Graph::close_edge(EdgeId e) {
+  SPIDER_ASSERT(e >= 0 && e < num_edges());
+  Edge& ed = edges_[static_cast<std::size_t>(e)];
+  SPIDER_ASSERT_MSG(!ed.closed, "close_edge: channel " << e
+                                                       << " already closed");
+  const auto drop = [e](std::vector<Adjacency>& list) {
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      if (list[i].edge != e) continue;
+      list.erase(list.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+    SPIDER_ASSERT_MSG(false, "close_edge: edge " << e << " missing from "
+                                                    "adjacency");
+  };
+  drop(adjacency_[static_cast<std::size_t>(ed.a)]);
+  drop(adjacency_[static_cast<std::size_t>(ed.b)]);
+  ed.closed = true;
+  ++closed_edges_;
+}
+
+void Graph::set_edge_capacity(EdgeId e, Amount capacity) {
+  SPIDER_ASSERT(e >= 0 && e < num_edges());
+  SPIDER_ASSERT(capacity >= 0);
+  edges_[static_cast<std::size_t>(e)].capacity = capacity;
+}
+
 void Graph::set_uniform_capacity(Amount capacity) {
   SPIDER_ASSERT(capacity >= 0);
-  for (Edge& e : edges_) e.capacity = capacity;
+  for (Edge& e : edges_)
+    if (!e.closed) e.capacity = capacity;
 }
 
 Amount Graph::total_capacity() const {
   Amount total = 0;
-  for (const Edge& e : edges_) total += e.capacity;
+  for (const Edge& e : edges_)
+    if (!e.closed) total += e.capacity;
   return total;
 }
 

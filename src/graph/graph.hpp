@@ -3,10 +3,18 @@
 // A payment channel is an *undirected* edge between two nodes with a total
 // capacity (the escrowed funds). How the capacity is split between the two
 // directions is runtime state and lives in sim::Network; this module is the
-// static topology that routing algorithms compute paths on.
+// topology that routing algorithms compute paths on.
 //
 // Parallel edges are permitted (the paper notes two nodes may open several
 // smaller channels to allow incremental rebalancing); self-loops are not.
+//
+// Dynamic topology: edge ids are append-only and never recycled. add_edge
+// may be called at any time; close_edge marks an edge closed and removes it
+// from the adjacency lists, so every traversal (BFS, Yen, max-flow, tree
+// embeddings) skips closed channels automatically while id-indexed side
+// tables (channels, balances, path caches) stay valid. A closed edge's
+// Edge record survives — settle/refund paths still resolve endpoints —
+// but it never reappears in neighbors() and counts in closed_edge_count().
 #pragma once
 
 #include <cstdint>
@@ -31,6 +39,7 @@ class Graph {
     NodeId a = kInvalidNode;
     NodeId b = kInvalidNode;
     Amount capacity = 0;  // total escrowed funds on the channel
+    bool closed = false;  // closed channels keep their id but are unroutable
   };
 
   struct Adjacency {
@@ -73,13 +82,35 @@ class Graph {
     return neighbors(n).size();
   }
 
-  /// Lowest-id edge between a and b, if any.
+  /// Lowest-id OPEN edge between a and b, if any (closed edges left the
+  /// adjacency lists).
   [[nodiscard]] std::optional<EdgeId> find_edge(NodeId a, NodeId b) const;
+
+  /// Marks `e` closed and removes it from both endpoints' adjacency lists.
+  /// Requires the edge to be open. The edge id stays valid for endpoint
+  /// lookups (edge(), other_end(), side_of()).
+  void close_edge(EdgeId e);
+
+  [[nodiscard]] bool edge_closed(EdgeId e) const { return edge(e).closed; }
+
+  /// Number of edges close_edge() has retired. 0 means the topology has
+  /// never lost a channel — the fast path generation-aware caches key on.
+  [[nodiscard]] EdgeId closed_edge_count() const { return closed_edges_; }
+
+  /// num_edges() minus the closed ones.
+  [[nodiscard]] EdgeId open_edge_count() const {
+    return num_edges() - closed_edges_;
+  }
+
+  /// Overwrites one edge's recorded capacity (experiments that resize a
+  /// single channel; the runtime escrow lives in sim::Network).
+  void set_edge_capacity(EdgeId e, Amount capacity);
 
   /// Overwrites the capacity of every edge (used by experiments that sweep
   /// per-link capacity).
   void set_uniform_capacity(Amount capacity);
 
+  /// Σ capacity over OPEN edges (closed channels returned their escrow).
   [[nodiscard]] Amount total_capacity() const;
 
   /// True if every node can reach every other node.
@@ -93,6 +124,7 @@ class Graph {
  private:
   std::vector<Edge> edges_;
   std::vector<std::vector<Adjacency>> adjacency_;
+  EdgeId closed_edges_ = 0;
 };
 
 /// A simple path (trail) through the graph. nodes.size() == edges.size() + 1;

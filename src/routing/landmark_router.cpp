@@ -29,6 +29,7 @@ LandmarkRouter::LandmarkRouter(int num_landmarks)
 
 void LandmarkRouter::init(const Network& network, const RouterInitContext&) {
   const Graph& graph = network.graph();
+  generation_ = network.topology_generation();
   landmarks_.clear();
   path_cache_.clear();
 
@@ -74,6 +75,12 @@ const std::vector<Path>& LandmarkRouter::landmark_paths(const Graph& graph,
 std::vector<ChunkPlan> LandmarkRouter::plan(const Payment& payment,
                                             Amount amount,
                                             const Network& network, Rng&) {
+  if (network.topology_generation() != generation_) {
+    // Topology moved: the cached landmark routes may cross closed channels
+    // or miss new ones. Drop them all; pairs recompute lazily on demand.
+    generation_ = network.topology_generation();
+    path_cache_.clear();
+  }
   const std::vector<Path>& paths =
       landmark_paths(network.graph(), payment.src, payment.dst);
   if (paths.empty()) return {};

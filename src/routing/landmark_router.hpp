@@ -12,6 +12,14 @@
 //
 // Atomic: if the landmark paths cannot jointly carry the full amount, the
 // payment fails.
+//
+// Dynamic topology: the per-pair landmark routes are no longer frozen at
+// construction — when the network's topology_generation() moves, the next
+// plan() drops the route cache and recomputes pairs lazily over the
+// current (closed-edge-pruned) graph. The landmark SET stays as chosen at
+// init: SilentWhispers landmarks are long-lived, highly trusted nodes, not
+// a per-event quantity (a landmark that loses all channels simply yields
+// no routes).
 #pragma once
 
 #include <map>
@@ -48,6 +56,7 @@ class LandmarkRouter final : public Router {
 
   int num_landmarks_;
   std::vector<NodeId> landmarks_;
+  std::uint64_t generation_ = 0;  // topology generation the routes reflect
   std::map<std::pair<NodeId, NodeId>, std::vector<Path>> path_cache_;
   VirtualBalances virtual_balances_;  // reattached per plan(); O(1) reset
 };

@@ -93,17 +93,86 @@ void CandidatePaths::init(const Graph& graph, int k, PathSelection selection,
                 ? shared
                 : nullptr;
   own_.reset();
+  generation_ = 0;
+  memo_.clear();
+  sparse_memo_.clear();
+  delta_.clear();
 }
 
 std::span<const Path> CandidatePaths::paths(NodeId src, NodeId dst) {
   SPIDER_ASSERT_MSG(graph_ != nullptr, "init() must run before paths()");
+  std::span<const Path> base;
   if (shared_ != nullptr && shared_->contains(src, dst)) {
     const std::span<const Path> stored = shared_->cached(src, dst);
-    return stored.first(
-        std::min(stored.size(), static_cast<std::size_t>(k_)));
+    base = stored.first(std::min(stored.size(), static_cast<std::size_t>(k_)));
+  } else {
+    if (!own_) own_.emplace(*graph_, k_, selection_);
+    base = own_->paths(src, dst);
   }
-  if (!own_) own_.emplace(*graph_, k_, selection_);
-  return own_->paths(src, dst);
+  // Static fast path: no channel has ever closed, so every stored path is a
+  // valid trail and the lookup is exactly the pre-churn one.
+  if (graph_->closed_edge_count() == 0) return base;
+  // Close-aware path: consult the per-(pair, generation) verdict memo — a
+  // current tag answers without touching the paths at all. Dense array up
+  // to kDenseNodeLimit nodes, hash-keyed beyond (same trade as the path
+  // store's own index split).
+  std::uint64_t& tag = memo_tag(src, dst);
+  if ((tag >> 32) == generation_ + 1) {
+    const auto code = static_cast<std::uint32_t>(tag);
+    if (code == 0) return base;
+    const std::vector<Path>& stored = delta_[code - 1];
+    return {stored.data(), stored.size()};
+  }
+  const std::span<const Path> result = churned_paths(base, src, dst);
+  // churned_paths appended to delta_ iff the base span was stale.
+  const std::uint64_t code =
+      result.data() == base.data() && result.size() == base.size()
+          ? 0
+          : static_cast<std::uint64_t>(delta_.size());
+  tag = ((generation_ + 1) << 32) | code;
+  return result;
+}
+
+std::uint64_t& CandidatePaths::memo_tag(NodeId src, NodeId dst) {
+  if (graph_->num_nodes() <= PathCache::kDenseNodeLimit) {
+    const auto n = static_cast<std::size_t>(graph_->num_nodes());
+    if (memo_.empty()) memo_.assign(n * n, 0);
+    return memo_[static_cast<std::size_t>(src) * n +
+                 static_cast<std::size_t>(dst)];
+  }
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+      static_cast<std::uint32_t>(dst);
+  return sparse_memo_[key];
+}
+
+bool CandidatePaths::all_open(std::span<const Path> paths) const {
+  for (const Path& path : paths)
+    for (const EdgeId e : path.edges)
+      if (graph_->edge_closed(e)) return false;
+  return true;
+}
+
+std::vector<Path> CandidatePaths::compute_pair(NodeId src, NodeId dst) const {
+  switch (selection_) {
+    case PathSelection::kEdgeDisjoint:
+      return edge_disjoint_paths(*graph_, src, dst, k_);
+    case PathSelection::kYen:
+      return yen_k_shortest_paths(*graph_, src, dst, k_);
+  }
+  return {};
+}
+
+std::span<const Path> CandidatePaths::churned_paths(
+    std::span<const Path> base, NodeId src, NodeId dst) {
+  // Validation runs once per (pair, generation) — the caller memoizes the
+  // verdict. A base answer that avoids every closed edge is still exact
+  // (opens never invalidate it — open-lazy semantics); a stale one is
+  // recomputed against the current graph into this generation's delta.
+  if (all_open(base)) return base;
+  delta_.push_back(compute_pair(src, dst));
+  const std::vector<Path>& stored = delta_.back();
+  return {stored.data(), stored.size()};
 }
 
 }  // namespace spider

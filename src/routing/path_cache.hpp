@@ -108,6 +108,27 @@ class PathCache {
 /// computed (k <= shared k): both selection strategies grow their result
 /// prefix-stably, so the first min(k, stored) paths equal a direct k-path
 /// computation — asserted by tests/test_hot_paths.cpp.
+///
+/// Dynamic topology (generation delta): the base stores are append-only and
+/// shared, so channel churn must not rewrite them. Instead the router calls
+/// sync(network.topology_generation()) once per plan and lookups become
+/// generation-aware:
+///   - while the graph has never lost a channel, the base answer is exact
+///     and the lookup path is byte-for-byte the static one;
+///   - once closures exist, a base answer whose paths avoid every closed
+///     edge is still served from the warm store, a stale pair (some
+///     candidate path crosses a closed edge) is recomputed lazily against
+///     the current graph into a per-generation delta, and either verdict
+///     is memoized per (pair, generation) in a verdict-tag slot — a dense
+///     (src*n + dst) array up to PathCache::kDenseNodeLimit nodes, a
+///     hash-keyed map beyond (the same trade the path store's own index
+///     split makes) — so the steady-state churned lookup is one tag
+///     load/compare over the static lookup (the "within 2x" bar
+///     bench_micro guardrails), and the validation scan runs once per pair
+///     per generation, not per lookup.
+/// Channel OPENS never invalidate a still-valid stored answer (open-lazy
+/// semantics, DESIGN.md): stored paths remain correct trails; newly opened
+/// shortcuts benefit pairs on their next recompute.
 class CandidatePaths {
  public:
   /// `shared` may be nullptr (always use a private cache); an incompatible
@@ -115,16 +136,49 @@ class CandidatePaths {
   void init(const Graph& graph, int k, PathSelection selection,
             const PathCache* shared);
 
-  /// Up to k candidate paths, shortest first (empty if unreachable or
-  /// src == dst). Same span-lifetime rule as PathCache::paths.
+  /// Records the topology generation lookups should answer for. Routers
+  /// call this at the top of every plan(); O(1) while the generation is
+  /// unchanged (the steady state), O(delta size) when it moved.
+  void sync(std::uint64_t generation) {
+    if (generation == generation_) return;
+    generation_ = generation;
+    // Recomputed pairs belong to the generation they were computed under;
+    // dropping them here (a) keeps delta memory bounded by the stale pairs
+    // of ONE generation and (b) invalidates every memo tag at once (tags
+    // embed the generation).
+    delta_.clear();
+  }
+
+  /// Up to k candidate paths over OPEN channels, shortest first (empty if
+  /// unreachable or src == dst). Same span-lifetime rule as
+  /// PathCache::paths.
   [[nodiscard]] std::span<const Path> paths(NodeId src, NodeId dst);
 
  private:
+  /// The pair's verdict-tag slot (dense array or hash entry; see memo_).
+  [[nodiscard]] std::uint64_t& memo_tag(NodeId src, NodeId dst);
+  [[nodiscard]] bool all_open(std::span<const Path> paths) const;
+  [[nodiscard]] std::vector<Path> compute_pair(NodeId src, NodeId dst) const;
+  /// Validate-or-recompute slow path for closure-era lookups; fills the
+  /// memo tag when a dense memo is available.
+  [[nodiscard]] std::span<const Path> churned_paths(
+      std::span<const Path> base, NodeId src, NodeId dst);
+
   const Graph* graph_ = nullptr;
   int k_ = 1;
   PathSelection selection_ = PathSelection::kEdgeDisjoint;
   const PathCache* shared_ = nullptr;
   std::optional<PathCache> own_;  // built on first shared-store miss
+  std::uint64_t generation_ = 0;
+  /// Per-pair verdict tags, allocated on the first closure-era lookup:
+  /// high 32 bits = generation_ + 1 the verdict holds for, low 32 bits =
+  /// 0 for "base span valid" or 1 + index into delta_. A stale tag (other
+  /// generation) falls through to the validate/recompute slow path. Dense
+  /// (src*n + dst) up to PathCache::kDenseNodeLimit nodes, hash-keyed
+  /// beyond — the same split the path store itself makes.
+  std::vector<std::uint64_t> memo_;
+  std::unordered_map<std::uint64_t, std::uint64_t> sparse_memo_;
+  std::vector<std::vector<Path>> delta_;  // recomputed pairs, this gen only
 };
 
 }  // namespace spider

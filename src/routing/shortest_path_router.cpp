@@ -16,6 +16,7 @@ std::vector<ChunkPlan> ShortestPathRouter::plan(const Payment& payment,
                                                 Amount amount,
                                                 const Network& network,
                                                 Rng&) {
+  paths_.sync(network.topology_generation());
   const std::span<const Path> paths = paths_.paths(payment.src, payment.dst);
   if (paths.empty()) return {};
   const Path& path = paths.front();

@@ -11,9 +11,17 @@ SpeedyMurmursRouter::SpeedyMurmursRouter(int num_trees, std::uint64_t seed)
 
 void SpeedyMurmursRouter::init(const Network& network,
                                const RouterInitContext&) {
-  const Graph& graph = network.graph();
+  generation_ = network.topology_generation();
+  rebuild_trees(network.graph());
+}
+
+void SpeedyMurmursRouter::rebuild_trees(const Graph& graph) {
   trees_.clear();
-  Rng rng(seed_);
+  // Mix the topology generation into the RNG stream so every re-embedding
+  // draws fresh-but-deterministic roots and tie-breaks; generation 0 leaves
+  // the seed untouched, keeping static runs bit-identical to the pre-churn
+  // construction.
+  Rng rng(seed_ ^ (generation_ * 0x9E3779B97F4A7C15ULL));
   for (int t = 0; t < num_trees_; ++t) {
     const NodeId root =
         static_cast<NodeId>(rng.uniform_int(0, graph.num_nodes() - 1));
@@ -25,6 +33,10 @@ Path SpeedyMurmursRouter::greedy_route(
     const SpanningTree& tree, NodeId src, NodeId dst, Amount amount,
     const Network& network, const VirtualBalances& virtual_balances) const {
   const Graph& graph = network.graph();
+  // A churned graph may be disconnected: a node outside the tree's
+  // component has no embedding coordinates, so the split fails cleanly
+  // instead of asserting inside tree_distance.
+  if (!tree.covers(src) || !tree.covers(dst)) return Path{};
   std::vector<NodeId> nodes{src};
   std::vector<EdgeId> edges;
   NodeId current = src;
@@ -62,6 +74,12 @@ std::vector<ChunkPlan> SpeedyMurmursRouter::plan(const Payment& payment,
                                                  const Network& network,
                                                  Rng&) {
   SPIDER_ASSERT_MSG(!trees_.empty(), "init() must run before plan()");
+  if (network.topology_generation() != generation_) {
+    // The topology moved: re-embed before routing (lazy, once per
+    // generation — the SpeedyMurmurs dynamics property at run granularity).
+    generation_ = network.topology_generation();
+    rebuild_trees(network.graph());
+  }
 
   // Equal split across trees; the first splits absorb the remainder.
   const auto t = static_cast<Amount>(trees_.size());

@@ -10,9 +10,15 @@
 // Reimplemented from the SpeedyMurmurs routing core; simplifications
 // (documented per DESIGN.md): coordinates are kept implicitly as
 // (tree parent pointers, depths) and distances computed via LCA — equivalent
-// to prefix embeddings for BFS trees; tree roots are random; dynamic
-// re-embedding on topology change is out of scope (our topologies are
-// static, as in the paper's experiments).
+// to prefix embeddings for BFS trees; tree roots are random.
+//
+// Dynamic topology: SpeedyMurmurs' headline property (Roos et al., NDSS
+// '18) is cheap handling of channel churn — on-demand re-embedding rather
+// than global recomputation. We model it at run granularity: when the
+// network's topology_generation() moves, the next plan() rebuilds the
+// spanning trees over the current (closed-edge-pruned) graph, with an RNG
+// stream derived from (seed, generation) so re-embeddings are deterministic
+// and a generation-0 build is bit-identical to the static construction.
 #pragma once
 
 #include <vector>
@@ -49,9 +55,12 @@ class SpeedyMurmursRouter final : public Router {
                                   const Network& network,
                                   const VirtualBalances& virtual_balances)
       const;
+  /// (Re-)embeds the spanning trees over `graph` for `generation_`.
+  void rebuild_trees(const Graph& graph);
 
   int num_trees_;
   std::uint64_t seed_;
+  std::uint64_t generation_ = 0;  // topology generation the trees embed
   std::vector<SpanningTree> trees_;
   // Per-plan scratch holding the splits' routes: ChunkPlans borrow pointers
   // into it, valid until the next plan() (the router contract).

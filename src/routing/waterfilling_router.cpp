@@ -66,6 +66,7 @@ std::vector<ChunkPlan> WaterfillingRouter::plan(const Payment& payment,
                                                 Amount amount,
                                                 const Network& network,
                                                 Rng&) {
+  paths_.sync(network.topology_generation());
   const std::span<const Path> paths = paths_.paths(payment.src, payment.dst);
   if (paths.empty()) return {};
 

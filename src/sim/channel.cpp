@@ -39,7 +39,7 @@ Amount Channel::inflight(int side) const {
 bool Channel::can_lock(int side, Amount amount) const {
   SPIDER_ASSERT(side == 0 || side == 1);
   SPIDER_ASSERT(amount >= 0);
-  return balance_[side] >= amount;
+  return !closed_ && balance_[side] >= amount;
 }
 
 void Channel::lock(int side, Amount amount) {
@@ -76,9 +76,27 @@ void Channel::refund(int side, Amount amount) {
 void Channel::deposit(int side, Amount amount) {
   SPIDER_ASSERT(side == 0 || side == 1);
   SPIDER_ASSERT(amount >= 0);
+  SPIDER_ASSERT_MSG(!closed_,
+                    "deposit onto closed channel " << id_);
   balance_[side] += amount;
   capacity_ += amount;
   check_invariant();
+}
+
+Amount Channel::close() {
+  SPIDER_ASSERT_MSG(!closed_, "channel " << id_ << " already closed");
+  SPIDER_ASSERT_MSG(inflight_[0] == 0 && inflight_[1] == 0,
+                    "closing channel " << id_ << " with "
+                                       << inflight_[0] + inflight_[1]
+                                       << " in flight — fail the chunks "
+                                          "first");
+  const Amount swept = balance_[0] + balance_[1];
+  balance_[0] = 0;
+  balance_[1] = 0;
+  capacity_ = 0;
+  closed_ = true;
+  check_invariant();
+  return swept;
 }
 
 Amount Channel::imbalance() const {

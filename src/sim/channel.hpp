@@ -7,8 +7,11 @@
 //   balance(0) + balance(1) + inflight(0) + inflight(1) == capacity
 //
 // holds exactly (integer arithmetic) through every operation; violating it
-// throws. On-chain deposits (the rebalancing extension, §5.2.3) are the only
-// operation that changes capacity.
+// throws. Capacity changes only through on-chain deposits (the rebalancing
+// extension, §5.2.3, and explicit topology deposit events) and through
+// close(), which sweeps the spendable balances back on-chain: a closed
+// channel is all-zero (conservation trivially intact) and refuses locks and
+// deposits; the swept escrow is accounted by Network::escrow_returned().
 #pragma once
 
 #include "graph/graph.hpp"
@@ -46,8 +49,17 @@ class Channel {
   void refund(int side, Amount amount);
 
   /// On-chain deposit onto `side` (rebalancing extension): grows both the
-  /// side's balance and the channel capacity.
+  /// side's balance and the channel capacity. Requires the channel open.
   void deposit(int side, Amount amount);
+
+  /// Closes the channel, sweeping both spendable balances back on-chain;
+  /// returns the swept amount. Requires all in-flight funds resolved
+  /// (the simulator fails affected chunks first) — a financial assert, not
+  /// a silent wait. After close() the channel is all-zero and can_lock is
+  /// always false.
+  Amount close();
+
+  [[nodiscard]] bool closed() const { return closed_; }
 
   /// |balance(0) − balance(1)|: how skewed the channel currently is.
   [[nodiscard]] Amount imbalance() const;
@@ -62,6 +74,7 @@ class Channel {
   Amount capacity_;
   Amount balance_[2];
   Amount inflight_[2] = {0, 0};
+  bool closed_ = false;
 };
 
 }  // namespace spider

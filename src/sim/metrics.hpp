@@ -36,8 +36,18 @@ struct SimMetrics {
   std::int64_t queue_timeouts = 0;   // units rolled back after waiting
   RunningStats queue_wait_s;         // time spent in channel queues
 
-  // On-chain rebalancing extension (§5.2.3): total deposited.
+  // On-chain rebalancing extension (§5.2.3) plus explicit topology deposit
+  // events: total deposited.
   Amount onchain_deposited = 0;
+
+  // Dynamic topology (channel churn): scheduled changes applied, channels
+  // opened/closed, chunks failed by a close (funds refunded), and escrow
+  // swept back on-chain by closes. All zero in a static run.
+  std::int64_t topology_changes = 0;
+  std::int64_t channels_opened = 0;
+  std::int64_t channels_closed = 0;
+  std::int64_t chunks_churned = 0;
+  Amount escrow_returned = 0;
 
   // Routing-fee accounting (per-intermediary, on settled units).
   Amount fees_accrued = 0;

@@ -5,12 +5,55 @@
 
 namespace spider {
 
-Network::Network(const Graph& graph, double split_a) : graph_(&graph) {
-  channels_.reserve(static_cast<std::size_t>(graph.num_edges()));
-  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
-    const Graph::Edge& ed = graph.edge(e);
+Network::Network(const Graph& graph, double split_a) : graph_(graph) {
+  channels_.reserve(static_cast<std::size_t>(graph_.num_edges()));
+  for (EdgeId e = 0; e < graph_.num_edges(); ++e) {
+    const Graph::Edge& ed = graph_.edge(e);
     channels_.emplace_back(e, ed.a, ed.b, ed.capacity, split_a);
+    // A pre-closed edge in the source graph arrives as a closed (all-zero)
+    // channel, so networks rebuilt from a churned topology stay consistent.
+    if (ed.closed) (void)channels_.back().close();
   }
+}
+
+EdgeId Network::open_channel(NodeId a, NodeId b, Amount capacity,
+                             double split_a) {
+  SPIDER_ASSERT_MSG(capacity > 0,
+                    "open_channel: a zero-capacity channel between "
+                        << a << " and " << b
+                        << " would be an unroutable edge");
+  const EdgeId e = graph_.add_edge(a, b, capacity);
+  channels_.emplace_back(e, a, b, capacity, split_a);
+  ++generation_;
+  return e;
+}
+
+Amount Network::close_channel(EdgeId e) {
+  const Amount swept = ch(e).close();  // asserts open and no inflight
+  graph_.close_edge(e);
+  escrow_returned_ += swept;
+  ++generation_;
+  return swept;
+}
+
+void Network::deposit_channel(EdgeId e, int side, Amount amount) {
+  ch(e).deposit(side, amount);
+  ++generation_;
+}
+
+EdgeId Network::apply(const TopologyChange& change) {
+  switch (change.kind) {
+    case TopologyChange::Kind::kOpen:
+      return open_channel(change.a, change.b, change.amount);
+    case TopologyChange::Kind::kClose:
+      (void)close_channel(change.edge);
+      return change.edge;
+    case TopologyChange::Kind::kDeposit:
+      deposit_channel(change.edge, change.side, change.amount);
+      return change.edge;
+  }
+  SPIDER_ASSERT_MSG(false, "unknown topology change kind");
+  return kInvalidEdge;
 }
 
 Channel& Network::channel(EdgeId e) {
@@ -90,10 +133,18 @@ Amount Network::total_funds() const {
 }
 
 double Network::mean_imbalance_xrp() const {
-  if (channels_.empty()) return 0.0;
+  // Closed channels are all-zero; including them would dilute the mean the
+  // moment a channel closes even though no live channel moved. Count only
+  // the open population (identical to the historical behaviour when no
+  // channel has ever closed).
   double total = 0;
-  for (const Channel& ch : channels_) total += to_xrp(ch.imbalance());
-  return total / static_cast<double>(channels_.size());
+  std::size_t open = 0;
+  for (const Channel& ch : channels_) {
+    if (ch.closed()) continue;
+    total += to_xrp(ch.imbalance());
+    ++open;
+  }
+  return open == 0 ? 0.0 : total / static_cast<double>(open);
 }
 
 void Network::check_invariants() const {

@@ -1,25 +1,83 @@
 // The live payment-channel network: topology plus per-channel runtime state,
 // with path-level operations (probe / lock / settle / refund) used by the
 // simulator and by routing schemes. Path direction is implied by node order.
+//
+// Dynamic topology: the network owns a private copy of the graph it was
+// built from, so channels may open, close, or be re-funded mid-run without
+// touching the (shared, immutable) experiment topology. Every mutation that
+// goes through the topology surface — open_channel / close_channel /
+// deposit_channel / apply(TopologyChange) / note_external_mutation — bumps
+// topology_generation(), the monotonically increasing counter routing
+// schemes key their cache invalidation on (see routing/path_cache.hpp).
+// Closing a channel sweeps its spendable balances back on-chain into
+// escrow_returned(): total_funds() + escrow_returned() is conserved across
+// closes (deposits are the only operation that grows the sum), which
+// tests/test_dynamic_topology.cpp asserts with chunks in flight.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "graph/graph.hpp"
 #include "sim/channel.hpp"
+#include "sim/topology_event.hpp"
 
 namespace spider {
 
 class Network {
  public:
-  /// Builds channels from the graph's edges, splitting each capacity
-  /// `split_a` : 1−split_a between the endpoints (paper: equal split).
+  /// Builds channels from a private copy of the graph's edges, splitting
+  /// each capacity `split_a` : 1−split_a between the endpoints (paper:
+  /// equal split).
   explicit Network(const Graph& graph, double split_a = 0.5);
 
-  [[nodiscard]] const Graph& graph() const { return *graph_; }
+  [[nodiscard]] const Graph& graph() const { return graph_; }
   [[nodiscard]] Channel& channel(EdgeId e);
   [[nodiscard]] const Channel& channel(EdgeId e) const;
   [[nodiscard]] std::size_t num_channels() const { return channels_.size(); }
+
+  // --- Mutable-topology surface ---------------------------------------
+
+  /// How many times the topology has changed since construction. Routers
+  /// compare this against the generation they last planned under and
+  /// refresh (path deltas, tree re-embeddings, landmark routes) lazily.
+  [[nodiscard]] std::uint64_t topology_generation() const {
+    return generation_;
+  }
+
+  /// Opens a new channel; returns its (append-only) edge id. Rejects
+  /// zero-capacity channels with a financial assert — a channel that can
+  /// never carry funds is an unroutable edge, not a degenerate success.
+  EdgeId open_channel(NodeId a, NodeId b, Amount capacity,
+                      double split_a = 0.5);
+
+  /// Closes `e`: sweeps both spendable balances on-chain (accumulated in
+  /// escrow_returned()) and retires the edge from the adjacency lists.
+  /// Requires no in-flight funds on the channel — the simulator fails the
+  /// affected chunks first (Simulator::handle_topology). Returns the swept
+  /// amount.
+  Amount close_channel(EdgeId e);
+
+  /// On-chain deposit through the topology surface: same mechanics as
+  /// channel(e).deposit, plus the generation bump that tells routers the
+  /// capacity landscape moved.
+  void deposit_channel(EdgeId e, int side, Amount amount);
+
+  /// Applies one scheduled change; returns the edge id it touched (the new
+  /// id for opens).
+  EdgeId apply(const TopologyChange& change);
+
+  /// Σ balances swept on-chain by channel closes so far. The conservation
+  /// invariant across any run is: total_funds() + escrow_returned() ==
+  /// initial total_funds() + all deposits.
+  [[nodiscard]] Amount escrow_returned() const { return escrow_returned_; }
+
+  /// Records that the caller mutated channel state directly (the
+  /// SimSession::network() injection point) so routers refresh exactly as
+  /// they would after a scheduled topology event.
+  void note_external_mutation() { ++generation_; }
+
+  // --- Path-level runtime operations ----------------------------------
 
   /// Spendable balance for `from` on edge `e` (i.e. in the from→peer
   /// direction).
@@ -41,10 +99,11 @@ class Network {
   /// End-to-end cancellation: at every hop, inflight funds return upstream.
   void refund_path(const Path& path, Amount amount);
 
-  /// Σ capacities — constant unless deposits happen; asserted by tests.
+  /// Σ capacities — changes only through deposits and closes; the
+  /// conservation tests track it together with escrow_returned().
   [[nodiscard]] Amount total_funds() const;
 
-  /// Mean over channels of |balance(a) − balance(b)| in XRP.
+  /// Mean over OPEN channels of |balance(a) − balance(b)| in XRP.
   [[nodiscard]] double mean_imbalance_xrp() const;
 
   /// Validates every channel's conservation invariant.
@@ -63,8 +122,10 @@ class Network {
     return channels_[static_cast<std::size_t>(e)];
   }
 
-  const Graph* graph_;
+  Graph graph_;  // private copy: churn never touches the shared topology
   std::vector<Channel> channels_;
+  std::uint64_t generation_ = 0;
+  Amount escrow_returned_ = 0;
   // Per-hop side indices resolved once per lock_path and reused for the
   // mutation pass, so the hot path performs no allocation (the buffer only
   // ever grows) and no repeated endpoint lookups. A Network is owned by one

@@ -23,6 +23,7 @@
 #include <cstddef>
 
 #include "sim/payment.hpp"
+#include "sim/topology_event.hpp"
 #include "util/amount.hpp"
 #include "util/time.hpp"
 
@@ -76,6 +77,16 @@ class SimObserver {
   /// A pending-queue service round fired with `pending` payments waiting.
   virtual void on_poll_round(std::size_t pending, TimePoint now) {
     (void)pending;
+    (void)now;
+  }
+  /// A scheduled topology change (channel open / close / deposit) was
+  /// applied. Fires AFTER the change took effect — for a close, after the
+  /// affected chunks failed and the escrow swept — so `network` shows the
+  /// post-change state; DESIGN.md documents the exact order.
+  virtual void on_topology_change(const TopologyChange& change,
+                                  const Network& network, TimePoint now) {
+    (void)change;
+    (void)network;
     (void)now;
   }
   /// The clock crossed a metrics-window boundary (see header comment).

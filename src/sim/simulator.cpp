@@ -41,6 +41,9 @@ void Simulator::begin(const std::vector<PaymentSpec>& trace) {
   free_chunks_.clear();
   metrics_ = SimMetrics{};
   next_arrival_ = 0;
+  topo_trace_ = nullptr;
+  next_topo_ = 0;
+  topo_scheduled_ = false;
   events_.reset();
   poll_scheduled_ = false;
   arrival_scheduled_ = false;
@@ -65,6 +68,25 @@ void Simulator::begin(const std::vector<PaymentSpec>& trace) {
 }
 
 void Simulator::trace_extended() { sync_arrival_chain(); }
+
+void Simulator::begin_topology(const std::vector<TopologyChange>& churn) {
+  topo_trace_ = &churn;
+  next_topo_ = 0;
+  topo_scheduled_ = false;
+  sync_topology_chain();
+}
+
+void Simulator::topology_extended() { sync_topology_chain(); }
+
+void Simulator::sync_topology_chain() {
+  if (topo_scheduled_ || topo_trace_ == nullptr) return;
+  if (next_topo_ >= topo_trace_->size()) return;
+  const TimePoint at = (*topo_trace_)[next_topo_].at;
+  SPIDER_ASSERT_MSG(at >= now(),
+                    "submitted topology change occurs in the past");
+  push_event(at, EventKind::kTopology, next_topo_);
+  topo_scheduled_ = true;
+}
 
 void Simulator::sync_arrival_chain() {
   if (arrival_scheduled_ || trace_ == nullptr) return;
@@ -94,12 +116,12 @@ void Simulator::process_next() {
   }
   switch (static_cast<EventKind>(ev.kind)) {
     case EventKind::kArrival: handle_arrival(ev.index); break;
-    case EventKind::kSettle: handle_settle(ev.index); break;
+    case EventKind::kSettle: handle_settle(ev.index, ev.stamp); break;
     case EventKind::kPoll:
       poll_scheduled_ = false;
       handle_poll();
       break;
-    case EventKind::kHopArrive: handle_hop_arrive(ev.index); break;
+    case EventKind::kHopArrive: handle_hop_arrive(ev.index, ev.stamp); break;
     case EventKind::kQueueTimeout:
       handle_queue_timeout(ev.index, ev.stamp);
       break;
@@ -107,6 +129,7 @@ void Simulator::process_next() {
       rebalance_scheduled_ = false;
       handle_rebalance();
       break;
+    case EventKind::kTopology: handle_topology(ev.index); break;
   }
 }
 
@@ -270,6 +293,7 @@ void Simulator::release_chunk_slot(std::size_t chunk_index) {
   chunk.path.edges.clear();
   chunk.amount = 0;
   chunk.hops_locked = 0;
+  chunk.stamp = 0;  // stamps start at 1: stale events can never match
   free_chunks_.push_back(chunk_index);
 }
 
@@ -344,7 +368,8 @@ Amount Simulator::attempt(std::size_t payment_index) {
           static_cast<double>(inflight_[ci].path.length()));
       for (SimObserver* observer : observers_)
         observer->on_chunk_locked(inflight_[ci].path, amount, now());
-      push_event(now() + config_.hop_delay, EventKind::kHopArrive, ci);
+      push_event(now() + config_.hop_delay, EventKind::kHopArrive, ci,
+                 inflight_[ci].stamp);
       if (locked_total >= want) break;
     }
     return locked_total;
@@ -403,7 +428,8 @@ Amount Simulator::attempt(std::size_t payment_index) {
     for (SimObserver* observer : observers_)
       observer->on_chunk_locked(inflight_[ci].path, inflight_[ci].amount,
                                 now());
-    push_event(now() + config_.delta, EventKind::kSettle, ci);
+    push_event(now() + config_.delta, EventKind::kSettle, ci,
+               inflight_[ci].stamp);
   }
   return locked_total;
 }
@@ -418,16 +444,22 @@ void Simulator::accrue_fees(const Path& path, Amount amount) {
   metrics_.fees_accrued += intermediaries * per_hop;
 }
 
-void Simulator::handle_settle(std::size_t chunk_index) {
+void Simulator::handle_settle(std::size_t chunk_index, std::uint64_t stamp) {
   SPIDER_ASSERT(config_.queueing == QueueingMode::kSourceQueue);
   // Work on the slot in place (nothing below touches the chunk table) and
   // recycle it at the end, so the path buffers stay pooled.
   const InflightChunk& chunk = inflight_[chunk_index];
+  // A mismatched stamp means a channel close churned this chunk after its
+  // settle was scheduled (release zeroed the stamp, or the slot carries a
+  // fresh acquisition): the funds were already refunded, nothing to do.
+  // In a zero-churn run stamps always match.
+  if (chunk.stamp != stamp) return;
   // Settle events are only scheduled for committed chunks, and a committed
-  // chunk's slot is released nowhere but here — so the slot must be live.
-  // (Atomic rollbacks in attempt() release their slots before any settle
-  // is scheduled.) A zero amount would mean a stale event hit a recycled
-  // slot: corruption, not a condition to skip quietly.
+  // chunk's slot is released nowhere but here or a churn abort (stamp
+  // checked above) — so the slot must be live. (Atomic rollbacks in
+  // attempt() release their slots before any settle is scheduled.) A zero
+  // amount would mean a stale event hit a recycled slot: corruption, not a
+  // condition to skip quietly.
   SPIDER_ASSERT(chunk.amount > 0);
 
   network_->settle_path(chunk.path, chunk.amount);
@@ -445,16 +477,26 @@ void Simulator::handle_settle(std::size_t chunk_index) {
   release_chunk_slot(chunk_index);
 }
 
-void Simulator::handle_hop_arrive(std::size_t chunk_index) {
+void Simulator::handle_hop_arrive(std::size_t chunk_index,
+                                  std::uint64_t stamp) {
   InflightChunk& chunk = inflight_[chunk_index];
+  if (chunk.stamp != stamp) return;  // churned after scheduling: stale
   SPIDER_ASSERT(chunk.amount > 0);
   SPIDER_ASSERT(!chunk.queued);
   if (chunk.hops_locked == chunk.path.length()) {
     complete_chunk(chunk_index);
     return;
   }
+  // The "fail at the next hop" arm of a channel close: a unit whose next
+  // hop closed under it rolls back instead of queueing on a dead channel.
+  if (network_->graph().edge_closed(chunk.path.edges[chunk.hops_locked])) {
+    metrics_.chunks_churned += 1;
+    abort_chunk(chunk_index);
+    return;
+  }
   if (try_lock_next_hop(chunk_index)) {
-    push_event(now() + config_.hop_delay, EventKind::kHopArrive, chunk_index);
+    push_event(now() + config_.hop_delay, EventKind::kHopArrive, chunk_index,
+               chunk.stamp);
     return;
   }
   // Dry channel: wait inside its queue (Fig. 3), upstream locks held.
@@ -568,7 +610,8 @@ void Simulator::serve_channel_queue(EdgeId edge, int side) {
     chunk.queued = false;
     metrics_.queue_wait_s.add(to_seconds(now() - chunk.queued_at));
     chunk.stamp = next_stamp_++;  // invalidate the pending timeout
-    push_event(now() + config_.hop_delay, EventKind::kHopArrive, ci);
+    push_event(now() + config_.hop_delay, EventKind::kHopArrive, ci,
+               chunk.stamp);
   }
 }
 
@@ -585,6 +628,11 @@ void Simulator::handle_rebalance() {
   std::vector<std::array<Amount, 2>> deficits(num_edges, {0, 0});
   for (std::size_t e = 0; e < num_edges; ++e) {
     const Channel& ch = network_->channel(static_cast<EdgeId>(e));
+    // A closed channel reads as fully depleted against its initial share,
+    // but its escrow went back on-chain — depositing onto it is a
+    // financial error (Channel::deposit asserts), so it neither counts
+    // toward the deficit nor receives a share.
+    if (ch.closed()) continue;
     for (int side = 0; side < 2; ++side) {
       const Amount deficit = std::max<Amount>(
           0, initial_side_funds_[e][static_cast<std::size_t>(side)] -
@@ -613,6 +661,126 @@ void Simulator::handle_rebalance() {
   if (next_arrival_ < trace_->size() || !pending_.empty()) {
     push_event(now() + config_.rebalance_interval, EventKind::kRebalance, 0);
     rebalance_scheduled_ = true;
+  }
+}
+
+void Simulator::handle_topology(std::size_t change_index) {
+  const TopologyChange& change = (*topo_trace_)[change_index];
+  // Chain the next change first (like arrivals) so the event order does not
+  // depend on what this change does to the network.
+  topo_scheduled_ = false;
+  ++next_topo_;
+  sync_topology_chain();
+
+  switch (change.kind) {
+    case TopologyChange::Kind::kClose:
+      // Order matters for conservation: chunks refund their locks back
+      // into the channel, THEN the close sweeps the whole spendable
+      // balance on-chain — so the closing channel's full capacity is
+      // accounted (escrow_returned) and no in-flight funds are stranded.
+      churn_fail_channel(change.edge);
+      metrics_.escrow_returned += network_->close_channel(change.edge);
+      metrics_.channels_closed += 1;
+      break;
+    case TopologyChange::Kind::kOpen: {
+      const EdgeId e = network_->apply(change);
+      // Grow the per-edge side tables the engine keeps flat.
+      channel_queues_.push_back({ChannelQueue{}, ChannelQueue{}});
+      const Channel& ch = network_->channel(e);
+      initial_side_funds_.push_back({ch.balance(0), ch.balance(1)});
+      metrics_.channels_opened += 1;
+      break;
+    }
+    case TopologyChange::Kind::kDeposit:
+      (void)network_->apply(change);
+      metrics_.onchain_deposited += change.amount;
+      // Fresh funds on (edge, side) may admit queued units (router-queue).
+      serve_channel_queue(change.edge, change.side);
+      break;
+  }
+  metrics_.topology_changes += 1;
+  for (SimObserver* observer : observers_)
+    observer->on_topology_change(change, *network_, now());
+}
+
+void Simulator::churn_fail_channel(EdgeId closing) {
+  if (config_.queueing == QueueingMode::kRouterQueue) {
+    // Units waiting inside the closing channel's queues go first: their
+    // next hop is about to vanish, so they roll back like a timeout would.
+    for (int side = 0; side < 2; ++side) {
+      const ChannelQueue& queue =
+          channel_queues_[static_cast<std::size_t>(closing)]
+                         [static_cast<std::size_t>(side)];
+      while (queue.head >= 0)
+        churn_abort_chunk(static_cast<std::size_t>(queue.head), closing);
+    }
+  }
+  // Then every chunk still holding locked funds on the channel: in
+  // source-queue mode a committed chunk holds funds at every hop; in
+  // router-queue mode on its locked prefix.
+  for (std::size_t ci = 0; ci < inflight_.size(); ++ci) {
+    const InflightChunk& chunk = inflight_[ci];
+    if (chunk.amount <= 0) continue;
+    const std::size_t holds =
+        config_.queueing == QueueingMode::kRouterQueue
+            ? chunk.hops_locked
+            : chunk.path.edges.size();
+    bool affected = false;
+    for (std::size_t h = 0; h < holds && !affected; ++h)
+      affected = chunk.path.edges[h] == closing;
+    if (affected) churn_abort_chunk(ci, closing);
+  }
+}
+
+void Simulator::churn_abort_chunk(std::size_t chunk_index, EdgeId closing) {
+  InflightChunk& chunk = inflight_[chunk_index];
+  SPIDER_ASSERT(chunk.amount > 0);
+  if (chunk.queued) {
+    const EdgeId qe = chunk.path.edges[chunk.hops_locked];
+    const Channel& qch = network_->channel(qe);
+    queue_remove(qe, qch.side_of(chunk.path.nodes[chunk.hops_locked]),
+                 chunk_index);
+    chunk.queued = false;
+    metrics_.queue_wait_s.add(to_seconds(now() - chunk.queued_at));
+  }
+  const std::size_t locked_hops =
+      config_.queueing == QueueingMode::kRouterQueue
+          ? chunk.hops_locked
+          : chunk.path.edges.size();
+  for (std::size_t h = 0; h < locked_hops; ++h) {
+    Channel& ch = network_->channel(chunk.path.edges[h]);
+    ch.refund(ch.side_of(chunk.path.nodes[h]), chunk.amount);
+  }
+  const std::size_t payment_index = chunk.payment;
+  Payment& p = payments_[payment_index];
+  SPIDER_ASSERT(p.inflight >= chunk.amount);
+  p.inflight -= chunk.amount;
+  metrics_.chunks_churned += 1;
+  // Serve waiters on the released upstream hops — but never on the closing
+  // channel itself: re-locking funds on it would strand them mid-sweep.
+  for (std::size_t h = 0; h < locked_hops; ++h) {
+    if (chunk.path.edges[h] == closing) continue;
+    const Channel& ch = network_->channel(chunk.path.edges[h]);
+    serve_channel_queue(chunk.path.edges[h],
+                        ch.side_of(chunk.path.nodes[h]));
+  }
+  release_chunk_slot(chunk_index);  // zeroes the stamp: pending events die
+
+  if (p.atomic) {
+    // All-or-nothing delivery is broken: the payment fails and its sibling
+    // chunks (untouched by the closing channel) roll back too.
+    if (p.status == PaymentStatus::kPending)
+      finish_payment(payment_index, PaymentStatus::kRejected);
+    for (std::size_t other = 0; other < inflight_.size(); ++other) {
+      if (other == chunk_index) continue;
+      const InflightChunk& sibling = inflight_[other];
+      if (sibling.amount > 0 && sibling.payment == payment_index)
+        churn_abort_chunk(other, closing);
+    }
+  } else if (p.status == PaymentStatus::kPending && p.remaining() > 0 &&
+             now() < p.deadline) {
+    // The refunded remainder becomes sendable again at the next poll.
+    ensure_pending(payment_index);
   }
 }
 

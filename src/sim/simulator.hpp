@@ -115,6 +115,19 @@ class Simulator {
   /// ahead of the clock keeps the exact event order of a batch run.
   void trace_extended();
 
+  /// Arms the dynamic-topology event stream over `churn` (same contract as
+  /// begin()'s trace: the caller may append between events, in
+  /// nondecreasing order, and must call topology_extended() after each
+  /// append; the vector object must outlive the run). Changes are
+  /// dispatched through the same (time, seq) queue as payments, so churn
+  /// interleaves with arrivals in one reproducible total order. A run that
+  /// never arms a stream (or arms an empty one) schedules no topology
+  /// events and is byte-identical to the pre-churn engine.
+  void begin_topology(const std::vector<TopologyChange>& churn);
+
+  /// Mirror of trace_extended() for the topology stream.
+  void topology_extended();
+
   /// Processes every event with time <= horizon, then rolls metric windows
   /// up to horizon (windows roll on time, not on events — an idle gap still
   /// produces its empty windows). Returns the number of events processed.
@@ -168,6 +181,7 @@ class Simulator {
     kHopArrive,      // router-queue mode: chunk reached its next node
     kQueueTimeout,   // router-queue mode: bounded channel-queue wait
     kRebalance,      // on-chain deposit tick
+    kTopology,       // channel open / close / deposit (dynamic topology)
   };
 
   /// One pooled chunk slot. Slots are recycled through a free list and the
@@ -209,11 +223,28 @@ class Simulator {
   /// last boundary) with WindowInfo::partial set.
   void finish_windows();
   void handle_arrival(std::size_t trace_index);
-  void handle_settle(std::size_t chunk_index);
+  /// Settle and hop-arrive events carry the chunk's acquisition stamp so a
+  /// churn-aborted chunk's stale events are skipped instead of corrupting a
+  /// recycled slot (release zeroes the stamp; reacquisition draws a fresh
+  /// one). With no churn the stamps always match, so the zero-churn event
+  /// sequence — and every metric byte — is unchanged.
+  void handle_settle(std::size_t chunk_index, std::uint64_t stamp);
   void handle_poll();
-  void handle_hop_arrive(std::size_t chunk_index);
+  void handle_hop_arrive(std::size_t chunk_index, std::uint64_t stamp);
   void handle_queue_timeout(std::size_t chunk_index, std::uint64_t stamp);
   void handle_rebalance();
+  void handle_topology(std::size_t change_index);
+  /// Schedules the next unscheduled topology change when the chain ran dry.
+  void sync_topology_chain();
+  /// A channel is about to close: chunks waiting inside its queues and
+  /// chunks holding locked funds on it fail now, refunding every hop they
+  /// hold (conservation-checked escrow return). Atomic payments lose
+  /// all-or-nothing delivery, so their sibling chunks roll back too and the
+  /// payment fails.
+  void churn_fail_channel(EdgeId closing);
+  /// Rolls back one chunk because of `closing` (refund + payment
+  /// bookkeeping + queue service on the released upstream hops).
+  void churn_abort_chunk(std::size_t chunk_index, EdgeId closing);
   /// Plans + locks for `payment`; returns the amount locked this attempt.
   Amount attempt(std::size_t payment_index);
   void expire(std::size_t payment_index);
@@ -249,6 +280,10 @@ class Simulator {
   bool poll_scheduled_ = false;
   bool arrival_scheduled_ = false;
   std::size_t next_arrival_ = 0;
+  // Dynamic-topology stream (mirrors the trace chain; null = static run).
+  const std::vector<TopologyChange>* topo_trace_ = nullptr;
+  bool topo_scheduled_ = false;
+  std::size_t next_topo_ = 0;
   TimePoint advanced_horizon_ = 0;  // high-water mark of advance_until
 
   // Observer pipeline + metrics windows (see sim/observer.hpp).

@@ -1,0 +1,78 @@
+// One scheduled topology change: the unit of the dynamic-topology event
+// stream (channels opening, closing, or being re-funded on-chain while a
+// simulation runs).
+//
+// Changes are plain data so they can be generated deterministically by the
+// workload layer (workload/churn.hpp), submitted through
+// SimSession::submit_topology exactly like payments, and scheduled through
+// the same (time, seq) EventQueue — churn interleaves with payments in a
+// reproducible total order. Network::apply() is the single mutation point;
+// the Simulator wraps it with chunk-failure and escrow bookkeeping (see
+// Simulator::handle_topology).
+#pragma once
+
+#include "graph/graph.hpp"
+#include "util/amount.hpp"
+#include "util/time.hpp"
+
+namespace spider {
+
+struct TopologyChange {
+  enum class Kind {
+    /// A new channel between `a` and `b` with `amount` total escrow
+    /// (split equally, like every other channel). Edge ids are append-only:
+    /// the new channel receives the next id.
+    kOpen,
+    /// Channel `edge` closes: spendable balances return on-chain
+    /// (Network::escrow_returned), in-flight chunks holding funds on the
+    /// channel fail and refund, and the edge leaves the adjacency lists
+    /// (its id remains valid but permanently unroutable).
+    kClose,
+    /// On-chain deposit of `amount` onto `side` of channel `edge` — the
+    /// capacity-resize arm of the topology surface (same mechanics as the
+    /// §5.2.3 rebalancing deposit, but scheduled as an explicit event).
+    kDeposit,
+  };
+
+  TimePoint at = 0;
+  Kind kind = Kind::kClose;
+  /// kOpen: the endpoints. Unused otherwise.
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+  /// kClose / kDeposit: the target channel.
+  EdgeId edge = kInvalidEdge;
+  /// kDeposit: which endpoint's side receives the funds (0 or 1).
+  int side = 0;
+  /// kOpen: total escrow; kDeposit: deposited amount. Unused for kClose.
+  Amount amount = 0;
+
+  [[nodiscard]] static TopologyChange open(TimePoint at, NodeId a, NodeId b,
+                                           Amount capacity) {
+    TopologyChange c;
+    c.at = at;
+    c.kind = Kind::kOpen;
+    c.a = a;
+    c.b = b;
+    c.amount = capacity;
+    return c;
+  }
+  [[nodiscard]] static TopologyChange close(TimePoint at, EdgeId edge) {
+    TopologyChange c;
+    c.at = at;
+    c.kind = Kind::kClose;
+    c.edge = edge;
+    return c;
+  }
+  [[nodiscard]] static TopologyChange deposit(TimePoint at, EdgeId edge,
+                                              int side, Amount amount) {
+    TopologyChange c;
+    c.at = at;
+    c.kind = Kind::kDeposit;
+    c.edge = edge;
+    c.side = side;
+    c.amount = amount;
+    return c;
+  }
+};
+
+}  // namespace spider

@@ -14,4 +14,5 @@
 #include "graph/ksp.hpp"         // IWYU pragma: export
 #include "graph/maxflow.hpp"     // IWYU pragma: export
 #include "topology/topology.hpp" // IWYU pragma: export
+#include "workload/churn.hpp"    // IWYU pragma: export
 #include "workload/trace_io.hpp" // IWYU pragma: export

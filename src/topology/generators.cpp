@@ -6,8 +6,24 @@
 
 namespace spider {
 
+namespace {
+
+/// Every stand-in generator escrows the same per-channel capacity; a
+/// zero-capacity channel would be an unroutable edge that every routing
+/// scheme silently fails across, so the generators reject it up front —
+/// the same financial assert Network::open_channel raises at run time.
+void check_channel_capacity(Amount capacity) {
+  SPIDER_ASSERT_MSG(capacity > 0,
+                    "topology generators require positive channel capacity "
+                    "(zero-capacity channels are unroutable edges); got "
+                        << capacity);
+}
+
+}  // namespace
+
 Graph line_topology(NodeId n, Amount capacity) {
   SPIDER_ASSERT(n >= 1);
+  check_channel_capacity(capacity);
   Graph g(n);
   for (NodeId i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1, capacity);
   return g;
@@ -15,6 +31,7 @@ Graph line_topology(NodeId n, Amount capacity) {
 
 Graph ring_topology(NodeId n, Amount capacity) {
   SPIDER_ASSERT(n >= 3);
+  check_channel_capacity(capacity);
   Graph g(n);
   for (NodeId i = 0; i < n; ++i) g.add_edge(i, (i + 1) % n, capacity);
   return g;
@@ -22,6 +39,7 @@ Graph ring_topology(NodeId n, Amount capacity) {
 
 Graph star_topology(NodeId n, Amount capacity) {
   SPIDER_ASSERT(n >= 2);
+  check_channel_capacity(capacity);
   Graph g(n);
   for (NodeId i = 1; i < n; ++i) g.add_edge(0, i, capacity);
   return g;
@@ -29,6 +47,7 @@ Graph star_topology(NodeId n, Amount capacity) {
 
 Graph grid_topology(NodeId rows, NodeId cols, Amount capacity) {
   SPIDER_ASSERT(rows >= 1 && cols >= 1);
+  check_channel_capacity(capacity);
   Graph g(rows * cols);
   const auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
   for (NodeId r = 0; r < rows; ++r) {
@@ -42,6 +61,7 @@ Graph grid_topology(NodeId rows, NodeId cols, Amount capacity) {
 
 Graph complete_topology(NodeId n, Amount capacity) {
   SPIDER_ASSERT(n >= 2);
+  check_channel_capacity(capacity);
   Graph g(n);
   for (NodeId i = 0; i < n; ++i)
     for (NodeId j = i + 1; j < n; ++j) g.add_edge(i, j, capacity);
@@ -49,6 +69,7 @@ Graph complete_topology(NodeId n, Amount capacity) {
 }
 
 Graph motivating_example_topology(Amount capacity) {
+  check_channel_capacity(capacity);
   // Paper nodes 1..5 are our 0..4. Channels (Fig. 4): 1-2, 2-3, 2-4, 3-4,
   // 4-5, 5-1. Insertion order puts 2-4 before 3-4 so BFS from node 4
   // reaches node 1 via node 2 (the green 4->2->1 flow of Fig. 4b).
@@ -88,6 +109,7 @@ void add_random_spanning_tree(Graph& g, Amount capacity, Rng& rng,
 Graph erdos_renyi_topology(NodeId n, double p, Amount capacity, Rng& rng) {
   SPIDER_ASSERT(n >= 2);
   SPIDER_ASSERT(p >= 0 && p <= 1);
+  check_channel_capacity(capacity);
   Graph g(n);
   std::set<std::pair<NodeId, NodeId>> present;
   add_random_spanning_tree(g, capacity, rng, present);
@@ -103,6 +125,7 @@ Graph erdos_renyi_topology(NodeId n, double p, Amount capacity, Rng& rng) {
 Graph barabasi_albert_topology(NodeId n, int m, Amount capacity, Rng& rng) {
   SPIDER_ASSERT(m >= 1);
   SPIDER_ASSERT(n > m);
+  check_channel_capacity(capacity);
   Graph g(n);
   // Start from a clique on m+1 nodes; each subsequent node attaches to m
   // distinct targets chosen proportionally to degree ("repeated nodes" urn).
@@ -133,6 +156,7 @@ Graph watts_strogatz_topology(NodeId n, int k, double beta, Amount capacity,
   SPIDER_ASSERT(n >= 4);
   SPIDER_ASSERT(k >= 1 && 2 * k < n);
   SPIDER_ASSERT(beta >= 0 && beta <= 1);
+  check_channel_capacity(capacity);
   std::set<std::pair<NodeId, NodeId>> present;
   // Ring lattice: each node connects to its k nearest clockwise neighbours.
   std::vector<std::pair<NodeId, NodeId>> lattice;
@@ -171,6 +195,7 @@ Graph random_regular_topology(NodeId n, int d, Amount capacity, Rng& rng) {
   SPIDER_ASSERT(n > d);
   SPIDER_ASSERT_MSG((static_cast<std::int64_t>(n) * d) % 2 == 0,
                     "n*d must be even for a d-regular graph");
+  check_channel_capacity(capacity);
   for (int attempt = 0; attempt < 200; ++attempt) {
     // Configuration model: pair up d "stubs" per node uniformly.
     std::vector<NodeId> stubs;
@@ -203,6 +228,7 @@ Graph random_regular_topology(NodeId n, int d, Amount capacity, Rng& rng) {
 }
 
 Graph isp_topology(Amount capacity, std::uint64_t seed) {
+  check_channel_capacity(capacity);
   Rng rng(seed ^ 0x15b0991ULL);
   constexpr NodeId kCore = 8;
   constexpr NodeId kAccess = 24;

@@ -1,0 +1,208 @@
+#include "workload/churn.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace spider {
+
+std::string churn_mode_name(ChurnMode mode) {
+  switch (mode) {
+    case ChurnMode::kUniform: return "uniform";
+    case ChurnMode::kCapacityDrain: return "drain";
+    case ChurnMode::kPartitionHeal: return "partition-heal";
+  }
+  return "?";
+}
+
+ChurnMode churn_mode_from_name(const std::string& name) {
+  if (name == "uniform") return ChurnMode::kUniform;
+  if (name == "drain" || name == "capacity-drain")
+    return ChurnMode::kCapacityDrain;
+  if (name == "partition-heal") return ChurnMode::kPartitionHeal;
+  throw std::invalid_argument(
+      "churn_mode_from_name: unknown churn mode '" + name +
+      "' (expected uniform | drain | partition-heal)");
+}
+
+namespace {
+
+/// Mutable view of which channels a partially generated schedule leaves
+/// open, with the same append-only id allocation Network::apply performs.
+struct OpenSet {
+  std::vector<EdgeId> open;           // ids of currently open channels
+  std::vector<Amount> capacity;       // by edge id (grows with opens)
+  std::vector<std::pair<NodeId, NodeId>> ends;  // by edge id
+  EdgeId next_id = 0;
+
+  explicit OpenSet(const Graph& graph) {
+    next_id = graph.num_edges();
+    capacity.reserve(static_cast<std::size_t>(graph.num_edges()));
+    ends.reserve(static_cast<std::size_t>(graph.num_edges()));
+    for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+      const Graph::Edge& edge = graph.edge(e);
+      capacity.push_back(edge.capacity);
+      ends.emplace_back(edge.a, edge.b);
+      if (!edge.closed && edge.capacity > 0) open.push_back(e);
+    }
+  }
+
+  EdgeId record_open(NodeId a, NodeId b, Amount cap) {
+    const EdgeId id = next_id++;
+    capacity.push_back(cap);
+    ends.emplace_back(a, b);
+    open.push_back(id);
+    return id;
+  }
+
+  void record_close(EdgeId e) {
+    const auto it = std::find(open.begin(), open.end(), e);
+    SPIDER_ASSERT(it != open.end());
+    open.erase(it);
+  }
+};
+
+Amount mean_open_capacity(const OpenSet& set) {
+  if (set.open.empty()) return 0;
+  Amount total = 0;
+  for (const EdgeId e : set.open)
+    total += set.capacity[static_cast<std::size_t>(e)];
+  return total / static_cast<Amount>(set.open.size());
+}
+
+std::vector<TopologyChange> generate_uniform(const Graph& graph,
+                                             const ChurnConfig& config) {
+  OpenSet set(graph);
+  const Amount default_open =
+      config.open_capacity > 0 ? config.open_capacity
+                               : mean_open_capacity(set);
+  Rng rng(config.seed ^ 0xc042bULL);  // churn stream, distinct from traffic
+  std::vector<TopologyChange> schedule;
+  const double mean_gap = 1.0 / config.events_per_second;
+  double t = to_seconds(config.start);
+  for (;;) {
+    t += rng.exponential(mean_gap);
+    const TimePoint at = seconds(t);
+    if (at >= config.stop) break;
+    // Close only while more than one channel stays open: a schedule must
+    // never strand the network without a single live channel.
+    const bool close = set.open.size() > 1 && rng.chance(config.close_fraction);
+    if (close) {
+      const EdgeId victim = rng.pick(set.open);
+      set.record_close(victim);
+      schedule.push_back(TopologyChange::close(at, victim));
+    } else {
+      const NodeId a =
+          static_cast<NodeId>(rng.uniform_int(0, graph.num_nodes() - 1));
+      NodeId b = a;
+      while (b == a)
+        b = static_cast<NodeId>(rng.uniform_int(0, graph.num_nodes() - 1));
+      set.record_open(a, b, default_open);
+      schedule.push_back(TopologyChange::open(at, a, b, default_open));
+    }
+  }
+  return schedule;
+}
+
+std::vector<TopologyChange> generate_drain(const Graph& graph,
+                                           const ChurnConfig& config) {
+  OpenSet set(graph);
+  std::vector<TopologyChange> schedule;
+  const double gap = 1.0 / config.events_per_second;
+  double t = to_seconds(config.start) + gap;
+  while (seconds(t) < config.stop && set.open.size() > 1) {
+    // Largest capacity first (ties toward the lower id): escrow leaves the
+    // network as fast as the schedule allows.
+    EdgeId victim = set.open.front();
+    for (const EdgeId e : set.open) {
+      const Amount cap = set.capacity[static_cast<std::size_t>(e)];
+      const Amount best = set.capacity[static_cast<std::size_t>(victim)];
+      if (cap > best || (cap == best && e < victim)) victim = e;
+    }
+    set.record_close(victim);
+    schedule.push_back(TopologyChange::close(seconds(t), victim));
+    t += gap;
+  }
+  return schedule;
+}
+
+std::vector<TopologyChange> generate_partition_heal(
+    const Graph& graph, const ChurnConfig& config) {
+  // BFS from node 0; the LAST `partition_fraction` of nodes reached form
+  // the far side. BFS order keeps each side connected-ish (the near side is
+  // a BFS prefix, hence connected), so the damage is the cut, not
+  // incidental fragmentation.
+  std::vector<NodeId> order;
+  std::vector<char> seen(static_cast<std::size_t>(graph.num_nodes()), 0);
+  std::queue<NodeId> frontier;
+  frontier.push(0);
+  seen[0] = 1;
+  while (!frontier.empty()) {
+    const NodeId n = frontier.front();
+    frontier.pop();
+    order.push_back(n);
+    for (const Graph::Adjacency& adj : graph.neighbors(n)) {
+      if (seen[static_cast<std::size_t>(adj.peer)]) continue;
+      seen[static_cast<std::size_t>(adj.peer)] = 1;
+      frontier.push(adj.peer);
+    }
+  }
+  const auto near_count = static_cast<std::size_t>(
+      static_cast<double>(order.size()) * (1.0 - config.partition_fraction));
+  std::vector<char> far(static_cast<std::size_t>(graph.num_nodes()), 0);
+  for (std::size_t i = near_count; i < order.size(); ++i)
+    far[static_cast<std::size_t>(order[i])] = 1;
+
+  std::vector<TopologyChange> schedule;
+  std::vector<EdgeId> cut;
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const Graph::Edge& edge = graph.edge(e);
+    if (edge.closed || edge.capacity <= 0) continue;
+    if (far[static_cast<std::size_t>(edge.a)] !=
+        far[static_cast<std::size_t>(edge.b)])
+      cut.push_back(e);
+  }
+  for (const EdgeId e : cut)
+    schedule.push_back(TopologyChange::close(config.start, e));
+  // Heal: a fresh channel per severed one — same endpoints and escrow, new
+  // (append-only) edge id.
+  for (const EdgeId e : cut) {
+    const Graph::Edge& edge = graph.edge(e);
+    schedule.push_back(
+        TopologyChange::open(config.stop, edge.a, edge.b, edge.capacity));
+  }
+  return schedule;
+}
+
+}  // namespace
+
+ChurnSchedule::ChurnSchedule(const Graph& graph, ChurnConfig config)
+    : graph_(&graph), config_(config) {
+  if (config.stop <= config.start)
+    throw std::invalid_argument("ChurnSchedule: stop must be after start");
+  if (config.mode != ChurnMode::kPartitionHeal &&
+      config.events_per_second <= 0)
+    throw std::invalid_argument(
+        "ChurnSchedule: events_per_second must be positive");
+  if (config.close_fraction < 0 || config.close_fraction > 1)
+    throw std::invalid_argument(
+        "ChurnSchedule: close_fraction must be in [0, 1]");
+  if (config.partition_fraction <= 0 || config.partition_fraction >= 1)
+    throw std::invalid_argument(
+        "ChurnSchedule: partition_fraction must be in (0, 1)");
+  if (config.open_capacity < 0)
+    throw std::invalid_argument(
+        "ChurnSchedule: open_capacity must be non-negative");
+}
+
+std::vector<TopologyChange> ChurnSchedule::generate() const {
+  switch (config_.mode) {
+    case ChurnMode::kUniform: return generate_uniform(*graph_, config_);
+    case ChurnMode::kCapacityDrain: return generate_drain(*graph_, config_);
+    case ChurnMode::kPartitionHeal:
+      return generate_partition_heal(*graph_, config_);
+  }
+  return {};
+}
+
+}  // namespace spider

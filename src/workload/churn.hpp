@@ -1,0 +1,89 @@
+// Deterministic channel-churn schedules — the dynamic-topology workload
+// component.
+//
+// Real payment channel networks (Lightning, Ripple) see channels open,
+// close, and get re-funded continuously; the systems literature treats the
+// open/close decision itself as an optimization problem (Avarikioti et al.)
+// and dynamics handling as a routing-scheme property (Roos et al., NDSS
+// '18). A ChurnSchedule turns a topology plus a ChurnConfig into a
+// time-ordered stream of TopologyChange events, ready for
+// SimSession::submit_topology or a ScenarioInstance's churn field.
+//
+// Schedules are valid by construction — every close targets a channel that
+// is open at that point of the stream (earlier closes accounted for, the
+// last open channel never closed), every open has positive capacity — and
+// deterministic in (graph, config): a scenario name plus params fully
+// reproduces a churn-interleaved run, the same contract the traffic
+// generator gives payment traces.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/topology_event.hpp"
+#include "util/random.hpp"
+#include "util/time.hpp"
+
+namespace spider {
+
+enum class ChurnMode {
+  /// Memoryless node behaviour: exponential gaps at `events_per_second`;
+  /// each event closes a uniformly random open channel (probability
+  /// `close_fraction`) or opens a fresh channel between two random
+  /// distinct nodes with `open_capacity` escrow.
+  kUniform,
+  /// Escrow leaves the network: every 1/`events_per_second` seconds the
+  /// highest-capacity open channel closes (ties toward the lower id).
+  /// No opens — total escrow drains monotonically.
+  kCapacityDrain,
+  /// A cut forms and heals: at `start` every channel crossing a BFS node
+  /// bipartition (`partition_fraction` of the nodes on the far side)
+  /// closes; at `stop` a replacement channel reopens per closed one, same
+  /// endpoints and capacity, fresh edge ids.
+  kPartitionHeal,
+};
+
+[[nodiscard]] std::string churn_mode_name(ChurnMode mode);
+/// "uniform" | "drain" | "partition-heal" (what SPIDER_CHURN_MODE accepts);
+/// throws std::invalid_argument on anything else.
+[[nodiscard]] ChurnMode churn_mode_from_name(const std::string& name);
+
+struct ChurnConfig {
+  ChurnMode mode = ChurnMode::kUniform;
+  /// Rate-driven modes: topology events per simulated second.
+  double events_per_second = 1.0;
+  /// Active span [start, stop): rate modes draw event times inside it;
+  /// partition-heal cuts at `start` and heals at `stop`.
+  TimePoint start = 0;
+  TimePoint stop = 0;
+  /// kUniform: probability an event is a close (the rest open).
+  double close_fraction = 0.5;
+  /// kUniform: escrow of opened channels; 0 = the graph's mean open-edge
+  /// capacity.
+  Amount open_capacity = 0;
+  /// kPartitionHeal: fraction of nodes on the far side of the cut.
+  double partition_fraction = 0.5;
+  std::uint64_t seed = 1;
+};
+
+/// Generates the schedule for one topology. The graph is only read —
+/// schedules model the churn the run WILL apply, tracking opens/closes
+/// internally with the same append-only edge ids Network::apply assigns.
+class ChurnSchedule {
+ public:
+  /// Validates the config (throws std::invalid_argument).
+  ChurnSchedule(const Graph& graph, ChurnConfig config);
+
+  /// The full schedule, nondecreasing in time. Deterministic: equal
+  /// (graph, config) gives an identical stream.
+  [[nodiscard]] std::vector<TopologyChange> generate() const;
+
+  [[nodiscard]] const ChurnConfig& config() const { return config_; }
+
+ private:
+  const Graph* graph_;
+  ChurnConfig config_;
+};
+
+}  // namespace spider
