@@ -39,10 +39,21 @@
 // measured scenario/scheme pair regresses more than 30% below its floor —
 // the CI job keeps conservative floors checked in at bench/perf_floor.txt.
 //
+// Trace-replay byte-identity gate (runs by default; SPIDER_BENCH_REPLAY=0
+// skips): writes a scenario's in-memory workload to disk with
+// write_trace_csv/write_topology_csv, streams it back through a TraceReader
+// + replay_trace, and exits non-zero unless every metric field of the
+// replayed run is identical to the in-memory run that generated the files.
+// When the checked-in reference pair under bench/data/ (override with
+// SPIDER_BENCH_DATA=<dir>) is reachable, the same identity is additionally
+// required between a streamed (chunk 64) and a load-all replay of those
+// fixed external files — the acceptance gate for imported workloads.
+//
 // The paper point: SPIDER_BENCH_SCENARIOS=ripple-full runs the pruned-Ripple
 // scale (3774 nodes, 200k transactions by default — §6.1's headline setup).
 #include <chrono>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -50,6 +61,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "core/replay.hpp"
 
 namespace spider {
 namespace {
@@ -204,6 +216,84 @@ int check_floor(const std::string& floor_path,
   return violations;
 }
 
+/// Returns the number of identity violations (0 = gate passed). Identity
+/// is SimMetrics' defaulted operator== — every counter and derived double,
+/// with no hand-maintained field list to fall out of date.
+int check_replay_identity() {
+  const std::vector<Scheme> schemes = {Scheme::kSpiderWaterfilling,
+                                       Scheme::kShortestPath};
+  int violations = 0;
+  std::cout << "\ntrace-replay byte-identity gate:\n";
+
+  // 1. Round-trip gate: in-memory generation -> disk -> streamed replay.
+  ScenarioParams params;
+  params.payments = 600;
+  params.traffic_seed = 18;
+  const ScenarioInstance scenario = build_scenario("isp", params);
+  const auto tmp = std::filesystem::temp_directory_path();
+  const std::string trace_path = (tmp / "spider_bench_replay_trace.csv")
+                                     .string();
+  const std::string topo_path = (tmp / "spider_bench_replay_topology.csv")
+                                    .string();
+  write_trace_csv(trace_path, scenario.trace);
+  write_topology_csv(scenario.graph, topo_path);
+  const SpiderNetwork net(scenario.graph, scenario.config);
+  // The replay side rebuilds its network from the WRITTEN topology file, so
+  // a corrupting read_topology_csv regression breaks identity here rather
+  // than only in the optional reference leg.
+  const SpiderNetwork imported_net(read_topology_csv(topo_path),
+                                   scenario.config);
+  for (const Scheme scheme : schemes) {
+    const SimMetrics in_memory =
+        net.run(scheme, scenario.trace, net.config().sim.seed);
+    TraceReader reader(trace_path, TraceReaderOptions{128});
+    ReplayOptions options;
+    options.demand_hint = &scenario.trace;
+    const ReplayResult replayed = replay_trace(
+        imported_net, scheme, net.config().sim.seed, reader, options);
+    const bool ok = in_memory == replayed.metrics;
+    std::cout << "  written-trace replay  / " << scheme_name(scheme) << ": "
+              << (ok ? "identical" : "MISMATCH") << " (peak buffer "
+              << replayed.peak_buffered << " specs)\n";
+    if (!ok) ++violations;
+  }
+  std::filesystem::remove(trace_path);
+  std::filesystem::remove(topo_path);
+
+  // 2. Reference-trace gate: the checked-in external workload must replay
+  // the same streamed and load-all (skipped with a notice when the data
+  // dir is not reachable from the cwd — CI runs from the repo root).
+  const std::string data_dir = env_string("SPIDER_BENCH_DATA", "bench/data");
+  const std::string ref_trace = data_dir + "/isp_ref_trace.csv";
+  const std::string ref_topo = data_dir + "/isp_ref_topology.csv";
+  if (!std::filesystem::exists(ref_trace) ||
+      !std::filesystem::exists(ref_topo)) {
+    std::cout << "  reference trace " << ref_trace
+              << " not reachable — skipping the external-file leg\n";
+    return violations;
+  }
+  ScenarioParams ref_params;
+  ref_params.trace_file = ref_trace;
+  ref_params.topology_file = ref_topo;
+  const ScenarioInstance ref = build_scenario("trace-replay", ref_params);
+  const SpiderNetwork ref_net(ref.graph, ref.config);
+  for (const Scheme scheme : schemes) {
+    const SimMetrics loaded =
+        ref_net.run(scheme, ref.trace, ref_net.config().sim.seed);
+    TraceReader reader(ref_trace, TraceReaderOptions{64});
+    ReplayOptions options;
+    options.demand_hint = &ref.trace;
+    const ReplayResult streamed = replay_trace(
+        ref_net, scheme, ref_net.config().sim.seed, reader, options);
+    const bool ok = loaded == streamed.metrics;
+    std::cout << "  reference replay      / " << scheme_name(scheme) << ": "
+              << (ok ? "identical" : "MISMATCH") << " (" << ref.trace.size()
+              << " payments)\n";
+    if (!ok) ++violations;
+  }
+  return violations;
+}
+
 int run() {
   bench::banner("E18", "engine throughput (events/sec, payments/sec, "
                        "plans/sec per scenario)",
@@ -308,6 +398,16 @@ int run() {
     const int violations = check_floor(floor, rows);
     if (violations > 0) return 1;
     std::cout << "perf floor check passed (" << floor << ")\n";
+  }
+
+  if (env_int("SPIDER_BENCH_REPLAY", 1) != 0) {
+    const int violations = check_replay_identity();
+    if (violations > 0) {
+      std::cerr << "REPLAY IDENTITY FAILURE: " << violations
+                << " scheme(s) diverged from the in-memory run\n";
+      return 1;
+    }
+    std::cout << "trace-replay identity gate passed\n";
   }
   return 0;
 }

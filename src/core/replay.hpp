@@ -1,0 +1,68 @@
+// Streaming trace replay: drive a SimSession from a TraceReader in
+// bounded-memory chunks.
+//
+// replay_trace() is the experiment layer's end of the trace-driven
+// pipeline: TraceReader parses payments from disk chunk by chunk, each
+// chunk is submitted through SimSession::submit, the clock advances, and
+// the consumed buffer prefix is released — so a 1M+ payment trace replays
+// with a resident PaymentSpec buffer bounded by the chunk size plus the
+// longest run of identical arrival timestamps, never the trace length.
+// (The tie-run term is what exact ordering costs: an arrival at time t may
+// not be processed until a later-timestamped arrival has been submitted,
+// so payments sharing one timestamp stay resident together. Traces with
+// microsecond jitter have tie runs of a few entries; a second-resolution
+// capture's runs are ~its per-second rate.)
+//
+// Determinism contract (what the bench_throughput byte-identity gate and
+// tests/test_trace_replay.cpp enforce): after each submission the loop
+// advances the clock only to just before the newest SUBMITTED arrival.
+// The simulator's arrival chain therefore always has a scheduled arrival
+// when new payments arrive (trace_extended() stays a no-op), which is the
+// condition under which online submission provably replays the exact
+// event sequence of a batch run — so the final metrics are byte-identical
+// to SpiderNetwork::run() over the same trace, independent of chunk size.
+//
+// Demand-driven schemes (Spider LP, primal–dual) estimate their demand
+// matrix from a hint trace at session construction; a streaming replay that
+// must match a batch run of those schemes passes the same hint (or accepts
+// the empty-matrix online behaviour by leaving it null).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/spider.hpp"
+#include "sim/observer.hpp"
+#include "workload/trace_reader.hpp"
+
+namespace spider {
+
+struct ReplayOptions {
+  /// Metrics-window length for attached observers (SessionOptions).
+  Duration metrics_window = 0;
+  /// Demand-matrix hint for demand-driven schemes (may be null: online
+  /// empty-matrix behaviour, see header comment).
+  const std::vector<PaymentSpec>* demand_hint = nullptr;
+  /// Observers attached (in order) before the first event.
+  std::vector<SimObserver*> observers;
+};
+
+struct ReplayResult {
+  SimMetrics metrics;
+  /// Payments replayed (== reader.payments_read()).
+  std::size_t payments = 0;
+  /// High-water mark of the session's resident PaymentSpec buffer — the
+  /// bounded-memory claim: <= chunk_size + the trace's longest run of
+  /// identical arrival timestamps (asserted in tests).
+  std::size_t peak_buffered = 0;
+};
+
+/// Replays every remaining payment of `reader` over `network` with
+/// `scheme`/`seed`. Throws std::runtime_error if the trace names nodes
+/// outside the network's topology (validated per chunk, before submission).
+[[nodiscard]] ReplayResult replay_trace(const SpiderNetwork& network,
+                                        Scheme scheme, std::uint64_t seed,
+                                        TraceReader& reader,
+                                        const ReplayOptions& options = {});
+
+}  // namespace spider

@@ -7,6 +7,7 @@
 #include "core/experiment.hpp"
 #include "topology/topology.hpp"
 #include "workload/size_dist.hpp"
+#include "workload/trace_io.hpp"
 
 namespace spider {
 
@@ -24,6 +25,8 @@ ScenarioParams ScenarioParams::from_env() {
       static_cast<std::uint64_t>(env_int("SPIDER_TRAFFIC_SEED", 0));
   params.churn_rate = env_double("SPIDER_CHURN_RATE", 0.0);
   params.churn_mode = env_string("SPIDER_CHURN_MODE", "");
+  params.trace_file = env_string("SPIDER_TRACE_FILE", "");
+  params.topology_file = env_string("SPIDER_TOPOLOGY_FILE", "");
   return params;
 }
 
@@ -228,6 +231,42 @@ ScenarioRegistry::ScenarioRegistry() {
         churn.stop = 2 * span / 3;
         churn.seed = r.topology_seed;
         instance.churn = ChurnSchedule(instance.graph, churn).generate();
+        return instance;
+      });
+
+  // --- Trace-driven workloads (imported topology + captured payments) ---
+  add("trace-replay",
+      "Replay an externally captured workload: channel-list topology from "
+      "SPIDER_TOPOLOGY_FILE (node_a,node_b,capacity_millis) and payments "
+      "from SPIDER_TRACE_FILE (write_trace_csv schema) — how real "
+      "Ripple/Lightning traces, or traces emitted by spider_trace_gen, "
+      "enter every registry surface (runner grids, benches, sessions). "
+      "SPIDER_TXNS caps the replayed prefix; SPIDER_CAPACITY_XRP overrides "
+      "every imported channel's escrow. For traces too large to "
+      "materialize, drive a TraceReader through replay_trace "
+      "(core/replay.hpp) instead of building this instance",
+      [](const ScenarioParams& p) {
+        if (p.trace_file.empty() || p.topology_file.empty())
+          throw std::invalid_argument(
+              "trace-replay: set SPIDER_TRACE_FILE and SPIDER_TOPOLOGY_FILE "
+              "(ScenarioParams::trace_file / topology_file)");
+        ScenarioInstance instance;
+        instance.name = "trace-replay";
+        instance.graph = read_topology_csv(p.topology_file);
+        if (p.capacity_xrp > 0)
+          instance.graph.set_uniform_capacity(xrp(p.capacity_xrp));
+        instance.trace = read_trace_csv(p.trace_file);
+        if (p.payments > 0 &&
+            instance.trace.size() > static_cast<std::size_t>(p.payments))
+          instance.trace.resize(static_cast<std::size_t>(p.payments));
+        validate_trace_nodes(instance.trace.data(), instance.trace.size(),
+                             instance.graph.num_nodes());
+        SpiderConfig config;
+        // Imported snapshots can be Ripple-scale; cap the dense offline LP
+        // the same way the ripple-like scenarios do.
+        config.lp_max_pairs = p.lp_max_pairs > 0 ? p.lp_max_pairs : 900;
+        if (p.paths_k > 0) config.num_paths = p.paths_k;
+        instance.config = config;
         return instance;
       });
 

@@ -42,6 +42,11 @@ struct ScenarioParams {
   /// "drain", "partition-heal"; empty = scenario default).
   double churn_rate = 0.0;          //                    (SPIDER_CHURN_RATE)
   std::string churn_mode;           //                    (SPIDER_CHURN_MODE)
+  /// Trace-driven workloads (`trace-replay`): payments CSV in the
+  /// write_trace_csv schema, and a channel-list topology CSV in the
+  /// write_topology_csv schema. Both required by that scenario.
+  std::string trace_file;           //                    (SPIDER_TRACE_FILE)
+  std::string topology_file;        //                    (SPIDER_TOPOLOGY_FILE)
 
   /// Reads the SPIDER_* overrides; anything unset stays "scenario default".
   [[nodiscard]] static ScenarioParams from_env();

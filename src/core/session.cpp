@@ -8,10 +8,14 @@ struct SimSession::State {
   Network network;
   std::unique_ptr<Router> router;
   Simulator sim;
-  // The growing trace buffer the simulator's arrival chain reads. Only
-  // ever appended to; the vector object itself stays put (the simulator
-  // holds a pointer to it, not into it).
+  // The trace buffer the simulator's arrival chain reads. Appended to by
+  // submit(); release_replayed() may erase a fully-consumed prefix (the
+  // simulator rebases via trace_released). The vector object itself stays
+  // put (the simulator holds a pointer to it, not into it).
   std::vector<PaymentSpec> trace;
+  // Lifetime submission count — trace.size() no longer is one once a
+  // replay starts releasing consumed entries.
+  std::size_t submitted_total = 0;
   // The growing topology-change stream, same contract as `trace`.
   std::vector<TopologyChange> churn;
 
@@ -61,6 +65,7 @@ void SimSession::submit(const PaymentSpec* specs, std::size_t count) {
     last = specs[i].arrival;
   }
   s.trace.insert(s.trace.end(), specs, specs + count);
+  s.submitted_total += count;
   s.sim.trace_extended();
 }
 
@@ -100,6 +105,16 @@ std::size_t SimSession::advance_until(TimePoint horizon) {
   return state_->sim.advance_until(horizon);
 }
 
+std::size_t SimSession::release_replayed() {
+  State& s = *state_;
+  const std::size_t count = s.sim.trace_releasable();
+  if (count == 0) return 0;
+  s.trace.erase(s.trace.begin(),
+                s.trace.begin() + static_cast<std::ptrdiff_t>(count));
+  s.sim.trace_released(count);
+  return count;
+}
+
 SimMetrics SimSession::drain() {
   state_->sim.drain();
   return state_->sim.metrics();
@@ -111,7 +126,11 @@ TimePoint SimSession::now() const { return state_->sim.now(); }
 
 bool SimSession::idle() const { return state_->sim.idle(); }
 
-std::size_t SimSession::submitted() const { return state_->trace.size(); }
+std::size_t SimSession::submitted() const {
+  return state_->submitted_total;
+}
+
+std::size_t SimSession::buffered() const { return state_->trace.size(); }
 
 Scheme SimSession::scheme() const { return state_->scheme; }
 

@@ -103,12 +103,26 @@ class SimSession {
   /// final result, byte-identical to a batch run() of the same trace/seed.
   [[nodiscard]] SimMetrics metrics() const;
 
+  /// Releases the prefix of the submitted-payment buffer the simulation
+  /// has fully consumed (arrived payments whose specs will never be read
+  /// again) and returns how many entries were freed. Streaming trace
+  /// replay (core/replay.hpp) calls this between chunks, which is what
+  /// bounds a million-payment replay's resident PaymentSpec buffer by the
+  /// chunk size (plus one same-timestamp arrival run) instead of the trace
+  /// length. Safe at any point of a run; metrics and event order are
+  /// unaffected.
+  std::size_t release_replayed();
+
   /// Simulation clock (timestamp of the last processed event).
   [[nodiscard]] TimePoint now() const;
   /// True when no events are pending.
   [[nodiscard]] bool idle() const;
-  /// Total payments submitted so far.
+  /// Total payments submitted so far (including released ones).
   [[nodiscard]] std::size_t submitted() const;
+  /// Payments currently resident in the submission buffer — submitted()
+  /// minus what release_replayed() has freed. Bounded-memory replay tests
+  /// assert on this.
+  [[nodiscard]] std::size_t buffered() const;
 
   [[nodiscard]] Scheme scheme() const;
   /// Per-payment outcomes (grows as arrivals are processed).

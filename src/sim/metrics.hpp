@@ -58,6 +58,11 @@ struct SimMetrics {
   double final_mean_imbalance_xrp = 0.0;
   double sim_duration_s = 0.0;
 
+  /// Memberwise equality over every counter and derived double — the
+  /// "byte-identical metrics" predicate the replay/session identity gates
+  /// compare with. Defaulted so a new field can never be forgotten.
+  [[nodiscard]] bool operator==(const SimMetrics&) const = default;
+
   [[nodiscard]] double success_ratio() const {
     return attempted_count == 0
                ? 0.0

@@ -41,6 +41,7 @@ void Simulator::begin(const std::vector<PaymentSpec>& trace) {
   free_chunks_.clear();
   metrics_ = SimMetrics{};
   next_arrival_ = 0;
+  trace_base_ = 0;
   topo_trace_ = nullptr;
   next_topo_ = 0;
   topo_scheduled_ = false;
@@ -69,6 +70,13 @@ void Simulator::begin(const std::vector<PaymentSpec>& trace) {
 
 void Simulator::trace_extended() { sync_arrival_chain(); }
 
+void Simulator::trace_released(std::size_t count) {
+  SPIDER_ASSERT_MSG(count <= trace_releasable(),
+                    "trace_released: prefix still referenced by the "
+                    "arrival chain");
+  trace_base_ += count;
+}
+
 void Simulator::begin_topology(const std::vector<TopologyChange>& churn) {
   topo_trace_ = &churn;
   next_topo_ = 0;
@@ -90,8 +98,8 @@ void Simulator::sync_topology_chain() {
 
 void Simulator::sync_arrival_chain() {
   if (arrival_scheduled_ || trace_ == nullptr) return;
-  if (next_arrival_ >= trace_->size()) return;
-  const TimePoint at = (*trace_)[next_arrival_].arrival;
+  if (next_arrival_ >= trace_base_ + trace_->size()) return;
+  const TimePoint at = (*trace_)[next_arrival_ - trace_base_].arrival;
   SPIDER_ASSERT_MSG(at >= now(), "submitted payment arrives in the past");
   push_event(at, EventKind::kArrival, next_arrival_);
   arrival_scheduled_ = true;
@@ -214,7 +222,11 @@ void Simulator::ensure_pending(std::size_t payment_index) {
 }
 
 void Simulator::handle_arrival(std::size_t trace_index) {
-  const PaymentSpec& spec = (*trace_)[trace_index];
+  // By value: once next_arrival_ moves past this entry (just below), the
+  // caller may legally release it from the trace vector — e.g. an
+  // observer hook driving SimSession::release_replayed — and a reference
+  // would dangle across the observer loop.
+  const PaymentSpec spec = (*trace_)[trace_index - trace_base_];
   // Chain the next arrival so the heap stays small. In a streaming session
   // the chain simply runs dry when the submitter falls behind the clock;
   // trace_extended() restarts it.
@@ -658,7 +670,7 @@ void Simulator::handle_rebalance() {
     }
   }
   // Keep ticking while there is still work the deposits could help.
-  if (next_arrival_ < trace_->size() || !pending_.empty()) {
+  if (next_arrival_ < trace_base_ + trace_->size() || !pending_.empty()) {
     push_event(now() + config_.rebalance_interval, EventKind::kRebalance, 0);
     rebalance_scheduled_ = true;
   }

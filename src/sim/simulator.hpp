@@ -115,6 +115,21 @@ class Simulator {
   /// ahead of the clock keeps the exact event order of a batch run.
   void trace_extended();
 
+  /// Streaming-replay compaction: how many leading entries of the trace
+  /// vector the arrival chain is finished with (consumed, no event pending
+  /// on them). The caller may erase exactly that prefix and report the
+  /// erase through trace_released(); bounded-memory replay
+  /// (core/replay.hpp) does this between chunks so a million-payment trace
+  /// never lives in memory at once. Event payloads keep their original
+  /// absolute trace indices (Payment::id is stable across compaction).
+  [[nodiscard]] std::size_t trace_releasable() const {
+    return trace_ == nullptr ? 0 : next_arrival_ - trace_base_;
+  }
+
+  /// The caller erased `count` (<= trace_releasable()) leading entries from
+  /// the trace vector; future index lookups rebase accordingly.
+  void trace_released(std::size_t count);
+
   /// Arms the dynamic-topology event stream over `churn` (same contract as
   /// begin()'s trace: the caller may append between events, in
   /// nondecreasing order, and must call topology_extended() after each
@@ -279,7 +294,10 @@ class Simulator {
   EventQueue events_;
   bool poll_scheduled_ = false;
   bool arrival_scheduled_ = false;
-  std::size_t next_arrival_ = 0;
+  std::size_t next_arrival_ = 0;  // absolute index across compactions
+  // Leading trace entries the caller released (bounded-memory replay);
+  // absolute index i lives at (*trace_)[i - trace_base_].
+  std::size_t trace_base_ = 0;
   // Dynamic-topology stream (mirrors the trace chain; null = static run).
   const std::vector<TopologyChange>* topo_trace_ = nullptr;
   bool topo_scheduled_ = false;

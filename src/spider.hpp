@@ -3,6 +3,7 @@
 
 #include "core/config.hpp"       // IWYU pragma: export
 #include "core/experiment.hpp"   // IWYU pragma: export
+#include "core/replay.hpp"       // IWYU pragma: export
 #include "core/runner.hpp"       // IWYU pragma: export
 #include "core/scenario.hpp"     // IWYU pragma: export
 #include "core/session.hpp"      // IWYU pragma: export
@@ -16,3 +17,4 @@
 #include "topology/topology.hpp" // IWYU pragma: export
 #include "workload/churn.hpp"    // IWYU pragma: export
 #include "workload/trace_io.hpp" // IWYU pragma: export
+#include "workload/trace_reader.hpp" // IWYU pragma: export

@@ -1,7 +1,12 @@
+#include <algorithm>
 #include <fstream>
+#include <limits>
 #include <sstream>
+#include <stdexcept>
+#include <vector>
 
 #include "topology/topology.hpp"
+#include "util/csv.hpp"
 
 namespace spider {
 
@@ -18,6 +23,80 @@ Graph load_topology(const std::string& path) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
   return Graph::parse(buffer.str());
+}
+
+void write_topology_csv(const Graph& g, const std::string& path) {
+  CsvWriter writer(path);
+  writer.write_row({"node_a", "node_b", "capacity_millis"});
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Graph::Edge& edge = g.edge(e);
+    if (edge.closed) continue;
+    writer.write_row({std::to_string(edge.a), std::to_string(edge.b),
+                      std::to_string(edge.capacity)});
+  }
+}
+
+namespace {
+
+struct ImportedChannel {
+  NodeId a;
+  NodeId b;
+  Amount capacity;
+};
+
+}  // namespace
+
+Graph read_topology_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in)
+    throw std::runtime_error("read_topology_csv: cannot open " + path);
+  std::size_t line_no = 0;
+  const auto fail = [&](const std::string& what) -> void {
+    throw std::runtime_error("read_topology_csv: " + path + ":" +
+                             std::to_string(line_no) + ": " + what);
+  };
+  std::string line;
+  if (!std::getline(in, line)) fail("empty topology file");
+  ++line_no;
+  strip_line_ending(line);
+  if (line != kTopologyCsvHeader)
+    fail("expected header \"" + std::string(kTopologyCsvHeader) +
+         "\", got '" + line + "'");
+  std::vector<ImportedChannel> channels;
+  NodeId max_node = kInvalidNode;
+  while (std::getline(in, line)) {
+    ++line_no;
+    strip_line_ending(line);
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = split_csv_line(line);
+    if (fields.size() != 3)
+      fail("expected 3 fields, got " + std::to_string(fields.size()) +
+           ": '" + line + "'");
+    std::int64_t a = 0;
+    std::int64_t b = 0;
+    std::int64_t capacity = 0;
+    if (!parse_int_field(fields[0], a))
+      fail("bad node_a field '" + fields[0] + "'");
+    if (!parse_int_field(fields[1], b))
+      fail("bad node_b field '" + fields[1] + "'");
+    if (!parse_int_field(fields[2], capacity))
+      fail("bad capacity_millis field '" + fields[2] + "'");
+    constexpr std::int64_t kMaxNode = std::numeric_limits<NodeId>::max() - 1;
+    if (a < 0 || a > kMaxNode) fail("node_a out of range: " + fields[0]);
+    if (b < 0 || b > kMaxNode) fail("node_b out of range: " + fields[1]);
+    if (a == b) fail("self-loop channel on node " + fields[0]);
+    if (capacity <= 0)
+      fail("channel needs positive escrow, got " + fields[2]);
+    channels.push_back(ImportedChannel{static_cast<NodeId>(a),
+                                       static_cast<NodeId>(b), capacity});
+    max_node = std::max({max_node, static_cast<NodeId>(a),
+                         static_cast<NodeId>(b)});
+  }
+  if (channels.empty()) fail("topology has no channels");
+  Graph g(max_node + 1);
+  for (const ImportedChannel& ch : channels)
+    g.add_edge(ch.a, ch.b, ch.capacity);
+  return g;
 }
 
 }  // namespace spider

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "graph/graph.hpp"
 #include "util/random.hpp"
@@ -90,5 +91,27 @@ void save_topology(const Graph& g, const std::string& path);
 
 /// Reads a topology written by save_topology.
 [[nodiscard]] Graph load_topology(const std::string& path);
+
+// ---- Snapshot import/export (trace-driven workloads) ----
+
+/// The header row write_topology_csv emits and read_topology_csv expects.
+inline constexpr std::string_view kTopologyCsvHeader =
+    "node_a,node_b,capacity_millis";
+
+/// Writes a Lightning-snapshot-style channel list: the header row, then one
+/// "a,b,capacity_millis" row per OPEN channel. Throws std::runtime_error on
+/// I/O failure.
+void write_topology_csv(const Graph& g, const std::string& path);
+
+/// Imports a channel-list CSV (the write_topology_csv schema — how measured
+/// Lightning/Ripple snapshots enter the topology layer). The node count is
+/// one past the highest id referenced. Parsing is strict (std::from_chars,
+/// full-field): trailing garbage, negative ids, self-loops and negative
+/// capacities are rejected with the offending line; zero-capacity channels
+/// are rejected too (an unfunded channel can never route — the same
+/// financial invariant the generators assert). CRLF is tolerated and the
+/// header row is required. Imported graphs need not be connected (real
+/// snapshots often are not); payments across components simply fail.
+[[nodiscard]] Graph read_topology_csv(const std::string& path);
 
 }  // namespace spider

@@ -1,5 +1,6 @@
 #include "util/csv.hpp"
 
+#include <charconv>
 #include <sstream>
 #include <stdexcept>
 
@@ -72,6 +73,17 @@ std::vector<std::string> split_csv_line(const std::string& line) {
   }
   fields.push_back(cur);
   return fields;
+}
+
+bool parse_int_field(std::string_view field, std::int64_t& out) {
+  if (field.empty()) return false;
+  std::int64_t value = 0;
+  const char* first = field.data();
+  const char* last = first + field.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr != last) return false;
+  out = value;
+  return true;
 }
 
 }  // namespace spider

@@ -1,8 +1,10 @@
 // Minimal CSV output, used by the bench harnesses to dump figure data.
 #pragma once
 
+#include <cstdint>
 #include <fstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace spider {
@@ -28,5 +30,18 @@ class CsvWriter {
 
 /// Splits one CSV line (handles quoted fields). Used for trace round-trips.
 [[nodiscard]] std::vector<std::string> split_csv_line(const std::string& line);
+
+/// Drops a trailing '\r' (CRLF tolerance for files written on Windows);
+/// call on every line read by a strict CSV reader before parsing.
+inline void strip_line_ending(std::string& line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+}
+
+/// Strict full-field signed-integer parse (std::from_chars): the whole field
+/// must be one base-10 integer that fits std::int64_t. Empty fields, leading
+/// '+'/whitespace, trailing garbage ("12abc") and out-of-range values are all
+/// rejected — unlike std::stoll, which accepts "12abc" as 12. Returns false
+/// on any violation, leaving `out` untouched.
+[[nodiscard]] bool parse_int_field(std::string_view field, std::int64_t& out);
 
 }  // namespace spider

@@ -28,10 +28,25 @@ double RunningStats::min() const { return count_ > 0 ? min_ : 0.0; }
 
 double RunningStats::max() const { return count_ > 0 ? max_ : 0.0; }
 
-double quantile(std::vector<double> values, double q) {
+double quantile(std::span<double> values, double q) {
   if (values.empty()) return 0.0;
   SPIDER_ASSERT(q >= 0.0 && q <= 1.0);
-  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  const auto lo_it = values.begin() + static_cast<std::ptrdiff_t>(lo);
+  std::nth_element(values.begin(), lo_it, values.end());
+  const double lo_value = *lo_it;
+  if (frac <= 0.0 || lo + 1 >= values.size()) return lo_value;
+  // After nth_element the (lo+1)-th order statistic is the minimum of the
+  // upper partition — one linear scan instead of a second selection.
+  const double hi_value = *std::min_element(lo_it + 1, values.end());
+  return lo_value * (1.0 - frac) + hi_value * frac;
+}
+
+double quantile_sorted(std::span<const double> values, double q) {
+  if (values.empty()) return 0.0;
+  SPIDER_ASSERT(q >= 0.0 && q <= 1.0);
   const double pos = q * static_cast<double>(values.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);
   const auto hi = std::min(lo + 1, values.size() - 1);

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <vector>
 
 namespace spider {
@@ -22,6 +23,10 @@ class RunningStats {
   [[nodiscard]] double max() const;
   [[nodiscard]] double sum() const { return sum_; }
 
+  /// Memberwise equality (exact double compare — identity checks, not
+  /// statistics).
+  [[nodiscard]] bool operator==(const RunningStats&) const = default;
+
  private:
   std::int64_t count_ = 0;
   double mean_ = 0.0;
@@ -32,8 +37,17 @@ class RunningStats {
 };
 
 /// q-quantile (q in [0,1]) by linear interpolation between order statistics.
-/// Copies and sorts; fine for metrics-sized vectors. Returns 0 for empty.
-[[nodiscard]] double quantile(std::vector<double> values, double q);
+/// Selects with std::nth_element — O(n) per call, no copy, no full sort —
+/// and PARTIALLY REORDERS `values` in place (quantile values themselves are
+/// unaffected by the reordering, so repeated calls on the same span are
+/// fine). Returns 0 for empty.
+[[nodiscard]] double quantile(std::span<double> values, double q);
+
+/// quantile() over values already sorted ascending: pure O(1) indexing, no
+/// reordering. Callers that need many quantiles of one sample sort once and
+/// read through this.
+[[nodiscard]] double quantile_sorted(std::span<const double> values,
+                                     double q);
 
 [[nodiscard]] double mean_of(const std::vector<double>& values);
 

@@ -1,8 +1,9 @@
 #include "workload/trace_io.hpp"
 
-#include <fstream>
+#include <stdexcept>
 
 #include "util/csv.hpp"
+#include "workload/trace_reader.hpp"
 
 namespace spider {
 
@@ -18,30 +19,24 @@ void write_trace_csv(const std::string& path,
 }
 
 std::vector<PaymentSpec> read_trace_csv(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("read_trace_csv: cannot open " + path);
-  std::string line;
-  if (!std::getline(in, line))
-    throw std::runtime_error("read_trace_csv: empty file " + path);
-  std::vector<PaymentSpec> trace;
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    const std::vector<std::string> fields = split_csv_line(line);
-    if (fields.size() != 5)
-      throw std::runtime_error("read_trace_csv: bad row '" + line + "'");
-    try {
-      PaymentSpec spec;
-      spec.arrival = std::stoll(fields[0]);
-      spec.src = static_cast<NodeId>(std::stol(fields[1]));
-      spec.dst = static_cast<NodeId>(std::stol(fields[2]));
-      spec.amount = std::stoll(fields[3]);
-      spec.deadline = std::stoll(fields[4]);
-      trace.push_back(spec);
-    } catch (const std::exception&) {
-      throw std::runtime_error("read_trace_csv: bad row '" + line + "'");
-    }
+  TraceReader reader(path);
+  return reader.read_all();
+}
+
+void validate_trace_nodes(const PaymentSpec* specs, std::size_t count,
+                          NodeId num_nodes, std::size_t base_index) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const PaymentSpec& spec = specs[i];
+    const NodeId bad = (spec.src < 0 || spec.src >= num_nodes) ? spec.src
+                       : (spec.dst < 0 || spec.dst >= num_nodes)
+                           ? spec.dst
+                           : kInvalidNode;
+    if (bad != kInvalidNode)
+      throw std::runtime_error(
+          "trace payment " + std::to_string(base_index + i) +
+          " names node " + std::to_string(bad) + " outside the " +
+          std::to_string(num_nodes) + "-node topology");
   }
-  return trace;
 }
 
 }  // namespace spider

@@ -1,21 +1,46 @@
 // CSV round-trip for transaction traces, so experiments can be re-run on
 // identical workloads (and external traces can be imported in the same
 // format: arrival_us,src,dst,amount_millis,deadline_us).
+//
+// Reading is strict: fields parse with std::from_chars over the whole field
+// (no std::stoll-style trailing-garbage acceptance), node ids and amounts
+// are range/sign-checked, and a headerless file's first line is parsed as
+// data (or rejected loudly) instead of being skipped blindly. Load-all
+// reading is a thin wrapper over the streaming TraceReader
+// (workload/trace_reader.hpp), so both surfaces share one parser and are
+// chunk-size-invariant by construction.
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "workload/traffic.hpp"
 
 namespace spider {
 
+/// The canonical header row write_trace_csv emits and readers recognize.
+inline constexpr std::string_view kTraceCsvHeader =
+    "arrival_us,src,dst,amount_millis,deadline_us";
+
 /// Writes a trace with a header row. Throws std::runtime_error on failure.
 void write_trace_csv(const std::string& path,
                      const std::vector<PaymentSpec>& trace);
 
 /// Reads a trace written by write_trace_csv (or hand-authored in the same
-/// schema). Throws std::runtime_error on malformed input.
+/// schema, with or without the header row). Throws std::runtime_error on
+/// malformed input, naming the offending line.
 [[nodiscard]] std::vector<PaymentSpec> read_trace_csv(const std::string& path);
+
+/// Validates that every payment's endpoints name nodes of an n-node
+/// topology; throws std::runtime_error naming the first offending payment
+/// (as `base_index` + its offset — streaming callers pass the chunk's
+/// position so the reported index matches the trace file). The
+/// trace-replay surfaces call this before feeding an imported trace to the
+/// simulator, which would otherwise assert deep in routing.
+/// (Self-payments are left alone — the engine tolerates them; they simply
+/// never complete.)
+void validate_trace_nodes(const PaymentSpec* specs, std::size_t count,
+                          NodeId num_nodes, std::size_t base_index = 0);
 
 }  // namespace spider

@@ -1,0 +1,120 @@
+#include "workload/trace_reader.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+#include "workload/trace_io.hpp"
+
+namespace spider {
+
+TraceReader::TraceReader(std::string path, TraceReaderOptions options)
+    : path_(std::move(path)), chunk_size_(options.chunk_size), in_(path_) {
+  if (chunk_size_ == 0)
+    throw std::invalid_argument("TraceReader: chunk_size must be positive");
+  if (!in_) throw std::runtime_error("TraceReader: cannot open " + path_);
+  std::string line;
+  if (!std::getline(in_, line))
+    throw std::runtime_error("TraceReader: empty trace file " + path_);
+  ++line_no_;
+  strip_line_ending(line);
+  if (line == kTraceCsvHeader) return;  // canonical header row
+  // Headerless file: the first line must itself be a payment row. The old
+  // reader skipped it blindly, silently dropping the first payment.
+  std::string error;
+  PaymentSpec spec;
+  if (!parse_row(line, spec, /*lenient=*/true, &error))
+    fail("first line is neither the expected header \"" +
+         std::string(kTraceCsvHeader) + "\" nor a valid payment row (" +
+         error + "): '" + line + "'");
+  pending_first_ = true;
+  first_spec_ = spec;
+  last_arrival_ = spec.arrival;
+  saw_payment_ = true;
+}
+
+const std::vector<PaymentSpec>& TraceReader::next_chunk() {
+  chunk_.clear();
+  if (pending_first_) {
+    chunk_.push_back(first_spec_);
+    pending_first_ = false;
+  }
+  std::string line;
+  while (chunk_.size() < chunk_size_ && std::getline(in_, line)) {
+    ++line_no_;
+    strip_line_ending(line);
+    if (line.empty()) continue;
+    PaymentSpec spec;
+    parse_row(line, spec, /*lenient=*/false, nullptr);
+    if (saw_payment_ && spec.arrival < last_arrival_)
+      fail("arrivals must be nondecreasing (got " +
+           std::to_string(spec.arrival) + " after " +
+           std::to_string(last_arrival_) + ")");
+    last_arrival_ = spec.arrival;
+    saw_payment_ = true;
+    chunk_.push_back(spec);
+  }
+  payments_read_ += chunk_.size();
+  if (chunk_.empty()) done_ = true;
+  return chunk_;
+}
+
+std::vector<PaymentSpec> TraceReader::read_all() {
+  std::vector<PaymentSpec> all;
+  while (true) {
+    const std::vector<PaymentSpec>& chunk = next_chunk();
+    if (chunk.empty()) break;
+    all.insert(all.end(), chunk.begin(), chunk.end());
+  }
+  return all;
+}
+
+void TraceReader::fail(const std::string& what) const {
+  throw std::runtime_error("TraceReader: " + path_ + ":" +
+                           std::to_string(line_no_) + ": " + what);
+}
+
+bool TraceReader::parse_row(const std::string& line, PaymentSpec& spec,
+                            bool lenient, std::string* error) const {
+  const auto reject = [&](const std::string& what) -> bool {
+    if (lenient) {
+      if (error != nullptr) *error = what;
+      return false;
+    }
+    fail(what + ": '" + line + "'");
+  };
+  const std::vector<std::string> fields = split_csv_line(line);
+  if (fields.size() != 5)
+    return reject("expected 5 fields, got " + std::to_string(fields.size()));
+  std::int64_t arrival = 0;
+  std::int64_t src = 0;
+  std::int64_t dst = 0;
+  std::int64_t amount = 0;
+  std::int64_t deadline = 0;
+  if (!parse_int_field(fields[0], arrival))
+    return reject("bad arrival_us field '" + fields[0] + "'");
+  if (!parse_int_field(fields[1], src))
+    return reject("bad src field '" + fields[1] + "'");
+  if (!parse_int_field(fields[2], dst))
+    return reject("bad dst field '" + fields[2] + "'");
+  if (!parse_int_field(fields[3], amount))
+    return reject("bad amount_millis field '" + fields[3] + "'");
+  if (!parse_int_field(fields[4], deadline))
+    return reject("bad deadline_us field '" + fields[4] + "'");
+  if (arrival < 0) return reject("negative arrival_us");
+  constexpr std::int64_t kMaxNode = std::numeric_limits<NodeId>::max();
+  if (src < 0 || src > kMaxNode)
+    return reject("src out of node-id range: " + fields[1]);
+  if (dst < 0 || dst > kMaxNode)
+    return reject("dst out of node-id range: " + fields[2]);
+  if (amount <= 0) return reject("non-positive amount_millis");
+  if (deadline < 0) return reject("negative deadline_us");
+  spec.arrival = arrival;
+  spec.src = static_cast<NodeId>(src);
+  spec.dst = static_cast<NodeId>(dst);
+  spec.amount = amount;
+  spec.deadline = deadline;
+  return true;
+}
+
+}  // namespace spider

@@ -1,0 +1,86 @@
+// Streaming trace input: iterate a trace CSV from disk in bounded-memory
+// chunks, so paper-scale (1M+ payment) workloads replay without ever
+// materializing the whole trace as a vector.
+//
+// Schema is the write_trace_csv one (trace_io.hpp):
+//
+//   arrival_us,src,dst,amount_millis,deadline_us
+//
+// The header row is optional — a first line that parses as a payment row is
+// treated as data; a first line that is neither the header nor a valid row
+// raises a clear error instead of being skipped blindly. Parsing is strict
+// (std::from_chars over the full field): trailing garbage ("12abc"),
+// negative node ids, non-positive amounts, negative deadlines and
+// out-of-range 64-bit values are all rejected with the offending line
+// number. CRLF line endings are tolerated. Arrivals must be nondecreasing —
+// the ordering SimSession's online submission contract requires — and a
+// violation reports the line rather than crashing mid-replay.
+//
+// Determinism contract: reading a file with ANY chunk size yields the exact
+// payment sequence of read_trace_csv (which is implemented on this reader),
+// so chunked replay and load-all replay feed a session identical
+// submissions.
+#pragma once
+
+#include <cstddef>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "workload/traffic.hpp"
+
+namespace spider {
+
+struct TraceReaderOptions {
+  /// Upper bound on payments buffered per next_chunk() call — the knob that
+  /// bounds replay memory. Must be positive.
+  std::size_t chunk_size = 4096;
+};
+
+class TraceReader {
+ public:
+  /// Opens `path`; throws std::runtime_error when the file cannot be opened
+  /// or is empty, or std::invalid_argument on a non-positive chunk size.
+  explicit TraceReader(std::string path, TraceReaderOptions options = {});
+
+  /// Reads up to chunk_size further payments. The returned buffer is owned
+  /// by the reader and INVALIDATED by the next next_chunk() call; an empty
+  /// result means end of trace. Throws std::runtime_error (with path and
+  /// line number) on any malformed row.
+  const std::vector<PaymentSpec>& next_chunk();
+
+  /// Drains every remaining chunk into one vector (the load-all surface
+  /// read_trace_csv wraps).
+  [[nodiscard]] std::vector<PaymentSpec> read_all();
+
+  /// True once next_chunk() has returned (or would return) empty.
+  [[nodiscard]] bool done() const { return done_; }
+
+  /// Payments handed out so far across all chunks.
+  [[nodiscard]] std::size_t payments_read() const { return payments_read_; }
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] std::size_t chunk_size() const { return chunk_size_; }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const;
+  /// Parses one data line into `spec`; on failure either returns false
+  /// (lenient mode, used to probe the first line) or throws via fail().
+  bool parse_row(const std::string& line, PaymentSpec& spec,
+                 bool lenient, std::string* error) const;
+
+  std::string path_;
+  std::size_t chunk_size_;
+  std::ifstream in_;
+  std::vector<PaymentSpec> chunk_;
+  std::size_t line_no_ = 0;
+  std::size_t payments_read_ = 0;
+  TimePoint last_arrival_ = 0;
+  bool saw_payment_ = false;
+  bool done_ = false;
+  /// First data line, when line 1 turned out to be headerless data.
+  bool pending_first_ = false;
+  PaymentSpec first_spec_;
+};
+
+}  // namespace spider

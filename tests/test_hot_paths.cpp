@@ -18,6 +18,7 @@
 #include "routing/waterfilling_router.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/simulator.hpp"
+#include "test_support.hpp"
 #include "util/random.hpp"
 
 namespace spider {
@@ -132,6 +133,7 @@ TEST(FlatPathStore, MatchesDirectComputationOnEveryRegistryScenario) {
   ScenarioParams params;
   params.payments = 150;
   params.nodes = 120;  // keeps ripple-full (default 3774) test-sized
+  provide_replay_files(params, 150);
   for (const auto& entry : ScenarioRegistry::instance().list()) {
     const ScenarioInstance scenario = build_scenario(entry.name, params);
     for (const PathSelection selection :
@@ -224,6 +226,7 @@ TEST(HotPathDeterminism, FixedSeedMetricsIdenticalOnEveryRegistryScenario) {
   ScenarioParams params;
   params.payments = 250;
   params.nodes = 80;  // keeps ripple-full test-sized
+  provide_replay_files(params, 250);
   for (const auto& entry : ScenarioRegistry::instance().list()) {
     const ScenarioInstance scenario = build_scenario(entry.name, params);
     const SpiderNetwork net(scenario.graph, scenario.config);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/scenario.hpp"
+#include "test_support.hpp"
 
 namespace spider {
 namespace {
@@ -61,6 +62,7 @@ TEST(ScenarioRegistry, DuplicateRegistrationThrows) {
 TEST(ScenarioRegistry, EveryBuiltInMaterializesAValidRun) {
   ScenarioParams params;
   params.payments = 50;  // keep the test fast
+  provide_replay_files(params, 50);
   for (const auto& entry : ScenarioRegistry::instance().list()) {
     const ScenarioInstance instance = build_scenario(entry.name, params);
     EXPECT_EQ(instance.name, entry.name);

@@ -6,40 +6,13 @@
 #include <gtest/gtest.h>
 
 #include "spider.hpp"
+#include "test_support.hpp"
 
 namespace spider {
 namespace {
 
-/// Field-by-field equality of two SimMetrics — "byte-identical" for every
-/// counter and for the derived doubles (same op order -> same bits).
 void expect_identical(const SimMetrics& a, const SimMetrics& b) {
-  EXPECT_EQ(a.attempted_count, b.attempted_count);
-  EXPECT_EQ(a.attempted_volume, b.attempted_volume);
-  EXPECT_EQ(a.completed_count, b.completed_count);
-  EXPECT_EQ(a.completed_volume, b.completed_volume);
-  EXPECT_EQ(a.delivered_volume, b.delivered_volume);
-  EXPECT_EQ(a.expired_count, b.expired_count);
-  EXPECT_EQ(a.rejected_count, b.rejected_count);
-  EXPECT_EQ(a.admission_refused, b.admission_refused);
-  EXPECT_EQ(a.chunks_sent, b.chunks_sent);
-  EXPECT_EQ(a.retry_rounds, b.retry_rounds);
-  EXPECT_EQ(a.events_processed, b.events_processed);
-  EXPECT_EQ(a.plans_requested, b.plans_requested);
-  EXPECT_EQ(a.chunks_queued, b.chunks_queued);
-  EXPECT_EQ(a.queue_timeouts, b.queue_timeouts);
-  EXPECT_EQ(a.onchain_deposited, b.onchain_deposited);
-  EXPECT_EQ(a.fees_accrued, b.fees_accrued);
-  EXPECT_EQ(a.completion_latency_s.count(), b.completion_latency_s.count());
-  EXPECT_DOUBLE_EQ(a.completion_latency_s.mean(),
-                   b.completion_latency_s.mean());
-  EXPECT_DOUBLE_EQ(a.completion_latency_s.sum(),
-                   b.completion_latency_s.sum());
-  EXPECT_EQ(a.chunk_hops.count(), b.chunk_hops.count());
-  EXPECT_DOUBLE_EQ(a.chunk_hops.mean(), b.chunk_hops.mean());
-  EXPECT_EQ(a.queue_wait_s.count(), b.queue_wait_s.count());
-  EXPECT_DOUBLE_EQ(a.queue_wait_s.mean(), b.queue_wait_s.mean());
-  EXPECT_DOUBLE_EQ(a.final_mean_imbalance_xrp, b.final_mean_imbalance_xrp);
-  EXPECT_DOUBLE_EQ(a.sim_duration_s, b.sim_duration_s);
+  expect_identical_metrics(a, b);
 }
 
 ScenarioInstance small_isp() {

@@ -176,11 +176,33 @@ TEST(RunningStats, EmptyIsZero) {
 }
 
 TEST(Quantile, InterpolatesBetweenOrderStatistics) {
-  EXPECT_DOUBLE_EQ(quantile({1, 2, 3, 4}, 0.0), 1.0);
-  EXPECT_DOUBLE_EQ(quantile({1, 2, 3, 4}, 1.0), 4.0);
-  EXPECT_DOUBLE_EQ(quantile({1, 2, 3, 4}, 0.5), 2.5);
-  EXPECT_DOUBLE_EQ(quantile({4, 1, 3, 2}, 0.5), 2.5);  // unsorted input
-  EXPECT_DOUBLE_EQ(quantile({}, 0.5), 0.0);
+  std::vector<double> v{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 2.5);
+  std::vector<double> unsorted{4, 1, 3, 2};
+  EXPECT_DOUBLE_EQ(quantile(unsorted, 0.5), 2.5);
+  std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(quantile(empty, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(empty, 0.5), 0.0);
+}
+
+TEST(Quantile, SelectionMatchesSortedOnEveryQ) {
+  // The nth_element implementation must agree with sorted indexing at
+  // every quantile, including repeated calls on the same (partially
+  // reordered) buffer.
+  Rng rng(37);
+  std::vector<double> scratch;
+  for (int i = 0; i < 2000; ++i) scratch.push_back(rng.uniform(0.0, 100.0));
+  std::vector<double> sorted = scratch;
+  std::sort(sorted.begin(), sorted.end());
+  for (const double q : {0.0, 0.01, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(quantile(scratch, q), quantile_sorted(sorted, q))
+        << "q=" << q;
+    // Second call on the reordered buffer: same value.
+    EXPECT_DOUBLE_EQ(quantile(scratch, q), quantile_sorted(sorted, q))
+        << "repeat q=" << q;
+  }
 }
 
 TEST(MeanOf, HandlesEmptyAndNonEmpty) {

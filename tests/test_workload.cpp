@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <fstream>
+#include <limits>
 
 #include "util/stats.hpp"
 #include "workload/size_dist.hpp"
@@ -202,6 +203,116 @@ TEST(TraceIo, RejectsMalformedRows) {
   }
   EXPECT_THROW(read_trace_csv(path), std::runtime_error);
   EXPECT_THROW(read_trace_csv("/nonexistent/path.csv"), std::runtime_error);
+}
+
+/// Writes `body` (after the canonical header) and returns the path.
+std::string write_trace_body(const std::string& name,
+                             const std::string& body, bool header = true) {
+  const std::string path = testing::TempDir() + "/" + name;
+  std::ofstream out(path);
+  if (header) out << "arrival_us,src,dst,amount_millis,deadline_us\n";
+  out << body;
+  return path;
+}
+
+TEST(TraceIo, HeaderlessFirstRowIsDataNotSkipped) {
+  // The old reader unconditionally skipped line 1, silently dropping the
+  // first payment of headerless files.
+  const std::string path = write_trace_body(
+      "spider_trace_headerless.csv", "5,0,1,250,0\n9,1,2,300,0\n",
+      /*header=*/false);
+  const auto trace = read_trace_csv(path);
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace[0].arrival, 5);
+  EXPECT_EQ(trace[0].src, 0);
+  EXPECT_EQ(trace[0].dst, 1);
+  EXPECT_EQ(trace[0].amount, 250);
+}
+
+TEST(TraceIo, GarbageFirstLineIsALoudError) {
+  const std::string path = write_trace_body(
+      "spider_trace_garbage_head.csv",
+      "timestamp;from;to;value\n3,0,1,100,0\n", /*header=*/false);
+  try {
+    (void)read_trace_csv(path);
+    FAIL() << "expected rejection of an unrecognized first line";
+  } catch (const std::runtime_error& e) {
+    // The error names the expected schema instead of silently skipping.
+    EXPECT_NE(std::string(e.what()).find("arrival_us"), std::string::npos);
+  }
+}
+
+TEST(TraceIo, StrictFieldParsing) {
+  // std::stoll used to accept "12abc" as 12 and let negative ids/amounts
+  // through into NodeId casts; every one of these must now throw.
+  const char* bad_rows[] = {
+      "12abc,0,1,100,0\n",      // trailing garbage in arrival
+      "1,0x2,1,100,0\n",        // non-decimal src
+      "1,-2,1,100,0\n",         // negative src
+      "1,0,-1,100,0\n",         // negative dst
+      "1,0,1,-100,0\n",         // negative amount
+      "1,0,1,0,0\n",            // zero amount
+      "1,0,1,100,-5\n",         // negative deadline
+      "1,0,1,100,\n",           // empty field
+      "1,0,1, 100,0\n",         // inner whitespace
+      "1,5000000000,1,100,0\n", // src overflows NodeId
+      "99999999999999999999,0,1,100,0\n",  // arrival overflows int64
+  };
+  int n = 0;
+  for (const char* row : bad_rows) {
+    const std::string path = write_trace_body(
+        "spider_trace_strict_" + std::to_string(n++) + ".csv", row);
+    EXPECT_THROW(read_trace_csv(path), std::runtime_error) << row;
+  }
+}
+
+TEST(TraceIo, RejectsOutOfOrderArrivals) {
+  const std::string path = write_trace_body(
+      "spider_trace_unordered.csv", "9,0,1,100,0\n5,1,2,100,0\n");
+  EXPECT_THROW(read_trace_csv(path), std::runtime_error);
+}
+
+TEST(TraceIo, ToleratesCrlfLineEndings) {
+  const std::string path = write_trace_body("spider_trace_crlf.csv", "");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "arrival_us,src,dst,amount_millis,deadline_us\r\n"
+        << "1,0,1,100,0\r\n"
+        << "2,1,0,200,5000000\r\n";
+  }
+  const auto trace = read_trace_csv(path);
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace[1].amount, 200);
+  EXPECT_EQ(trace[1].deadline, 5000000);
+}
+
+TEST(TraceIo, Full64BitAmountsSurviveRoundTrip) {
+  std::vector<PaymentSpec> trace(1);
+  trace[0].arrival = std::numeric_limits<TimePoint>::max() - 1;
+  trace[0].src = 0;
+  trace[0].dst = 1;
+  trace[0].amount = std::numeric_limits<Amount>::max();
+  trace[0].deadline = 1;
+  const std::string path = testing::TempDir() + "/spider_trace_64bit.csv";
+  write_trace_csv(path, trace);
+  const auto loaded = read_trace_csv(path);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].arrival, trace[0].arrival);
+  EXPECT_EQ(loaded[0].amount, std::numeric_limits<Amount>::max());
+}
+
+TEST(TraceIo, ValidateTraceNodesNamesTheOffender) {
+  std::vector<PaymentSpec> trace(2);
+  trace[0] = {0, 1, 2, 100, 0};
+  trace[1] = {5, 1, 7, 100, 0};  // node 7 of a 4-node topology
+  EXPECT_NO_THROW(validate_trace_nodes(trace.data(), 1, 4));
+  try {
+    validate_trace_nodes(trace.data(), trace.size(), 4);
+    FAIL() << "expected out-of-topology rejection";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("payment 1"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("node 7"), std::string::npos);
+  }
 }
 
 }  // namespace

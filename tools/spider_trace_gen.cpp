@@ -1,0 +1,148 @@
+// spider_trace_gen — emit a registry scenario's workload as on-disk trace
+// and topology files, deterministically.
+//
+//   spider_trace_gen --scenario isp --payments 1000000 \
+//       --out trace.csv --topology-out topology.csv
+//
+// The emitted pair is exactly what the scenario would have generated in
+// memory (same registry builder, same seeds), so replaying the files — via
+// the `trace-replay` scenario or a streaming TraceReader through
+// replay_trace() — reproduces the in-memory run's metrics byte for byte.
+// That makes this the reference producer for the trace-replay byte-identity
+// gate, and the way to cut paper-scale (1M+ payment) traces that the
+// streaming reader then replays in bounded memory.
+//
+// Options mirror the SPIDER_* scenario knobs; every run is fully determined
+// by its flags. A scenario's churn stream (lightning-churn etc.) has no
+// on-disk form yet and is refused rather than silently dropped.
+#include <cstdlib>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "topology/topology.hpp"
+#include "util/csv.hpp"
+#include "workload/trace_io.hpp"
+
+namespace spider {
+namespace {
+
+void usage(std::ostream& out) {
+  out << "usage: spider_trace_gen --scenario <name> --out <trace.csv>\n"
+         "                        --topology-out <topology.csv>\n"
+         "                        [--payments N] [--tx-rate R] [--nodes N]\n"
+         "                        [--capacity-xrp C] [--topology-seed S]\n"
+         "                        [--traffic-seed S] [--paths-k K]\n"
+         "                        [--list]\n"
+         "Deterministically writes a registry scenario's transaction trace\n"
+         "and channel-list topology in the trace-replay CSV schemas.\n";
+}
+
+int run(int argc, char** argv) {
+  std::string scenario_name;
+  std::string trace_out;
+  std::string topology_out;
+  ScenarioParams params;
+
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    const auto value = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) {
+        std::cerr << "spider_trace_gen: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return args[++i];
+    };
+    const auto int_value = [&](const char* what, std::int64_t min,
+                               std::int64_t max) -> std::int64_t {
+      const std::string& v = value();
+      std::int64_t parsed = 0;
+      if (!parse_int_field(v, parsed) || parsed < min || parsed > max) {
+        std::cerr << "spider_trace_gen: bad " << what << " '" << v
+                  << "' (want an integer in [" << min << ", " << max
+                  << "])\n";
+        std::exit(2);
+      }
+      return parsed;
+    };
+    const auto double_value = [&](const char* what) -> double {
+      const std::string& v = value();
+      char* end = nullptr;
+      const double parsed = std::strtod(v.c_str(), &end);
+      if (v.empty() || end != v.c_str() + v.size() || parsed <= 0) {
+        std::cerr << "spider_trace_gen: bad " << what << " '" << v
+                  << "' (want a positive number)\n";
+        std::exit(2);
+      }
+      return parsed;
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return 0;
+    } else if (arg == "--list") {
+      for (const auto& entry : ScenarioRegistry::instance().list())
+        std::cout << entry.name << "\n";
+      return 0;
+    } else if (arg == "--scenario") {
+      scenario_name = value();
+    } else if (arg == "--out") {
+      trace_out = value();
+    } else if (arg == "--topology-out") {
+      topology_out = value();
+    } else if (arg == "--payments") {
+      params.payments = static_cast<int>(
+          int_value("--payments", 1, std::numeric_limits<int>::max()));
+    } else if (arg == "--tx-rate") {
+      params.tx_per_second = double_value("--tx-rate");
+    } else if (arg == "--nodes") {
+      params.nodes = static_cast<NodeId>(
+          int_value("--nodes", 2, std::numeric_limits<NodeId>::max()));
+    } else if (arg == "--capacity-xrp") {
+      params.capacity_xrp = static_cast<int>(
+          int_value("--capacity-xrp", 1, std::numeric_limits<int>::max()));
+    } else if (arg == "--topology-seed") {
+      // 0 = "scenario default", like the SPIDER_SEED env override.
+      params.topology_seed = static_cast<std::uint64_t>(int_value(
+          "--topology-seed", 0, std::numeric_limits<std::int64_t>::max()));
+    } else if (arg == "--traffic-seed") {
+      params.traffic_seed = static_cast<std::uint64_t>(int_value(
+          "--traffic-seed", 0, std::numeric_limits<std::int64_t>::max()));
+    } else if (arg == "--paths-k") {
+      params.paths_k = static_cast<int>(
+          int_value("--paths-k", 1, 64));
+    } else {
+      std::cerr << "spider_trace_gen: unknown option '" << arg << "'\n";
+      usage(std::cerr);
+      return 2;
+    }
+  }
+
+  if (scenario_name.empty() || trace_out.empty() || topology_out.empty()) {
+    usage(std::cerr);
+    return 2;
+  }
+
+  const ScenarioInstance scenario = build_scenario(scenario_name, params);
+  if (!scenario.churn.empty()) {
+    std::cerr << "spider_trace_gen: scenario '" << scenario_name
+              << "' declares a churn stream, which has no on-disk form — "
+                 "pick a static scenario\n";
+    return 2;
+  }
+  write_trace_csv(trace_out, scenario.trace);
+  write_topology_csv(scenario.graph, topology_out);
+  std::cout << scenario_name << ": wrote " << scenario.trace.size()
+            << " payments to " << trace_out << " and "
+            << scenario.graph.num_edges() << " channels ("
+            << scenario.graph.num_nodes() << " nodes) to " << topology_out
+            << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace spider
+
+int main(int argc, char** argv) { return spider::run(argc, argv); }
