@@ -15,29 +15,51 @@
 //   payments/sec — trace payments per wall second (end-to-end rate)
 //   plans/sec    — router plan() invocations per wall second
 //
+// Sharded rows: SPIDER_BENCH_SHARDS (comma list of shard counts, default
+// "4"; empty or "0" disables) reruns every scenario × scheme through the
+// sharded single-run engine (core/shard.hpp) at each count K, reported as
+// scenario "name#sK" with a `shards` column and `scaling_x` = sharded
+// events/sec ÷ the serial row's. The serial == sharded byte-identity
+// invariant is the test suite's job (tests/test_sharded.cpp); this bench
+// records what the parallelism buys on the host it ran on, so the JSON
+// header carries the host's `cores` — a scaling_x measured on 1 core is
+// honest, not a regression.
+//
 // Output: a table on stdout, the optional CSV dump every bench supports,
 // and a JSON report (default ./BENCH_throughput.json; SPIDER_BENCH_JSON
 // overrides) whose checked-in copy at the repo root is the baseline future
-// PRs are compared against. Schema (schema_version 2):
+// PRs are compared against. Schema (schema_version 3):
 //
-//   { "bench": "bench_throughput", "schema_version": 2, "paths_k": K,
+//   { "bench": "bench_throughput", "schema_version": 3, "paths_k": K,
+//     "cores": C,
 //     "results": [ { "scenario", "scheme", "nodes", "edges", "payments",
-//                    "paths_k", "warm_s", "wall_s", "events",
+//                    "paths_k", "shards", "warm_s", "wall_s", "events",
 //                    "events_per_s", "payments_per_s", "plans_per_s",
-//                    "success_ratio", "steady_success_ratio", "windows",
-//                    "sim_duration_s" }, ... ] }
+//                    "scaling_x", "success_ratio", "steady_success_ratio",
+//                    "windows", "sim_duration_s" }, ... ] }
 //
 // The simulation phase always goes through the session-backed run surface
 // (SpiderNetwork::run is a session wrapper), so the floor gate asserts the
-// streaming refactor costs nothing. SPIDER_BENCH_WINDOW_S > 0 additionally
-// attaches a WindowedMetrics observer (warmup SPIDER_BENCH_WARMUP_S,
-// default 0) and fills steady_success_ratio/windows — the observer
-// pipeline measured under the same clock.
+// streaming refactor costs nothing. SPIDER_BENCH_WINDOW_S > 0 (default 2,
+// i.e. windowed steady-state measurement is ON) attaches a WindowedMetrics
+// observer (warmup SPIDER_BENCH_WARMUP_S, default 2) and fills
+// steady_success_ratio/windows — the observer pipeline measured under the
+// same clock. SPIDER_BENCH_WINDOW_S=0 restores the bare batch run.
 //
-// Perf-smoke gate: SPIDER_BENCH_FLOOR=<file> reads a floor file (lines of
-// "scenario scheme events_per_s", '#' comments) and exits non-zero if any
-// measured scenario/scheme pair regresses more than 30% below its floor —
-// the CI job keeps conservative floors checked in at bench/perf_floor.txt.
+// Perf-smoke gate: SPIDER_BENCH_FLOOR=<file> reads a floor file ('#'
+// comments allowed) with two line forms:
+//
+//   scenario scheme events_per_s        — absolute rate floor (30% grace)
+//   scaling scenario scheme min_x       — scaling_x floor for sharded rows
+//
+// and exits non-zero on any violation. A floor line whose scenario the
+// current invocation did not measure is skipped with a notice (CI steps
+// gate different scenario subsets against one shared file); a line whose
+// scenario WAS measured but whose scheme matches nothing fails closed — a
+// renamed scheme must not silently lose its gate. Scaling lines are
+// additionally skipped when the host has fewer cores than the row's shard
+// count: a 1-core container cannot exhibit parallel speedup and should not
+// fail for it. CI keeps the floors checked in at bench/perf_floor.txt.
 //
 // Trace-replay byte-identity gate (runs by default; SPIDER_BENCH_REPLAY=0
 // skips): writes a scenario's in-memory workload to disk with
@@ -58,6 +80,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -79,12 +102,14 @@ struct ThroughputRow {
   EdgeId edges = 0;
   std::size_t payments = 0;
   int paths_k = 0;
+  int shards = 1;
   double warm_s = 0.0;
   double wall_s = 0.0;
   std::uint64_t events = 0;
   double events_per_s = 0.0;
   double payments_per_s = 0.0;
   double plans_per_s = 0.0;
+  double scaling_x = 1.0;  // events_per_s vs this scenario's serial row
   double success_ratio = 0.0;
   double steady_success_ratio = 0.0;
   int windows = 0;
@@ -144,8 +169,10 @@ void write_json(const std::string& path, int paths_k,
     return;
   }
   out << "{\n  \"bench\": \"bench_throughput\",\n"
-      << "  \"schema_version\": 2,\n"
-      << "  \"paths_k\": " << paths_k << ",\n  \"results\": [\n";
+      << "  \"schema_version\": 3,\n"
+      << "  \"paths_k\": " << paths_k << ",\n"
+      << "  \"cores\": " << std::thread::hardware_concurrency()
+      << ",\n  \"results\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const ThroughputRow& r = rows[i];
     out << "    {\"scenario\": \"" << json_escape(r.scenario)
@@ -153,12 +180,14 @@ void write_json(const std::string& path, int paths_k,
         << "\", \"nodes\": " << r.nodes << ", \"edges\": " << r.edges
         << ", \"payments\": " << r.payments
         << ", \"paths_k\": " << r.paths_k
+        << ", \"shards\": " << r.shards
         << ", \"warm_s\": " << json_num(r.warm_s)
         << ", \"wall_s\": " << json_num(r.wall_s)
         << ", \"events\": " << r.events
         << ", \"events_per_s\": " << json_num(r.events_per_s, 0)
         << ", \"payments_per_s\": " << json_num(r.payments_per_s, 0)
         << ", \"plans_per_s\": " << json_num(r.plans_per_s, 0)
+        << ", \"scaling_x\": " << json_num(r.scaling_x, 2)
         << ", \"success_ratio\": " << json_num(r.success_ratio, 4)
         << ", \"steady_success_ratio\": " << json_num(r.steady_success_ratio, 4)
         << ", \"windows\": " << r.windows
@@ -169,7 +198,11 @@ void write_json(const std::string& path, int paths_k,
   std::cout << "\nwrote " << path << "\n";
 }
 
-/// Returns the number of floor violations (measured < 0.7 * floor).
+/// Returns the number of floor violations. Absolute lines gate
+/// events_per_s (30% grace); "scaling" lines gate scaling_x on sharded
+/// rows, skipped when the host has fewer cores than the row's shard count.
+/// Lines whose scenario the run did not measure are skipped with a notice;
+/// a measured scenario whose scheme matches nothing fails closed.
 int check_floor(const std::string& floor_path,
                 const std::vector<ThroughputRow>& rows) {
   std::ifstream in(floor_path);
@@ -179,6 +212,19 @@ int check_floor(const std::string& floor_path,
     return 1;
   }
   constexpr double kAllowedRegression = 0.30;
+  const unsigned cores = std::thread::hardware_concurrency();
+  // Floor schemes use the scheme name with spaces replaced by '-'.
+  const auto flat_scheme = [](const ThroughputRow& r) {
+    std::string flat = r.scheme;
+    for (char& c : flat)
+      if (c == ' ') c = '-';
+    return flat;
+  };
+  const auto scenario_measured = [&](const std::string& scenario) {
+    for (const ThroughputRow& r : rows)
+      if (r.scenario == scenario) return true;
+    return false;
+  };
   int violations = 0;
   std::string line;
   while (std::getline(in, line)) {
@@ -186,15 +232,40 @@ int check_floor(const std::string& floor_path,
     std::stringstream fields(line);
     std::string scenario, scheme;
     double floor = 0.0;
-    if (!(fields >> scenario >> scheme >> floor)) continue;
+    bool scaling = false;
+    if (!(fields >> scenario)) continue;
+    if (scenario == "scaling") {
+      scaling = true;
+      if (!(fields >> scenario)) continue;
+    }
+    if (!(fields >> scheme >> floor)) continue;
+    // Different CI steps gate different scenario subsets against this one
+    // file; a scenario this invocation was not asked to run is not a
+    // missing gate, just out of scope.
+    if (!scenario_measured(scenario)) {
+      std::cout << "floor line skipped (scenario not measured this run): "
+                << line << "\n";
+      continue;
+    }
     bool matched = false;
     for (const ThroughputRow& r : rows) {
-      // Floor schemes use the scheme name with spaces replaced by '-'.
-      std::string flat = r.scheme;
-      for (char& c : flat)
-        if (c == ' ') c = '-';
-      if (r.scenario != scenario || flat != scheme) continue;
+      if (r.scenario != scenario || flat_scheme(r) != scheme) continue;
       matched = true;
+      if (scaling) {
+        if (cores < static_cast<unsigned>(r.shards)) {
+          std::cout << "scaling floor skipped (" << cores << " core(s) < "
+                    << r.shards << " shards): " << line << "\n";
+          continue;
+        }
+        if (r.scaling_x < floor) {
+          std::cerr << "PERF REGRESSION: " << scenario << " / " << r.scheme
+                    << " scaled " << json_num(r.scaling_x, 2)
+                    << "x over serial, below the " << json_num(floor, 2)
+                    << "x floor\n";
+          ++violations;
+        }
+        continue;
+      }
       const double minimum = floor * (1.0 - kAllowedRegression);
       if (r.events_per_s < minimum) {
         std::cerr << "PERF REGRESSION: " << scenario << " / " << r.scheme
@@ -204,9 +275,8 @@ int check_floor(const std::string& floor_path,
         ++violations;
       }
     }
-    // Fail closed: a floor line no measured row matches (renamed scheme,
-    // dropped scenario, typo) means that pair is silently ungated — treat
-    // it as a violation rather than passing green.
+    // Fail closed: the scenario ran but no row carries this scheme name
+    // (renamed scheme, typo) — that pair is silently ungated otherwise.
     if (!matched) {
       std::cerr << "PERF FLOOR UNMATCHED: '" << scenario << " " << scheme
                 << "' matched no measured scenario/scheme pair\n";
@@ -294,6 +364,74 @@ int check_replay_identity() {
   return violations;
 }
 
+/// Times one scenario × scheme run through `net` (serial when
+/// net.config().shards == 1, sharded otherwise) and fills a row. The
+/// windowed path is the default — SPIDER_BENCH_WINDOW_S=0 opts out.
+ThroughputRow measure_row(const SpiderNetwork& net,
+                          const ScenarioInstance& scenario,
+                          const std::string& spec, Scheme scheme,
+                          double warm_s) {
+  const double window_s = env_double("SPIDER_BENCH_WINDOW_S", 2.0);
+  const Duration warmup = seconds(env_double("SPIDER_BENCH_WARMUP_S", 2.0));
+  const std::vector<TopologyChange>* churn =
+      scenario.churn.empty() ? nullptr : &scenario.churn;
+  WindowedRun windowed;
+  const auto start = Clock::now();
+  SimMetrics m;
+  if (window_s > 0) {
+    windowed = run_windowed(net, scheme, net.config().sim.seed,
+                            scenario.trace, seconds(window_s), warmup, churn);
+    m = windowed.metrics;
+  } else if (churn != nullptr) {
+    m = net.run(scheme, scenario.trace, net.config().sim.seed, *churn);
+  } else {
+    m = net.run(scheme, scenario.trace);
+  }
+  const double wall = seconds_since(start);
+  ThroughputRow row;
+  row.scenario = spec;
+  row.scheme = scheme_name(scheme);
+  row.nodes = scenario.graph.num_nodes();
+  row.edges = scenario.graph.num_edges();
+  row.payments = scenario.trace.size();
+  row.paths_k = net.config().num_paths;
+  row.shards = net.config().shards;
+  row.warm_s = warm_s;
+  row.wall_s = wall;
+  row.events = m.events_processed;
+  row.events_per_s = static_cast<double>(m.events_processed) / wall;
+  row.payments_per_s = static_cast<double>(row.payments) / wall;
+  row.plans_per_s = static_cast<double>(m.plans_requested) / wall;
+  row.success_ratio = m.success_ratio();
+  if (window_s > 0) {
+    row.steady_success_ratio = windowed.steady.success_ratio;
+    row.windows = windowed.steady.windows;
+  }
+  row.sim_duration_s = m.sim_duration_s;
+  return row;
+}
+
+/// SPIDER_BENCH_SHARDS: comma list of shard counts to rerun each scenario
+/// with (default "4"); counts <= 1 are dropped, so "" or "0" disables the
+/// sharded rows.
+std::vector<int> parse_shard_counts() {
+  std::vector<int> counts;
+  for (const std::string& item :
+       split_list(env_string("SPIDER_BENCH_SHARDS", "4"))) {
+    try {
+      std::size_t consumed = 0;
+      const int k = std::stoi(item, &consumed);
+      if (consumed != item.size()) throw std::invalid_argument(item);
+      if (k > 1) counts.push_back(k);
+    } catch (const std::exception&) {
+      std::cerr << "bench_throughput: bad SPIDER_BENCH_SHARDS entry '"
+                << item << "' — expected an integer shard count\n";
+      std::exit(2);
+    }
+  }
+  return counts;
+}
+
 int run() {
   bench::banner("E18", "engine throughput (events/sec, payments/sec, "
                        "plans/sec per scenario)",
@@ -312,6 +450,10 @@ int run() {
   for (const std::string& spec : split_list(scenario_list)) {
     const auto [name, node_override] = parse_spec(spec);
     ScenarioParams params = ScenarioParams::from_env();
+    // The serial rows are the scaling_x denominators, so a SPIDER_SHARDS
+    // override must not shard them — this bench takes its shard counts
+    // from SPIDER_BENCH_SHARDS and runs both sides itself.
+    params.shards = 0;
     if (node_override > 0) params.nodes = node_override;
     if (params.traffic_seed == 0) params.traffic_seed = 18;  // E18 stream
     const ScenarioInstance scenario = build_scenario(name, params);
@@ -330,61 +472,50 @@ int run() {
               << net.path_store()->pair_count() << " pairs, "
               << net.path_store()->path_count() << " paths)\n";
 
-    for (const Scheme scheme : schemes) {
-      // The batch run IS a session (submit + drain), so this times the
-      // streaming surface; with SPIDER_BENCH_WINDOW_S the observer
-      // pipeline is measured under the same clock.
-      const double window_s = env_double("SPIDER_BENCH_WINDOW_S", 0.0);
-      const Duration warmup =
-          seconds(env_double("SPIDER_BENCH_WARMUP_S", 0.0));
-      const std::vector<TopologyChange>* churn =
-          scenario.churn.empty() ? nullptr : &scenario.churn;
-      WindowedRun windowed;
-      const auto start = Clock::now();
-      SimMetrics m;
-      if (window_s > 0) {
-        windowed = run_windowed(net, scheme, net.config().sim.seed,
-                                scenario.trace, seconds(window_s), warmup,
-                                churn);
-        m = windowed.metrics;
-      } else if (churn != nullptr) {
-        m = net.run(scheme, scenario.trace, net.config().sim.seed, *churn);
-      } else {
-        m = net.run(scheme, scenario.trace);
-      }
-      const double wall = seconds_since(start);
-      ThroughputRow row;
-      row.scenario = spec;
-      row.scheme = scheme_name(scheme);
-      row.nodes = scenario.graph.num_nodes();
-      row.edges = scenario.graph.num_edges();
-      row.payments = scenario.trace.size();
-      row.paths_k = paths_k;
-      row.warm_s = warm_s;
-      row.wall_s = wall;
-      row.events = m.events_processed;
-      row.events_per_s = static_cast<double>(m.events_processed) / wall;
-      row.payments_per_s = static_cast<double>(row.payments) / wall;
-      row.plans_per_s = static_cast<double>(m.plans_requested) / wall;
-      row.success_ratio = m.success_ratio();
-      if (window_s > 0) {
-        row.steady_success_ratio = windowed.steady.success_ratio;
-        row.windows = windowed.steady.windows;
-      }
-      row.sim_duration_s = m.sim_duration_s;
+    // Serial rows first — they are the scaling_x denominators. The batch
+    // run IS a session (submit + drain), so this times the streaming
+    // surface; the default windowed mode measures the observer pipeline
+    // under the same clock.
+    std::vector<double> serial_rate(schemes.size(), 0.0);
+    for (std::size_t s = 0; s < schemes.size(); ++s) {
+      ThroughputRow row = measure_row(net, scenario, spec, schemes[s], warm_s);
+      serial_rate[s] = row.events_per_s;
       rows.push_back(row);
+    }
+
+    // Sharded rows: same scenario, same schemes, through the sharded
+    // engine at each requested count. Each count gets its own façade (the
+    // shard count is run configuration) and its own warmed store — the
+    // warm is outside the timed region either way.
+    for (const int shard_count : parse_shard_counts()) {
+      SpiderConfig sharded_config = scenario.config;
+      sharded_config.shards = shard_count;
+      const SpiderNetwork sharded_net(scenario.graph, sharded_config);
+      const auto sharded_warm_start = Clock::now();
+      sharded_net.warm_paths(scenario.trace);
+      const double sharded_warm_s = seconds_since(sharded_warm_start);
+      const std::string sharded_spec =
+          spec + "#s" + std::to_string(shard_count);
+      for (std::size_t s = 0; s < schemes.size(); ++s) {
+        ThroughputRow row = measure_row(sharded_net, scenario, sharded_spec,
+                                        schemes[s], sharded_warm_s);
+        if (serial_rate[s] > 0) row.scaling_x = row.events_per_s / serial_rate[s];
+        rows.push_back(row);
+      }
     }
   }
 
   Table table({"scenario", "scheme (k=" + std::to_string(paths_k) + ")",
-               "payments", "warm_s", "wall_s", "events/s", "payments/s",
-               "plans/s", "success_ratio"});
+               "payments", "shards", "warm_s", "wall_s", "events/s",
+               "payments/s", "plans/s", "scaling_x", "success_ratio"});
   for (const ThroughputRow& r : rows)
     table.add_row({r.scenario, r.scheme, std::to_string(r.payments),
+                   std::to_string(r.shards),
                    Table::num(r.warm_s, 3), Table::num(r.wall_s, 3),
                    Table::num(r.events_per_s, 0),
                    Table::num(r.payments_per_s, 0),
                    Table::num(r.plans_per_s, 0),
+                   Table::num(r.scaling_x, 2),
                    Table::pct(r.success_ratio)});
   std::cout << "\n" << table.render();
   maybe_write_csv("throughput", table);

@@ -19,6 +19,7 @@ ScenarioParams ScenarioParams::from_env() {
   params.nodes = static_cast<NodeId>(env_int("SPIDER_NODES", 0));
   params.lp_max_pairs = env_int("SPIDER_LP_MAX_PAIRS", 0);
   params.paths_k = env_int("SPIDER_PATHS_K", 0);
+  params.shards = env_int("SPIDER_SHARDS", 0);
   params.topology_seed =
       static_cast<std::uint64_t>(env_int("SPIDER_SEED", 0));
   params.traffic_seed =
@@ -71,6 +72,7 @@ ScenarioInstance materialize(std::string name, Graph graph,
                              const SizeDistribution& sizes,
                              const ScenarioParams& p) {
   if (p.paths_k > 0) config.num_paths = p.paths_k;
+  if (p.shards > 0) config.shards = p.shards;
   TrafficConfig traffic;
   traffic.tx_per_second = r.tx_per_second;
   traffic.seed = r.traffic_seed;
@@ -140,6 +142,7 @@ ScenarioRegistry::ScenarioRegistry() {
         // Same LP pair cap as ripple-like (dense offline simplex limit).
         config.lp_max_pairs = p.lp_max_pairs > 0 ? p.lp_max_pairs : 900;
         if (p.paths_k > 0) config.num_paths = p.paths_k;
+        if (p.shards > 0) config.shards = p.shards;
 
         // Piecewise-rate trace: each phase draws from its own generator
         // stream (deterministic in the traffic seed) and is shifted to
@@ -266,6 +269,7 @@ ScenarioRegistry::ScenarioRegistry() {
         // the same way the ripple-like scenarios do.
         config.lp_max_pairs = p.lp_max_pairs > 0 ? p.lp_max_pairs : 900;
         if (p.paths_k > 0) config.num_paths = p.paths_k;
+        if (p.shards > 0) config.shards = p.shards;
         instance.config = config;
         return instance;
       });

@@ -1,5 +1,7 @@
 #include "core/session.hpp"
 
+#include "core/shard.hpp"
+
 namespace spider {
 
 struct SimSession::State {
@@ -18,6 +20,10 @@ struct SimSession::State {
   std::size_t submitted_total = 0;
   // The growing topology-change stream, same contract as `trace`.
   std::vector<TopologyChange> churn;
+  // Sharded-engine runtime (config.shards > 1 only). Declared after the
+  // members it observes and destroyed first, so its worker threads are
+  // joined while the network/simulator they reference still exist.
+  std::unique_ptr<ShardExecutor> executor;
 
   State(const Graph& topology, const SpiderConfig& cfg, Scheme s,
         const SessionOptions& options, const PathCache* shared_paths)
@@ -31,6 +37,14 @@ struct SimSession::State {
     sim.set_metrics_window(options.metrics_window);
     sim.begin(trace);
     sim.begin_topology(churn);
+    if (config.shards > 1) {
+      executor = std::make_unique<ShardExecutor>(
+          topology, config, scheme, shared_paths, options.demand_hint,
+          config.shards);
+      executor->bind(network, *router);
+      network.set_balance_listener(executor.get());
+      sim.set_speculator(executor.get());
+    }
   }
 };
 
@@ -153,5 +167,9 @@ Network& SimSession::network() {
 }
 
 const Network& SimSession::network() const { return state_->network; }
+
+const ShardExecutor* SimSession::shard_executor() const {
+  return state_->executor.get();
+}
 
 }  // namespace spider

@@ -1,0 +1,88 @@
+#include "graph/partition.hpp"
+
+#include <algorithm>
+
+#include "util/random.hpp"
+
+namespace spider {
+
+GraphPartition partition_graph(const Graph& graph, int parts,
+                               std::uint64_t seed) {
+  SPIDER_ASSERT(parts >= 1);
+  const auto n = static_cast<std::size_t>(graph.num_nodes());
+  GraphPartition out;
+  out.parts = n == 0 ? 1 : std::min<int>(parts, static_cast<int>(n));
+  out.node_part.assign(n, -1);
+  out.part_sizes.assign(static_cast<std::size_t>(out.parts), 0);
+
+  // K distinct seed nodes, highest-degree-biased for stable growth: sample
+  // candidates deterministically and keep the first K distinct ones.
+  Rng rng(seed ^ 0x5ade5ade5adeULL);
+  std::vector<std::size_t> frontier_head(static_cast<std::size_t>(out.parts),
+                                         0);
+  std::vector<std::vector<NodeId>> frontier(
+      static_cast<std::size_t>(out.parts));
+  if (n > 0) {
+    int placed = 0;
+    while (placed < out.parts) {
+      const auto candidate = static_cast<NodeId>(
+          rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+      if (out.node_part[static_cast<std::size_t>(candidate)] >= 0) continue;
+      out.node_part[static_cast<std::size_t>(candidate)] = placed;
+      out.part_sizes[static_cast<std::size_t>(placed)] += 1;
+      frontier[static_cast<std::size_t>(placed)].push_back(candidate);
+      ++placed;
+    }
+  }
+
+  // Grow the smallest shard one frontier node at a time (ties broken by
+  // shard index — fully deterministic). A shard whose frontier ran dry is
+  // skipped; stragglers in other components are swept up afterwards.
+  for (;;) {
+    int best = -1;
+    for (int p = 0; p < out.parts; ++p) {
+      const auto pi = static_cast<std::size_t>(p);
+      if (frontier_head[pi] >= frontier[pi].size()) continue;
+      if (best < 0 || out.part_sizes[pi] <
+                          out.part_sizes[static_cast<std::size_t>(best)])
+        best = p;
+    }
+    if (best < 0) break;
+    const auto bi = static_cast<std::size_t>(best);
+    const NodeId u = frontier[bi][frontier_head[bi]++];
+    for (const Graph::Adjacency& adj : graph.neighbors(u)) {
+      auto& part = out.node_part[static_cast<std::size_t>(adj.peer)];
+      if (part >= 0) continue;
+      part = best;
+      out.part_sizes[bi] += 1;
+      frontier[bi].push_back(adj.peer);
+    }
+  }
+
+  // Disconnected leftovers: round-robin onto the smallest shard so no
+  // component inflates one shard arbitrarily.
+  for (std::size_t v = 0; v < n; ++v) {
+    if (out.node_part[v] >= 0) continue;
+    int smallest = 0;
+    for (int p = 1; p < out.parts; ++p)
+      if (out.part_sizes[static_cast<std::size_t>(p)] <
+          out.part_sizes[static_cast<std::size_t>(smallest)])
+        smallest = p;
+    out.node_part[v] = smallest;
+    out.part_sizes[static_cast<std::size_t>(smallest)] += 1;
+  }
+
+  const auto m = static_cast<std::size_t>(graph.num_edges());
+  out.edge_part.assign(m, 0);
+  for (std::size_t e = 0; e < m; ++e) {
+    const Graph::Edge& ed = graph.edge(static_cast<EdgeId>(e));
+    out.edge_part[e] = out.node_part[static_cast<std::size_t>(ed.a)];
+    if (!ed.closed &&
+        out.node_part[static_cast<std::size_t>(ed.a)] !=
+            out.node_part[static_cast<std::size_t>(ed.b)])
+      ++out.cut_edges;
+  }
+  return out;
+}
+
+}  // namespace spider

@@ -1,0 +1,46 @@
+// Deterministic edge-cut graph partitioning for the sharded engine.
+//
+// The sharded single-run mode (core/shard.hpp) splits planning work across
+// K shards by payment source node. The partition below assigns every node
+// to a shard with a balanced multi-source BFS: K seed nodes are drawn
+// deterministically from the partition seed, and regions grow outward one
+// frontier node at a time, always extending the currently smallest shard —
+// so shards are connected (per component), roughly equal-sized, and cut as
+// few channels as locality allows. Everything is a pure function of
+// (graph, parts, seed): the same inputs produce the same partition on every
+// platform, which the serial==sharded byte-identity gate relies on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace spider {
+
+struct GraphPartition {
+  int parts = 1;
+  /// Shard of every node; size num_nodes, values in [0, parts).
+  std::vector<int> node_part;
+  /// Owning shard of every edge (the shard of endpoint `a`); size
+  /// num_edges. An edge whose endpoints straddle two shards is a cut edge.
+  std::vector<int> edge_part;
+  /// Nodes per shard.
+  std::vector<std::int32_t> part_sizes;
+  /// Open edges whose endpoints live in different shards.
+  EdgeId cut_edges = 0;
+
+  [[nodiscard]] bool is_cut(EdgeId e, const Graph& g) const {
+    const Graph::Edge& ed = g.edge(e);
+    return node_part[static_cast<std::size_t>(ed.a)] !=
+           node_part[static_cast<std::size_t>(ed.b)];
+  }
+};
+
+/// Balanced multi-source-BFS partition of `graph` into `parts` shards,
+/// deterministic in `seed`. parts >= 1; parts > num_nodes is clamped so no
+/// shard is empty (every shard owns at least one node when possible).
+[[nodiscard]] GraphPartition partition_graph(const Graph& graph, int parts,
+                                             std::uint64_t seed);
+
+}  // namespace spider

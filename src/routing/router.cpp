@@ -9,6 +9,11 @@ void Router::init(const Network&, const RouterInitContext&) {}
 
 void Router::on_tick(const Network&, TimePoint) {}
 
+std::span<const Path> Router::plan_read_paths(NodeId, NodeId,
+                                              const Network&) {
+  return {};
+}
+
 void VirtualBalances::attach(const Network& network) {
   network_ = &network;
   const auto slots_needed =

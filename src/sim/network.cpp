@@ -25,6 +25,8 @@ EdgeId Network::open_channel(NodeId a, NodeId b, Amount capacity,
   const EdgeId e = graph_.add_edge(a, b, capacity);
   channels_.emplace_back(e, a, b, capacity, split_a);
   ++generation_;
+  note_balance(e, 0);
+  note_balance(e, 1);
   return e;
 }
 
@@ -33,12 +35,35 @@ Amount Network::close_channel(EdgeId e) {
   graph_.close_edge(e);
   escrow_returned_ += swept;
   ++generation_;
+  note_balance(e, 0);
+  note_balance(e, 1);
   return swept;
 }
 
 void Network::deposit_channel(EdgeId e, int side, Amount amount) {
   ch(e).deposit(side, amount);
   ++generation_;
+  note_balance(e, side);
+}
+
+void Network::mirror_from(const Network& src) {
+  SPIDER_ASSERT_MSG(channels_.size() == src.channels_.size(),
+                    "mirror_from requires structurally identical networks");
+  channels_ = src.channels_;
+  generation_ = src.generation_;
+  escrow_returned_ = src.escrow_returned_;
+}
+
+void Network::mirror_channels_from(const Network& src, const EdgeId* edges,
+                                   std::size_t count) {
+  SPIDER_ASSERT(channels_.size() == src.channels_.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto e = static_cast<std::size_t>(edges[i]);
+    SPIDER_ASSERT(e < channels_.size());
+    channels_[e] = src.channels_[e];
+  }
+  generation_ = src.generation_;
+  escrow_returned_ = src.escrow_returned_;
 }
 
 EdgeId Network::apply(const TopologyChange& change) {
@@ -108,21 +133,27 @@ void Network::lock_path(const Path& path, Amount amount) {
                       "lock_path: insufficient funds for " << amount);
     side_scratch_[h] = side;
   }
-  for (std::size_t h = 0; h < hops; ++h)
+  for (std::size_t h = 0; h < hops; ++h) {
     ch(path.edges[h]).lock(side_scratch_[h], amount);
+    note_balance(path.edges[h], side_scratch_[h]);
+  }
 }
 
 void Network::settle_path(const Path& path, Amount amount) {
   for (std::size_t h = 0; h < path.edges.size(); ++h) {
     Channel& c = ch(path.edges[h]);
-    c.settle(c.side_of(path.nodes[h]), amount);
+    const int side = c.side_of(path.nodes[h]);
+    c.settle(side, amount);
+    note_balance(path.edges[h], 1 - side);  // settle credits the peer side
   }
 }
 
 void Network::refund_path(const Path& path, Amount amount) {
   for (std::size_t h = 0; h < path.edges.size(); ++h) {
     Channel& c = ch(path.edges[h]);
-    c.refund(c.side_of(path.nodes[h]), amount);
+    const int side = c.side_of(path.nodes[h]);
+    c.refund(side, amount);
+    note_balance(path.edges[h], side);
   }
 }
 

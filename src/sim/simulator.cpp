@@ -1,6 +1,7 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <limits>
 
 namespace spider {
 
@@ -14,6 +15,7 @@ Simulator::Simulator(Network& network, Router& router, SimConfig config)
   SPIDER_ASSERT(config.rebalance_interval >= 0);
   SPIDER_ASSERT(config.rebalance_rate_xrp_per_s >= 0);
   SPIDER_ASSERT(config.admission_cap >= 0);
+  SPIDER_ASSERT(config.shard_lookahead >= 0);
   if (config.queueing == QueueingMode::kRouterQueue)
     SPIDER_ASSERT_MSG(!router.is_atomic(),
                       "router-queue mode requires a non-atomic scheme "
@@ -141,23 +143,88 @@ void Simulator::process_next() {
   }
 }
 
-std::size_t Simulator::advance_until(TimePoint horizon) {
-  std::size_t processed = 0;
-  while (!events_.empty() && events_.next_time() <= horizon) {
-    process_next();
-    ++processed;
+Duration Simulator::shard_lookahead() const {
+  if (config_.shard_lookahead > 0) return config_.shard_lookahead;
+  // Auto: the minimum delay between an event and the earliest event it can
+  // schedule — hop_delay in router-queue mode, Δ in source-queue mode.
+  // (Polls and arrivals inside the window are covered by the job
+  // enumeration, not by the delay bound; a shorter window is always
+  // correct, merely less parallel.)
+  return config_.queueing == QueueingMode::kRouterQueue ? config_.hop_delay
+                                                        : config_.delta;
+}
+
+void Simulator::open_shard_window(TimePoint end) {
+  spec_jobs_.clear();
+  // Upcoming arrivals, straight from the trace: the arrival CHAIN holds
+  // only one scheduled event at a time, so the window's future arrivals
+  // are enumerated from the trace itself.
+  if (trace_ != nullptr) {
+    for (std::size_t i = next_arrival_; i < trace_base_ + trace_->size();
+         ++i) {
+      const PaymentSpec& spec = (*trace_)[i - trace_base_];
+      if (spec.arrival > end) break;
+      // Admission-refused payments never reach attempt(): no plan needed.
+      if (config_.admission_cap > 0 && spec.amount > config_.admission_cap)
+        continue;
+      spec_jobs_.push_back(SpecJob{static_cast<std::uint64_t>(i), spec.src,
+                                   spec.dst, spec.amount});
+    }
   }
+  // Pending retries a poll round inside the window would re-attempt. The
+  // want is snapshotted at window start; a settle/refund that changes it
+  // before the poll simply fails the consume-time validation.
+  if (poll_scheduled_) {
+    for (const std::size_t pi : pending_) {
+      const Payment& p = payments_[pi];
+      if (p.status != PaymentStatus::kPending) continue;
+      const Amount want = p.remaining();
+      if (want <= 0) continue;
+      spec_jobs_.push_back(SpecJob{static_cast<std::uint64_t>(p.id), p.src,
+                                   p.dst, want});
+    }
+  }
+  speculator_->open_window(*network_, spec_jobs_.data(), spec_jobs_.size());
+}
+
+std::size_t Simulator::run_events_until(TimePoint horizon) {
+  std::size_t processed = 0;
+  if (speculator_ == nullptr) {
+    while (!events_.empty() && events_.next_time() <= horizon) {
+      process_next();
+      ++processed;
+    }
+    return processed;
+  }
+  // Sharded mode: same pops, same order — but batched into lookahead
+  // windows so shard workers can plan the window's payments concurrently
+  // while this thread commits.
+  constexpr TimePoint kFar = std::numeric_limits<TimePoint>::max();
+  while (!events_.empty() && events_.next_time() <= horizon) {
+    const TimePoint start = events_.next_time();
+    const Duration look = shard_lookahead();
+    TimePoint end = start > kFar - look ? kFar : start + look;
+    if (end > horizon) end = horizon;
+    open_shard_window(end);
+    while (!events_.empty() && events_.next_time() <= end) {
+      process_next();
+      ++processed;
+    }
+    speculator_->close_window();
+  }
+  return processed;
+}
+
+std::size_t Simulator::advance_until(TimePoint horizon) {
+  const std::size_t processed = run_events_until(horizon);
   if (horizon > advanced_horizon_) advanced_horizon_ = horizon;
   if (window_ > 0) roll_windows_until(horizon);
   return processed;
 }
 
 std::size_t Simulator::drain() {
-  std::size_t processed = 0;
-  while (!events_.empty()) {
-    process_next();
-    ++processed;
-  }
+  const std::size_t processed =
+      run_events_until(std::numeric_limits<TimePoint>::max());
   finish_windows();
   network_->check_invariants();
   return processed;
@@ -348,8 +415,20 @@ Amount Simulator::attempt(std::size_t payment_index) {
   if (want <= 0) return 0;
   ++p.attempts;
 
-  const std::vector<ChunkPlan> plan =
-      router_->plan(p, want, *network_, rng_);
+  // Sharded runs: take the window's precomputed plan when the planner can
+  // prove it equals a fresh plan (core/shard.hpp's validation), else plan
+  // inline exactly like a serial run. Either way the plan content — and
+  // thus every downstream byte — is identical.
+  std::vector<ChunkPlan> fresh;
+  const std::vector<ChunkPlan>* speculated =
+      speculator_ != nullptr
+          ? speculator_->consume(static_cast<std::uint64_t>(p.id), want)
+          : nullptr;
+  if (speculated == nullptr) {
+    fresh = router_->plan(p, want, *network_, rng_);
+    speculated = &fresh;
+  }
+  const std::vector<ChunkPlan>& plan = *speculated;
   metrics_.plans_requested += 1;
 
   if (config_.queueing == QueueingMode::kRouterQueue) {
@@ -370,7 +449,7 @@ Amount Simulator::attempt(std::size_t payment_index) {
       const int side = first.side_of(path.nodes[0]);
       amount = std::min(amount, first.balance(side));
       if (amount <= 0) continue;
-      first.lock(side, amount);
+      network_->lock_one(path.edges[0], side, amount);
       const std::size_t ci = new_chunk(path, amount, payment_index);
       inflight_[ci].hops_locked = 1;
       p.inflight += amount;
@@ -530,7 +609,7 @@ bool Simulator::try_lock_next_hop(std::size_t chunk_index) {
   Channel& ch = network_->channel(edge);
   const int side = ch.side_of(chunk.path.nodes[chunk.hops_locked]);
   if (!ch.can_lock(side, chunk.amount)) return false;
-  ch.lock(side, chunk.amount);
+  network_->lock_one(edge, side, chunk.amount);
   ++chunk.hops_locked;
   return true;
 }
@@ -543,8 +622,9 @@ void Simulator::complete_chunk(std::size_t chunk_index) {
   SPIDER_ASSERT(chunk.hops_locked == chunk.path.length());
 
   for (std::size_t h = 0; h < chunk.path.edges.size(); ++h) {
-    Channel& ch = network_->channel(chunk.path.edges[h]);
-    ch.settle(ch.side_of(chunk.path.nodes[h]), chunk.amount);
+    const Channel& ch = network_->channel(chunk.path.edges[h]);
+    network_->settle_one(chunk.path.edges[h],
+                         ch.side_of(chunk.path.nodes[h]), chunk.amount);
   }
   accrue_fees(chunk.path, chunk.amount);
   Payment& p = payments_[chunk.payment];
@@ -570,8 +650,9 @@ void Simulator::abort_chunk(std::size_t chunk_index) {
   const InflightChunk& chunk = inflight_[chunk_index];
   SPIDER_ASSERT(!chunk.queued);
   for (std::size_t h = 0; h < chunk.hops_locked; ++h) {
-    Channel& ch = network_->channel(chunk.path.edges[h]);
-    ch.refund(ch.side_of(chunk.path.nodes[h]), chunk.amount);
+    const Channel& ch = network_->channel(chunk.path.edges[h]);
+    network_->refund_one(chunk.path.edges[h],
+                         ch.side_of(chunk.path.nodes[h]), chunk.amount);
   }
   Payment& p = payments_[chunk.payment];
   SPIDER_ASSERT(p.inflight >= chunk.amount);
@@ -617,7 +698,7 @@ void Simulator::serve_channel_queue(EdgeId edge, int side) {
     Channel& ch = network_->channel(edge);
     if (!ch.can_lock(side, chunk.amount)) break;  // head-of-line blocking
     queue_remove(edge, side, ci);
-    ch.lock(side, chunk.amount);
+    network_->lock_one(edge, side, chunk.amount);
     ++chunk.hops_locked;
     chunk.queued = false;
     metrics_.queue_wait_s.add(to_seconds(now() - chunk.queued_at));
@@ -663,7 +744,7 @@ void Simulator::handle_rebalance() {
         const Amount share = static_cast<Amount>(
             static_cast<__int128>(budget) * deficit / total_deficit);
         if (share <= 0) continue;
-        network_->channel(static_cast<EdgeId>(e)).deposit(side, share);
+        network_->deposit_one(static_cast<EdgeId>(e), side, share);
         metrics_.onchain_deposited += share;
         serve_channel_queue(static_cast<EdgeId>(e), side);
       }
@@ -760,8 +841,9 @@ void Simulator::churn_abort_chunk(std::size_t chunk_index, EdgeId closing) {
           ? chunk.hops_locked
           : chunk.path.edges.size();
   for (std::size_t h = 0; h < locked_hops; ++h) {
-    Channel& ch = network_->channel(chunk.path.edges[h]);
-    ch.refund(ch.side_of(chunk.path.nodes[h]), chunk.amount);
+    const Channel& ch = network_->channel(chunk.path.edges[h]);
+    network_->refund_one(chunk.path.edges[h],
+                         ch.side_of(chunk.path.nodes[h]), chunk.amount);
   }
   const std::size_t payment_index = chunk.payment;
   Payment& p = payments_[payment_index];

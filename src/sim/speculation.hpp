@@ -1,0 +1,80 @@
+// Speculative-planning interface between the simulator and the sharded
+// execution runtime (core/shard.hpp implements it).
+//
+// The sharded single-run engine keeps the authoritative event loop serial —
+// one EventQueue, one commit thread, the exact (time, seq) order of the
+// serial engine — and extracts parallelism from the expensive part of each
+// event: router planning. Before processing a lookahead window of events,
+// the simulator hands the planner every plan it may need inside the window
+// (upcoming trace arrivals plus the pending payments a poll round would
+// retry). Shard workers compute those plans concurrently against a
+// window-start replica of the network; when the commit thread reaches the
+// matching attempt() it consumes the precomputed plan IF a validation
+// proves it equals what a fresh plan would return (see core/shard.hpp for
+// the validation contract). A failed validation falls back to planning
+// inline — speculation misses cost only time, never correctness, which is
+// what extends the serial==sharded byte-identity gate to every scheme.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/amount.hpp"
+
+namespace spider {
+
+class Network;
+struct ChunkPlan;
+
+/// One plan the upcoming window may request. `key` is the payment's stable
+/// identity (Payment::id == absolute trace index); `want` the amount
+/// attempt() would pass to Router::plan.
+struct SpecJob {
+  std::uint64_t key = 0;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  Amount want = 0;
+};
+
+class SpeculativePlanner {
+ public:
+  virtual ~SpeculativePlanner() = default;
+
+  /// A new lookahead window opens over `live` (the authoritative network,
+  /// at window-start state). `jobs` lists every plan the window may
+  /// consume; the planner dispatches them to its shard workers. The window
+  /// stays open until close_window(); the commit thread keeps mutating
+  /// `live` in between (reported through on_balance_mutation / topology
+  /// generation bumps), which is exactly what consume()'s validation
+  /// checks against.
+  virtual void open_window(const Network& live, const SpecJob* jobs,
+                           std::size_t count) = 0;
+
+  /// The commit thread is about to plan `key` for `want`: returns the
+  /// speculative plan if it provably equals a fresh Router::plan, else
+  /// nullptr (caller plans inline). Consumes the slot either way — a
+  /// second request for the same key in one window plans inline. The
+  /// returned plan (and the paths its chunks point into) stays valid until
+  /// the next open_window().
+  virtual const std::vector<ChunkPlan>* consume(std::uint64_t key,
+                                                Amount want) = 0;
+
+  /// Window finished: quiesce workers (barrier) and discard unconsumed
+  /// slots. After this call no worker touches the replica, so the next
+  /// open_window may sync it.
+  virtual void close_window() = 0;
+};
+
+/// Observer for channel-balance mutations on the live network, reported by
+/// sim::Network at the (edge, side) granularity of the balance that
+/// changed. The sharded runtime records these in per-slot mutation serials;
+/// consume() validates a speculative plan's read set against them.
+class BalanceListener {
+ public:
+  virtual ~BalanceListener() = default;
+  virtual void on_balance_mutation(EdgeId edge, int side) = 0;
+};
+
+}  // namespace spider

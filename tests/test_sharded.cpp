@@ -1,0 +1,320 @@
+// Sharded-engine tests: the serial == sharded byte-identity gate at every
+// shard count (the PR's invariant, same contract as streamed == batch and
+// chunked == batch), graph-partition determinism, speculation-statistics
+// determinism, churn and trace-replay interaction, and the
+// nested-parallelism arbiter.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <thread>
+
+#include "core/runner.hpp"
+#include "core/shard.hpp"
+#include "graph/partition.hpp"
+#include "spider.hpp"
+#include "test_support.hpp"
+
+namespace spider {
+namespace {
+
+ScenarioInstance small_isp() {
+  ScenarioParams params;
+  params.payments = 600;
+  params.traffic_seed = 33;
+  return build_scenario("isp", params);
+}
+
+SimMetrics run_with_shards(const ScenarioInstance& scenario, Scheme scheme,
+                           int shards, std::uint64_t seed = 7) {
+  SpiderConfig config = scenario.config;
+  config.shards = shards;
+  const SpiderNetwork net(scenario.graph, config);
+  return scenario.churn.empty()
+             ? net.run(scheme, scenario.trace, seed)
+             : net.run(scheme, scenario.trace, seed, scenario.churn);
+}
+
+// --- Graph partitioning ------------------------------------------------
+
+TEST(GraphPartition, DeterministicBalancedAndCovering) {
+  const ScenarioInstance scenario = small_isp();
+  const GraphPartition a = partition_graph(scenario.graph, 4, 7);
+  const GraphPartition b = partition_graph(scenario.graph, 4, 7);
+  EXPECT_EQ(a.node_part, b.node_part);  // pure function of (graph, k, seed)
+  EXPECT_EQ(a.edge_part, b.edge_part);
+  EXPECT_EQ(a.cut_edges, b.cut_edges);
+
+  ASSERT_EQ(a.parts, 4);
+  ASSERT_EQ(a.node_part.size(),
+            static_cast<std::size_t>(scenario.graph.num_nodes()));
+  ASSERT_EQ(a.edge_part.size(),
+            static_cast<std::size_t>(scenario.graph.num_edges()));
+  for (const int part : a.node_part) {
+    EXPECT_GE(part, 0);
+    EXPECT_LT(part, a.parts);
+  }
+  const auto total = std::accumulate(a.part_sizes.begin(),
+                                     a.part_sizes.end(), std::int32_t{0});
+  EXPECT_EQ(total, scenario.graph.num_nodes());
+  for (const std::int32_t size : a.part_sizes) EXPECT_GT(size, 0);
+  // Balanced growth: no shard more than twice the ideal share on a
+  // connected 32-node topology.
+  const std::int32_t ideal = scenario.graph.num_nodes() / 4;
+  for (const std::int32_t size : a.part_sizes) EXPECT_LE(size, 2 * ideal);
+
+  // Edge ownership follows endpoint `a`; cut_edges counts the open
+  // straddlers.
+  EdgeId cut = 0;
+  for (EdgeId e = 0; e < scenario.graph.num_edges(); ++e) {
+    if (scenario.graph.edge_closed(e)) continue;
+    if (a.is_cut(e, scenario.graph)) ++cut;
+  }
+  EXPECT_EQ(cut, a.cut_edges);
+}
+
+TEST(GraphPartition, SinglePartAndOverclampedParts) {
+  const ScenarioInstance scenario = small_isp();
+  const GraphPartition one = partition_graph(scenario.graph, 1, 7);
+  EXPECT_EQ(one.parts, 1);
+  EXPECT_EQ(one.cut_edges, 0);
+  // More shards than nodes clamps so no shard is empty.
+  const GraphPartition many =
+      partition_graph(scenario.graph, scenario.graph.num_nodes() + 50, 7);
+  EXPECT_EQ(many.parts, scenario.graph.num_nodes());
+  for (const std::int32_t size : many.part_sizes) EXPECT_EQ(size, 1);
+}
+
+// --- The invariant gate: serial == sharded, byte-identical --------------
+
+TEST(ShardedRun, MatchesSerialForEverySchemeAtEveryShardCount) {
+  const ScenarioInstance scenario = small_isp();
+  for (const Scheme scheme : all_schemes()) {
+    SCOPED_TRACE(scheme_name(scheme));
+    const SimMetrics serial = run_with_shards(scenario, scheme, 1);
+    for (const int shards : {2, 4, 7}) {
+      SCOPED_TRACE("shards=" + std::to_string(shards));
+      expect_identical_metrics(serial,
+                               run_with_shards(scenario, scheme, shards));
+    }
+  }
+}
+
+TEST(ShardedRun, MatchesSerialInRouterQueueMode) {
+  ScenarioInstance scenario = small_isp();
+  scenario.config.sim.queueing = QueueingMode::kRouterQueue;
+  // Router-queue mode requires non-atomic schemes.
+  for (const Scheme scheme :
+       {Scheme::kSpiderWaterfilling, Scheme::kSpiderLp,
+        Scheme::kShortestPath, Scheme::kSpiderPrimalDual}) {
+    SCOPED_TRACE(scheme_name(scheme));
+    const SimMetrics serial = run_with_shards(scenario, scheme, 1);
+    for (const int shards : {2, 7}) {
+      SCOPED_TRACE("shards=" + std::to_string(shards));
+      expect_identical_metrics(serial,
+                               run_with_shards(scenario, scheme, shards));
+    }
+  }
+}
+
+TEST(ShardedRun, MatchesSerialUnderChannelChurn) {
+  // Generation bumps must propagate into the shards at window boundaries
+  // (replica rebuild + worker-router re-init) without perturbing the
+  // serial event order. One speculative scheme and one non-speculative.
+  ScenarioParams params;
+  params.payments = 500;
+  params.nodes = 40;
+  const ScenarioInstance scenario = build_scenario("lightning-churn", params);
+  ASSERT_FALSE(scenario.churn.empty());
+  for (const Scheme scheme :
+       {Scheme::kSpiderWaterfilling, Scheme::kSpeedyMurmurs}) {
+    SCOPED_TRACE(scheme_name(scheme));
+    const SimMetrics serial = run_with_shards(scenario, scheme, 1);
+    for (const int shards : {2, 4}) {
+      SCOPED_TRACE("shards=" + std::to_string(shards));
+      expect_identical_metrics(serial,
+                               run_with_shards(scenario, scheme, shards));
+    }
+  }
+}
+
+TEST(ShardedRun, MatchesSerialOnTraceReplayScenario) {
+  ScenarioParams params;
+  provide_replay_files(params, 400);
+  const ScenarioInstance scenario = build_scenario("trace-replay", params);
+  const SimMetrics serial =
+      run_with_shards(scenario, Scheme::kSpiderWaterfilling, 1);
+  expect_identical_metrics(
+      serial, run_with_shards(scenario, Scheme::kSpiderWaterfilling, 4));
+}
+
+TEST(ShardedRun, MatchesSerialWithExplicitLookahead) {
+  // The window length is a pure performance knob: any positive lookahead
+  // must leave the event order untouched.
+  const ScenarioInstance scenario = small_isp();
+  const SimMetrics serial =
+      run_with_shards(scenario, Scheme::kSpiderWaterfilling, 1);
+  for (const Duration lookahead :
+       {seconds(0.05), seconds(0.5), seconds(5.0)}) {
+    SCOPED_TRACE("lookahead=" + std::to_string(lookahead));
+    ScenarioInstance tuned = scenario;
+    tuned.config.sim.shard_lookahead = lookahead;
+    expect_identical_metrics(
+        serial, run_with_shards(tuned, Scheme::kSpiderWaterfilling, 4));
+  }
+}
+
+TEST(ShardedRun, MatchesSerialUnderStreamedStepping) {
+  // Sharded windows and session stepping compose: submitting in spans with
+  // advance_until between them must still replay the batch event order.
+  const ScenarioInstance scenario = small_isp();
+  SpiderConfig config = scenario.config;
+  config.shards = 4;
+  const SpiderNetwork net(scenario.graph, config);
+  const SimMetrics serial =
+      run_with_shards(scenario, Scheme::kSpiderWaterfilling, 1);
+
+  SessionOptions options;
+  options.demand_hint = &scenario.trace;
+  SimSession session =
+      net.session(Scheme::kSpiderWaterfilling, 7, options);
+  const std::size_t third = scenario.trace.size() / 3;
+  session.submit(scenario.trace.data(), third);
+  session.submit(scenario.trace.data() + third, third);
+  session.advance_until(scenario.trace[third].arrival);
+  session.submit(scenario.trace.data() + 2 * third,
+                 scenario.trace.size() - 2 * third);
+  expect_identical_metrics(serial, session.drain());
+}
+
+// --- Speculation observability -----------------------------------------
+
+TEST(ShardExecutor, SpeculatesAndStatsAreDeterministic) {
+  const ScenarioInstance scenario = small_isp();
+  SpiderConfig config = scenario.config;
+  config.shards = 4;
+  const SpiderNetwork net(scenario.graph, config);
+
+  const auto run_once = [&](ShardStats& stats) {
+    SessionOptions options;
+    options.demand_hint = &scenario.trace;
+    SimSession session =
+        net.session(Scheme::kSpiderWaterfilling, 7, options);
+    session.submit(scenario.trace);
+    const SimMetrics metrics = session.drain();
+    const ShardExecutor* executor = session.shard_executor();
+    ASSERT_NE(executor, nullptr);
+    EXPECT_TRUE(executor->speculative());
+    EXPECT_EQ(executor->shards(), 4);
+    stats = executor->stats();
+    EXPECT_GT(metrics.completed_count, 0);
+  };
+
+  ShardStats first, second;
+  run_once(first);
+  run_once(second);
+
+  // Real work happened in parallel...
+  EXPECT_GT(first.windows, 0u);
+  EXPECT_GT(first.jobs, 0u);
+  EXPECT_GT(first.cross_shard_jobs, 0u);  // edge-cut partition: both kinds
+  EXPECT_GT(first.hits, 0u);
+  // ...every consume resolved to some bucket...
+  EXPECT_EQ(first.uncovered, 0u);
+  // ...and the whole breakdown is a pure function of the run, not of
+  // thread scheduling (consume waits for in-flight slots).
+  EXPECT_EQ(first.windows, second.windows);
+  EXPECT_EQ(first.jobs, second.jobs);
+  EXPECT_EQ(first.cross_shard_jobs, second.cross_shard_jobs);
+  EXPECT_EQ(first.hits, second.hits);
+  EXPECT_EQ(first.miss_want, second.miss_want);
+  EXPECT_EQ(first.miss_generation, second.miss_generation);
+  EXPECT_EQ(first.miss_paths, second.miss_paths);
+  EXPECT_EQ(first.miss_balance, second.miss_balance);
+  EXPECT_EQ(first.unconsumed, second.unconsumed);
+}
+
+TEST(ShardExecutor, NonSpeculativeSchemeDegradesToSerialNoThreads) {
+  const ScenarioInstance scenario = small_isp();
+  SpiderConfig config = scenario.config;
+  config.shards = 4;
+  const SpiderNetwork net(scenario.graph, config);
+  SessionOptions options;
+  options.demand_hint = &scenario.trace;
+  SimSession session = net.session(Scheme::kSpeedyMurmurs, 7, options);
+  session.submit(scenario.trace);
+  session.drain();
+  const ShardExecutor* executor = session.shard_executor();
+  ASSERT_NE(executor, nullptr);
+  EXPECT_FALSE(executor->speculative());
+  EXPECT_EQ(executor->worker_threads(), 0u);  // no threads ever spawned
+  EXPECT_EQ(executor->stats().jobs, 0u);
+  EXPECT_GT(executor->stats().windows, 0u);  // windows still tick (no-ops)
+}
+
+TEST(ShardExecutor, SerialSessionHasNoExecutor) {
+  const ScenarioInstance scenario = small_isp();
+  const SpiderNetwork net(scenario.graph, scenario.config);  // shards == 1
+  SimSession session = net.session(Scheme::kSpiderWaterfilling, 7);
+  EXPECT_EQ(session.shard_executor(), nullptr);
+}
+
+// --- Nested-parallelism arbiter ----------------------------------------
+
+TEST(Runner, ResolveParallelCapSharesOneCoreBudget) {
+  EXPECT_EQ(resolve_parallel_cap(8, 1), 8u);   // serial cells: whole pool
+  EXPECT_EQ(resolve_parallel_cap(8, 2), 4u);   // 4 cells x 2 shard workers
+  EXPECT_EQ(resolve_parallel_cap(8, 4), 2u);
+  EXPECT_EQ(resolve_parallel_cap(8, 16), 1u);  // never starves the grid
+  EXPECT_EQ(resolve_parallel_cap(1, 4), 1u);
+  EXPECT_EQ(resolve_parallel_cap(0, 4), 1u);   // unknown hardware
+}
+
+TEST(Runner, GridWithShardedCellsMatchesSerialCells) {
+  // The arbiter must only change scheduling, never results: a grid over a
+  // sharded scenario config is cell-for-cell identical to the serial grid.
+  ScenarioParams params;
+  params.payments = 300;
+  params.traffic_seed = 33;
+  std::vector<ScenarioInstance> serial_scenarios;
+  serial_scenarios.push_back(build_scenario("isp", params));
+  std::vector<ScenarioInstance> sharded_scenarios;
+  sharded_scenarios.push_back(build_scenario("isp", params));
+  sharded_scenarios[0].config.shards = 2;
+
+  const std::vector<Scheme> schemes = {Scheme::kSpiderWaterfilling,
+                                       Scheme::kShortestPath};
+  const std::vector<std::uint64_t> seeds = {7, 11};
+  ExperimentRunner runner(2);
+  const std::vector<CellResult> serial =
+      runner.run_grid(serial_scenarios, schemes, seeds);
+  const std::vector<CellResult> sharded =
+      runner.run_grid(sharded_scenarios, schemes, seeds);
+  ASSERT_EQ(serial.size(), sharded.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE("cell " + std::to_string(i));
+    expect_identical_metrics(serial[i].metrics, sharded[i].metrics);
+  }
+}
+
+TEST(Runner, ForEachHonorsMaxParallelCap) {
+  ExperimentRunner runner(4);
+  std::atomic<int> active{0};
+  std::atomic<int> peak{0};
+  runner.for_each(
+      16,
+      [&](std::size_t) {
+        const int now = ++active;
+        int expected = peak.load();
+        while (now > expected && !peak.compare_exchange_weak(expected, now)) {
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        --active;
+      },
+      /*max_parallel=*/2);
+  EXPECT_LE(peak.load(), 2);
+}
+
+}  // namespace
+}  // namespace spider
