@@ -25,18 +25,30 @@
 // header carries the host's `cores` — a scaling_x measured on 1 core is
 // honest, not a regression.
 //
+// Attack-resilience rows: SPIDER_BENCH_ATTACKS (comma list of adversarial
+// registry scenarios, default "griefing,hub-drain,lossy-network"; empty
+// disables) runs every measured-AND-paper scheme over each attack scenario
+// with its fault schedule submitted, so the rows record the
+// success-ratio-under-fault profile per scheme plus the per-cause failure
+// split (failed_timeout / failed_churn / failed_fault / failed_no_path),
+// retries, and deadline misses. These rows join the JSON and the floor
+// gate like any others.
+//
 // Output: a table on stdout, the optional CSV dump every bench supports,
 // and a JSON report (default ./BENCH_throughput.json; SPIDER_BENCH_JSON
 // overrides) whose checked-in copy at the repo root is the baseline future
-// PRs are compared against. Schema (schema_version 3):
+// PRs are compared against. Schema (schema_version 4):
 //
-//   { "bench": "bench_throughput", "schema_version": 3, "paths_k": K,
+//   { "bench": "bench_throughput", "schema_version": 4, "paths_k": K,
 //     "cores": C,
 //     "results": [ { "scenario", "scheme", "nodes", "edges", "payments",
 //                    "paths_k", "shards", "warm_s", "wall_s", "events",
 //                    "events_per_s", "payments_per_s", "plans_per_s",
 //                    "scaling_x", "success_ratio", "steady_success_ratio",
-//                    "windows", "sim_duration_s" }, ... ] }
+//                    "windows", "sim_duration_s", "faults_injected",
+//                    "messages_dropped", "failed_timeout", "failed_churn",
+//                    "failed_fault", "failed_no_path", "retries",
+//                    "deadline_misses" }, ... ] }
 //
 // The simulation phase always goes through the session-backed run surface
 // (SpiderNetwork::run is a session wrapper), so the floor gate asserts the
@@ -51,6 +63,8 @@
 //
 //   scenario scheme events_per_s        — absolute rate floor (30% grace)
 //   scaling scenario scheme min_x       — scaling_x floor for sharded rows
+//   success scenario scheme min_ratio   — success-ratio floor (no grace;
+//                                         the attack-resilience gate)
 //
 // and exits non-zero on any violation. A floor line whose scenario the
 // current invocation did not measure is skipped with a notice (CI steps
@@ -114,6 +128,15 @@ struct ThroughputRow {
   double steady_success_ratio = 0.0;
   int windows = 0;
   double sim_duration_s = 0.0;
+  // Fault-injection profile (all zero on fault-free scenarios).
+  std::int64_t faults_injected = 0;
+  std::int64_t messages_dropped = 0;
+  std::int64_t failed_timeout = 0;
+  std::int64_t failed_churn = 0;
+  std::int64_t failed_fault = 0;
+  std::int64_t failed_no_path = 0;
+  std::int64_t retries = 0;
+  std::int64_t deadline_misses = 0;
 };
 
 /// "name" or "name@nodes" -> (scenario name, node override). Exits with a
@@ -169,7 +192,7 @@ void write_json(const std::string& path, int paths_k,
     return;
   }
   out << "{\n  \"bench\": \"bench_throughput\",\n"
-      << "  \"schema_version\": 3,\n"
+      << "  \"schema_version\": 4,\n"
       << "  \"paths_k\": " << paths_k << ",\n"
       << "  \"cores\": " << std::thread::hardware_concurrency()
       << ",\n  \"results\": [\n";
@@ -191,7 +214,15 @@ void write_json(const std::string& path, int paths_k,
         << ", \"success_ratio\": " << json_num(r.success_ratio, 4)
         << ", \"steady_success_ratio\": " << json_num(r.steady_success_ratio, 4)
         << ", \"windows\": " << r.windows
-        << ", \"sim_duration_s\": " << json_num(r.sim_duration_s) << "}"
+        << ", \"sim_duration_s\": " << json_num(r.sim_duration_s)
+        << ", \"faults_injected\": " << r.faults_injected
+        << ", \"messages_dropped\": " << r.messages_dropped
+        << ", \"failed_timeout\": " << r.failed_timeout
+        << ", \"failed_churn\": " << r.failed_churn
+        << ", \"failed_fault\": " << r.failed_fault
+        << ", \"failed_no_path\": " << r.failed_no_path
+        << ", \"retries\": " << r.retries
+        << ", \"deadline_misses\": " << r.deadline_misses << "}"
         << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
@@ -233,9 +264,13 @@ int check_floor(const std::string& floor_path,
     std::string scenario, scheme;
     double floor = 0.0;
     bool scaling = false;
+    bool success = false;
     if (!(fields >> scenario)) continue;
     if (scenario == "scaling") {
       scaling = true;
+      if (!(fields >> scenario)) continue;
+    } else if (scenario == "success") {
+      success = true;
       if (!(fields >> scenario)) continue;
     }
     if (!(fields >> scheme >> floor)) continue;
@@ -251,6 +286,19 @@ int check_floor(const std::string& floor_path,
     for (const ThroughputRow& r : rows) {
       if (r.scenario != scenario || flat_scheme(r) != scheme) continue;
       matched = true;
+      if (success) {
+        // Attack-resilience gate: a scheme's success ratio under the fault
+        // schedule must stay above the floor. No regression grace — the
+        // ratio is deterministic in (scenario, scheme, seed), not a timing.
+        if (r.success_ratio < floor) {
+          std::cerr << "RESILIENCE REGRESSION: " << scenario << " / "
+                    << r.scheme << " success ratio "
+                    << json_num(r.success_ratio, 4) << " below the "
+                    << json_num(floor, 4) << " floor\n";
+          ++violations;
+        }
+        continue;
+      }
       if (scaling) {
         if (cores < static_cast<unsigned>(r.shards)) {
           std::cout << "scaling floor skipped (" << cores << " core(s) < "
@@ -375,13 +423,20 @@ ThroughputRow measure_row(const SpiderNetwork& net,
   const Duration warmup = seconds(env_double("SPIDER_BENCH_WARMUP_S", 2.0));
   const std::vector<TopologyChange>* churn =
       scenario.churn.empty() ? nullptr : &scenario.churn;
+  const std::vector<FaultEvent>* faults =
+      scenario.faults.empty() ? nullptr : &scenario.faults;
   WindowedRun windowed;
   const auto start = Clock::now();
   SimMetrics m;
   if (window_s > 0) {
     windowed = run_windowed(net, scheme, net.config().sim.seed,
-                            scenario.trace, seconds(window_s), warmup, churn);
+                            scenario.trace, seconds(window_s), warmup, churn,
+                            faults);
     m = windowed.metrics;
+  } else if (faults != nullptr) {
+    m = net.run(scheme, scenario.trace, net.config().sim.seed,
+                churn != nullptr ? *churn : std::vector<TopologyChange>{},
+                *faults);
   } else if (churn != nullptr) {
     m = net.run(scheme, scenario.trace, net.config().sim.seed, *churn);
   } else {
@@ -408,6 +463,14 @@ ThroughputRow measure_row(const SpiderNetwork& net,
     row.windows = windowed.steady.windows;
   }
   row.sim_duration_s = m.sim_duration_s;
+  row.faults_injected = m.faults_injected;
+  row.messages_dropped = m.messages_dropped;
+  row.failed_timeout = m.failed_timeout;
+  row.failed_churn = m.failed_churn;
+  row.failed_fault = m.failed_fault;
+  row.failed_no_path = m.failed_no_path;
+  row.retries = m.retries;
+  row.deadline_misses = m.deadline_misses;
   return row;
 }
 
@@ -519,6 +582,47 @@ int run() {
                    Table::pct(r.success_ratio)});
   std::cout << "\n" << table.render();
   maybe_write_csv("throughput", table);
+
+  // Attack-resilience section: every scheme over each adversarial scenario
+  // with its fault schedule submitted. These rows join `rows` before the
+  // JSON/floor stage so `success` floor lines gate them.
+  const std::string attack_list = env_string(
+      "SPIDER_BENCH_ATTACKS", "griefing,hub-drain,lossy-network");
+  if (!split_list(attack_list).empty()) {
+    std::cout << "\nattack resilience (success ratio under fault "
+                 "injection):\n";
+    std::vector<ThroughputRow> attack_rows;
+    for (const std::string& spec : split_list(attack_list)) {
+      const auto [name, node_override] = parse_spec(spec);
+      ScenarioParams params = ScenarioParams::from_env();
+      params.shards = 0;
+      if (node_override > 0) params.nodes = node_override;
+      if (params.traffic_seed == 0) params.traffic_seed = 18;  // E18 stream
+      const ScenarioInstance scenario = build_scenario(name, params);
+      const SpiderNetwork net(scenario.graph, scenario.config);
+      net.warm_paths(scenario.trace);
+      std::cout << "  " << spec << ": " << scenario.faults.size()
+                << " scheduled faults over " << scenario.trace.size()
+                << " payments\n";
+      for (const Scheme scheme : all_schemes())
+        attack_rows.push_back(measure_row(net, scenario, spec, scheme, 0.0));
+    }
+    Table attack_table({"scenario", "scheme", "success_ratio", "steady_sr",
+                        "failed_timeout", "failed_churn", "failed_fault",
+                        "failed_no_path", "retries", "deadline_misses"});
+    for (const ThroughputRow& r : attack_rows)
+      attack_table.add_row({r.scenario, r.scheme, Table::pct(r.success_ratio),
+                            Table::pct(r.steady_success_ratio),
+                            std::to_string(r.failed_timeout),
+                            std::to_string(r.failed_churn),
+                            std::to_string(r.failed_fault),
+                            std::to_string(r.failed_no_path),
+                            std::to_string(r.retries),
+                            std::to_string(r.deadline_misses)});
+    std::cout << "\n" << attack_table.render();
+    maybe_write_csv("throughput_attacks", attack_table);
+    rows.insert(rows.end(), attack_rows.begin(), attack_rows.end());
+  }
 
   const std::string json_path = std::getenv("SPIDER_BENCH_JSON") != nullptr
                                     ? std::getenv("SPIDER_BENCH_JSON")

@@ -14,7 +14,8 @@ WindowedRun run_windowed(const SpiderNetwork& network, Scheme scheme,
                          std::uint64_t seed,
                          const std::vector<PaymentSpec>& trace,
                          Duration metrics_window, Duration warmup,
-                         const std::vector<TopologyChange>* churn) {
+                         const std::vector<TopologyChange>* churn,
+                         const std::vector<FaultEvent>* faults) {
   SPIDER_ASSERT(metrics_window > 0);
   SessionOptions options;
   options.metrics_window = metrics_window;
@@ -23,6 +24,7 @@ WindowedRun run_windowed(const SpiderNetwork& network, Scheme scheme,
   WindowedMetrics windowed(warmup);
   session.attach(windowed);
   if (churn != nullptr) session.submit_topology(*churn);
+  if (faults != nullptr) session.submit_faults(*faults);
   session.submit(trace);
   WindowedRun run;
   run.metrics = session.drain();

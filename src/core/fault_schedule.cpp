@@ -1,0 +1,168 @@
+#include "core/fault_schedule.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/random.hpp"
+
+namespace spider {
+
+std::string fault_mode_name(FaultMode mode) {
+  switch (mode) {
+    case FaultMode::kCrashStorm: return "crash-storm";
+    case FaultMode::kHubDrain: return "hub-drain";
+    case FaultMode::kLossyNetwork: return "lossy";
+    case FaultMode::kGriefing: return "griefing";
+  }
+  return "?";
+}
+
+FaultMode fault_mode_from_name(const std::string& name) {
+  if (name == "crash-storm") return FaultMode::kCrashStorm;
+  if (name == "hub-drain") return FaultMode::kHubDrain;
+  if (name == "lossy" || name == "lossy-network") return FaultMode::kLossyNetwork;
+  if (name == "griefing") return FaultMode::kGriefing;
+  throw std::invalid_argument(
+      "fault_mode_from_name: unknown fault mode '" + name +
+      "' (expected crash-storm | hub-drain | lossy | griefing)");
+}
+
+namespace {
+
+/// Top `count` nodes by open degree, ties toward the lower id — the nodes a
+/// targeted attacker would take down first.
+std::vector<NodeId> hubs_by_degree(const Graph& graph, int count) {
+  std::vector<NodeId> nodes(static_cast<std::size_t>(graph.num_nodes()));
+  for (NodeId n = 0; n < graph.num_nodes(); ++n)
+    nodes[static_cast<std::size_t>(n)] = n;
+  std::sort(nodes.begin(), nodes.end(), [&](NodeId a, NodeId b) {
+    const std::size_t da = graph.degree(a);
+    const std::size_t db = graph.degree(b);
+    return da != db ? da > db : a < b;
+  });
+  nodes.resize(static_cast<std::size_t>(count));
+  return nodes;
+}
+
+/// `count` distinct attacker nodes drawn from the schedule's own stream —
+/// independent of traffic/churn draws for the same base seed.
+std::vector<NodeId> seeded_attackers(const Graph& graph,
+                                     const FaultScheduleConfig& config) {
+  Rng rng(config.seed ^ 0xFA117ULL);
+  std::vector<NodeId> pool(static_cast<std::size_t>(graph.num_nodes()));
+  for (NodeId n = 0; n < graph.num_nodes(); ++n)
+    pool[static_cast<std::size_t>(n)] = n;
+  rng.shuffle(pool);
+  pool.resize(static_cast<std::size_t>(config.node_count));
+  return pool;
+}
+
+std::vector<FaultEvent> generate_crash_storm(const Graph& graph,
+                                             const FaultScheduleConfig& config) {
+  Rng rng(config.seed ^ 0xFA117ULL);
+  const double mean_gap = 1.0 / config.events_per_second;
+  const Duration stall_mean =
+      config.stall_mean > 0 ? config.stall_mean : seconds(1.0);
+  std::vector<FaultEvent> schedule;
+  double t = to_seconds(config.start);
+  for (;;) {
+    t += rng.exponential(mean_gap);
+    const TimePoint at = seconds(t);
+    if (at >= config.stop) break;
+    const NodeId victim =
+        static_cast<NodeId>(rng.uniform_int(0, graph.num_nodes() - 1));
+    const Duration stall = std::max<Duration>(
+        milliseconds(1), static_cast<Duration>(rng.exponential(
+                             static_cast<double>(stall_mean))));
+    schedule.push_back(FaultEvent::stall(at, victim, stall));
+  }
+  return schedule;
+}
+
+std::vector<FaultEvent> generate_hub_drain(const Graph& graph,
+                                           const FaultScheduleConfig& config) {
+  std::vector<FaultEvent> schedule;
+  const std::vector<NodeId> hubs = hubs_by_degree(graph, config.node_count);
+  for (const NodeId hub : hubs)
+    schedule.push_back(FaultEvent::crash(config.start, hub));
+  for (const NodeId hub : hubs)
+    schedule.push_back(FaultEvent::recover(config.stop, hub));
+  return schedule;
+}
+
+std::vector<FaultEvent> generate_lossy(const Graph& graph,
+                                       const FaultScheduleConfig& config) {
+  std::vector<FaultEvent> schedule;
+  std::vector<EdgeId> open;
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const Graph::Edge& edge = graph.edge(e);
+    if (!edge.closed && edge.capacity > 0) open.push_back(e);
+  }
+  for (const EdgeId e : open)
+    schedule.push_back(FaultEvent::loss(config.start, e,
+                                        config.loss_probability));
+  for (const EdgeId e : open)
+    schedule.push_back(FaultEvent::loss(config.stop, e, 0.0));
+  return schedule;
+}
+
+std::vector<FaultEvent> generate_griefing(const Graph& graph,
+                                          const FaultScheduleConfig& config) {
+  std::vector<FaultEvent> schedule;
+  const std::vector<NodeId> attackers = seeded_attackers(graph, config);
+  for (const NodeId n : attackers)
+    schedule.push_back(FaultEvent::grief(config.start, n, config.grief_hold));
+  for (const NodeId n : attackers)
+    schedule.push_back(FaultEvent::grief(config.stop, n, 0));
+  return schedule;
+}
+
+}  // namespace
+
+FaultSchedule::FaultSchedule(const Graph& graph, FaultScheduleConfig config)
+    : graph_(&graph), config_(config) {
+  if (config.stop <= config.start)
+    throw std::invalid_argument("FaultSchedule: stop must be after start");
+  if (config.mode == FaultMode::kCrashStorm && config.events_per_second <= 0)
+    throw std::invalid_argument(
+        "FaultSchedule: events_per_second must be positive");
+  if (config.stall_mean < 0)
+    throw std::invalid_argument("FaultSchedule: stall_mean must be >= 0");
+  if (config.mode == FaultMode::kHubDrain ||
+      config.mode == FaultMode::kGriefing) {
+    if (config.node_count < 1 ||
+        config.node_count >= static_cast<int>(graph.num_nodes()))
+      throw std::invalid_argument(
+          "FaultSchedule: node_count must be in [1, num_nodes) — crashing "
+          "every node leaves nothing to measure");
+  }
+  if (config.loss_probability < 0 || config.loss_probability > 1)
+    throw std::invalid_argument(
+        "FaultSchedule: loss_probability must be in [0, 1]");
+  if (config.mode == FaultMode::kGriefing && config.grief_hold <= 0)
+    throw std::invalid_argument(
+        "FaultSchedule: grief_hold must be positive for griefing");
+}
+
+std::vector<FaultEvent> FaultSchedule::generate() const {
+  switch (config_.mode) {
+    case FaultMode::kCrashStorm: return generate_crash_storm(*graph_, config_);
+    case FaultMode::kHubDrain: return generate_hub_drain(*graph_, config_);
+    case FaultMode::kLossyNetwork: return generate_lossy(*graph_, config_);
+    case FaultMode::kGriefing: return generate_griefing(*graph_, config_);
+  }
+  return {};
+}
+
+std::vector<NodeId> FaultSchedule::target_nodes() const {
+  switch (config_.mode) {
+    case FaultMode::kHubDrain:
+      return hubs_by_degree(*graph_, config_.node_count);
+    case FaultMode::kGriefing: return seeded_attackers(*graph_, config_);
+    case FaultMode::kCrashStorm:
+    case FaultMode::kLossyNetwork: return {};
+  }
+  return {};
+}
+
+}  // namespace spider

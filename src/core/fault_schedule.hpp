@@ -1,0 +1,93 @@
+// Deterministic fault schedules — the adversarial/robustness workload
+// component, mirroring workload/churn.hpp for FaultEvents.
+//
+// The paper's evaluation (§6) assumes benign routers and lossless delivery;
+// robustness is where routing schemes differentiate (embedding-based
+// routing is fragile under node failure — Roos et al., NDSS '18). A
+// FaultSchedule turns a topology plus a FaultScheduleConfig into a
+// time-ordered FaultEvent stream ready for SimSession::submit_faults or a
+// ScenarioInstance's faults field: seeded attacker selection, top-k hub
+// crashes, uniform message loss, or a random stall storm.
+//
+// Schedules are valid by construction (every target inside the topology,
+// probabilities in range, nondecreasing times) and deterministic in
+// (graph, config) — a scenario name plus params fully reproduces a faulted
+// run, the same contract traffic and churn generators give.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/fault.hpp"
+#include "util/time.hpp"
+
+namespace spider {
+
+enum class FaultMode {
+  /// Memoryless stall storm: exponential gaps at `events_per_second`; each
+  /// event stalls a uniformly random node for an exponential duration with
+  /// mean `stall_mean` (auto-recovering).
+  kCrashStorm,
+  /// Targeted attack on connectivity: the `node_count` highest-degree
+  /// nodes (ties toward the lower id) crash at `start` and recover at
+  /// `stop`.
+  kHubDrain,
+  /// Uniform message loss: every open channel drops messages with
+  /// `loss_probability` over [start, stop).
+  kLossyNetwork,
+  /// Lock-and-abort flood: `node_count` seeded attacker nodes grief —
+  /// black-hole every chunk they receive for `grief_hold` — over
+  /// [start, stop). Pair with an attacker flood trace (the griefing
+  /// scenario builds one) so the attackers actually attract locks.
+  kGriefing,
+};
+
+[[nodiscard]] std::string fault_mode_name(FaultMode mode);
+/// "crash-storm" | "hub-drain" | "lossy" | "griefing" (what
+/// SPIDER_FAULT_MODE accepts); throws std::invalid_argument otherwise.
+[[nodiscard]] FaultMode fault_mode_from_name(const std::string& name);
+
+struct FaultScheduleConfig {
+  FaultMode mode = FaultMode::kCrashStorm;
+  /// kCrashStorm: fault events per simulated second.
+  double events_per_second = 1.0;
+  /// Active span [start, stop): storms draw event times inside it;
+  /// hub-drain crashes at `start` and recovers at `stop`; lossy/griefing
+  /// arm at `start` and heal at `stop`.
+  TimePoint start = 0;
+  TimePoint stop = 0;
+  /// kCrashStorm: mean stall duration (exponential). 0 = 1 s.
+  Duration stall_mean = 0;
+  /// kHubDrain / kGriefing: how many hubs to crash / attackers to seed.
+  int node_count = 3;
+  /// kLossyNetwork: per-message drop probability on every open channel.
+  double loss_probability = 0.05;
+  /// kGriefing: how long an attacker sits on each received lock.
+  Duration grief_hold = seconds(5.0);
+  std::uint64_t seed = 1;
+};
+
+class FaultSchedule {
+ public:
+  /// Validates the config (throws std::invalid_argument).
+  FaultSchedule(const Graph& graph, FaultScheduleConfig config);
+
+  /// The full schedule, nondecreasing in time. Deterministic: equal
+  /// (graph, config) gives an identical stream.
+  [[nodiscard]] std::vector<FaultEvent> generate() const;
+
+  /// The nodes the schedule targets — hub-drain's crashed hubs or
+  /// griefing's attacker set (in emission order); empty for the other
+  /// modes. The griefing scenario builds its attacker flood trace from
+  /// this, so schedule and workload cannot disagree on who attacks.
+  [[nodiscard]] std::vector<NodeId> target_nodes() const;
+
+  [[nodiscard]] const FaultScheduleConfig& config() const { return config_; }
+
+ private:
+  const Graph* graph_;
+  FaultScheduleConfig config_;
+};
+
+}  // namespace spider

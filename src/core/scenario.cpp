@@ -1,6 +1,7 @@
 #include "core/scenario.hpp"
 
 #include <algorithm>
+#include <iterator>
 #include <stdexcept>
 #include <utility>
 
@@ -28,6 +29,15 @@ ScenarioParams ScenarioParams::from_env() {
   params.churn_mode = env_string("SPIDER_CHURN_MODE", "");
   params.trace_file = env_string("SPIDER_TRACE_FILE", "");
   params.topology_file = env_string("SPIDER_TOPOLOGY_FILE", "");
+  params.fault_mode = env_string("SPIDER_FAULT_MODE", "");
+  params.fault_rate = env_double("SPIDER_FAULT_RATE", 0.0);
+  params.loss_prob = env_double("SPIDER_LOSS_PROB", 0.0);
+  params.fault_nodes = env_int("SPIDER_FAULT_NODES", 0);
+  params.fault_seed =
+      static_cast<std::uint64_t>(env_int("SPIDER_FAULT_SEED", 0));
+  params.retry_limit = env_int("SPIDER_RETRY_LIMIT", 0);
+  params.retry_backoff_ms = env_int("SPIDER_RETRY_BACKOFF_MS", 0);
+  params.payment_deadline_ms = env_int("SPIDER_PAYMENT_DEADLINE_MS", 0);
   return params;
 }
 
@@ -64,15 +74,28 @@ Resolved resolve(const ScenarioParams& p, const Defaults& d) {
   return r;
 }
 
+/// Applies the knobs every scenario honours regardless of how it builds
+/// its trace: candidate paths, shards, and the sender-resilience /
+/// fault-seed overrides (all "0 = keep the config default").
+void apply_cross_knobs(SpiderConfig& config, const ScenarioParams& p) {
+  if (p.paths_k > 0) config.num_paths = p.paths_k;
+  if (p.shards > 0) config.shards = p.shards;
+  if (p.retry_limit > 0) config.sim.retry_limit = p.retry_limit;
+  if (p.retry_backoff_ms > 0)
+    config.sim.retry_backoff = milliseconds(p.retry_backoff_ms);
+  if (p.payment_deadline_ms > 0)
+    config.sim.payment_deadline = milliseconds(p.payment_deadline_ms);
+  if (p.fault_seed != 0) config.sim.fault_seed = p.fault_seed;
+}
+
 /// Finishes a scenario: synthesizes the trace over `graph` with `sizes`,
-/// applying the cross-scenario knobs (currently the SPIDER_PATHS_K
-/// candidate-path override) to the config.
+/// applying the cross-scenario knobs (SPIDER_PATHS_K, SPIDER_SHARDS, the
+/// retry/fault overrides) to the config.
 ScenarioInstance materialize(std::string name, Graph graph,
                              SpiderConfig config, const Resolved& r,
                              const SizeDistribution& sizes,
                              const ScenarioParams& p) {
-  if (p.paths_k > 0) config.num_paths = p.paths_k;
-  if (p.shards > 0) config.shards = p.shards;
+  apply_cross_knobs(config, p);
   TrafficConfig traffic;
   traffic.tx_per_second = r.tx_per_second;
   traffic.seed = r.traffic_seed;
@@ -141,8 +164,7 @@ ScenarioRegistry::ScenarioRegistry() {
         SpiderConfig config;
         // Same LP pair cap as ripple-like (dense offline simplex limit).
         config.lp_max_pairs = p.lp_max_pairs > 0 ? p.lp_max_pairs : 900;
-        if (p.paths_k > 0) config.num_paths = p.paths_k;
-        if (p.shards > 0) config.shards = p.shards;
+        apply_cross_knobs(config, p);
 
         // Piecewise-rate trace: each phase draws from its own generator
         // stream (deterministic in the traffic seed) and is shifted to
@@ -237,6 +259,130 @@ ScenarioRegistry::ScenarioRegistry() {
         return instance;
       });
 
+  // --- Adversarial scenarios (deterministic fault injection) ---
+  add("hub-drain",
+      "Ripple-like credit graph under a targeted connectivity attack: the "
+      "SPIDER_FAULT_NODES (default 3) highest-degree hubs crash at "
+      "one-third of the trace span — every in-flight chunk through them "
+      "refunds, the hubs stop forwarding — and recover at two-thirds. The "
+      "attack-resilience case for path diversity: schemes that spread load "
+      "across k edge-disjoint paths keep routing around the crater",
+      [](const ScenarioParams& p) {
+        const Resolved r = resolve(p, {4000, 400.0, 3000, 60, 1, 2});
+        Graph graph =
+            ripple_like_topology(r.nodes, r.capacity, r.topology_seed);
+        SpiderConfig config;
+        // Same LP pair cap as ripple-like (dense offline simplex limit).
+        config.lp_max_pairs = p.lp_max_pairs > 0 ? p.lp_max_pairs : 900;
+        ScenarioInstance instance =
+            materialize("hub-drain", std::move(graph), config, r,
+                        *ripple_subgraph_sizes(), p);
+        const TimePoint span = instance.trace.back().arrival;
+        FaultScheduleConfig faults;
+        faults.mode = p.fault_mode.empty()
+                          ? FaultMode::kHubDrain
+                          : fault_mode_from_name(p.fault_mode);
+        faults.start = span / 3;
+        faults.stop = 2 * span / 3;
+        faults.events_per_second = p.fault_rate > 0 ? p.fault_rate : 1.0;
+        faults.node_count = p.fault_nodes > 0 ? p.fault_nodes : 3;
+        faults.loss_probability = p.loss_prob > 0 ? p.loss_prob : 0.05;
+        faults.seed = p.fault_seed != 0 ? p.fault_seed : r.topology_seed;
+        instance.faults = FaultSchedule(instance.graph, faults).generate();
+        return instance;
+      });
+  add("lossy-network",
+      "ISP backbone where every channel drops messages with SPIDER_LOSS_PROB "
+      "(default 5%) from one-tenth of the trace span until the end: each "
+      "dropped chunk times out holding its locks (HTLC semantics), then "
+      "refunds. The resilience case for sender retry — pair with "
+      "SPIDER_RETRY_* to watch completion_after_retry recover the ratio",
+      [](const ScenarioParams& p) {
+        const Resolved r = resolve(p, {6000, 400.0, 3000, 32});
+        Graph graph = isp_topology(r.capacity, r.topology_seed);
+        ScenarioInstance instance =
+            materialize("lossy-network", std::move(graph), SpiderConfig{}, r,
+                        *ripple_synthetic_sizes(), p);
+        const TimePoint span = instance.trace.back().arrival;
+        FaultScheduleConfig faults;
+        faults.mode = p.fault_mode.empty()
+                          ? FaultMode::kLossyNetwork
+                          : fault_mode_from_name(p.fault_mode);
+        faults.start = span / 10;
+        faults.stop = span;
+        faults.events_per_second = p.fault_rate > 0 ? p.fault_rate : 1.0;
+        faults.node_count = p.fault_nodes > 0 ? p.fault_nodes : 3;
+        faults.loss_probability = p.loss_prob > 0 ? p.loss_prob : 0.05;
+        faults.seed = p.fault_seed != 0 ? p.fault_seed : r.topology_seed;
+        instance.faults = FaultSchedule(instance.graph, faults).generate();
+        return instance;
+      });
+  add("griefing",
+      "Ripple-like credit graph under a griefing attack: SPIDER_FAULT_NODES "
+      "(default 3) seeded attacker nodes black-hole every chunk they "
+      "receive — holding the locks for the grief window before the refund — "
+      "over the middle half of the run, while an attacker-directed payment "
+      "flood (one-quarter of the benign rate) drags honest escrow into "
+      "their channels. The capacity-exhaustion attack HTLC deadlines bound",
+      [](const ScenarioParams& p) {
+        const Resolved r = resolve(p, {4000, 400.0, 3000, 60, 1, 2});
+        Graph graph =
+            ripple_like_topology(r.nodes, r.capacity, r.topology_seed);
+        SpiderConfig config;
+        // Same LP pair cap as ripple-like (dense offline simplex limit).
+        config.lp_max_pairs = p.lp_max_pairs > 0 ? p.lp_max_pairs : 900;
+        ScenarioInstance instance =
+            materialize("griefing", std::move(graph), config, r,
+                        *ripple_subgraph_sizes(), p);
+        const TimePoint span = instance.trace.back().arrival;
+        FaultScheduleConfig faults;
+        faults.mode = p.fault_mode.empty()
+                          ? FaultMode::kGriefing
+                          : fault_mode_from_name(p.fault_mode);
+        faults.start = span / 4;
+        faults.stop = 3 * span / 4;
+        faults.events_per_second = p.fault_rate > 0 ? p.fault_rate : 1.0;
+        faults.node_count = p.fault_nodes > 0 ? p.fault_nodes : 3;
+        faults.loss_probability = p.loss_prob > 0 ? p.loss_prob : 0.05;
+        faults.seed = p.fault_seed != 0 ? p.fault_seed : r.topology_seed;
+        const FaultSchedule schedule(instance.graph, faults);
+        instance.faults = schedule.generate();
+
+        // Attacker flood: payments from random honest senders INTO the
+        // attacker set during the grief window, drawn from the schedule's
+        // own stream so the benign trace is untouched. Merged by arrival
+        // (stable — flood after benign on ties), the combined trace stays
+        // nondecreasing and the run stays deterministic.
+        const std::vector<NodeId> attackers = schedule.target_nodes();
+        Rng flood_rng(faults.seed ^ 0xF100DULL);
+        const double flood_rate = r.tx_per_second / 4.0;
+        std::vector<PaymentSpec> flood;
+        double t = to_seconds(faults.start);
+        for (std::size_t i = 0;; ++i) {
+          t += flood_rng.exponential(1.0 / flood_rate);
+          const TimePoint at = seconds(t);
+          if (at >= faults.stop) break;
+          PaymentSpec spec;
+          spec.arrival = at;
+          spec.dst = attackers[i % attackers.size()];
+          do {
+            spec.src = static_cast<NodeId>(flood_rng.uniform_int(
+                0, instance.graph.num_nodes() - 1));
+          } while (spec.src == spec.dst);
+          spec.amount = xrp(50);
+          flood.push_back(spec);
+        }
+        std::vector<PaymentSpec> merged;
+        merged.reserve(instance.trace.size() + flood.size());
+        std::merge(instance.trace.begin(), instance.trace.end(),
+                   flood.begin(), flood.end(), std::back_inserter(merged),
+                   [](const PaymentSpec& a, const PaymentSpec& b) {
+                     return a.arrival < b.arrival;
+                   });
+        instance.trace = std::move(merged);
+        return instance;
+      });
+
   // --- Trace-driven workloads (imported topology + captured payments) ---
   add("trace-replay",
       "Replay an externally captured workload: channel-list topology from "
@@ -268,8 +414,7 @@ ScenarioRegistry::ScenarioRegistry() {
         // Imported snapshots can be Ripple-scale; cap the dense offline LP
         // the same way the ripple-like scenarios do.
         config.lp_max_pairs = p.lp_max_pairs > 0 ? p.lp_max_pairs : 900;
-        if (p.paths_k > 0) config.num_paths = p.paths_k;
-        if (p.shards > 0) config.shards = p.shards;
+        apply_cross_knobs(config, p);
         instance.config = config;
         return instance;
       });

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "core/fault_schedule.hpp"
 #include "workload/churn.hpp"
 #include "workload/traffic.hpp"
 
@@ -48,6 +49,23 @@ struct ScenarioParams {
   /// write_topology_csv schema. Both required by that scenario.
   std::string trace_file;           //                    (SPIDER_TRACE_FILE)
   std::string topology_file;        //                    (SPIDER_TOPOLOGY_FILE)
+  /// Fault injection (the adversarial scenarios `griefing`, `hub-drain`,
+  /// `lossy-network`): schedule mode ("crash-storm", "hub-drain", "lossy",
+  /// "griefing"; empty = scenario default), fault events per simulated
+  /// second (crash-storm), per-message drop probability (lossy), attacker /
+  /// hub count, and the fault base seed (0 = derive from the sim seed).
+  std::string fault_mode;           //                    (SPIDER_FAULT_MODE)
+  double fault_rate = 0.0;          //                    (SPIDER_FAULT_RATE)
+  double loss_prob = 0.0;           //                    (SPIDER_LOSS_PROB)
+  int fault_nodes = 0;              //                    (SPIDER_FAULT_NODES)
+  std::uint64_t fault_seed = 0;     //                    (SPIDER_FAULT_SEED)
+  /// Sender-side resilience knobs, applied to every scenario's config
+  /// (0 = keep the config default, i.e. off): max send attempts per
+  /// payment, exponential-backoff base between retries, and a default
+  /// per-payment deadline for specs that carry none.
+  int retry_limit = 0;              //                    (SPIDER_RETRY_LIMIT)
+  int retry_backoff_ms = 0;         //                    (SPIDER_RETRY_BACKOFF_MS)
+  int payment_deadline_ms = 0;      //                (SPIDER_PAYMENT_DEADLINE_MS)
 
   /// Reads the SPIDER_* overrides; anything unset stays "scenario default".
   [[nodiscard]] static ScenarioParams from_env();
@@ -57,13 +75,17 @@ struct ScenarioParams {
 /// A non-empty `churn` stream makes every surface that consumes the
 /// scenario (runner grids, benches) run it as a dynamic-topology scenario:
 /// churn is submitted before the payments, interleaving deterministically
-/// through the shared event queue.
+/// through the shared event queue. A non-empty `faults` stream likewise
+/// makes it an adversarial scenario: faults are submitted after churn and
+/// before the payments (the canonical order of SpiderNetwork::run's fault
+/// overload).
 struct ScenarioInstance {
   std::string name;
   Graph graph;
   SpiderConfig config;
   std::vector<PaymentSpec> trace;
   std::vector<TopologyChange> churn;
+  std::vector<FaultEvent> faults;
 };
 
 using ScenarioBuilder =

@@ -20,6 +20,8 @@ struct SimSession::State {
   std::size_t submitted_total = 0;
   // The growing topology-change stream, same contract as `trace`.
   std::vector<TopologyChange> churn;
+  // The growing fault-event stream, same contract as `churn`.
+  std::vector<FaultEvent> faults;
   // Sharded-engine runtime (config.shards > 1 only). Declared after the
   // members it observes and destroyed first, so its worker threads are
   // joined while the network/simulator they reference still exist.
@@ -37,6 +39,7 @@ struct SimSession::State {
     sim.set_metrics_window(options.metrics_window);
     sim.begin(trace);
     sim.begin_topology(churn);
+    sim.begin_faults(faults);
     if (config.shards > 1) {
       executor = std::make_unique<ShardExecutor>(
           topology, config, scheme, shared_paths, options.demand_hint,
@@ -113,6 +116,31 @@ void SimSession::submit_topology(const std::vector<TopologyChange>& changes) {
   submit_topology(changes.data(), changes.size());
 }
 
+void SimSession::submit_faults(const FaultEvent& fault) {
+  submit_faults(&fault, 1);
+}
+
+void SimSession::submit_faults(const FaultEvent* faults, std::size_t count) {
+  if (count == 0) return;
+  State& s = *state_;
+  // Same validate-then-commit discipline as submit_topology(): a rejected
+  // span leaves the fault stream exactly as it was.
+  TimePoint last = s.faults.empty() ? s.sim.horizon() : s.faults.back().at;
+  for (std::size_t i = 0; i < count; ++i) {
+    SPIDER_ASSERT_MSG(faults[i].at >= s.sim.horizon(),
+                      "submitted fault occurs in the clock's past");
+    SPIDER_ASSERT_MSG(faults[i].at >= last,
+                      "faults must be in nondecreasing time order");
+    last = faults[i].at;
+  }
+  s.faults.insert(s.faults.end(), faults, faults + count);
+  s.sim.faults_extended();
+}
+
+void SimSession::submit_faults(const std::vector<FaultEvent>& faults) {
+  submit_faults(faults.data(), faults.size());
+}
+
 void SimSession::attach(SimObserver& observer) { state_->sim.attach(observer); }
 
 std::size_t SimSession::advance_until(TimePoint horizon) {
@@ -154,6 +182,10 @@ const std::vector<Payment>& SimSession::payments() const {
 
 std::size_t SimSession::submitted_topology() const {
   return state_->churn.size();
+}
+
+std::size_t SimSession::submitted_faults() const {
+  return state_->faults.size();
 }
 
 Network& SimSession::network() {

@@ -86,6 +86,18 @@ class SimSession {
   void submit_topology(const TopologyChange* changes, std::size_t count);
   void submit_topology(const std::vector<TopologyChange>& changes);
 
+  /// Submits fault events (node crash / stall / recover, channel loss /
+  /// settle delay, griefing) for injection — the adversarial mirror of
+  /// submit_topology(): times must be nondecreasing across ALL fault
+  /// submissions and must not lie in the clock's past. Each fault applies
+  /// at its timestamp through the shared event queue
+  /// (SimObserver::on_fault fires as it does); a session that never
+  /// submits faults schedules no fault events and stays byte-identical to
+  /// a fault-free run.
+  void submit_faults(const FaultEvent& fault);
+  void submit_faults(const FaultEvent* faults, std::size_t count);
+  void submit_faults(const std::vector<FaultEvent>& faults);
+
   /// Attaches an observer (sim/observer.hpp); hooks fire in attach order.
   /// The observer must outlive the session and must not mutate simulation
   /// state from a hook. Attach before the first advance.
@@ -131,6 +143,8 @@ class SimSession {
   [[nodiscard]] const std::vector<Payment>& payments() const;
   /// Total topology changes submitted so far.
   [[nodiscard]] std::size_t submitted_topology() const;
+  /// Total fault events submitted so far.
+  [[nodiscard]] std::size_t submitted_faults() const;
   /// Live network state. The mutable overload is the ad-hoc
   /// dynamic-scenario injection point (on-chain deposits, capacity
   /// changes) — mutate only between advances, never from an observer hook.

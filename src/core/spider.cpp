@@ -95,6 +95,21 @@ SimMetrics SpiderNetwork::run(Scheme scheme,
   return batch.drain();
 }
 
+SimMetrics SpiderNetwork::run(Scheme scheme,
+                              const std::vector<PaymentSpec>& trace,
+                              std::uint64_t seed,
+                              const std::vector<TopologyChange>& churn,
+                              const std::vector<FaultEvent>& faults) const {
+  if (faults.empty()) return run(scheme, trace, seed, churn);
+  SessionOptions options;
+  options.demand_hint = &trace;
+  SimSession batch = session(scheme, seed, options);
+  batch.submit_topology(churn);
+  batch.submit_faults(faults);
+  batch.submit(trace);
+  return batch.drain();
+}
+
 double SpiderNetwork::workload_circulation_fraction(
     const std::vector<PaymentSpec>& trace) const {
   const PaymentGraph demands =

@@ -73,6 +73,16 @@ class SpiderNetwork {
                                const std::vector<TopologyChange>& churn)
       const;
 
+  /// run() under dynamic topology AND fault injection: churn first, then
+  /// the fault schedule, then the trace — the canonical submission order
+  /// every fault-aware surface (runner grids, benches, tests) uses. Empty
+  /// `churn` and `faults` is exactly the plain run().
+  [[nodiscard]] SimMetrics run(Scheme scheme,
+                               const std::vector<PaymentSpec>& trace,
+                               std::uint64_t seed,
+                               const std::vector<TopologyChange>& churn,
+                               const std::vector<FaultEvent>& faults) const;
+
   /// ν(C*) / total demand for the trace's estimated demand matrix — the
   /// Prop. 1 ceiling on balanced-routing success volume.
   [[nodiscard]] double workload_circulation_fraction(

@@ -113,15 +113,16 @@ class Tableau {
     basis_[static_cast<std::size_t>(row)] = col;
   }
 
-  /// Ratio test: the leaving row for entering column `col`, or -1 if the
-  /// column is unbounded. Ties break toward the smallest basis index
-  /// (lexicographic flavour that combats cycling even under Dantzig).
-  [[nodiscard]] int ratio_test(int col) const {
+  /// Ratio test restricted to pivot elements above `min_pivot`: the leaving
+  /// row for entering column `col`, or -1 if no row qualifies. Ties break
+  /// toward the smallest basis index (lexicographic flavour that combats
+  /// cycling even under Dantzig).
+  [[nodiscard]] int ratio_test(int col, double min_pivot) const {
     int best_row = -1;
     double best_ratio = std::numeric_limits<double>::infinity();
     for (int i = 0; i < rows_; ++i) {
       const double a = at(i, col);
-      if (a <= eps_) continue;
+      if (a <= min_pivot) continue;
       const double ratio = at(i, rhs_col()) / a;
       if (ratio < best_ratio - eps_ ||
           (ratio < best_ratio + eps_ &&
@@ -143,62 +144,6 @@ class Tableau {
   std::vector<double> t_;
   std::vector<int> basis_;
 };
-
-/// Runs simplex iterations for the objective encoded in `reduced` (the
-/// reduced-cost row: entering candidates have reduced[j] < -eps for a
-/// maximization written in this sign convention). `allow_col(j)` gates
-/// entering columns (phase 2 forbids artificials).
-struct PhaseResult {
-  LpStatus status = LpStatus::kOptimal;
-  long iterations = 0;
-};
-
-template <typename AllowCol>
-PhaseResult run_phase(Tableau& tab, std::vector<double>& reduced,
-                      double& objective, const SimplexOptions& opt,
-                      AllowCol allow_col) {
-  PhaseResult result;
-  for (long iter = 0; iter < opt.max_iterations; ++iter) {
-    const bool bland = iter >= opt.bland_after;
-    int entering = -1;
-    double best = -opt.eps;
-    for (int j = 0; j < tab.num_decision_cols(); ++j) {
-      if (!allow_col(j)) continue;
-      const double r = reduced[static_cast<std::size_t>(j)];
-      if (r < best) {
-        entering = j;
-        if (bland) break;  // Bland: first eligible column
-        best = r;
-      }
-    }
-    if (entering == -1) {
-      result.status = LpStatus::kOptimal;
-      result.iterations = iter;
-      return result;
-    }
-    const int leaving = tab.ratio_test(entering);
-    if (leaving == -1) {
-      result.status = LpStatus::kUnbounded;
-      result.iterations = iter;
-      return result;
-    }
-    // Update the reduced-cost row alongside the tableau pivot.
-    const double pivot_val = tab.at(leaving, entering);
-    const double factor = reduced[static_cast<std::size_t>(entering)];
-    tab.pivot(leaving, entering);
-    if (factor != 0.0) {
-      // After tab.pivot the leaving row is normalized; subtract its multiple.
-      for (int j = 0; j < tab.num_decision_cols(); ++j)
-        reduced[static_cast<std::size_t>(j)] -= factor * tab.at(leaving, j);
-      objective -= factor * tab.at(leaving, tab.rhs_col());
-      reduced[static_cast<std::size_t>(entering)] = 0.0;
-    }
-    (void)pivot_val;
-  }
-  result.status = LpStatus::kIterationLimit;
-  result.iterations = opt.max_iterations;
-  return result;
-}
 
 /// Recomputes the reduced-cost row for objective `c` (length = decision
 /// cols) from scratch given the current basis. reduced[j] = cB·T[:,j] - c[j]
@@ -222,6 +167,86 @@ void rebuild_reduced(const Tableau& tab, const std::vector<double>& c,
     reduced[static_cast<std::size_t>(tab.basis(i))] = 0.0;
 }
 
+/// Runs simplex iterations for the objective encoded in `reduced` (the
+/// reduced-cost row: entering candidates have reduced[j] < -eps for a
+/// maximization written in this sign convention). `c` is the true cost
+/// vector backing `reduced`, used to rebuild it periodically.
+/// `allow_col(j)` gates entering columns (phase 2 forbids artificials).
+struct PhaseResult {
+  LpStatus status = LpStatus::kOptimal;
+  long iterations = 0;
+  bool stalled = false;
+};
+
+template <typename AllowCol>
+PhaseResult run_phase(Tableau& tab, std::vector<double>& reduced,
+                      double& objective, const std::vector<double>& c,
+                      const SimplexOptions& opt, AllowCol allow_col) {
+  PhaseResult result;
+  // The phase objective is nondecreasing in exact arithmetic (degenerate
+  // pivots hold it, every other pivot improves it), so `stall` counting
+  // pivots since the last material improvement is a sound progress monitor.
+  double best_objective = objective;
+  long stall = 0;
+  for (long iter = 0; iter < opt.max_iterations; ++iter) {
+    if (opt.rebuild_every > 0 && iter > 0 && iter % opt.rebuild_every == 0)
+      rebuild_reduced(tab, c, reduced, objective);
+    const bool bland = iter >= opt.bland_after;
+    int entering = -1;
+    double best = -opt.eps;
+    for (int j = 0; j < tab.num_decision_cols(); ++j) {
+      if (!allow_col(j)) continue;
+      const double r = reduced[static_cast<std::size_t>(j)];
+      if (r < best) {
+        entering = j;
+        if (bland) break;  // Bland: first eligible column
+        best = r;
+      }
+    }
+    if (entering == -1) {
+      result.status = LpStatus::kOptimal;
+      result.iterations = iter;
+      return result;
+    }
+    // Prefer a sturdy pivot; fall back to tiny-but-nonzero elements only
+    // when the column has nothing better (pivoting on ~eps entries scales
+    // the row by ~1/eps and destroys the tableau numerically).
+    int leaving = tab.ratio_test(entering, opt.pivot_tol);
+    if (leaving == -1) leaving = tab.ratio_test(entering, opt.eps);
+    if (leaving == -1) {
+      result.status = LpStatus::kUnbounded;
+      result.iterations = iter;
+      return result;
+    }
+    // Update the reduced-cost row alongside the tableau pivot.
+    const double factor = reduced[static_cast<std::size_t>(entering)];
+    tab.pivot(leaving, entering);
+    if (factor != 0.0) {
+      // After tab.pivot the leaving row is normalized; subtract its multiple.
+      for (int j = 0; j < tab.num_decision_cols(); ++j)
+        reduced[static_cast<std::size_t>(j)] -= factor * tab.at(leaving, j);
+      objective -= factor * tab.at(leaving, tab.rhs_col());
+      reduced[static_cast<std::size_t>(entering)] = 0.0;
+    }
+    const double progress_tol =
+        opt.pivot_tol * (1.0 + std::abs(best_objective));
+    if (objective > best_objective + progress_tol) {
+      best_objective = objective;
+      stall = 0;
+    } else if (opt.stall_after > 0 && ++stall >= opt.stall_after) {
+      // Degenerate grind: keep the current (feasible) basis rather than
+      // burning the rest of the iteration budget on zero progress.
+      result.status = LpStatus::kOptimal;
+      result.iterations = iter + 1;
+      result.stalled = true;
+      return result;
+    }
+  }
+  result.status = LpStatus::kIterationLimit;
+  result.iterations = opt.max_iterations;
+  return result;
+}
+
 }  // namespace
 
 LpSolution solve_lp(const LpModel& model, const SimplexOptions& options) {
@@ -238,7 +263,7 @@ LpSolution solve_lp(const LpModel& model, const SimplexOptions& options) {
     for (int j = tab.first_artificial(); j < cols; ++j)
       c1[static_cast<std::size_t>(j)] = -1.0;
     rebuild_reduced(tab, c1, reduced, objective);
-    const PhaseResult phase1 = run_phase(tab, reduced, objective, options,
+    const PhaseResult phase1 = run_phase(tab, reduced, objective, c1, options,
                                          [](int) { return true; });
     solution.iterations += phase1.iterations;
     if (phase1.status == LpStatus::kIterationLimit) {
@@ -273,9 +298,10 @@ LpSolution solve_lp(const LpModel& model, const SimplexOptions& options) {
   rebuild_reduced(tab, c2, reduced, objective);
   const int first_artificial = tab.first_artificial();
   const PhaseResult phase2 =
-      run_phase(tab, reduced, objective, options,
+      run_phase(tab, reduced, objective, c2, options,
                 [first_artificial](int j) { return j < first_artificial; });
   solution.iterations += phase2.iterations;
+  solution.stalled = phase2.stalled;
   if (phase2.status != LpStatus::kOptimal) {
     solution.status = phase2.status;
     return solution;

@@ -6,6 +6,16 @@
 // guards against cycling on the heavily degenerate balance constraints
 // (rows with rhs 0) by switching from Dantzig's rule to Bland's rule after a
 // fixed number of pivots.
+//
+// Numerical guards: pivots below `pivot_tol` are avoided whenever a sturdier
+// element is available (pivoting on a ~eps entry scales the row by ~1/eps
+// and wrecks the tableau), the reduced-cost row is recomputed from the true
+// costs every `rebuild_every` pivots to shed accumulated drift, and a phase
+// whose objective makes no progress for `stall_after` consecutive pivots
+// exits with its current basis instead of grinding to the iteration limit.
+// Phase-2 iterates are always primal feasible, so a stalled exit still
+// returns a usable (if possibly suboptimal) solution — flagged via
+// LpSolution::stalled.
 #pragma once
 
 #include <vector>
@@ -21,6 +31,9 @@ struct LpSolution {
   double objective = 0.0;
   std::vector<double> x;  // primal values, one per model variable
   long iterations = 0;
+  /// Phase 2 exited early because the objective stopped improving (heavy
+  /// degeneracy). x is still primal feasible, but may be suboptimal.
+  bool stalled = false;
 };
 
 struct SimplexOptions {
@@ -29,6 +42,15 @@ struct SimplexOptions {
   double eps = 1e-9;
   /// Switch to Bland's anti-cycling rule after this many pivots (per phase).
   long bland_after = 20'000;
+  /// Preferred minimum pivot magnitude; entries in (eps, pivot_tol] are
+  /// used only when a column offers nothing sturdier.
+  double pivot_tol = 1e-7;
+  /// Recompute the reduced-cost row from the true costs every this many
+  /// pivots (incremental updates accumulate floating-point drift).
+  long rebuild_every = 512;
+  /// Give up on a phase after this many consecutive pivots without
+  /// objective progress; phase 2 keeps its current feasible basis.
+  long stall_after = 20'000;
 };
 
 /// Solves `model`. On kOptimal the returned x is feasible to within ~eps and

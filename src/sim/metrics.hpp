@@ -49,6 +49,33 @@ struct SimMetrics {
   std::int64_t chunks_churned = 0;
   Amount escrow_returned = 0;
 
+  // Fault injection: scheduled FaultEvents applied, messages dropped by
+  // lossy channels, and chunks refunded because a fault (crash, stall,
+  // drop, grief hold) killed them. All zero in a fault-free run.
+  std::int64_t faults_injected = 0;
+  std::int64_t messages_dropped = 0;
+  std::int64_t chunks_faulted = 0;
+
+  // Sender-side resilience: re-attempts after the first (non-atomic polls
+  // and atomic re-plans alike), payments that expired at their deadline
+  // with value still undelivered, and completions that needed more than
+  // one attempt.
+  std::int64_t retries = 0;
+  std::int64_t deadline_misses = 0;
+  std::int64_t completion_after_retry = 0;
+
+  // Failure counts split by cause. Every expired/rejected payment (minus
+  // admission refusals, which keep admission_refused) lands in exactly one
+  // bucket, by precedence: a fault killed one of its chunks -> failed_fault;
+  // churn did -> failed_churn; it never locked a single chunk ->
+  // failed_no_path; otherwise it simply ran out of time -> failed_timeout.
+  // Invariant: failed_timeout + failed_churn + failed_fault +
+  // failed_no_path + admission_refused == expired_count + rejected_count.
+  std::int64_t failed_timeout = 0;
+  std::int64_t failed_churn = 0;
+  std::int64_t failed_fault = 0;
+  std::int64_t failed_no_path = 0;
+
   // Routing-fee accounting (per-intermediary, on settled units).
   Amount fees_accrued = 0;
 

@@ -24,6 +24,7 @@ EdgeId Network::open_channel(NodeId a, NodeId b, Amount capacity,
                         << " would be an unroutable edge");
   const EdgeId e = graph_.add_edge(a, b, capacity);
   channels_.emplace_back(e, a, b, capacity, split_a);
+  onchain_inflow_ += capacity;
   ++generation_;
   note_balance(e, 0);
   note_balance(e, 1);
@@ -42,6 +43,7 @@ Amount Network::close_channel(EdgeId e) {
 
 void Network::deposit_channel(EdgeId e, int side, Amount amount) {
   ch(e).deposit(side, amount);
+  onchain_inflow_ += amount;
   ++generation_;
   note_balance(e, side);
 }
@@ -52,6 +54,7 @@ void Network::mirror_from(const Network& src) {
   channels_ = src.channels_;
   generation_ = src.generation_;
   escrow_returned_ = src.escrow_returned_;
+  onchain_inflow_ = src.onchain_inflow_;
 }
 
 void Network::mirror_channels_from(const Network& src, const EdgeId* edges,
@@ -64,6 +67,7 @@ void Network::mirror_channels_from(const Network& src, const EdgeId* edges,
   }
   generation_ = src.generation_;
   escrow_returned_ = src.escrow_returned_;
+  onchain_inflow_ = src.onchain_inflow_;
 }
 
 EdgeId Network::apply(const TopologyChange& change) {

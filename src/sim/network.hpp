@@ -73,6 +73,14 @@ class Network {
   /// initial total_funds() + all deposits.
   [[nodiscard]] Amount escrow_returned() const { return escrow_returned_; }
 
+  /// Σ on-chain value injected since construction: open_channel escrows,
+  /// deposit_channel / deposit_one amounts. With it the conservation
+  /// invariant needs no run-history bookkeeping:
+  ///   total_funds() + escrow_returned() - onchain_inflow()
+  /// is constant for the network's whole lifetime (ConservationAuditor
+  /// asserts exactly this every poll round).
+  [[nodiscard]] Amount onchain_inflow() const { return onchain_inflow_; }
+
   /// Records that the caller mutated channel state directly (the
   /// SimSession::network() injection point) so routers refresh exactly as
   /// they would after a scheduled topology event.
@@ -107,6 +115,7 @@ class Network {
   }
   void deposit_one(EdgeId e, int side, Amount amount) {
     ch(e).deposit(side, amount);
+    onchain_inflow_ += amount;
     note_balance(e, side);
   }
 
@@ -178,6 +187,7 @@ class Network {
   std::vector<Channel> channels_;
   std::uint64_t generation_ = 0;
   Amount escrow_returned_ = 0;
+  Amount onchain_inflow_ = 0;
   BalanceListener* listener_ = nullptr;  // sharded runs only; else null
   // Per-hop side indices resolved once per lock_path and reused for the
   // mutation pass, so the hot path performs no allocation (the buffer only

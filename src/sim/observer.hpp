@@ -22,6 +22,7 @@
 
 #include <cstddef>
 
+#include "sim/fault.hpp"
 #include "sim/payment.hpp"
 #include "sim/topology_event.hpp"
 #include "util/amount.hpp"
@@ -86,6 +87,15 @@ class SimObserver {
   virtual void on_topology_change(const TopologyChange& change,
                                   const Network& network, TimePoint now) {
     (void)change;
+    (void)network;
+    (void)now;
+  }
+  /// A scheduled fault was applied. Fires AFTER the fault took effect —
+  /// for a crash/stall, after every in-flight chunk through the node
+  /// refunded — so `network` shows the post-fault state.
+  virtual void on_fault(const FaultEvent& fault, const Network& network,
+                        TimePoint now) {
+    (void)fault;
     (void)network;
     (void)now;
   }

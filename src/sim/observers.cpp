@@ -104,4 +104,41 @@ void QueueDepthProbe::on_poll_round(std::size_t pending, TimePoint now) {
   series_.push_back(Sample{to_seconds(now), pending});
 }
 
+ConservationAuditor::ConservationAuditor(const Network& network)
+    : network_(&network),
+      baseline_(network.total_funds() + network.escrow_returned() -
+                network.onchain_inflow()) {}
+
+void ConservationAuditor::audit(TimePoint now) {
+  checks_ += 1;
+  const Amount held = network_->total_funds() + network_->escrow_returned() -
+                      network_->onchain_inflow();
+  if (held != baseline_) {
+    violations_ += 1;
+    SPIDER_ASSERT_MSG(held == baseline_,
+                      "conservation violated at t=" << now << "us: "
+                          << held << " != baseline " << baseline_
+                          << " (drift " << (held - baseline_) << " millis)");
+  }
+}
+
+void ConservationAuditor::on_poll_round(std::size_t, TimePoint now) {
+  audit(now);
+}
+
+void ConservationAuditor::on_topology_change(const TopologyChange&,
+                                             const Network&, TimePoint now) {
+  audit(now);
+}
+
+void ConservationAuditor::on_fault(const FaultEvent&, const Network&,
+                                   TimePoint now) {
+  audit(now);
+}
+
+void ConservationAuditor::on_window_roll(const WindowInfo& window,
+                                         const Network&) {
+  audit(window.end);
+}
+
 }  // namespace spider

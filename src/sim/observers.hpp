@@ -165,4 +165,45 @@ class QueueDepthProbe final : public SimObserver {
   std::vector<Sample> series_;
 };
 
+/// Asserts escrow conservation throughout a run — the financial safety net
+/// under fault injection. The conserved quantity is
+///
+///     total_funds() + escrow_returned() - onchain_inflow()
+///
+/// a constant for a network's lifetime: locks, settles, refunds, and
+/// fault/churn aborts move value between channel sides but never create or
+/// destroy it, while channel opens/deposits and closes move value on/off
+/// chain and are cancelled by the onchain_inflow / escrow_returned terms.
+/// The baseline is captured at construction; every poll round, topology
+/// change, fault application, and window roll re-audits. A violation trips
+/// SPIDER_ASSERT immediately (naming the drift) and is also counted, so
+/// release builds with asserts off can still inspect violations().
+class ConservationAuditor final : public SimObserver {
+ public:
+  /// Captures the baseline from `network` as it is NOW — attach before
+  /// advancing the session.
+  explicit ConservationAuditor(const Network& network);
+
+  /// How many times the invariant was checked.
+  [[nodiscard]] std::int64_t checks() const { return checks_; }
+  /// How many checks found drift (0 on a healthy run).
+  [[nodiscard]] std::int64_t violations() const { return violations_; }
+
+  void on_poll_round(std::size_t pending, TimePoint now) override;
+  void on_topology_change(const TopologyChange& change, const Network& network,
+                          TimePoint now) override;
+  void on_fault(const FaultEvent& fault, const Network& network,
+                TimePoint now) override;
+  void on_window_roll(const WindowInfo& window,
+                      const Network& network) override;
+
+ private:
+  void audit(TimePoint now);
+
+  const Network* network_;
+  Amount baseline_ = 0;
+  std::int64_t checks_ = 0;
+  std::int64_t violations_ = 0;
+};
+
 }  // namespace spider

@@ -33,6 +33,15 @@ struct Payment {
   int attempts = 0;         // plan() invocations
   TimePoint completed_at = -1;
 
+  // Sender-side resilience state (all inert unless the matching SimConfig
+  // knob or a fault schedule is active).
+  TimePoint next_retry_at = 0;  // exponential-backoff gate for re-attempts
+  bool refused = false;         // failed at admission (kept out of the
+                                // per-cause failure split)
+  bool ever_locked = false;     // at least one chunk ever committed funds
+  bool fault_hit = false;       // a fault killed one of its chunks/paths
+  bool churn_hit = false;       // a channel close killed one of its chunks
+
   /// Funds not yet delivered nor inflight — what the next attempt may send.
   [[nodiscard]] Amount remaining() const {
     return total - delivered - inflight;

@@ -15,6 +15,9 @@ Simulator::Simulator(Network& network, Router& router, SimConfig config)
   SPIDER_ASSERT(config.rebalance_interval >= 0);
   SPIDER_ASSERT(config.rebalance_rate_xrp_per_s >= 0);
   SPIDER_ASSERT(config.admission_cap >= 0);
+  SPIDER_ASSERT(config.retry_limit >= 0);
+  SPIDER_ASSERT(config.retry_backoff >= 0);
+  SPIDER_ASSERT(config.payment_deadline >= 0);
   SPIDER_ASSERT(config.shard_lookahead >= 0);
   if (config.queueing == QueueingMode::kRouterQueue)
     SPIDER_ASSERT_MSG(!router.is_atomic(),
@@ -47,6 +50,14 @@ void Simulator::begin(const std::vector<PaymentSpec>& trace) {
   topo_trace_ = nullptr;
   next_topo_ = 0;
   topo_scheduled_ = false;
+  fault_trace_ = nullptr;
+  next_fault_ = 0;
+  fault_scheduled_ = false;
+  blacklists_.clear();
+  faults_.begin(network_->graph().num_nodes(), network_->graph().num_edges(),
+                config_.fault_seed != 0
+                    ? config_.fault_seed
+                    : config_.seed ^ 0xFA017FA017FA017FULL);
   events_.reset();
   poll_scheduled_ = false;
   arrival_scheduled_ = false;
@@ -98,6 +109,24 @@ void Simulator::sync_topology_chain() {
   topo_scheduled_ = true;
 }
 
+void Simulator::begin_faults(const std::vector<FaultEvent>& faults) {
+  fault_trace_ = &faults;
+  next_fault_ = 0;
+  fault_scheduled_ = false;
+  sync_fault_chain();
+}
+
+void Simulator::faults_extended() { sync_fault_chain(); }
+
+void Simulator::sync_fault_chain() {
+  if (fault_scheduled_ || fault_trace_ == nullptr) return;
+  if (next_fault_ >= fault_trace_->size()) return;
+  const TimePoint at = (*fault_trace_)[next_fault_].at;
+  SPIDER_ASSERT_MSG(at >= now(), "submitted fault occurs in the past");
+  push_event(at, EventKind::kFault, next_fault_);
+  fault_scheduled_ = true;
+}
+
 void Simulator::sync_arrival_chain() {
   if (arrival_scheduled_ || trace_ == nullptr) return;
   if (next_arrival_ >= trace_base_ + trace_->size()) return;
@@ -140,6 +169,13 @@ void Simulator::process_next() {
       handle_rebalance();
       break;
     case EventKind::kTopology: handle_topology(ev.index); break;
+    case EventKind::kFault: handle_fault(ev.index); break;
+    case EventKind::kChunkFault:
+      handle_chunk_fault(ev.index, ev.stamp);
+      break;
+    case EventKind::kFaultRecover:
+      handle_fault_recover(ev.index, ev.stamp);
+      break;
   }
 }
 
@@ -308,7 +344,10 @@ void Simulator::handle_arrival(std::size_t trace_index) {
   p.total = spec.amount;
   p.arrival = spec.arrival;
   const Duration rel =
-      spec.deadline > 0 ? spec.deadline : config_.default_deadline;
+      spec.deadline > 0 ? spec.deadline
+      : config_.payment_deadline > 0
+          ? config_.payment_deadline
+          : config_.default_deadline;
   p.deadline = spec.arrival + rel;
   p.atomic = router_->is_atomic();
   payments_.push_back(p);
@@ -322,6 +361,7 @@ void Simulator::handle_arrival(std::size_t trace_index) {
 
   if (config_.admission_cap > 0 && spec.amount > config_.admission_cap) {
     metrics_.admission_refused += 1;
+    payments_[index].refused = true;  // keep it out of the per-cause split
     finish_payment(index, PaymentStatus::kRejected);
     return;
   }
@@ -413,7 +453,12 @@ Amount Simulator::attempt(std::size_t payment_index) {
   Payment& p = payments_[payment_index];
   Amount want = p.remaining();
   if (want <= 0) return 0;
+  if (p.attempts > 0) metrics_.retries += 1;
   ++p.attempts;
+  // Routers are fault-oblivious (their plans stay byte-identical and the
+  // sharded replica needs no fault mirror); plans crossing a down node or
+  // a path this sender blacklisted are filtered HERE, at commit time.
+  const bool fault_filter = faults_.any_node_down() || !blacklists_.empty();
 
   // Sharded runs: take the window's precomputed plan when the planner can
   // prove it equals a fresh plan (core/shard.hpp's validation), else plan
@@ -445,6 +490,10 @@ Amount Simulator::attempt(std::size_t payment_index) {
       SPIDER_ASSERT_MSG(path.source() == p.src &&
                             path.destination() == p.dst,
                         "router produced a foreign path");
+      if (fault_filter && path_fault_blocked(payment_index, path)) {
+        p.fault_hit = true;
+        continue;
+      }
       Channel& first = network_->channel(path.edges[0]);
       const int side = first.side_of(path.nodes[0]);
       amount = std::min(amount, first.balance(side));
@@ -453,16 +502,17 @@ Amount Simulator::attempt(std::size_t payment_index) {
       const std::size_t ci = new_chunk(path, amount, payment_index);
       inflight_[ci].hops_locked = 1;
       p.inflight += amount;
+      p.ever_locked = true;
       locked_total += amount;
       metrics_.chunks_sent += 1;
       metrics_.chunk_hops.add(
           static_cast<double>(inflight_[ci].path.length()));
       for (SimObserver* observer : observers_)
         observer->on_chunk_locked(inflight_[ci].path, amount, now());
-      push_event(now() + config_.hop_delay, EventKind::kHopArrive, ci,
-                 inflight_[ci].stamp);
+      schedule_hop_travel(ci);
       if (locked_total >= want) break;
     }
+    if (config_.retry_backoff > 0) arm_retry_backoff(p);
     return locked_total;
   }
 
@@ -479,6 +529,12 @@ Amount Simulator::attempt(std::size_t payment_index) {
                           chunk.path->destination() == p.dst,
                       "router produced a foreign path");
     const Path& path = *chunk.path;
+    if (fault_filter && path_fault_blocked(payment_index, path)) {
+      // For an atomic payment a blocked path leaves locked_total < want,
+      // so the all-or-nothing rollback below fires as it should.
+      p.fault_hit = true;
+      continue;
+    }
     if (!network_->can_send(path, amount)) {
       if (!p.atomic) {
         // Take whatever the path still supports.
@@ -499,6 +555,7 @@ Amount Simulator::attempt(std::size_t payment_index) {
     locked_chunks.push_back(ci);
     locked_total += amount;
     p.inflight += amount;
+    p.ever_locked = true;
     if (locked_total >= want) break;
   }
 
@@ -512,17 +569,73 @@ Amount Simulator::attempt(std::size_t payment_index) {
     return 0;
   }
 
-  // Schedule settlement Δ after the send.
+  // Schedule settlement Δ after the send (or, under faults, the chunk's
+  // loss/grief refund — see schedule_chunk_outcome).
   for (std::size_t ci : locked_chunks) {
     metrics_.chunks_sent += 1;
     metrics_.chunk_hops.add(static_cast<double>(inflight_[ci].path.length()));
     for (SimObserver* observer : observers_)
       observer->on_chunk_locked(inflight_[ci].path, inflight_[ci].amount,
                                 now());
-    push_event(now() + config_.delta, EventKind::kSettle, ci,
-               inflight_[ci].stamp);
+    schedule_chunk_outcome(ci);
   }
+  if (!p.atomic && config_.retry_backoff > 0) arm_retry_backoff(p);
   return locked_total;
+}
+
+void Simulator::arm_retry_backoff(Payment& p) {
+  // After attempt k, wait retry_backoff * 2^(k-1); the shift cap keeps the
+  // doubling from overflowing while staying far past any real deadline.
+  const int shift = std::min(p.attempts - 1, 20);
+  p.next_retry_at = now() + (config_.retry_backoff << shift);
+}
+
+void Simulator::schedule_chunk_outcome(std::size_t chunk_index) {
+  const InflightChunk& chunk = inflight_[chunk_index];
+  Duration hold = config_.delta;
+  if (faults_.any_delay()) hold += faults_.max_extra_delay(chunk.path);
+  bool doomed = false;
+  if (faults_.any_loss()) {
+    // One Bernoulli draw per lossy channel the chunk crosses, in hop
+    // order: each channel's stream advances exactly once per message that
+    // crosses it, on the commit thread — the determinism contract.
+    for (const EdgeId e : chunk.path.edges) {
+      if (faults_.drop_prob(e) <= 0.0) continue;
+      if (faults_.draw_drop(e)) {
+        metrics_.messages_dropped += 1;
+        doomed = true;
+      }
+    }
+  }
+  const Duration grief =
+      faults_.any_grief() ? faults_.grief_hold(chunk.path.destination()) : 0;
+  if (grief > 0) {
+    // A griefing receiver sits on the HTLC for the hold on top of the
+    // normal confirmation delay before the sender's timeout claws it back.
+    doomed = true;
+    hold += grief;
+  }
+  push_event(now() + hold,
+             doomed ? EventKind::kChunkFault : EventKind::kSettle,
+             chunk_index, chunk.stamp);
+}
+
+void Simulator::schedule_hop_travel(std::size_t chunk_index) {
+  const InflightChunk& chunk = inflight_[chunk_index];
+  SPIDER_ASSERT(chunk.hops_locked >= 1);
+  const EdgeId edge = chunk.path.edges[chunk.hops_locked - 1];
+  if (faults_.any_loss() && faults_.drop_prob(edge) > 0.0 &&
+      faults_.draw_drop(edge)) {
+    // The message vanished crossing `edge`: its locked prefix sits stale
+    // until the queueing timeout detects the loss and rolls it back.
+    metrics_.messages_dropped += 1;
+    push_event(now() + config_.queue_timeout, EventKind::kChunkFault,
+               chunk_index, chunk.stamp);
+    return;
+  }
+  Duration travel = config_.hop_delay;
+  if (faults_.any_delay()) travel += faults_.extra_delay(edge);
+  push_event(now() + travel, EventKind::kHopArrive, chunk_index, chunk.stamp);
 }
 
 void Simulator::accrue_fees(const Path& path, Amount amount) {
@@ -575,6 +688,16 @@ void Simulator::handle_hop_arrive(std::size_t chunk_index,
   SPIDER_ASSERT(chunk.amount > 0);
   SPIDER_ASSERT(!chunk.queued);
   if (chunk.hops_locked == chunk.path.length()) {
+    const Duration grief =
+        faults_.any_grief() ? faults_.grief_hold(chunk.path.destination())
+                            : 0;
+    if (grief > 0) {
+      // The receiver black-holes the unit: every upstream lock is held for
+      // the grief hold, then the sender's timeout refunds the chain.
+      push_event(now() + grief, EventKind::kChunkFault, chunk_index,
+                 chunk.stamp);
+      return;
+    }
     complete_chunk(chunk_index);
     return;
   }
@@ -582,12 +705,12 @@ void Simulator::handle_hop_arrive(std::size_t chunk_index,
   // hop closed under it rolls back instead of queueing on a dead channel.
   if (network_->graph().edge_closed(chunk.path.edges[chunk.hops_locked])) {
     metrics_.chunks_churned += 1;
+    payments_[chunk.payment].churn_hit = true;
     abort_chunk(chunk_index);
     return;
   }
   if (try_lock_next_hop(chunk_index)) {
-    push_event(now() + config_.hop_delay, EventKind::kHopArrive, chunk_index,
-               chunk.stamp);
+    schedule_hop_travel(chunk_index);
     return;
   }
   // Dry channel: wait inside its queue (Fig. 3), upstream locks held.
@@ -657,10 +780,17 @@ void Simulator::abort_chunk(std::size_t chunk_index) {
   Payment& p = payments_[chunk.payment];
   SPIDER_ASSERT(p.inflight >= chunk.amount);
   p.inflight -= chunk.amount;
-  // The refunded remainder becomes sendable again.
-  if (p.status == PaymentStatus::kPending && p.remaining() > 0 &&
-      now() < p.deadline)
-    ensure_pending(chunk.payment);
+  // The refunded remainder becomes sendable again — unless the deadline
+  // already passed, in which case the payment must be expired HERE: it may
+  // have left the pending set (everything inflight), so no poll round will
+  // ever see it again, and skipping it would leak a forever-kPending
+  // payment that no terminal counter records.
+  if (p.status == PaymentStatus::kPending && p.remaining() > 0) {
+    if (now() < p.deadline)
+      ensure_pending(chunk.payment);
+    else
+      expire(chunk.payment);
+  }
   // Refunds credited the upstream side of the locked hops.
   for (std::size_t h = 0; h < chunk.hops_locked; ++h) {
     const Channel& ch = network_->channel(chunk.path.edges[h]);
@@ -703,8 +833,7 @@ void Simulator::serve_channel_queue(EdgeId edge, int side) {
     chunk.queued = false;
     metrics_.queue_wait_s.add(to_seconds(now() - chunk.queued_at));
     chunk.stamp = next_stamp_++;  // invalidate the pending timeout
-    push_event(now() + config_.hop_delay, EventKind::kHopArrive, ci,
-               chunk.stamp);
+    schedule_hop_travel(ci);
   }
 }
 
@@ -779,6 +908,7 @@ void Simulator::handle_topology(std::size_t change_index) {
       const EdgeId e = network_->apply(change);
       // Grow the per-edge side tables the engine keeps flat.
       channel_queues_.push_back({ChannelQueue{}, ChannelQueue{}});
+      faults_.grow_edges(network_->graph().num_edges());
       const Channel& ch = network_->channel(e);
       initial_side_funds_.push_back({ch.balance(0), ch.balance(1)});
       metrics_.channels_opened += 1;
@@ -805,7 +935,8 @@ void Simulator::churn_fail_channel(EdgeId closing) {
           channel_queues_[static_cast<std::size_t>(closing)]
                          [static_cast<std::size_t>(side)];
       while (queue.head >= 0)
-        churn_abort_chunk(static_cast<std::size_t>(queue.head), closing);
+        forced_abort_chunk(static_cast<std::size_t>(queue.head), closing,
+                           AbortCause::kChurn);
     }
   }
   // Then every chunk still holding locked funds on the channel: in
@@ -821,11 +952,12 @@ void Simulator::churn_fail_channel(EdgeId closing) {
     bool affected = false;
     for (std::size_t h = 0; h < holds && !affected; ++h)
       affected = chunk.path.edges[h] == closing;
-    if (affected) churn_abort_chunk(ci, closing);
+    if (affected) forced_abort_chunk(ci, closing, AbortCause::kChurn);
   }
 }
 
-void Simulator::churn_abort_chunk(std::size_t chunk_index, EdgeId closing) {
+void Simulator::forced_abort_chunk(std::size_t chunk_index, EdgeId closing,
+                                   AbortCause cause) {
   InflightChunk& chunk = inflight_[chunk_index];
   SPIDER_ASSERT(chunk.amount > 0);
   if (chunk.queued) {
@@ -849,9 +981,16 @@ void Simulator::churn_abort_chunk(std::size_t chunk_index, EdgeId closing) {
   Payment& p = payments_[payment_index];
   SPIDER_ASSERT(p.inflight >= chunk.amount);
   p.inflight -= chunk.amount;
-  metrics_.chunks_churned += 1;
+  if (cause == AbortCause::kChurn) {
+    metrics_.chunks_churned += 1;
+    p.churn_hit = true;
+  } else {
+    metrics_.chunks_faulted += 1;
+    p.fault_hit = true;
+  }
   // Serve waiters on the released upstream hops — but never on the closing
-  // channel itself: re-locking funds on it would strand them mid-sweep.
+  // channel itself: re-locking funds on it would strand them mid-sweep
+  // (kInvalidEdge for fault aborts: every released hop may admit waiters).
   for (std::size_t h = 0; h < locked_hops; ++h) {
     if (chunk.path.edges[h] == closing) continue;
     const Channel& ch = network_->channel(chunk.path.edges[h]);
@@ -869,13 +1008,143 @@ void Simulator::churn_abort_chunk(std::size_t chunk_index, EdgeId closing) {
       if (other == chunk_index) continue;
       const InflightChunk& sibling = inflight_[other];
       if (sibling.amount > 0 && sibling.payment == payment_index)
-        churn_abort_chunk(other, closing);
+        forced_abort_chunk(other, closing, cause);
     }
-  } else if (p.status == PaymentStatus::kPending && p.remaining() > 0 &&
-             now() < p.deadline) {
-    // The refunded remainder becomes sendable again at the next poll.
-    ensure_pending(payment_index);
+  } else if (p.status == PaymentStatus::kPending && p.remaining() > 0) {
+    // The refunded remainder becomes sendable again at the next poll; past
+    // the deadline the payment expires here instead (it may no longer be in
+    // the pending set, so no poll would ever expire it — see abort_chunk).
+    if (now() < p.deadline)
+      ensure_pending(payment_index);
+    else
+      expire(payment_index);
   }
+}
+
+namespace {
+
+/// FNV-1a over the path's edge sequence — the blacklist key. Edge ids are
+/// append-only, so a hash identifies one path for the run's whole lifetime.
+std::uint64_t path_hash(const Path& path) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const EdgeId e : path.edges) {
+    h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(e));
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+void Simulator::handle_fault(std::size_t fault_index) {
+  // By value: an observer hook could legally append to the fault vector.
+  const FaultEvent fault = (*fault_trace_)[fault_index];
+  // Chain the next fault first (like arrivals/topology) so the event order
+  // does not depend on what this fault does to the network.
+  fault_scheduled_ = false;
+  ++next_fault_;
+  sync_fault_chain();
+
+  const NodeId num_nodes = network_->graph().num_nodes();
+  const EdgeId num_edges = network_->graph().num_edges();
+  switch (fault.kind) {
+    case FaultEvent::Kind::kNodeCrash:
+      SPIDER_ASSERT(fault.node >= 0 && fault.node < num_nodes);
+      (void)faults_.set_node_down(fault.node);
+      fault_fail_node(fault.node);
+      break;
+    case FaultEvent::Kind::kNodeStall: {
+      SPIDER_ASSERT(fault.node >= 0 && fault.node < num_nodes);
+      const std::uint32_t epoch = faults_.set_node_down(fault.node);
+      fault_fail_node(fault.node);
+      // Auto-recovery carries the epoch as its stamp: a later crash,
+      // stall, or explicit recover bumps the epoch and invalidates it, so
+      // only the LATEST stall's end brings the node back.
+      push_event(now() + fault.duration, EventKind::kFaultRecover,
+                 static_cast<std::size_t>(fault.node), epoch);
+      break;
+    }
+    case FaultEvent::Kind::kNodeRecover:
+      SPIDER_ASSERT(fault.node >= 0 && fault.node < num_nodes);
+      faults_.set_node_up(fault.node);
+      break;
+    case FaultEvent::Kind::kChannelLoss:
+      SPIDER_ASSERT(fault.edge >= 0 && fault.edge < num_edges);
+      faults_.set_loss(fault.edge, fault.probability);
+      break;
+    case FaultEvent::Kind::kSettleDelay:
+      SPIDER_ASSERT(fault.edge >= 0 && fault.edge < num_edges);
+      faults_.set_settle_delay(fault.edge, fault.duration);
+      break;
+    case FaultEvent::Kind::kGrief:
+      SPIDER_ASSERT(fault.node >= 0 && fault.node < num_nodes);
+      faults_.set_grief(fault.node, fault.duration);
+      break;
+  }
+  metrics_.faults_injected += 1;
+  for (SimObserver* observer : observers_)
+    observer->on_fault(fault, *network_, now());
+}
+
+void Simulator::handle_fault_recover(std::size_t node_index,
+                                     std::uint64_t stamp) {
+  const auto node = static_cast<NodeId>(node_index);
+  if (faults_.node_epoch(node) != stamp) return;  // superseded: stale
+  faults_.set_node_up(node);
+}
+
+void Simulator::fault_fail_node(NodeId node) {
+  // Every live chunk whose path crosses the node fails with a
+  // conservation-checked refund: the down router stops forwarding and
+  // settling, and the sender's HTLC timeout claws the locks back. Index
+  // order keeps the sweep deterministic.
+  for (std::size_t ci = 0; ci < inflight_.size(); ++ci) {
+    const InflightChunk& chunk = inflight_[ci];
+    if (chunk.amount <= 0) continue;
+    bool crosses = false;
+    for (const NodeId n : chunk.path.nodes) {
+      if (n == node) {
+        crosses = true;
+        break;
+      }
+    }
+    if (crosses) forced_abort_chunk(ci, kInvalidEdge, AbortCause::kFault);
+  }
+}
+
+void Simulator::handle_chunk_fault(std::size_t chunk_index,
+                                   std::uint64_t stamp) {
+  const InflightChunk& chunk = inflight_[chunk_index];
+  // A close or node fault may have refunded the chunk after its doom was
+  // scheduled (release zeroed the stamp / the slot was reacquired).
+  if (chunk.stamp != stamp) return;
+  SPIDER_ASSERT(chunk.amount > 0);
+  SPIDER_ASSERT(!chunk.queued);
+  // The sender watched this path swallow a unit: skip it on retries.
+  blacklist_path(chunk.payment, chunk.path);
+  forced_abort_chunk(chunk_index, kInvalidEdge, AbortCause::kFault);
+}
+
+bool Simulator::path_fault_blocked(std::size_t payment_index,
+                                   const Path& path) const {
+  if (faults_.any_node_down() && faults_.path_blocked(path)) return true;
+  if (!blacklists_.empty()) {
+    const auto it = blacklists_.find(payment_index);
+    if (it != blacklists_.end()) {
+      const std::uint64_t h = path_hash(path);
+      for (const std::uint64_t b : it->second)
+        if (b == h) return true;
+    }
+  }
+  return false;
+}
+
+void Simulator::blacklist_path(std::size_t payment_index, const Path& path) {
+  std::vector<std::uint64_t>& list = blacklists_[payment_index];
+  const std::uint64_t h = path_hash(path);
+  for (const std::uint64_t b : list)
+    if (b == h) return;
+  list.push_back(h);
 }
 
 void Simulator::handle_poll() {
@@ -909,7 +1178,18 @@ void Simulator::handle_poll() {
     const std::size_t pi = pending_[read];
     Payment& p = payments_[pi];
     if (p.status != PaymentStatus::kPending) continue;
-    if (p.remaining() > 0) attempt(pi);
+    if (p.remaining() > 0) {
+      if (config_.retry_limit > 0 && p.attempts >= config_.retry_limit) {
+        // Retries exhausted with value still unrouted: the sender gives up
+        // now instead of waiting out the deadline. In-flight chunks still
+        // settle (their keys are released); only the remainder is dropped.
+        finish_payment(pi, PaymentStatus::kExpired);
+        continue;
+      }
+      // Backoff gate: the payment stays pending but is not re-attempted
+      // until its exponential-backoff window elapses.
+      if (p.next_retry_at <= now()) attempt(pi);
+    }
     const bool unfinished_business =
         p.status == PaymentStatus::kPending &&
         (p.remaining() > 0 || p.inflight > 0);
@@ -930,6 +1210,7 @@ void Simulator::expire(std::size_t payment_index) {
   Payment& p = payments_[payment_index];
   // Inflight chunks still settle (their keys are in flight); only the
   // never-sent remainder is abandoned.
+  if (p.delivered != p.total) metrics_.deadline_misses += 1;
   finish_payment(payment_index,
                  p.delivered == p.total ? PaymentStatus::kCompleted
                                         : PaymentStatus::kExpired);
@@ -940,11 +1221,27 @@ void Simulator::finish_payment(std::size_t payment_index,
   Payment& p = payments_[payment_index];
   SPIDER_ASSERT(p.status == PaymentStatus::kPending);
   p.status = status;
+  // Split failures by cause (admission refusals keep their own counter).
+  // Precedence: a fault killed one of its chunks/paths beats churn beats
+  // never-routed beats plain timeout — see metrics.hpp for the invariant.
+  if ((status == PaymentStatus::kExpired ||
+       status == PaymentStatus::kRejected) &&
+      !p.refused) {
+    if (p.fault_hit)
+      metrics_.failed_fault += 1;
+    else if (p.churn_hit)
+      metrics_.failed_churn += 1;
+    else if (!p.ever_locked)
+      metrics_.failed_no_path += 1;
+    else
+      metrics_.failed_timeout += 1;
+  }
   switch (status) {
     case PaymentStatus::kCompleted:
       p.completed_at = now();
       metrics_.completed_count += 1;
       metrics_.completed_volume += p.total;
+      if (p.attempts > 1) metrics_.completion_after_retry += 1;
       metrics_.completion_latency_s.add(to_seconds(now() - p.arrival));
       for (SimObserver* observer : observers_)
         observer->on_payment_complete(p, now());
@@ -961,6 +1258,9 @@ void Simulator::finish_payment(std::size_t payment_index,
       break;
     case PaymentStatus::kPending: break;
   }
+  // The payment is settled history; its fault blacklist (if any) is dead
+  // weight now. Hot path pays one emptiness check.
+  if (!blacklists_.empty()) blacklists_.erase(payment_index);
 }
 
 void init_router_for_run(Router& router, const Network& network,

@@ -20,10 +20,12 @@
 
 #include <array>
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "routing/router.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/fault.hpp"
 #include "sim/metrics.hpp"
 #include "sim/network.hpp"
 #include "sim/observer.hpp"
@@ -88,6 +90,24 @@ struct SimConfig {
   Amount fee_base = 0;
   double fee_rate = 0.0;
 
+  /// Sender-side resilience (all off by default, preserving the paper's
+  /// retry-forever-until-deadline behaviour byte for byte).
+  /// Max attempts per payment; a non-atomic payment that still has
+  /// unrouted value after `retry_limit` attempts fails instead of waiting
+  /// for its deadline. 0 = unlimited.
+  int retry_limit = 0;
+  /// Exponential backoff between attempts: after attempt k the sender
+  /// waits retry_backoff * 2^(k-1) (capped at 2^20) before the pending
+  /// queue will try it again. 0 = retry every poll round.
+  Duration retry_backoff = 0;
+  /// Overrides default_deadline for payments whose spec carries no
+  /// deadline. 0 = use default_deadline.
+  Duration payment_deadline = 0;
+  /// Base seed for per-channel message-loss streams (sim/fault.hpp).
+  /// 0 = derive from `seed`, so faulted runs are reproducible without
+  /// configuring anything extra.
+  std::uint64_t fault_seed = 0;
+
   /// Sharded-run lookahead: the window length the event loop batches
   /// speculative planning over when a SpeculativePlanner is attached
   /// (core/shard.hpp). 0 = auto: the minimum cross-shard hop delay of the
@@ -150,6 +170,17 @@ class Simulator {
 
   /// Mirror of trace_extended() for the topology stream.
   void topology_extended();
+
+  /// Arms the fault-injection stream over `faults` (same contract as
+  /// begin_topology: nondecreasing `at`, caller may append between events
+  /// and must call faults_extended() after each append, vector outlives
+  /// the run). Faults dispatch through the same (time, seq) queue, so a
+  /// run that never arms a stream (or arms an empty one) schedules no
+  /// fault events and stays byte-identical to the fault-free engine.
+  void begin_faults(const std::vector<FaultEvent>& faults);
+
+  /// Mirror of trace_extended() for the fault stream.
+  void faults_extended();
 
   /// Processes every event with time <= horizon, then rolls metric windows
   /// up to horizon (windows roll on time, not on events — an idle gap still
@@ -217,6 +248,11 @@ class Simulator {
     kQueueTimeout,   // router-queue mode: bounded channel-queue wait
     kRebalance,      // on-chain deposit tick
     kTopology,       // channel open / close / deposit (dynamic topology)
+    // Fault injection (appended so every pre-fault event kind keeps its
+    // value — zero-fault runs stay byte-identical by construction):
+    kFault,          // next scheduled FaultEvent (chained like kTopology)
+    kChunkFault,     // a doomed chunk's HTLC timeout fires: refund it
+    kFaultRecover,   // a stall's auto-recovery (stamp = node fault epoch)
   };
 
   /// One pooled chunk slot. Slots are recycled through a free list and the
@@ -289,9 +325,42 @@ class Simulator {
   /// all-or-nothing delivery, so their sibling chunks roll back too and the
   /// payment fails.
   void churn_fail_channel(EdgeId closing);
-  /// Rolls back one chunk because of `closing` (refund + payment
-  /// bookkeeping + queue service on the released upstream hops).
-  void churn_abort_chunk(std::size_t chunk_index, EdgeId closing);
+  /// What killed a chunk from outside its own lifecycle — decides which
+  /// counter it lands in and which per-payment flag it sets.
+  enum class AbortCause { kChurn, kFault };
+  /// Rolls back one chunk the world broke (channel close or fault): refund
+  /// + payment bookkeeping + queue service on the released upstream hops.
+  /// `closing` is the edge whose queues must not be re-served (kInvalidEdge
+  /// for faults — every released hop may admit waiters).
+  void forced_abort_chunk(std::size_t chunk_index, EdgeId closing,
+                          AbortCause cause);
+  // Fault stream (mirrors the topology chain).
+  void sync_fault_chain();
+  void handle_fault(std::size_t fault_index);
+  void handle_chunk_fault(std::size_t chunk_index, std::uint64_t stamp);
+  void handle_fault_recover(std::size_t node_index, std::uint64_t stamp);
+  /// A node went down: every live chunk whose path crosses it fails with a
+  /// conservation-checked refund, exactly like a channel close.
+  void fault_fail_node(NodeId node);
+  /// Commit-time plan filter: true when faults make `path` unusable for
+  /// `payment_index` (a node on it is down, or the sender blacklisted it
+  /// after a drop/grief abort). Routers stay fault-oblivious; this is the
+  /// only place fault state meets routing.
+  [[nodiscard]] bool path_fault_blocked(std::size_t payment_index,
+                                        const Path& path) const;
+  /// Remembers that `path` failed `payment_index` by fault, so retries
+  /// skip it (cleared when the payment finishes).
+  void blacklist_path(std::size_t payment_index, const Path& path);
+  /// Source-queue mode: schedules a freshly locked chunk's settle — or,
+  /// when a lossy hop drops it / the receiver griefs it, its HTLC-timeout
+  /// refund (kChunkFault) after the hold.
+  void schedule_chunk_outcome(std::size_t chunk_index);
+  /// Router-queue mode: schedules the chunk's travel across the hop it
+  /// just locked — or, when the message drops on a lossy channel, its
+  /// stale-lock detection (kChunkFault) after the queueing timeout.
+  void schedule_hop_travel(std::size_t chunk_index);
+  /// Arms the exponential-backoff gate after a non-atomic attempt.
+  void arm_retry_backoff(Payment& p);
   /// Plans + locks for `payment`; returns the amount locked this attempt.
   Amount attempt(std::size_t payment_index);
   void expire(std::size_t payment_index);
@@ -336,6 +405,16 @@ class Simulator {
   const std::vector<TopologyChange>* topo_trace_ = nullptr;
   bool topo_scheduled_ = false;
   std::size_t next_topo_ = 0;
+  // Fault stream (null = fault-free run) + runtime fault tables.
+  const std::vector<FaultEvent>* fault_trace_ = nullptr;
+  bool fault_scheduled_ = false;
+  std::size_t next_fault_ = 0;
+  FaultState faults_;
+  // Per-payment fault blacklists: FNV-1a hashes of the edge sequences that
+  // failed this payment by drop/grief. Empty for the vast majority of
+  // payments even in heavily faulted runs, so a map beats a per-payment
+  // vector field.
+  std::unordered_map<std::size_t, std::vector<std::uint64_t>> blacklists_;
   TimePoint advanced_horizon_ = 0;  // high-water mark of advance_until
 
   // Observer pipeline + metrics windows (see sim/observer.hpp).

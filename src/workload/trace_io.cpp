@@ -1,5 +1,6 @@
 #include "workload/trace_io.hpp"
 
+#include <fstream>
 #include <stdexcept>
 
 #include "util/csv.hpp"
@@ -21,6 +22,148 @@ void write_trace_csv(const std::string& path,
 std::vector<PaymentSpec> read_trace_csv(const std::string& path) {
   TraceReader reader(path);
   return reader.read_all();
+}
+
+void write_fault_csv(const std::string& path,
+                     const std::vector<FaultEvent>& faults) {
+  CsvWriter writer(path);
+  writer.write_row({"at_us", "kind", "node", "edge", "duration_us",
+                    "prob_ppm"});
+  for (const FaultEvent& fault : faults) {
+    const auto ppm =
+        static_cast<std::int64_t>(fault.probability * 1e6 + 0.5);
+    writer.write_row({std::to_string(fault.at), fault_kind_name(fault.kind),
+                      std::to_string(fault.node), std::to_string(fault.edge),
+                      std::to_string(fault.duration), std::to_string(ppm)});
+  }
+}
+
+namespace {
+
+bool fault_kind_from_token(const std::string& token, FaultEvent::Kind& kind) {
+  using Kind = FaultEvent::Kind;
+  for (const Kind k : {Kind::kNodeCrash, Kind::kNodeRecover, Kind::kNodeStall,
+                       Kind::kChannelLoss, Kind::kSettleDelay, Kind::kGrief}) {
+    if (token == fault_kind_name(k)) {
+      kind = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<FaultEvent> read_fault_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_fault_csv: cannot open " + path);
+  std::size_t line_no = 0;
+  const auto fail = [&](const std::string& what) -> void {
+    throw std::runtime_error("read_fault_csv: " + path + ":" +
+                             std::to_string(line_no) + ": " + what);
+  };
+  std::string line;
+  if (!std::getline(in, line)) fail("empty fault file");
+  ++line_no;
+  strip_line_ending(line);
+  if (line != kFaultCsvHeader)
+    fail("expected header \"" + std::string(kFaultCsvHeader) + "\", got '" +
+         line + "'");
+  std::vector<FaultEvent> faults;
+  TimePoint last_at = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    strip_line_ending(line);
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = split_csv_line(line);
+    if (fields.size() != 6)
+      fail("expected 6 fields, got " + std::to_string(fields.size()) + ": '" +
+           line + "'");
+    std::int64_t at = 0;
+    std::int64_t node = 0;
+    std::int64_t edge = 0;
+    std::int64_t duration = 0;
+    std::int64_t ppm = 0;
+    if (!parse_int_field(fields[0], at))
+      fail("bad at_us field '" + fields[0] + "'");
+    FaultEvent::Kind kind{};
+    if (!fault_kind_from_token(fields[1], kind))
+      fail("unknown fault kind '" + fields[1] +
+           "' (expected crash | recover | stall | loss | settle-delay | "
+           "grief)");
+    if (!parse_int_field(fields[2], node))
+      fail("bad node field '" + fields[2] + "'");
+    if (!parse_int_field(fields[3], edge))
+      fail("bad edge field '" + fields[3] + "'");
+    if (!parse_int_field(fields[4], duration))
+      fail("bad duration_us field '" + fields[4] + "'");
+    if (!parse_int_field(fields[5], ppm))
+      fail("bad prob_ppm field '" + fields[5] + "'");
+    if (at < 0) fail("fault time must be non-negative, got " + fields[0]);
+    if (!faults.empty() && at < last_at)
+      fail("fault times must be nondecreasing (" + fields[0] + " after " +
+           std::to_string(last_at) + ")");
+    if (ppm < 0 || ppm > 1'000'000)
+      fail("prob_ppm out of [0, 1000000]: " + fields[5]);
+
+    using Kind = FaultEvent::Kind;
+    const bool node_kind = kind == Kind::kNodeCrash ||
+                           kind == Kind::kNodeRecover ||
+                           kind == Kind::kNodeStall || kind == Kind::kGrief;
+    if (node_kind) {
+      if (node < 0) fail("'" + fields[1] + "' needs a node target, got " +
+                         fields[2]);
+      if (edge != kInvalidEdge)
+        fail("'" + fields[1] + "' must carry edge=-1, got " + fields[3]);
+    } else {
+      if (edge < 0) fail("'" + fields[1] + "' needs an edge target, got " +
+                         fields[3]);
+      if (node != kInvalidNode)
+        fail("'" + fields[1] + "' must carry node=-1, got " + fields[2]);
+    }
+    if (kind == Kind::kNodeStall && duration <= 0)
+      fail("stall needs a positive duration, got " + fields[4]);
+    if ((kind == Kind::kNodeCrash || kind == Kind::kNodeRecover ||
+         kind == Kind::kChannelLoss) &&
+        duration != 0)
+      fail("'" + fields[1] + "' must carry duration_us=0, got " + fields[4]);
+    if (duration < 0)
+      fail("duration must be non-negative, got " + fields[4]);
+    if (kind != Kind::kChannelLoss && ppm != 0)
+      fail("'" + fields[1] + "' must carry prob_ppm=0, got " + fields[5]);
+
+    FaultEvent fault;
+    fault.at = at;
+    fault.kind = kind;
+    fault.node = static_cast<NodeId>(node);
+    fault.edge = static_cast<EdgeId>(edge);
+    fault.duration = duration;
+    fault.probability = static_cast<double>(ppm) / 1e6;
+    faults.push_back(fault);
+    last_at = at;
+  }
+  return faults;
+}
+
+void validate_fault_targets(const std::vector<FaultEvent>& faults,
+                            NodeId num_nodes, EdgeId num_edges) {
+  using Kind = FaultEvent::Kind;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const FaultEvent& fault = faults[i];
+    const bool node_kind =
+        fault.kind == Kind::kNodeCrash || fault.kind == Kind::kNodeRecover ||
+        fault.kind == Kind::kNodeStall || fault.kind == Kind::kGrief;
+    if (node_kind && (fault.node < 0 || fault.node >= num_nodes))
+      throw std::runtime_error(
+          "fault " + std::to_string(i) + " (" + fault_kind_name(fault.kind) +
+          ") names node " + std::to_string(fault.node) + " outside the " +
+          std::to_string(num_nodes) + "-node topology");
+    if (!node_kind && (fault.edge < 0 || fault.edge >= num_edges))
+      throw std::runtime_error(
+          "fault " + std::to_string(i) + " (" + fault_kind_name(fault.kind) +
+          ") names edge " + std::to_string(fault.edge) + " outside the " +
+          std::to_string(num_edges) + "-channel topology");
+  }
 }
 
 void validate_trace_nodes(const PaymentSpec* specs, std::size_t count,

@@ -15,6 +15,7 @@
 #include <string_view>
 #include <vector>
 
+#include "sim/fault.hpp"
 #include "workload/traffic.hpp"
 
 namespace spider {
@@ -42,5 +43,34 @@ void write_trace_csv(const std::string& path,
 /// never complete.)
 void validate_trace_nodes(const PaymentSpec* specs, std::size_t count,
                           NodeId num_nodes, std::size_t base_index = 0);
+
+/// The canonical header row write_fault_csv emits and read_fault_csv
+/// requires. Probabilities travel as integer parts-per-million so the file
+/// holds no floating-point text; kinds travel as fault_kind_name tokens
+/// ("crash", "recover", "stall", "loss", "settle-delay", "grief").
+inline constexpr std::string_view kFaultCsvHeader =
+    "at_us,kind,node,edge,duration_us,prob_ppm";
+
+/// Writes a fault schedule with the header row. Node-targeted events carry
+/// edge = -1 and vice versa — exactly the FaultEvent factory invariants.
+/// Throws std::runtime_error on failure.
+void write_fault_csv(const std::string& path,
+                     const std::vector<FaultEvent>& faults);
+
+/// Reads a schedule written by write_fault_csv (or hand-authored in the
+/// same schema; the header row is mandatory). Strict: every field parses
+/// with std::from_chars over the whole field, each kind's target/duration/
+/// probability invariants are enforced, times must be nondecreasing, and
+/// prob_ppm must lie in [0, 1000000]. Throws std::runtime_error naming the
+/// offending line. Round-trips write_fault_csv exactly for ppm-exact
+/// probabilities.
+[[nodiscard]] std::vector<FaultEvent> read_fault_csv(const std::string& path);
+
+/// Validates that every fault's target names a node / edge of the given
+/// topology bounds; throws std::runtime_error naming the first offender.
+/// Fault-replay surfaces call this before submit_faults, which would
+/// otherwise assert deep in the simulator.
+void validate_fault_targets(const std::vector<FaultEvent>& faults,
+                            NodeId num_nodes, EdgeId num_edges);
 
 }  // namespace spider

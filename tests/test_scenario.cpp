@@ -68,7 +68,9 @@ TEST(ScenarioRegistry, EveryBuiltInMaterializesAValidRun) {
     EXPECT_EQ(instance.name, entry.name);
     EXPECT_GE(instance.graph.num_nodes(), 2) << entry.name;
     EXPECT_TRUE(instance.graph.is_connected()) << entry.name;
-    ASSERT_EQ(instance.trace.size(), 50u) << entry.name;
+    // Adversarial scenarios may append attack traffic (e.g. the griefing
+    // flood) on top of the requested benign payments.
+    ASSERT_GE(instance.trace.size(), 50u) << entry.name;
     for (const PaymentSpec& spec : instance.trace) {
       EXPECT_GE(spec.src, 0);
       EXPECT_LT(spec.src, instance.graph.num_nodes());

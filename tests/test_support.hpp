@@ -34,6 +34,17 @@ inline void expect_identical_metrics(const SimMetrics& a,
   EXPECT_EQ(a.onchain_deposited, b.onchain_deposited);
   EXPECT_EQ(a.topology_changes, b.topology_changes);
   EXPECT_EQ(a.fees_accrued, b.fees_accrued);
+  EXPECT_EQ(a.faults_injected, b.faults_injected);
+  EXPECT_EQ(a.messages_dropped, b.messages_dropped);
+  EXPECT_EQ(a.chunks_faulted, b.chunks_faulted);
+  EXPECT_EQ(a.chunks_churned, b.chunks_churned);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.deadline_misses, b.deadline_misses);
+  EXPECT_EQ(a.completion_after_retry, b.completion_after_retry);
+  EXPECT_EQ(a.failed_timeout, b.failed_timeout);
+  EXPECT_EQ(a.failed_churn, b.failed_churn);
+  EXPECT_EQ(a.failed_fault, b.failed_fault);
+  EXPECT_EQ(a.failed_no_path, b.failed_no_path);
   EXPECT_EQ(a.completion_latency_s.count(), b.completion_latency_s.count());
   EXPECT_DOUBLE_EQ(a.completion_latency_s.mean(),
                    b.completion_latency_s.mean());

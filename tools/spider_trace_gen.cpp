@@ -35,15 +35,18 @@ void usage(std::ostream& out) {
          "                        [--payments N] [--tx-rate R] [--nodes N]\n"
          "                        [--capacity-xrp C] [--topology-seed S]\n"
          "                        [--traffic-seed S] [--paths-k K]\n"
-         "                        [--list]\n"
+         "                        [--faults <faults.csv>] [--list]\n"
          "Deterministically writes a registry scenario's transaction trace\n"
-         "and channel-list topology in the trace-replay CSV schemas.\n";
+         "and channel-list topology in the trace-replay CSV schemas.\n"
+         "Adversarial scenarios (griefing, hub-drain, lossy-network) also\n"
+         "require --faults for their fault schedule (read_fault_csv schema).\n";
 }
 
 int run(int argc, char** argv) {
   std::string scenario_name;
   std::string trace_out;
   std::string topology_out;
+  std::string faults_out;
   ScenarioParams params;
 
   const std::vector<std::string> args(argv + 1, argv + argc);
@@ -92,6 +95,8 @@ int run(int argc, char** argv) {
       trace_out = value();
     } else if (arg == "--topology-out") {
       topology_out = value();
+    } else if (arg == "--faults") {
+      faults_out = value();
     } else if (arg == "--payments") {
       params.payments = static_cast<int>(
           int_value("--payments", 1, std::numeric_limits<int>::max()));
@@ -132,13 +137,23 @@ int run(int argc, char** argv) {
                  "pick a static scenario\n";
     return 2;
   }
+  if (!scenario.faults.empty() && faults_out.empty()) {
+    std::cerr << "spider_trace_gen: scenario '" << scenario_name
+              << "' declares a fault schedule — pass --faults <path> to "
+                 "write it (or pick a fault-free scenario)\n";
+    return 2;
+  }
   write_trace_csv(trace_out, scenario.trace);
   write_topology_csv(scenario.graph, topology_out);
+  if (!faults_out.empty()) write_fault_csv(faults_out, scenario.faults);
   std::cout << scenario_name << ": wrote " << scenario.trace.size()
             << " payments to " << trace_out << " and "
             << scenario.graph.num_edges() << " channels ("
-            << scenario.graph.num_nodes() << " nodes) to " << topology_out
-            << "\n";
+            << scenario.graph.num_nodes() << " nodes) to " << topology_out;
+  if (!faults_out.empty())
+    std::cout << " and " << scenario.faults.size() << " faults to "
+              << faults_out;
+  std::cout << "\n";
   return 0;
 }
 
