@@ -49,4 +49,45 @@ inline ScenarioInstance isp_setup(std::uint64_t traffic_seed = 1) {
   return scenario("isp", traffic_seed);
 }
 
+/// One point of the transport-parameter ablation: the §5.2 marking
+/// threshold × the initial per-path AIMD window. Shared between
+/// bench_queueing_ablation (stdout/CSV table) and bench_throughput (the
+/// same rows join BENCH_throughput.json, schema v5), so the two surfaces
+/// can never sweep different grids.
+struct TransportSweepPoint {
+  Duration mark_threshold;
+  Amount window;
+};
+
+/// The default 3×3 sweep: threshold {10, 40, 160} ms (paper default 40)
+/// × initial window {50, 200, 800} XRP (paper default 200).
+inline std::vector<TransportSweepPoint> transport_sweep_grid() {
+  std::vector<TransportSweepPoint> grid;
+  for (const int threshold_ms : {10, 40, 160})
+    for (const int window_xrp : {50, 200, 800})
+      grid.push_back({milliseconds(threshold_ms), xrp(window_xrp)});
+  return grid;
+}
+
+/// "mt40ms-w200": the sweep point's tag, used as a scenario-name suffix in
+/// bench tables and JSON rows ("isp~mt40ms-w200").
+inline std::string transport_point_tag(const TransportSweepPoint& point) {
+  return "mt" + std::to_string(point.mark_threshold / milliseconds(1)) +
+         "ms-w" + std::to_string(point.window / xrp(1));
+}
+
+/// A scenario config with the transport layer pinned to `point` (enabled,
+/// router-queue mode — the spider-dctcp defaults made explicit).
+inline SpiderConfig transport_point_config(const ScenarioInstance& scenario,
+                                           const TransportSweepPoint& point) {
+  SpiderConfig config = scenario.config;
+  config.sim.transport.enabled = true;
+  config.sim.queueing = QueueingMode::kRouterQueue;
+  config.sim.transport.mark_threshold = point.mark_threshold;
+  config.sim.transport.initial_window = point.window;
+  config.sim.transport.min_window =
+      std::min(config.sim.transport.min_window, point.window);
+  return config;
+}
+
 }  // namespace spider::bench

@@ -26,6 +26,7 @@
 #include "routing/path_cache.hpp"
 #include "routing/waterfilling_router.hpp"
 #include "sim/simulator.hpp"
+#include "transport/router_queue.hpp"
 
 namespace spider {
 namespace {
@@ -641,6 +642,72 @@ void report_shard_consume_overhead() {
               << Table::num(overhead * 100, 1) << "% of an inline plan)\n";
 }
 
+/// Transport enqueue/mark guardrail: the RouterQueueBank accounting runs on
+/// the engine's per-chunk hot path in EVERY router-queue run (transport on
+/// or off — that is what keeps QueueDepthProbe truthful and transport-off
+/// runs byte-identical). The marking rule must therefore be nearly free: a
+/// dequeue whose wait crosses the threshold (mark branch + count) may cost
+/// at most 1.15x a dequeue that stays unmarked.
+void report_transport_mark_overhead() {
+  using Clock = std::chrono::steady_clock;
+  const int min_millis = env_int("SPIDER_MICRO_PLANNER_MS", 500);
+  constexpr std::size_t kEdges = 1024;
+  constexpr std::size_t kOps = 1 << 14;
+  const Duration threshold = milliseconds(40);
+
+  // Pre-generated (edge, side, amount) op mix so the RNG is outside the
+  // timed loop and both sides replay the identical access pattern.
+  struct Op {
+    std::size_t edge;
+    int side;
+    Amount amount;
+  };
+  Rng rng(11);
+  std::vector<Op> ops;
+  ops.reserve(kOps);
+  for (std::size_t i = 0; i < kOps; ++i)
+    ops.push_back({static_cast<std::size_t>(rng.uniform_int(0, kEdges - 1)),
+                   static_cast<int>(rng.uniform_int(0, 1)),
+                   rng.uniform_int(1, xrp(50))});
+
+  // One enqueue + one dequeue per op at a fixed wait; marks (when due) are
+  // counted exactly as Simulator::note_dequeue does.
+  const auto rate = [&](Duration wait) {
+    RouterQueueBank bank;
+    bank.begin(kEdges, threshold);
+    std::int64_t done = 0;
+    const auto start = Clock::now();
+    double elapsed = 0;
+    while (elapsed * 1000 < min_millis) {
+      for (const Op& op : ops) {
+        bank.on_enqueue(op.edge, op.side, op.amount);
+        if (bank.on_dequeue(op.edge, op.side, op.amount, wait))
+          bank.count_mark();
+        ++done;
+      }
+      benchmark::DoNotOptimize(bank.total_value());
+      elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+    }
+    benchmark::DoNotOptimize(bank.marks());
+    return static_cast<double>(done) / elapsed;
+  };
+
+  const double unmarked = rate(threshold / 2);  // below threshold: no mark
+  const double marked = rate(threshold * 2);    // above: mark branch fires
+  const double overhead = marked > 0 ? unmarked / marked : 0.0;
+
+  Table table({"enqueue+dequeue path", "ops_per_sec", "cost_vs_unmarked"});
+  table.add_row({"marked (wait > threshold)", Table::num(marked, 0),
+                 Table::num(overhead, 3)});
+  table.add_row({"unmarked", Table::num(unmarked, 0), Table::num(1.0, 3)});
+  std::cout << "\nTransport enqueue/mark overhead (1.15x budget):\n"
+            << table.render();
+  maybe_write_csv("micro_transport_mark", table);
+  if (overhead > 1.15)
+    std::cout << "WARNING: marked dequeues exceed the 1.15x budget ("
+              << Table::num(overhead, 3) << "x the unmarked path)\n";
+}
+
 /// Quantile-selection guardrail: nth_element quantile() must not lose to
 /// the copy-and-sort implementation it replaced (budget: >= 1x at 1M
 /// samples; in practice selection wins several-fold). Both sides start
@@ -698,6 +765,7 @@ int main(int argc, char** argv) {
   spider::report_planner_throughput();
   spider::report_generation_delta_lookup();
   spider::report_shard_consume_overhead();
+  spider::report_transport_mark_overhead();
   spider::report_quantile_selection();
   return 0;
 }

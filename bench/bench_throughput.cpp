@@ -34,18 +34,29 @@
 // retries, and deadline misses. These rows join the JSON and the floor
 // gate like any others.
 //
+// Transport-ablation rows: SPIDER_BENCH_TRANSPORT (comma list of scenarios,
+// default "isp"; empty disables) sweeps spider-dctcp over the shared
+// bench_common transport grid (marking threshold × initial window —
+// bench_queueing_ablation renders the same grid as its table), one row per
+// point named "scenario~mt<ms>ms-w<xrp>". The checked-in JSON therefore
+// carries the §5.2 parameter-sensitivity table next to the throughput
+// trajectory.
+//
 // Output: a table on stdout, the optional CSV dump every bench supports,
 // and a JSON report (default ./BENCH_throughput.json; SPIDER_BENCH_JSON
 // overrides) whose checked-in copy at the repo root is the baseline future
-// PRs are compared against. Schema (schema_version 4):
+// PRs are compared against. Schema (schema_version 5 — v5 adds the
+// transport columns chunks_marked / pace_rounds / queue_delay_p99_s, zero
+// for schemes that never enable the transport layer):
 //
-//   { "bench": "bench_throughput", "schema_version": 4, "paths_k": K,
+//   { "bench": "bench_throughput", "schema_version": 5, "paths_k": K,
 //     "cores": C,
 //     "results": [ { "scenario", "scheme", "nodes", "edges", "payments",
 //                    "paths_k", "shards", "warm_s", "wall_s", "events",
 //                    "events_per_s", "payments_per_s", "plans_per_s",
 //                    "scaling_x", "success_ratio", "steady_success_ratio",
-//                    "windows", "sim_duration_s", "faults_injected",
+//                    "windows", "sim_duration_s", "chunks_marked",
+//                    "pace_rounds", "queue_delay_p99_s", "faults_injected",
 //                    "messages_dropped", "failed_timeout", "failed_churn",
 //                    "failed_fault", "failed_no_path", "retries",
 //                    "deadline_misses" }, ... ] }
@@ -128,6 +139,10 @@ struct ThroughputRow {
   double steady_success_ratio = 0.0;
   int windows = 0;
   double sim_duration_s = 0.0;
+  // Transport-layer profile (all zero for schemes that never enable it).
+  std::int64_t chunks_marked = 0;
+  std::int64_t pace_rounds = 0;
+  double queue_delay_p99_s = 0.0;
   // Fault-injection profile (all zero on fault-free scenarios).
   std::int64_t faults_injected = 0;
   std::int64_t messages_dropped = 0;
@@ -192,7 +207,7 @@ void write_json(const std::string& path, int paths_k,
     return;
   }
   out << "{\n  \"bench\": \"bench_throughput\",\n"
-      << "  \"schema_version\": 4,\n"
+      << "  \"schema_version\": 5,\n"
       << "  \"paths_k\": " << paths_k << ",\n"
       << "  \"cores\": " << std::thread::hardware_concurrency()
       << ",\n  \"results\": [\n";
@@ -215,6 +230,9 @@ void write_json(const std::string& path, int paths_k,
         << ", \"steady_success_ratio\": " << json_num(r.steady_success_ratio, 4)
         << ", \"windows\": " << r.windows
         << ", \"sim_duration_s\": " << json_num(r.sim_duration_s)
+        << ", \"chunks_marked\": " << r.chunks_marked
+        << ", \"pace_rounds\": " << r.pace_rounds
+        << ", \"queue_delay_p99_s\": " << json_num(r.queue_delay_p99_s, 4)
         << ", \"faults_injected\": " << r.faults_injected
         << ", \"messages_dropped\": " << r.messages_dropped
         << ", \"failed_timeout\": " << r.failed_timeout
@@ -463,6 +481,9 @@ ThroughputRow measure_row(const SpiderNetwork& net,
     row.windows = windowed.steady.windows;
   }
   row.sim_duration_s = m.sim_duration_s;
+  row.chunks_marked = m.chunks_marked;
+  row.pace_rounds = m.pace_rounds;
+  row.queue_delay_p99_s = m.queue_delay_p99_s;
   row.faults_injected = m.faults_injected;
   row.messages_dropped = m.messages_dropped;
   row.failed_timeout = m.failed_timeout;
@@ -505,8 +526,12 @@ int run() {
       std::getenv("SPIDER_BENCH_SCENARIOS") != nullptr
           ? std::getenv("SPIDER_BENCH_SCENARIOS")
           : "isp,ripple-like,ripple-like@1000,lightning-churn";
+  // spider-dctcp runs with the transport layer auto-enabled (router queues
+  // + AIMD windows — scheme_requires_transport), so its serial and sharded
+  // rows keep the windowed control loop under the CI floor gate.
   const std::vector<Scheme> schemes = {Scheme::kSpiderWaterfilling,
-                                       Scheme::kShortestPath};
+                                       Scheme::kShortestPath,
+                                       Scheme::kSpiderDctcp};
 
   std::vector<ThroughputRow> rows;
   int paths_k = 4;
@@ -622,6 +647,49 @@ int run() {
     std::cout << "\n" << attack_table.render();
     maybe_write_csv("throughput_attacks", attack_table);
     rows.insert(rows.end(), attack_rows.begin(), attack_rows.end());
+  }
+
+  // Transport-ablation section: spider-dctcp over the shared sweep grid
+  // (bench_common.hpp — bench_queueing_ablation renders the same grid).
+  // Rows join `rows` before the JSON stage so the checked-in baseline
+  // carries the parameter-sensitivity table.
+  const std::string transport_list = env_string("SPIDER_BENCH_TRANSPORT",
+                                                "isp");
+  if (!split_list(transport_list).empty()) {
+    std::cout << "\ntransport ablation (spider-dctcp, marking threshold x "
+                 "initial window):\n";
+    std::vector<ThroughputRow> sweep_rows;
+    for (const std::string& spec : split_list(transport_list)) {
+      const auto [name, node_override] = parse_spec(spec);
+      ScenarioParams params = ScenarioParams::from_env();
+      params.shards = 0;
+      if (node_override > 0) params.nodes = node_override;
+      if (params.traffic_seed == 0) params.traffic_seed = 18;  // E18 stream
+      const ScenarioInstance scenario = build_scenario(name, params);
+      for (const bench::TransportSweepPoint& point :
+           bench::transport_sweep_grid()) {
+        const SpiderNetwork net(scenario.graph,
+                                bench::transport_point_config(scenario, point));
+        net.warm_paths(scenario.trace);
+        sweep_rows.push_back(
+            measure_row(net, scenario,
+                        spec + "~" + bench::transport_point_tag(point),
+                        Scheme::kSpiderDctcp, 0.0));
+      }
+    }
+    Table sweep_table({"scenario", "success_ratio", "steady_sr",
+                       "chunks_marked", "pace_rounds", "queue_delay_p99_s",
+                       "retries"});
+    for (const ThroughputRow& r : sweep_rows)
+      sweep_table.add_row({r.scenario, Table::pct(r.success_ratio),
+                           Table::pct(r.steady_success_ratio),
+                           std::to_string(r.chunks_marked),
+                           std::to_string(r.pace_rounds),
+                           Table::num(r.queue_delay_p99_s, 4),
+                           std::to_string(r.retries)});
+    std::cout << "\n" << sweep_table.render();
+    maybe_write_csv("throughput_transport", sweep_table);
+    rows.insert(rows.end(), sweep_rows.begin(), sweep_rows.end());
   }
 
   const std::string json_path = std::getenv("SPIDER_BENCH_JSON") != nullptr

@@ -1,5 +1,6 @@
 #include "core/config.hpp"
 
+#include <cctype>
 #include <stdexcept>
 
 #include "routing/atomic_adapter.hpp"
@@ -9,6 +10,8 @@
 #include "routing/shortest_path_router.hpp"
 #include "routing/speedy_router.hpp"
 #include "routing/waterfilling_router.hpp"
+#include "transport/backpressure_router.hpp"
+#include "transport/dctcp_router.hpp"
 
 namespace spider {
 
@@ -21,8 +24,40 @@ std::string scheme_name(Scheme scheme) {
     case Scheme::kSilentWhispers: return "SilentWhispers";
     case Scheme::kSpeedyMurmurs: return "SpeedyMurmurs";
     case Scheme::kSpiderPrimalDual: return "Spider (Primal-Dual)";
+    case Scheme::kSpiderDctcp: return "spider-dctcp";
+    case Scheme::kBackpressure: return "backpressure";
   }
   return "?";
+}
+
+namespace {
+
+/// Kebab-case key for env/bench lookup: lower-cased, spaces and
+/// parentheses folded to single dashes ("Spider (Waterfilling)" ->
+/// "spider-waterfilling").
+std::string scheme_key(const std::string& name) {
+  std::string key;
+  key.reserve(name.size());
+  for (char c : name) {
+    if (c == '(' || c == ')') continue;
+    if (c == ' ' || c == '-') {
+      if (!key.empty() && key.back() != '-') key.push_back('-');
+      continue;
+    }
+    key.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  while (!key.empty() && key.back() == '-') key.pop_back();
+  return key;
+}
+
+}  // namespace
+
+Scheme scheme_from_name(const std::string& name) {
+  const std::string wanted = scheme_key(name);
+  for (Scheme scheme : all_schemes())
+    if (scheme_key(scheme_name(scheme)) == wanted) return scheme;
+  throw std::invalid_argument("scheme_from_name: unknown scheme '" + name +
+                              "'");
 }
 
 std::vector<Scheme> paper_schemes() {
@@ -34,12 +69,20 @@ std::vector<Scheme> paper_schemes() {
 std::vector<Scheme> all_schemes() {
   std::vector<Scheme> schemes = paper_schemes();
   schemes.push_back(Scheme::kSpiderPrimalDual);
+  schemes.push_back(Scheme::kSpiderDctcp);
+  schemes.push_back(Scheme::kBackpressure);
   return schemes;
 }
 
 bool scheme_uses_path_store(Scheme scheme) {
   return scheme == Scheme::kSpiderWaterfilling ||
-         scheme == Scheme::kShortestPath;
+         scheme == Scheme::kShortestPath ||
+         scheme == Scheme::kSpiderDctcp ||
+         scheme == Scheme::kBackpressure;
+}
+
+bool scheme_requires_transport(Scheme scheme) {
+  return scheme == Scheme::kSpiderDctcp;
 }
 
 void SpiderConfig::validate() const {
@@ -89,6 +132,25 @@ void SpiderConfig::validate() const {
   if (primal_dual.num_paths < 1 || primal_dual.steps_per_tick < 1 ||
       primal_dual.warmup_steps < 0 || primal_dual.bucket_depth <= 0)
     throw std::invalid_argument("SpiderConfig: bad primal-dual settings");
+  if (sim.transport.mark_threshold <= 0)
+    throw std::invalid_argument(
+        "SpiderConfig: transport.mark_threshold must be positive");
+  if (sim.transport.pace_interval < 0)
+    throw std::invalid_argument(
+        "SpiderConfig: transport.pace_interval must be non-negative");
+  if (sim.transport.initial_window <= 0 || sim.transport.min_window <= 0 ||
+      sim.transport.min_window > sim.transport.initial_window)
+    throw std::invalid_argument(
+        "SpiderConfig: transport windows must satisfy 0 < min <= initial");
+  if (sim.transport.additive_step < 0)
+    throw std::invalid_argument(
+        "SpiderConfig: transport.additive_step must be non-negative");
+  if (sim.transport.beta < 0.0 || sim.transport.beta > 1.0)
+    throw std::invalid_argument(
+        "SpiderConfig: transport.beta must be in [0, 1]");
+  if (sim.transport.initial_rtt <= 0)
+    throw std::invalid_argument(
+        "SpiderConfig: transport.initial_rtt must be positive");
 }
 
 namespace {
@@ -117,6 +179,13 @@ std::unique_ptr<Router> make_base_router(Scheme scheme,
       pd.num_paths = config.num_paths;
       return std::make_unique<PrimalDualRouter>(pd);
     }
+    case Scheme::kSpiderDctcp:
+      return std::make_unique<SpiderDctcpRouter>(config.num_paths,
+                                                 config.path_selection,
+                                                 config.sim.transport);
+    case Scheme::kBackpressure:
+      return std::make_unique<BackpressureRouter>(config.num_paths,
+                                                  config.path_selection);
   }
   throw std::invalid_argument("make_router: unknown scheme");
 }

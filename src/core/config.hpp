@@ -26,16 +26,29 @@ enum class Scheme {
   kSilentWhispers,
   kSpeedyMurmurs,
   kSpiderPrimalDual,  // extension (§5.3 run online); not in Fig. 6
+  kSpiderDctcp,       // §4.2+§5.2 transport: marks + per-path AIMD windows
+  kBackpressure,      // Varma–Maguluri least-backlog routing (PAPERS.md)
 };
 
 /// Display name matching the paper's figure legends.
 [[nodiscard]] std::string scheme_name(Scheme scheme);
 
+/// Inverse of scheme_name plus the kebab-case aliases used by env knobs
+/// and bench tables ("spider-dctcp", "backpressure", "shortest-path", ...).
+/// Throws std::invalid_argument on an unknown name.
+[[nodiscard]] Scheme scheme_from_name(const std::string& name);
+
 /// The six schemes evaluated in Fig. 6, in the paper's legend order.
 [[nodiscard]] std::vector<Scheme> paper_schemes();
 
-/// All implemented schemes (paper six + primal–dual extension).
+/// All implemented schemes (paper six + primal–dual, DCTCP-transport, and
+/// backpressure extensions).
 [[nodiscard]] std::vector<Scheme> all_schemes();
+
+/// True if `scheme` only functions with the transport layer's router queues
+/// live: SimSession auto-enables SimConfig::transport and router-queue mode
+/// for these when the caller left transport off.
+[[nodiscard]] bool scheme_requires_transport(Scheme scheme);
 
 /// True if `scheme`'s router consumes the shared candidate-path store
 /// (RouterInitContext::shared_paths) — the schemes that plan over cached

@@ -38,6 +38,10 @@ ScenarioParams ScenarioParams::from_env() {
   params.retry_limit = env_int("SPIDER_RETRY_LIMIT", 0);
   params.retry_backoff_ms = env_int("SPIDER_RETRY_BACKOFF_MS", 0);
   params.payment_deadline_ms = env_int("SPIDER_PAYMENT_DEADLINE_MS", 0);
+  params.transport = env_int("SPIDER_TRANSPORT", 0);
+  params.mark_threshold_ms = env_int("SPIDER_MARK_THRESHOLD_MS", 0);
+  params.window_xrp = env_int("SPIDER_WINDOW_XRP", 0);
+  params.pace_interval_ms = env_int("SPIDER_PACE_INTERVAL_MS", 0);
   return params;
 }
 
@@ -86,6 +90,20 @@ void apply_cross_knobs(SpiderConfig& config, const ScenarioParams& p) {
   if (p.payment_deadline_ms > 0)
     config.sim.payment_deadline = milliseconds(p.payment_deadline_ms);
   if (p.fault_seed != 0) config.sim.fault_seed = p.fault_seed;
+  if (p.transport > 0) {
+    config.sim.transport.enabled = true;
+    config.sim.queueing = QueueingMode::kRouterQueue;
+  }
+  if (p.mark_threshold_ms > 0)
+    config.sim.transport.mark_threshold = milliseconds(p.mark_threshold_ms);
+  if (p.window_xrp > 0) {
+    config.sim.transport.initial_window = xrp(p.window_xrp);
+    config.sim.transport.min_window =
+        std::min(config.sim.transport.min_window,
+                 config.sim.transport.initial_window);
+  }
+  if (p.pace_interval_ms > 0)
+    config.sim.transport.pace_interval = milliseconds(p.pace_interval_ms);
 }
 
 /// Finishes a scenario: synthesizes the trace over `graph` with `sizes`,

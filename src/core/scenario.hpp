@@ -66,6 +66,15 @@ struct ScenarioParams {
   int retry_limit = 0;              //                    (SPIDER_RETRY_LIMIT)
   int retry_backoff_ms = 0;         //                    (SPIDER_RETRY_BACKOFF_MS)
   int payment_deadline_ms = 0;      //                (SPIDER_PAYMENT_DEADLINE_MS)
+  /// Transport layer (src/transport/): transport > 0 enables the router
+  /// queues + AIMD scheme feedback (and switches the config to router-queue
+  /// mode); the remaining knobs override the marking threshold, initial
+  /// per-path window, and pace interval when positive. Transport-dependent
+  /// schemes (spider-dctcp) enable the transport regardless.
+  int transport = 0;                //                    (SPIDER_TRANSPORT)
+  int mark_threshold_ms = 0;        //                (SPIDER_MARK_THRESHOLD_MS)
+  int window_xrp = 0;               //                    (SPIDER_WINDOW_XRP)
+  int pace_interval_ms = 0;         //                (SPIDER_PACE_INTERVAL_MS)
 
   /// Reads the SPIDER_* overrides; anything unset stays "scenario default".
   [[nodiscard]] static ScenarioParams from_env();

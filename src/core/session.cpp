@@ -4,6 +4,23 @@
 
 namespace spider {
 
+namespace {
+
+/// Transport-dependent schemes (scheme_requires_transport) only function
+/// with router queues live and the AIMD feedback flowing; when the caller
+/// left the transport off, turn it on (paper-default knobs) and switch to
+/// router-queue mode. A caller that explicitly enabled the transport keeps
+/// every knob as set, including its chosen queueing mode.
+SpiderConfig apply_transport_defaults(SpiderConfig config, Scheme scheme) {
+  if (scheme_requires_transport(scheme) && !config.sim.transport.enabled) {
+    config.sim.transport.enabled = true;
+    config.sim.queueing = QueueingMode::kRouterQueue;
+  }
+  return config;
+}
+
+}  // namespace
+
 struct SimSession::State {
   SpiderConfig config;
   Scheme scheme;
@@ -29,7 +46,7 @@ struct SimSession::State {
 
   State(const Graph& topology, const SpiderConfig& cfg, Scheme s,
         const SessionOptions& options, const PathCache* shared_paths)
-      : config(cfg),
+      : config(apply_transport_defaults(cfg, s)),
         scheme(s),
         network(topology),
         router(make_router(s, config)),
@@ -175,6 +192,8 @@ std::size_t SimSession::submitted() const {
 std::size_t SimSession::buffered() const { return state_->trace.size(); }
 
 Scheme SimSession::scheme() const { return state_->scheme; }
+
+const Router& SimSession::router() const { return *state_->router; }
 
 const std::vector<Payment>& SimSession::payments() const {
   return state_->sim.payments();

@@ -139,6 +139,11 @@ class SimSession {
   [[nodiscard]] std::size_t buffered() const;
 
   [[nodiscard]] Scheme scheme() const;
+  /// The live router instance (read-only) — the dashboard/bench surface
+  /// for scheme-internal state, e.g. downcasting to SpiderDctcpRouter to
+  /// read the per-path window/rate snapshot. With amp_atomic the returned
+  /// reference is the AtomicAdapter wrapper, not the base router.
+  [[nodiscard]] const Router& router() const;
   /// Per-payment outcomes (grows as arrivals are processed).
   [[nodiscard]] const std::vector<Payment>& payments() const;
   /// Total topology changes submitted so far.

@@ -20,6 +20,30 @@ void AtomicAdapter::on_tick(const Network& network, TimePoint now) {
   inner_->on_tick(network, now);
 }
 
+void AtomicAdapter::bind_transport(const RouterQueueBank* queues) {
+  inner_->bind_transport(queues);
+}
+
+void AtomicAdapter::on_transport_clock(TimePoint now) {
+  inner_->on_transport_clock(now);
+}
+
+void AtomicAdapter::on_transport_send(const Path& path, Amount amount,
+                                      TimePoint now) {
+  inner_->on_transport_send(path, amount, now);
+}
+
+void AtomicAdapter::on_transport_ack(const Path& path, Amount amount,
+                                     bool marked, Duration rtt,
+                                     TimePoint now) {
+  inner_->on_transport_ack(path, amount, marked, rtt, now);
+}
+
+void AtomicAdapter::on_transport_loss(const Path& path, Amount amount,
+                                      TimePoint now) {
+  inner_->on_transport_loss(path, amount, now);
+}
+
 std::vector<ChunkPlan> AtomicAdapter::plan(const Payment& payment,
                                            Amount amount,
                                            const Network& network, Rng& rng) {

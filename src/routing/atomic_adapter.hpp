@@ -30,6 +30,17 @@ class AtomicAdapter final : public Router {
   void init(const Network& network, const RouterInitContext& context) override;
   void on_tick(const Network& network, TimePoint now) override;
 
+  // Transport feedback passes through to the wrapped scheme so an AMP
+  // variant of a windowed router keeps its control loop.
+  void bind_transport(const RouterQueueBank* queues) override;
+  void on_transport_clock(TimePoint now) override;
+  void on_transport_send(const Path& path, Amount amount,
+                         TimePoint now) override;
+  void on_transport_ack(const Path& path, Amount amount, bool marked,
+                        Duration rtt, TimePoint now) override;
+  void on_transport_loss(const Path& path, Amount amount,
+                         TimePoint now) override;
+
   [[nodiscard]] std::vector<ChunkPlan> plan(const Payment& payment,
                                             Amount amount,
                                             const Network& network,

@@ -14,6 +14,17 @@ std::span<const Path> Router::plan_read_paths(NodeId, NodeId,
   return {};
 }
 
+void Router::bind_transport(const RouterQueueBank*) {}
+
+void Router::on_transport_clock(TimePoint) {}
+
+void Router::on_transport_send(const Path&, Amount, TimePoint) {}
+
+void Router::on_transport_ack(const Path&, Amount, bool, Duration, TimePoint) {
+}
+
+void Router::on_transport_loss(const Path&, Amount, TimePoint) {}
+
 void VirtualBalances::attach(const Network& network) {
   network_ = &network;
   const auto slots_needed =

@@ -71,6 +71,8 @@ struct RouterInitContext {
 /// just without planning parallelism for that scheme).
 enum class PlanSpeculation { kNone, kCandidatePaths };
 
+class RouterQueueBank;
+
 class Router {
  public:
   virtual ~Router() = default;
@@ -107,6 +109,32 @@ class Router {
   /// replica to record the plan's read set.
   [[nodiscard]] virtual std::span<const Path> plan_read_paths(
       NodeId src, NodeId dst, const Network& network);
+
+  // --- Transport-layer feedback (src/transport/) -------------------------
+  //
+  // The simulator drives these on the commit thread, in event order, and
+  // only when SimConfig::transport.enabled — fluid schemes inherit the
+  // no-op defaults and never see them. A windowed router (spider-dctcp,
+  // backpressure) keeps mutable per-path state behind these hooks, which is
+  // exactly why such schemes must report PlanSpeculation::kNone: their
+  // plans depend on feedback that arrives between polls.
+
+  /// Read-only view of the per-channel router queues, bound once per run
+  /// before the first event (the backpressure scheme plans from it).
+  virtual void bind_transport(const RouterQueueBank* queues);
+  /// Simulation clock observed immediately before each plan() with the
+  /// transport on, so pacers meter release credit against it.
+  virtual void on_transport_clock(TimePoint now);
+  /// `amount` was locked on `path` (one future ack or loss will follow).
+  virtual void on_transport_send(const Path& path, Amount amount,
+                                 TimePoint now);
+  /// `amount` settled end-to-end; `marked` carries the routers' one-bit
+  /// delay mark, `rtt` is send-to-ack time at the sender.
+  virtual void on_transport_ack(const Path& path, Amount amount, bool marked,
+                                Duration rtt, TimePoint now);
+  /// `amount` failed (timeout, churn, or injected fault) and was refunded.
+  virtual void on_transport_loss(const Path& path, Amount amount,
+                                 TimePoint now);
 };
 
 /// Read-only overlay over current balances that tracks hypothetical locks,

@@ -35,6 +35,17 @@ struct SimMetrics {
   std::int64_t chunks_queued = 0;    // units that waited inside a channel
   std::int64_t queue_timeouts = 0;   // units rolled back after waiting
   RunningStats queue_wait_s;         // time spent in channel queues
+  // p99 of channel-queue waits, seconds (0 when nothing ever queued).
+  // Derived in Simulator::metrics() from the full wait log, like
+  // sim_duration_s — deterministic in event order, so it participates in
+  // the byte-identity gates below.
+  double queue_delay_p99_s = 0.0;
+
+  // Transport layer (src/transport/): units whose ack carried the one-bit
+  // delay mark (dequeued past the marking threshold), and pace-tick rounds
+  // served. Both zero with the transport off.
+  std::int64_t chunks_marked = 0;
+  std::int64_t pace_rounds = 0;
 
   // On-chain rebalancing extension (§5.2.3) plus explicit topology deposit
   // events: total deposited.

@@ -31,6 +31,7 @@
 namespace spider {
 
 class Network;
+class RouterQueueBank;
 
 /// Boundary descriptor handed to on_window_roll. `end - start` equals the
 /// configured window length except for the trailing `partial` window, whose
@@ -78,6 +79,14 @@ class SimObserver {
   /// A pending-queue service round fired with `pending` payments waiting.
   virtual void on_poll_round(std::size_t pending, TimePoint now) {
     (void)pending;
+    (void)now;
+  }
+  /// Router-queue telemetry: fires right after on_poll_round in router-queue
+  /// mode (transport on or off) with the live per-channel queue bank —
+  /// depths in value and in units, plus lifetime high-water marks
+  /// (transport/router_queue.hpp). Never fires in source-queue mode.
+  virtual void on_queue_depths(const RouterQueueBank& queues, TimePoint now) {
+    (void)queues;
     (void)now;
   }
   /// A scheduled topology change (channel open / close / deposit) was

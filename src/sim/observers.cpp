@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/network.hpp"
+#include "transport/router_queue.hpp"
 
 namespace spider {
 
@@ -102,6 +103,20 @@ void ChannelImbalanceProbe::on_window_roll(const WindowInfo& window,
 void QueueDepthProbe::on_poll_round(std::size_t pending, TimePoint now) {
   depth_.add(static_cast<double>(pending));
   series_.push_back(Sample{to_seconds(now), pending});
+}
+
+void QueueDepthProbe::on_queue_depths(const RouterQueueBank& queues,
+                                      TimePoint now) {
+  const double value_xrp = to_xrp(queues.total_value());
+  const std::uint64_t chunks = queues.total_chunks();
+  channel_value_xrp_.add(value_xrp);
+  channel_chunks_.add(static_cast<double>(chunks));
+  channel_series_.push_back(ChannelSample{to_seconds(now), value_xrp, chunks});
+
+  high_water_.clear();
+  for (const RouterQueueBank::ChannelHighWater& hw : queues.high_water())
+    high_water_.push_back(
+        HighWater{hw.edge, hw.side, to_xrp(hw.value), hw.chunks});
 }
 
 ConservationAuditor::ConservationAuditor(const Network& network)

@@ -145,24 +145,69 @@ class ChannelImbalanceProbe final : public SimObserver {
   std::vector<ChannelSample> scratch_;  // reused per roll
 };
 
-/// Records the pending-queue depth at every poll round: distribution stats
-/// plus the (t, depth) series — the queue-dynamics-over-time view that
-/// throughput-optimal routing work measures.
+/// Queue-dynamics probe. Two data sources, sampled at every poll round:
+///
+///  - the sender-side pending-payment count (on_poll_round), kept for
+///    backwards compatibility as depth()/series();
+///  - the REAL per-channel router queues (on_queue_depths, router-queue
+///    mode only): aggregate depth in value AND in chunks, plus the
+///    per-channel lifetime high-water marks straight from the
+///    RouterQueueBank — the queue-dynamics-over-time view that
+///    throughput-optimal routing work measures.
+///
+/// In source-queue mode the bank hook never fires and the channel series
+/// stays empty; the pending series still works.
 class QueueDepthProbe final : public SimObserver {
  public:
   struct Sample {
     double t_s = 0.0;
     std::size_t depth = 0;
   };
+  /// Aggregate in-channel queue occupancy at one poll round.
+  struct ChannelSample {
+    double t_s = 0.0;
+    double value_xrp = 0.0;      // Σ queued value across all channel sides
+    std::uint64_t chunks = 0;    // Σ queued units across all channel sides
+  };
+  struct HighWater {
+    std::size_t edge = 0;
+    int side = 0;
+    double value_xrp = 0.0;      // peak queued value on this (edge, side)
+    std::uint32_t chunks = 0;    // chunk count at that peak
+  };
 
+  /// Pending-payment counts per poll round (sender-side queue).
   [[nodiscard]] const RunningStats& depth() const { return depth_; }
   [[nodiscard]] const std::vector<Sample>& series() const { return series_; }
 
+  /// Aggregate router-queue value per poll round, XRP (router-queue mode).
+  [[nodiscard]] const RunningStats& channel_value_xrp() const {
+    return channel_value_xrp_;
+  }
+  /// Aggregate router-queue occupancy in chunks per poll round.
+  [[nodiscard]] const RunningStats& channel_chunks() const {
+    return channel_chunks_;
+  }
+  /// (t, value, chunks) series of the aggregate router-queue occupancy.
+  [[nodiscard]] const std::vector<ChannelSample>& channel_series() const {
+    return channel_series_;
+  }
+  /// Per-(edge, side) lifetime high-water marks as of the latest sample,
+  /// (edge, side)-sorted; only sides that ever queued a unit appear.
+  [[nodiscard]] const std::vector<HighWater>& high_water() const {
+    return high_water_;
+  }
+
   void on_poll_round(std::size_t pending, TimePoint now) override;
+  void on_queue_depths(const RouterQueueBank& queues, TimePoint now) override;
 
  private:
   RunningStats depth_;
   std::vector<Sample> series_;
+  RunningStats channel_value_xrp_;
+  RunningStats channel_chunks_;
+  std::vector<ChannelSample> channel_series_;
+  std::vector<HighWater> high_water_;
 };
 
 /// Asserts escrow conservation throughout a run — the financial safety net

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <limits>
+#include <span>
+
+#include "util/stats.hpp"
 
 namespace spider {
 
@@ -19,6 +22,14 @@ Simulator::Simulator(Network& network, Router& router, SimConfig config)
   SPIDER_ASSERT(config.retry_backoff >= 0);
   SPIDER_ASSERT(config.payment_deadline >= 0);
   SPIDER_ASSERT(config.shard_lookahead >= 0);
+  SPIDER_ASSERT(config.transport.mark_threshold > 0);
+  SPIDER_ASSERT(config.transport.pace_interval >= 0);
+  SPIDER_ASSERT(config.transport.initial_window > 0);
+  SPIDER_ASSERT(config.transport.min_window > 0 &&
+                config.transport.min_window <= config.transport.initial_window);
+  SPIDER_ASSERT(config.transport.additive_step >= 0);
+  SPIDER_ASSERT(config.transport.beta >= 0.0 && config.transport.beta <= 1.0);
+  SPIDER_ASSERT(config.transport.initial_rtt > 0);
   if (config.queueing == QueueingMode::kRouterQueue)
     SPIDER_ASSERT_MSG(!router.is_atomic(),
                       "router-queue mode requires a non-atomic scheme "
@@ -62,6 +73,8 @@ void Simulator::begin(const std::vector<PaymentSpec>& trace) {
   poll_scheduled_ = false;
   arrival_scheduled_ = false;
   rebalance_scheduled_ = false;
+  pace_scheduled_ = false;
+  queue_wait_samples_.clear();
   next_stamp_ = 1;
   advanced_horizon_ = 0;
   window_start_ = 0;
@@ -77,6 +90,10 @@ void Simulator::begin(const std::vector<PaymentSpec>& trace) {
     const Channel& ch = network_->channel(static_cast<EdgeId>(e));
     initial_side_funds_[e] = {ch.balance(0), ch.balance(1)};
   }
+  transport_queues_.begin(num_edges, config_.transport.mark_threshold);
+  // The bank only accumulates state in router-queue mode; a null bind tells
+  // backlog-reading schemes (backpressure) to fall back to whole-path plans.
+  router_->bind_transport(queue_bank_active() ? &transport_queues_ : nullptr);
 
   sync_arrival_chain();
 }
@@ -176,6 +193,7 @@ void Simulator::process_next() {
     case EventKind::kFaultRecover:
       handle_fault_recover(ev.index, ev.stamp);
       break;
+    case EventKind::kTransportPace: handle_transport_pace(); break;
   }
 }
 
@@ -186,8 +204,14 @@ Duration Simulator::shard_lookahead() const {
   // (Polls and arrivals inside the window are covered by the job
   // enumeration, not by the delay bound; a shorter window is always
   // correct, merely less parallel.)
-  return config_.queueing == QueueingMode::kRouterQueue ? config_.hop_delay
-                                                        : config_.delta;
+  Duration look = config_.queueing == QueueingMode::kRouterQueue
+                      ? config_.hop_delay
+                      : config_.delta;
+  // A pace tick self-schedules pace_interval ahead, so with pacing on the
+  // window must not outrun it.
+  if (transport_on() && config_.transport.pace_interval > 0)
+    look = std::min(look, config_.transport.pace_interval);
+  return look;
 }
 
 void Simulator::open_shard_window(TimePoint end) {
@@ -271,6 +295,12 @@ SimMetrics Simulator::metrics() const {
   m.events_processed = events_.processed();
   m.sim_duration_s = to_seconds(now());
   m.final_mean_imbalance_xrp = network_->mean_imbalance_xrp();
+  if (!queue_wait_samples_.empty()) {
+    // quantile() partially reorders its input, so it works on a copy; the
+    // sample log itself keeps accumulating across snapshots.
+    std::vector<double> waits = queue_wait_samples_;
+    m.queue_delay_p99_s = quantile(std::span<double>(waits), 0.99);
+  }
   return m;
 }
 
@@ -321,6 +351,14 @@ void Simulator::ensure_pending(std::size_t payment_index) {
   if (!poll_scheduled_) {
     push_event(now() + config_.poll_interval, EventKind::kPoll, 0);
     poll_scheduled_ = true;
+  }
+  // With pacing on, pending payments are also re-offered between polls so
+  // window/rate credit that frees up mid-interval is used promptly.
+  if (transport_on() && config_.transport.pace_interval > 0 &&
+      !pace_scheduled_) {
+    push_event(now() + config_.transport.pace_interval,
+               EventKind::kTransportPace, 0);
+    pace_scheduled_ = true;
   }
 }
 
@@ -398,7 +436,9 @@ std::size_t Simulator::new_chunk(const Path& path, Amount amount,
   chunk.payment = payment_index;
   chunk.hops_locked = 0;
   chunk.queued = false;
+  chunk.marked = false;
   chunk.queued_at = 0;
+  chunk.sent_at = now();
   chunk.stamp = next_stamp_++;
   chunk.queue_prev = -1;
   chunk.queue_next = -1;
@@ -449,12 +489,15 @@ void Simulator::queue_remove(EdgeId edge, int side, std::size_t chunk_index) {
   chunk.queue_next = -1;
 }
 
-Amount Simulator::attempt(std::size_t payment_index) {
+Amount Simulator::attempt(std::size_t payment_index, bool paced) {
   Payment& p = payments_[payment_index];
   Amount want = p.remaining();
   if (want <= 0) return 0;
-  if (p.attempts > 0) metrics_.retries += 1;
-  ++p.attempts;
+  if (!paced) {
+    if (p.attempts > 0) metrics_.retries += 1;
+    ++p.attempts;
+  }
+  if (transport_on()) router_->on_transport_clock(now());
   // Routers are fault-oblivious (their plans stay byte-identical and the
   // sharded replica needs no fault mirror); plans crossing a down node or
   // a path this sender blacklisted are filtered HERE, at commit time.
@@ -507,12 +550,14 @@ Amount Simulator::attempt(std::size_t payment_index) {
       metrics_.chunks_sent += 1;
       metrics_.chunk_hops.add(
           static_cast<double>(inflight_[ci].path.length()));
+      if (transport_on())
+        router_->on_transport_send(inflight_[ci].path, amount, now());
       for (SimObserver* observer : observers_)
         observer->on_chunk_locked(inflight_[ci].path, amount, now());
       schedule_hop_travel(ci);
       if (locked_total >= want) break;
     }
-    if (config_.retry_backoff > 0) arm_retry_backoff(p);
+    if (!paced && config_.retry_backoff > 0) arm_retry_backoff(p);
     return locked_total;
   }
 
@@ -574,12 +619,15 @@ Amount Simulator::attempt(std::size_t payment_index) {
   for (std::size_t ci : locked_chunks) {
     metrics_.chunks_sent += 1;
     metrics_.chunk_hops.add(static_cast<double>(inflight_[ci].path.length()));
+    if (transport_on())
+      router_->on_transport_send(inflight_[ci].path, inflight_[ci].amount,
+                                 now());
     for (SimObserver* observer : observers_)
       observer->on_chunk_locked(inflight_[ci].path, inflight_[ci].amount,
                                 now());
     schedule_chunk_outcome(ci);
   }
-  if (!p.atomic && config_.retry_backoff > 0) arm_retry_backoff(p);
+  if (!paced && !p.atomic && config_.retry_backoff > 0) arm_retry_backoff(p);
   return locked_total;
 }
 
@@ -673,6 +721,10 @@ void Simulator::handle_settle(std::size_t chunk_index, std::uint64_t stamp) {
   p.inflight -= chunk.amount;
   p.delivered += chunk.amount;
   metrics_.delivered_volume += chunk.amount;
+  // Source-queue mode has no router queues, so the ack never carries a mark.
+  if (transport_on())
+    router_->on_transport_ack(chunk.path, chunk.amount, /*marked=*/false,
+                              now() - chunk.sent_at, now());
   for (SimObserver* observer : observers_)
     observer->on_chunk_settled(chunk.path, chunk.amount, now());
 
@@ -721,6 +773,8 @@ void Simulator::handle_hop_arrive(std::size_t chunk_index,
   chunk.queued_at = now();
   chunk.stamp = next_stamp_++;
   queue_push_back(edge, side, chunk_index);
+  transport_queues_.on_enqueue(static_cast<std::size_t>(edge), side,
+                               chunk.amount);
   metrics_.chunks_queued += 1;
   push_event(now() + config_.queue_timeout, EventKind::kQueueTimeout,
              chunk_index, chunk.stamp);
@@ -755,6 +809,11 @@ void Simulator::complete_chunk(std::size_t chunk_index) {
   p.inflight -= chunk.amount;
   p.delivered += chunk.amount;
   metrics_.delivered_volume += chunk.amount;
+  // The ack carries the one-bit mark home: set iff the unit outwaited the
+  // marking threshold inside any channel queue on the way (§5.2).
+  if (transport_on())
+    router_->on_transport_ack(chunk.path, chunk.amount, chunk.marked,
+                              now() - chunk.sent_at, now());
   for (SimObserver* observer : observers_)
     observer->on_chunk_settled(chunk.path, chunk.amount, now());
   if (p.status == PaymentStatus::kPending && p.delivered == p.total)
@@ -780,6 +839,8 @@ void Simulator::abort_chunk(std::size_t chunk_index) {
   Payment& p = payments_[chunk.payment];
   SPIDER_ASSERT(p.inflight >= chunk.amount);
   p.inflight -= chunk.amount;
+  if (transport_on())
+    router_->on_transport_loss(chunk.path, chunk.amount, now());
   // The refunded remainder becomes sendable again — unless the deadline
   // already passed, in which case the payment must be expired HERE: it may
   // have left the pending set (everything inflight), so no poll round will
@@ -809,8 +870,13 @@ void Simulator::handle_queue_timeout(std::size_t chunk_index,
   const int side = ch.side_of(chunk.path.nodes[chunk.hops_locked]);
   queue_remove(edge, side, chunk_index);  // O(1) via the intrusive links
   chunk.queued = false;
+  // Bank accounting only — a timed-out unit aborts below, and the loss
+  // feedback already triggers the controller's decrease; no mark counted.
+  (void)transport_queues_.on_dequeue(static_cast<std::size_t>(edge), side,
+                                     chunk.amount, now() - chunk.queued_at);
   metrics_.queue_timeouts += 1;
   metrics_.queue_wait_s.add(to_seconds(now() - chunk.queued_at));
+  queue_wait_samples_.push_back(to_seconds(now() - chunk.queued_at));
   abort_chunk(chunk_index);
   // The departed unit may have been the head-of-line blocker: smaller units
   // behind it can possibly be served from the funds already there.
@@ -831,9 +897,58 @@ void Simulator::serve_channel_queue(EdgeId edge, int side) {
     network_->lock_one(edge, side, chunk.amount);
     ++chunk.hops_locked;
     chunk.queued = false;
+    note_dequeue(ci, edge, side, now() - chunk.queued_at);
     metrics_.queue_wait_s.add(to_seconds(now() - chunk.queued_at));
+    queue_wait_samples_.push_back(to_seconds(now() - chunk.queued_at));
     chunk.stamp = next_stamp_++;  // invalidate the pending timeout
     schedule_hop_travel(ci);
+  }
+}
+
+void Simulator::note_dequeue(std::size_t chunk_index, EdgeId edge, int side,
+                             Duration wait) {
+  InflightChunk& chunk = inflight_[chunk_index];
+  const bool over_threshold = transport_queues_.on_dequeue(
+      static_cast<std::size_t>(edge), side, chunk.amount, wait);
+  if (transport_on() && over_threshold && !chunk.marked) {
+    chunk.marked = true;  // one bit: further marks on the unit are no-ops
+    transport_queues_.count_mark();
+    metrics_.chunks_marked += 1;
+  }
+}
+
+void Simulator::handle_transport_pace() {
+  pace_scheduled_ = false;
+  if (pending_.empty()) return;  // chain runs dry; ensure_pending re-arms
+  metrics_.pace_rounds += 1;
+  // Re-offer pending payments in place, compacting finished ones. Unlike a
+  // poll round there is no scheduler reordering and no deadline expiry —
+  // both stay the poll's job, so pacing changes WHEN value releases, never
+  // which payment wins contention at a poll.
+  std::size_t write = 0;
+  for (std::size_t read = 0; read < pending_.size(); ++read) {
+    const std::size_t pi = pending_[read];
+    Payment& p = payments_[pi];
+    if (p.status != PaymentStatus::kPending) {
+      in_pending_[pi] = 0;
+      continue;
+    }
+    if (p.remaining() > 0 && now() < p.deadline && p.next_retry_at <= now())
+      attempt(pi, /*paced=*/true);
+    const bool unfinished_business =
+        p.status == PaymentStatus::kPending &&
+        (p.remaining() > 0 || p.inflight > 0);
+    if (unfinished_business) {
+      pending_[write++] = pi;
+    } else {
+      in_pending_[pi] = 0;
+    }
+  }
+  pending_.resize(write);
+  if (!pending_.empty() && !pace_scheduled_) {
+    push_event(now() + config_.transport.pace_interval,
+               EventKind::kTransportPace, 0);
+    pace_scheduled_ = true;
   }
 }
 
@@ -908,6 +1023,8 @@ void Simulator::handle_topology(std::size_t change_index) {
       const EdgeId e = network_->apply(change);
       // Grow the per-edge side tables the engine keeps flat.
       channel_queues_.push_back({ChannelQueue{}, ChannelQueue{}});
+      transport_queues_.grow(
+          static_cast<std::size_t>(network_->graph().num_edges()));
       faults_.grow_edges(network_->graph().num_edges());
       const Channel& ch = network_->channel(e);
       initial_side_funds_.push_back({ch.balance(0), ch.balance(1)});
@@ -963,10 +1080,15 @@ void Simulator::forced_abort_chunk(std::size_t chunk_index, EdgeId closing,
   if (chunk.queued) {
     const EdgeId qe = chunk.path.edges[chunk.hops_locked];
     const Channel& qch = network_->channel(qe);
-    queue_remove(qe, qch.side_of(chunk.path.nodes[chunk.hops_locked]),
-                 chunk_index);
+    const int qside = qch.side_of(chunk.path.nodes[chunk.hops_locked]);
+    queue_remove(qe, qside, chunk_index);
     chunk.queued = false;
+    // Bank accounting only — the unit is failing, so the loss feedback
+    // below already drives the controller's decrease; no mark counted.
+    (void)transport_queues_.on_dequeue(static_cast<std::size_t>(qe), qside,
+                                       chunk.amount, now() - chunk.queued_at);
     metrics_.queue_wait_s.add(to_seconds(now() - chunk.queued_at));
+    queue_wait_samples_.push_back(to_seconds(now() - chunk.queued_at));
   }
   const std::size_t locked_hops =
       config_.queueing == QueueingMode::kRouterQueue
@@ -988,6 +1110,8 @@ void Simulator::forced_abort_chunk(std::size_t chunk_index, EdgeId closing,
     metrics_.chunks_faulted += 1;
     p.fault_hit = true;
   }
+  if (transport_on())
+    router_->on_transport_loss(chunk.path, chunk.amount, now());
   // Serve waiters on the released upstream hops — but never on the closing
   // channel itself: re-locking funds on it would strand them mid-sweep
   // (kInvalidEdge for fault aborts: every released hop may admit waiters).
@@ -1152,6 +1276,10 @@ void Simulator::handle_poll() {
   metrics_.retry_rounds += 1;
   for (SimObserver* observer : observers_)
     observer->on_poll_round(pending_.size(), now());
+  if (queue_bank_active()) {
+    for (SimObserver* observer : observers_)
+      observer->on_queue_depths(transport_queues_, now());
+  }
   router_->on_tick(*network_, now());
 
   // Expire overdue payments first (compacting the survivors in place), then

@@ -32,6 +32,7 @@
 #include "sim/payment.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/speculation.hpp"
+#include "transport/router_queue.hpp"
 #include "workload/traffic.hpp"
 
 namespace spider {
@@ -112,8 +113,16 @@ struct SimConfig {
   /// speculative planning over when a SpeculativePlanner is attached
   /// (core/shard.hpp). 0 = auto: the minimum cross-shard hop delay of the
   /// queueing mode (hop_delay in router-queue mode, Δ in source-queue
-  /// mode). Irrelevant — and ignored — without a planner.
+  /// mode), further capped by the transport pace interval when pacing is
+  /// on. Irrelevant — and ignored — without a planner.
   Duration shard_lookahead = 0;
+
+  /// Transport layer (src/transport/): one-bit delay marking over the
+  /// router queues plus the sender-side pace tick. Off by default —
+  /// disabled transport schedules no events, marks nothing, and calls no
+  /// router feedback hooks, so the event sequence is byte-identical to the
+  /// pre-transport engine.
+  TransportConfig transport;
 };
 
 class Simulator {
@@ -253,6 +262,9 @@ class Simulator {
     kFault,          // next scheduled FaultEvent (chained like kTopology)
     kChunkFault,     // a doomed chunk's HTLC timeout fires: refund it
     kFaultRecover,   // a stall's auto-recovery (stamp = node fault epoch)
+    // Transport layer (appended for the same reason — transport-off runs
+    // never schedule it, so they stay byte-identical by construction):
+    kTransportPace,  // sender pace tick: re-offer pending to the planner
   };
 
   /// One pooled chunk slot. Slots are recycled through a free list and the
@@ -265,7 +277,9 @@ class Simulator {
     // Router-queue mode state:
     std::size_t hops_locked = 0;   // hops [0, hops_locked) hold our funds
     bool queued = false;           // waiting inside a channel queue
+    bool marked = false;           // transport: one-bit delay mark (§5.2)
     TimePoint queued_at = 0;
+    TimePoint sent_at = 0;         // transport: lock time, for ack RTTs
     std::uint64_t stamp = 0;       // invalidates stale timeout events
     // Intrusive doubly-linked channel-queue membership (slot indices into
     // inflight_; -1 = none). Gives O(1) push/pop/remove without per-edge
@@ -316,6 +330,24 @@ class Simulator {
   void handle_hop_arrive(std::size_t chunk_index, std::uint64_t stamp);
   void handle_queue_timeout(std::size_t chunk_index, std::uint64_t stamp);
   void handle_rebalance();
+  /// Transport pace tick: re-offers every eligible pending payment to the
+  /// (window- and rate-limited) planner, in pending order, then re-arms
+  /// while anything is still pending. Unlike a poll round it neither
+  /// reorders by scheduler policy nor expires deadlines — those stay the
+  /// poll's job — and paced attempts don't count as retries.
+  void handle_transport_pace();
+  /// Transport feedback is live (hooks fire, marks are set, pace ticks may
+  /// be armed).
+  [[nodiscard]] bool transport_on() const { return config_.transport.enabled; }
+  /// The queue bank accounts enqueues/dequeues (any router-queue run, so
+  /// QueueDepthProbe sees real depths even with the transport off).
+  [[nodiscard]] bool queue_bank_active() const {
+    return config_.queueing == QueueingMode::kRouterQueue;
+  }
+  /// A unit just left a channel queue after `wait`: bank accounting plus,
+  /// with the transport on, the one-bit mark decision.
+  void note_dequeue(std::size_t chunk_index, EdgeId edge, int side,
+                    Duration wait);
   void handle_topology(std::size_t change_index);
   /// Schedules the next unscheduled topology change when the chain ran dry.
   void sync_topology_chain();
@@ -362,7 +394,10 @@ class Simulator {
   /// Arms the exponential-backoff gate after a non-atomic attempt.
   void arm_retry_backoff(Payment& p);
   /// Plans + locks for `payment`; returns the amount locked this attempt.
-  Amount attempt(std::size_t payment_index);
+  /// `paced` attempts (transport pace ticks) release window credit that
+  /// freed up mid-poll: they don't count as retries, don't bump the
+  /// attempt counter, and don't re-arm the backoff gate.
+  Amount attempt(std::size_t payment_index, bool paced = false);
   void expire(std::size_t payment_index);
   void finish_payment(std::size_t payment_index, PaymentStatus status);
   void accrue_fees(const Path& path, Amount amount);
@@ -435,6 +470,12 @@ class Simulator {
   // Router-queue mode: intrusive FIFO heads per (edge, direction-side),
   // linked through the chunk table itself.
   std::vector<std::array<ChannelQueue, 2>> channel_queues_;
+  // Transport layer: per-channel queue accounting + marking rule (active in
+  // any router-queue run), the pace-tick chain flag, and every queue wait
+  // observed (for the p99 in metrics()).
+  RouterQueueBank transport_queues_;
+  bool pace_scheduled_ = false;
+  std::vector<double> queue_wait_samples_;
   // On-chain rebalancing: the initial per-side share each deposit tops
   // back up toward, and whether a rebalance tick is scheduled.
   std::vector<std::array<Amount, 2>> initial_side_funds_;

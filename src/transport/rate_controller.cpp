@@ -1,0 +1,99 @@
+#include "transport/rate_controller.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace spider {
+
+std::uint64_t PathRateController::path_key(const Path& path) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (EdgeId e : path.edges) {
+    h ^= static_cast<std::uint64_t>(e);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+PathRateController::PathState& PathRateController::state(const Path& path,
+                                                         TimePoint now) {
+  auto [it, inserted] =
+      paths_.try_emplace(path_key(path), config_, path.length(), now);
+  (void)inserted;
+  return it->second;
+}
+
+Amount PathRateController::admissible(const Path& path, TimePoint now) {
+  PathState& s = state(path, now);
+  Amount window = s.window.window();
+  Amount headroom = window - s.inflight;
+  if (headroom <= 0) return 0;
+  Amount pace =
+      s.pacer.allowance(window, s.rtt.rtt(config_.initial_rtt), now);
+  return std::min(headroom, pace);
+}
+
+void PathRateController::on_send(const Path& path, Amount amount,
+                                 TimePoint now) {
+  PathState& s = state(path, now);
+  s.inflight += amount;
+  total_inflight_ += amount;
+  s.pacer.spend(amount);
+}
+
+void PathRateController::on_ack(const Path& path, Amount amount, bool marked,
+                                Duration rtt, TimePoint now) {
+  PathState& s = state(path, now);
+  SPIDER_ASSERT(s.inflight >= amount && total_inflight_ >= amount);
+  s.inflight -= amount;
+  total_inflight_ -= amount;
+  s.delivered += amount;
+  s.acks += 1;
+  s.rtt.update(rtt);
+  if (marked) {
+    s.marked_acks += 1;
+    s.window.on_negative(amount, config_);
+  } else {
+    s.window.on_positive(amount, config_);
+  }
+}
+
+void PathRateController::on_loss(const Path& path, Amount amount,
+                                 TimePoint now) {
+  PathState& s = state(path, now);
+  SPIDER_ASSERT(s.inflight >= amount && total_inflight_ >= amount);
+  s.inflight -= amount;
+  total_inflight_ -= amount;
+  s.losses += 1;
+  s.window.on_negative(amount, config_);
+}
+
+std::vector<PathRateController::PathView> PathRateController::snapshot()
+    const {
+  std::vector<PathView> out;
+  out.reserve(paths_.size());
+  for (const auto& [key, s] : paths_) {
+    PathView v;
+    v.key = key;
+    v.hops = s.hops;
+    v.window = s.window.window();
+    v.inflight = s.inflight;
+    double rtt_s = to_seconds(s.rtt.rtt(config_.initial_rtt));
+    v.rate_xrp_per_s = rtt_s > 0.0 ? to_xrp(v.window) / rtt_s : 0.0;
+    v.delivered = s.delivered;
+    v.acks = s.acks;
+    v.marked_acks = s.marked_acks;
+    v.losses = s.losses;
+    out.push_back(v);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PathView& a, const PathView& b) { return a.key < b.key; });
+  return out;
+}
+
+Amount PathRateController::window_for(const Path& path) const {
+  auto it = paths_.find(path_key(path));
+  return it == paths_.end() ? config_.initial_window : it->second.window.window();
+}
+
+}  // namespace spider

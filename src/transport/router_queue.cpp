@@ -1,0 +1,18 @@
+#include "transport/router_queue.hpp"
+
+namespace spider {
+
+std::vector<RouterQueueBank::ChannelHighWater> RouterQueueBank::high_water()
+    const {
+  std::vector<ChannelHighWater> out;
+  for (std::size_t e = 0; e < sides_.size(); ++e) {
+    for (int s = 0; s < 2; ++s) {
+      const SideStats& stats = sides_[e][static_cast<std::size_t>(s)];
+      if (stats.hw_chunks == 0) continue;
+      out.push_back({e, s, stats.hw_value, stats.hw_chunks});
+    }
+  }
+  return out;  // already (edge, side)-sorted by construction
+}
+
+}  // namespace spider

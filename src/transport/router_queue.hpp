@@ -1,0 +1,158 @@
+// Transport layer, part 1 of 2: per-channel router queues with one-bit
+// delay marking (§4.2, §5.2).
+//
+// The paper's protocol is a packetized transport: transaction-units queue at
+// routers per (channel, direction), are serviced in FIFO order as channel
+// funds free up, and any unit whose queueing delay exceeds a threshold gets
+// a one-bit ECN-style mark that rides the acknowledgement back to the
+// sender, where the per-path AIMD controller
+// (transport/rate_controller.hpp) reacts.
+//
+// The engine's router-queue mode already owns the queues themselves — the
+// intrusive per-(edge, side) FIFOs linked through the chunk table
+// (sim/simulator.hpp) — so this bank is the transport-layer state OVER
+// them: per-(edge, side) depth in value and in units, per-channel
+// high-water marks, cumulative mark counts, and the marking rule itself.
+// The simulator reports every enqueue/dequeue; the bank answers "should
+// this unit carry a mark" from the wait it observed.
+//
+// Determinism contract: the bank never schedules events and draws no
+// randomness, so keeping its accounting hot in plain router-queue runs
+// (where QueueDepthProbe reads it) cannot perturb event order — transport-
+// off runs stay byte-identical to the pre-transport engine by construction.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/amount.hpp"
+#include "util/assert.hpp"
+#include "util/time.hpp"
+
+namespace spider {
+
+/// Transport-layer knobs (SimConfig::transport). Off by default: a disabled
+/// transport schedules no pace events, marks nothing, and invokes no router
+/// feedback hooks, so the engine's event sequence is byte-identical to a
+/// build without the transport layer.
+struct TransportConfig {
+  bool enabled = false;
+
+  /// One-bit marking rule: a unit dequeued after waiting longer than this
+  /// inside one channel queue carries the mark to its ack (§5.2's delay
+  /// threshold; DCTCP's K translated to queueing delay).
+  Duration mark_threshold = milliseconds(40);
+
+  /// Sender pacing tick: with the transport on, pending payments are
+  /// re-offered to the (window- and rate-limited) planner every
+  /// pace_interval, so releases spread smoothly across the poll interval
+  /// instead of bursting once per poll round. 0 disables the tick (windows
+  /// still cap in-flight value; releases then happen only at polls).
+  Duration pace_interval = milliseconds(100);
+
+  /// AIMD window controller (transport/rate_controller.hpp): initial
+  /// per-path window, its floor, additive-increase gain per unmarked
+  /// acknowledged unit of value (w += additive_step * acked / w), and the
+  /// multiplicative-decrease factor per marked/lost unit of value
+  /// (w -= beta * acked — a fully marked window's worth of acks scales w
+  /// by (1 - beta)).
+  Amount initial_window = xrp(200);
+  Amount min_window = xrp(5);
+  Amount additive_step = xrp(10);
+  double beta = 0.5;
+
+  /// Pacer fallback RTT until a path has delivered its first ack.
+  Duration initial_rtt = seconds(1.0);
+};
+
+/// Per-(edge, direction-side) queue accounting + the marking rule.
+class RouterQueueBank {
+ public:
+  /// One nonzero high-water entry from high_water().
+  struct ChannelHighWater {
+    std::size_t edge = 0;
+    int side = 0;
+    Amount value = 0;
+    std::uint32_t chunks = 0;
+  };
+
+  /// Per-side live depth and lifetime high-water marks.
+  struct SideStats {
+    Amount value = 0;             // value waiting now
+    std::uint32_t chunks = 0;     // units waiting now
+    Amount hw_value = 0;          // lifetime max of `value`
+    std::uint32_t hw_chunks = 0;  // lifetime max of `chunks`
+  };
+
+  /// Re-arms the bank for a run over `num_edges` channels.
+  void begin(std::size_t num_edges, Duration mark_threshold) {
+    SPIDER_ASSERT(mark_threshold > 0);
+    mark_threshold_ = mark_threshold;
+    sides_.assign(num_edges, {SideStats{}, SideStats{}});
+    total_value_ = 0;
+    total_chunks_ = 0;
+    marks_ = 0;
+  }
+
+  /// A channel opened mid-run: grow the flat tables (mirrors the engine's
+  /// channel_queues_ growth).
+  void grow(std::size_t num_edges) {
+    if (sides_.size() < num_edges)
+      sides_.resize(num_edges, {SideStats{}, SideStats{}});
+  }
+
+  /// A unit of `amount` entered the (edge, side) queue.
+  void on_enqueue(std::size_t edge, int side, Amount amount) {
+    SideStats& s = at(edge, side);
+    s.value += amount;
+    s.chunks += 1;
+    if (s.value > s.hw_value) s.hw_value = s.value;
+    if (s.chunks > s.hw_chunks) s.hw_chunks = s.chunks;
+    total_value_ += amount;
+    total_chunks_ += 1;
+  }
+
+  /// A unit left the (edge, side) queue after `wait` (served, timed out, or
+  /// failed by churn/fault); returns whether the one-bit mark is due.
+  /// Callers count the mark only when the transport is enabled — the
+  /// accounting itself stays hot in plain router-queue runs.
+  bool on_dequeue(std::size_t edge, int side, Amount amount, Duration wait) {
+    SideStats& s = at(edge, side);
+    SPIDER_ASSERT(s.value >= amount && s.chunks > 0);
+    s.value -= amount;
+    s.chunks -= 1;
+    total_value_ -= amount;
+    total_chunks_ -= 1;
+    return wait > mark_threshold_;
+  }
+
+  void count_mark() { marks_ += 1; }
+
+  [[nodiscard]] Duration mark_threshold() const { return mark_threshold_; }
+  [[nodiscard]] std::size_t num_edges() const { return sides_.size(); }
+  [[nodiscard]] const SideStats& side(std::size_t edge, int side) const {
+    return sides_[edge][static_cast<std::size_t>(side)];
+  }
+  /// Aggregate live depth across every channel queue.
+  [[nodiscard]] Amount total_value() const { return total_value_; }
+  [[nodiscard]] std::size_t total_chunks() const { return total_chunks_; }
+  /// Lifetime one-bit marks set (transport-enabled runs only).
+  [[nodiscard]] std::int64_t marks() const { return marks_; }
+  /// Nonzero per-channel high-water marks, sorted by (edge, side).
+  [[nodiscard]] std::vector<ChannelHighWater> high_water() const;
+
+ private:
+  [[nodiscard]] SideStats& at(std::size_t edge, int side) {
+    return sides_[edge][static_cast<std::size_t>(side)];
+  }
+
+  Duration mark_threshold_ = milliseconds(40);
+  std::vector<std::array<SideStats, 2>> sides_;
+  Amount total_value_ = 0;
+  std::size_t total_chunks_ = 0;
+  std::int64_t marks_ = 0;
+};
+
+}  // namespace spider

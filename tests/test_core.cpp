@@ -4,6 +4,7 @@
 
 #include <cstdlib>
 #include <fstream>
+#include <stdexcept>
 
 #include "core/experiment.hpp"
 #include "core/spider.hpp"
@@ -21,10 +22,24 @@ TEST(SchemeNames, MatchPaperLegends) {
   EXPECT_EQ(scheme_name(Scheme::kSpeedyMurmurs), "SpeedyMurmurs");
 }
 
-TEST(SchemeLists, PaperSixPlusExtension) {
+TEST(SchemeLists, PaperSixPlusExtensions) {
   EXPECT_EQ(paper_schemes().size(), 6u);
-  EXPECT_EQ(all_schemes().size(), 7u);
-  EXPECT_EQ(all_schemes().back(), Scheme::kSpiderPrimalDual);
+  EXPECT_EQ(all_schemes().size(), 9u);
+  const std::vector<Scheme> schemes = all_schemes();
+  EXPECT_EQ(schemes[6], Scheme::kSpiderPrimalDual);
+  EXPECT_EQ(schemes[7], Scheme::kSpiderDctcp);
+  EXPECT_EQ(schemes[8], Scheme::kBackpressure);
+}
+
+TEST(SchemeLists, SchemeFromNameRoundTripsAndAliases) {
+  for (Scheme scheme : all_schemes())
+    EXPECT_EQ(scheme_from_name(scheme_name(scheme)), scheme);
+  EXPECT_EQ(scheme_from_name("spider-dctcp"), Scheme::kSpiderDctcp);
+  EXPECT_EQ(scheme_from_name("backpressure"), Scheme::kBackpressure);
+  EXPECT_EQ(scheme_from_name("spider-waterfilling"),
+            Scheme::kSpiderWaterfilling);
+  EXPECT_EQ(scheme_from_name("shortest-path"), Scheme::kShortestPath);
+  EXPECT_THROW(scheme_from_name("no-such-scheme"), std::invalid_argument);
 }
 
 TEST(MakeRouter, ProducesEverySchemeWithMatchingName) {

@@ -54,6 +54,9 @@ inline void expect_identical_metrics(const SimMetrics& a,
   EXPECT_DOUBLE_EQ(a.chunk_hops.mean(), b.chunk_hops.mean());
   EXPECT_EQ(a.queue_wait_s.count(), b.queue_wait_s.count());
   EXPECT_DOUBLE_EQ(a.queue_wait_s.mean(), b.queue_wait_s.mean());
+  EXPECT_DOUBLE_EQ(a.queue_delay_p99_s, b.queue_delay_p99_s);
+  EXPECT_EQ(a.chunks_marked, b.chunks_marked);
+  EXPECT_EQ(a.pace_rounds, b.pace_rounds);
   EXPECT_DOUBLE_EQ(a.final_mean_imbalance_xrp, b.final_mean_imbalance_xrp);
   EXPECT_DOUBLE_EQ(a.sim_duration_s, b.sim_duration_s);
   // Catch-all via the defaulted operator==: a SimMetrics field added
