@@ -15,10 +15,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
 #include <map>
 #include <queue>
 
 #include "bench_common.hpp"
+#include "workload/trace_binary.hpp"
 #include "fluid/circulation.hpp"
 #include "graph/ksp.hpp"
 #include "graph/maxflow.hpp"
@@ -754,6 +756,60 @@ void report_quantile_selection() {
     std::cout << "WARNING: nth_element quantile slower than copy+sort\n";
 }
 
+/// Trace-parse guardrail for the packed binary format: streaming a .sptr
+/// through the mmap'd BinaryTraceReader must beat the CSV parser by >= 5x
+/// rows/sec. The format exists to delete parse cost from paper-scale
+/// replays — on little-endian hosts next() returns spans straight into
+/// the mapping, so "parsing" is header validation plus a monotonicity
+/// sweep — and this report keeps that claim measured as both readers
+/// evolve (SPIDER_MICRO_PARSE_TXNS scales the trace, default 200k rows).
+void report_trace_parse_throughput() {
+  using Clock = std::chrono::steady_clock;
+  ScenarioParams params;
+  params.payments = env_int("SPIDER_MICRO_PARSE_TXNS", 200000);
+  const ScenarioInstance scenario = build_scenario("isp", params);
+  const auto tmp = std::filesystem::temp_directory_path();
+  const std::string csv_path = (tmp / "spider_micro_parse.csv").string();
+  const std::string bin_path = (tmp / "spider_micro_parse.sptr").string();
+  write_trace_csv(csv_path, scenario.trace);
+  write_trace_binary(bin_path, scenario.trace);
+
+  const int min_millis = env_int("SPIDER_MICRO_PLANNER_MS", 500);
+  const auto rows_per_second = [&](const std::string& path) {
+    std::int64_t rows = 0;
+    const auto start = Clock::now();
+    double elapsed = 0;
+    while (elapsed * 1000 < min_millis) {
+      const std::unique_ptr<TraceSource> reader = open_trace_source(path);
+      while (true) {
+        const std::span<const PaymentSpec> chunk = reader->next();
+        if (chunk.empty()) break;
+        benchmark::DoNotOptimize(chunk.data());
+        rows += static_cast<std::int64_t>(chunk.size());
+      }
+      elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+    }
+    return static_cast<double>(rows) / elapsed;
+  };
+  const double bin = rows_per_second(bin_path);
+  const double csv = rows_per_second(csv_path);
+  const double speedup = csv > 0 ? bin / csv : 0.0;
+
+  Table table({"trace parse", "rows_per_sec", "speedup_vs_csv"});
+  table.add_row({"binary (.sptr, mmap)", Table::num(bin, 0),
+                 Table::num(speedup, 2)});
+  table.add_row({"csv (from_chars)", Table::num(csv, 0),
+                 Table::num(1.0, 2)});
+  std::cout << "\nTrace parse throughput (rows/sec; 5x budget for binary):\n"
+            << table.render();
+  maybe_write_csv("micro_trace_parse", table);
+  if (speedup < 5.0)
+    std::cout << "WARNING: binary trace parse below the 5x budget ("
+              << Table::num(speedup, 2) << "x CSV)\n";
+  std::filesystem::remove(csv_path);
+  std::filesystem::remove(bin_path);
+}
+
 }  // namespace
 }  // namespace spider
 
@@ -763,6 +819,7 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   spider::report_planner_throughput();
+  spider::report_trace_parse_throughput();
   spider::report_generation_delta_lookup();
   spider::report_shard_consume_overhead();
   spider::report_transport_mark_overhead();

@@ -42,24 +42,36 @@
 // carries the §5.2 parameter-sensitivity table next to the throughput
 // trajectory.
 //
+// Trace-replay-throughput rows: SPIDER_BENCH_REPLAY_TXNS (default 50000;
+// 0 disables) generates one isp workload, writes it both as CSV and as the
+// packed binary .sptr format (workload/trace_binary.hpp), and streams each
+// through replay_trace — rows "trace-replay-csv" / "trace-replay-bin".
+// These rows fill the parse/sim wall-time split: parse_s is a separately
+// timed pure parse pass over the file, wall_s is the full streamed replay
+// (parse + sim interleaved), and sim_s = wall_s - parse_s attributes the
+// remainder — so the perf trajectory shows whether a win came from the
+// parser or the engine. All other rows report parse_s 0 / sim_s == wall_s.
+//
 // Output: a table on stdout, the optional CSV dump every bench supports,
 // and a JSON report (default ./BENCH_throughput.json; SPIDER_BENCH_JSON
 // overrides) whose checked-in copy at the repo root is the baseline future
-// PRs are compared against. Schema (schema_version 5 — v5 adds the
-// transport columns chunks_marked / pace_rounds / queue_delay_p99_s, zero
-// for schemes that never enable the transport layer):
+// PRs are compared against. Schema (schema_version 6 — v6 adds the
+// parse_s / sim_s wall-time split; v5 added the transport columns
+// chunks_marked / pace_rounds / queue_delay_p99_s, zero for schemes that
+// never enable the transport layer):
 //
-//   { "bench": "bench_throughput", "schema_version": 5, "paths_k": K,
+//   { "bench": "bench_throughput", "schema_version": 6, "paths_k": K,
 //     "cores": C,
 //     "results": [ { "scenario", "scheme", "nodes", "edges", "payments",
-//                    "paths_k", "shards", "warm_s", "wall_s", "events",
-//                    "events_per_s", "payments_per_s", "plans_per_s",
-//                    "scaling_x", "success_ratio", "steady_success_ratio",
-//                    "windows", "sim_duration_s", "chunks_marked",
-//                    "pace_rounds", "queue_delay_p99_s", "faults_injected",
-//                    "messages_dropped", "failed_timeout", "failed_churn",
-//                    "failed_fault", "failed_no_path", "retries",
-//                    "deadline_misses" }, ... ] }
+//                    "paths_k", "shards", "warm_s", "wall_s", "parse_s",
+//                    "sim_s", "events", "events_per_s", "payments_per_s",
+//                    "plans_per_s", "scaling_x", "success_ratio",
+//                    "steady_success_ratio", "windows", "sim_duration_s",
+//                    "chunks_marked", "pace_rounds", "queue_delay_p99_s",
+//                    "faults_injected", "messages_dropped",
+//                    "failed_timeout", "failed_churn", "failed_fault",
+//                    "failed_no_path", "retries", "deadline_misses" },
+//                  ... ] }
 //
 // The simulation phase always goes through the session-backed run surface
 // (SpiderNetwork::run is a session wrapper), so the floor gate asserts the
@@ -70,12 +82,15 @@
 // same clock. SPIDER_BENCH_WINDOW_S=0 restores the bare batch run.
 //
 // Perf-smoke gate: SPIDER_BENCH_FLOOR=<file> reads a floor file ('#'
-// comments allowed) with two line forms:
+// comments allowed) with these line forms:
 //
 //   scenario scheme events_per_s        — absolute rate floor (30% grace)
 //   scaling scenario scheme min_x       — scaling_x floor for sharded rows
 //   success scenario scheme min_ratio   — success-ratio floor (no grace;
 //                                         the attack-resilience gate)
+//   payments scenario scheme min_per_s  — payments/sec floor (30% grace;
+//                                         gates the trace-replay rows'
+//                                         end-to-end rate)
 //
 // and exits non-zero on any violation. A floor line whose scenario the
 // current invocation did not measure is skipped with a notice (CI steps
@@ -87,17 +102,22 @@
 // fail for it. CI keeps the floors checked in at bench/perf_floor.txt.
 //
 // Trace-replay byte-identity gate (runs by default; SPIDER_BENCH_REPLAY=0
-// skips): writes a scenario's in-memory workload to disk with
-// write_trace_csv/write_topology_csv, streams it back through a TraceReader
-// + replay_trace, and exits non-zero unless every metric field of the
-// replayed run is identical to the in-memory run that generated the files.
-// When the checked-in reference pair under bench/data/ (override with
-// SPIDER_BENCH_DATA=<dir>) is reachable, the same identity is additionally
-// required between a streamed (chunk 64) and a load-all replay of those
-// fixed external files — the acceptance gate for imported workloads.
+// skips): writes a scenario's in-memory workload to disk in BOTH formats
+// (write_trace_csv/write_topology_csv and their .sptr/.sptp binary
+// counterparts), streams each back through replay_trace, and exits
+// non-zero unless every metric field of both replayed runs is identical to
+// the in-memory run that generated the files — streamed-binary ==
+// streamed-CSV == in-memory batch, with the binary side rebuilt from the
+// binary topology snapshot. When the checked-in reference pair under
+// bench/data/ (override with SPIDER_BENCH_DATA=<dir>) is reachable, the
+// same identity is additionally required between a streamed (chunk 64)
+// and a load-all replay of those fixed external files, and the checked-in
+// .sptr twin must replay identically to the CSV — the acceptance gate for
+// imported workloads.
 //
 // The paper point: SPIDER_BENCH_SCENARIOS=ripple-full runs the pruned-Ripple
 // scale (3774 nodes, 200k transactions by default — §6.1's headline setup).
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <filesystem>
@@ -110,6 +130,7 @@
 
 #include "bench_common.hpp"
 #include "core/replay.hpp"
+#include "workload/trace_binary.hpp"
 
 namespace spider {
 namespace {
@@ -130,6 +151,11 @@ struct ThroughputRow {
   int shards = 1;
   double warm_s = 0.0;
   double wall_s = 0.0;
+  // Wall-time split (schema v6): replay rows attribute wall_s between a
+  // separately timed pure parse pass (parse_s) and the remainder (sim_s);
+  // non-replay rows report parse_s 0 and sim_s == wall_s.
+  double parse_s = 0.0;
+  double sim_s = 0.0;
   std::uint64_t events = 0;
   double events_per_s = 0.0;
   double payments_per_s = 0.0;
@@ -207,7 +233,7 @@ void write_json(const std::string& path, int paths_k,
     return;
   }
   out << "{\n  \"bench\": \"bench_throughput\",\n"
-      << "  \"schema_version\": 5,\n"
+      << "  \"schema_version\": 6,\n"
       << "  \"paths_k\": " << paths_k << ",\n"
       << "  \"cores\": " << std::thread::hardware_concurrency()
       << ",\n  \"results\": [\n";
@@ -221,6 +247,8 @@ void write_json(const std::string& path, int paths_k,
         << ", \"shards\": " << r.shards
         << ", \"warm_s\": " << json_num(r.warm_s)
         << ", \"wall_s\": " << json_num(r.wall_s)
+        << ", \"parse_s\": " << json_num(r.parse_s)
+        << ", \"sim_s\": " << json_num(r.sim_s)
         << ", \"events\": " << r.events
         << ", \"events_per_s\": " << json_num(r.events_per_s, 0)
         << ", \"payments_per_s\": " << json_num(r.payments_per_s, 0)
@@ -248,7 +276,8 @@ void write_json(const std::string& path, int paths_k,
 }
 
 /// Returns the number of floor violations. Absolute lines gate
-/// events_per_s (30% grace); "scaling" lines gate scaling_x on sharded
+/// events_per_s and "payments" lines gate payments_per_s (both with 30%
+/// grace — they are timings); "scaling" lines gate scaling_x on sharded
 /// rows, skipped when the host has fewer cores than the row's shard count.
 /// Lines whose scenario the run did not measure are skipped with a notice;
 /// a measured scenario whose scheme matches nothing fails closed.
@@ -283,12 +312,16 @@ int check_floor(const std::string& floor_path,
     double floor = 0.0;
     bool scaling = false;
     bool success = false;
+    bool payments = false;
     if (!(fields >> scenario)) continue;
     if (scenario == "scaling") {
       scaling = true;
       if (!(fields >> scenario)) continue;
     } else if (scenario == "success") {
       success = true;
+      if (!(fields >> scenario)) continue;
+    } else if (scenario == "payments") {
+      payments = true;
       if (!(fields >> scenario)) continue;
     }
     if (!(fields >> scheme >> floor)) continue;
@@ -333,10 +366,12 @@ int check_floor(const std::string& floor_path,
         continue;
       }
       const double minimum = floor * (1.0 - kAllowedRegression);
-      if (r.events_per_s < minimum) {
+      const double rate = payments ? r.payments_per_s : r.events_per_s;
+      const char* unit = payments ? "payments/s" : "events/s";
+      if (rate < minimum) {
         std::cerr << "PERF REGRESSION: " << scenario << " / " << r.scheme
-                  << " at " << json_num(r.events_per_s, 0)
-                  << " events/s, below " << json_num(minimum, 0)
+                  << " at " << json_num(rate, 0) << " " << unit
+                  << ", below " << json_num(minimum, 0)
                   << " (floor " << json_num(floor, 0) << " - 30%)\n";
         ++violations;
       }
@@ -361,7 +396,11 @@ int check_replay_identity() {
   int violations = 0;
   std::cout << "\ntrace-replay byte-identity gate:\n";
 
-  // 1. Round-trip gate: in-memory generation -> disk -> streamed replay.
+  // 1. Round-trip gate: in-memory generation -> disk -> streamed replay,
+  // in BOTH trace formats. Each replay side rebuilds its network from the
+  // WRITTEN topology file (CSV or binary snapshot respectively), so a
+  // corrupting topology reader regression breaks identity here rather than
+  // only in the optional reference leg.
   ScenarioParams params;
   params.payments = 600;
   params.traffic_seed = 18;
@@ -371,30 +410,50 @@ int check_replay_identity() {
                                      .string();
   const std::string topo_path = (tmp / "spider_bench_replay_topology.csv")
                                     .string();
+  const std::string bin_trace_path =
+      (tmp / "spider_bench_replay_trace.sptr").string();
+  const std::string bin_topo_path =
+      (tmp / "spider_bench_replay_topology.sptp").string();
   write_trace_csv(trace_path, scenario.trace);
   write_topology_csv(scenario.graph, topo_path);
+  write_trace_binary(bin_trace_path, scenario.trace);
+  write_topology_binary(scenario.graph, bin_topo_path);
   const SpiderNetwork net(scenario.graph, scenario.config);
-  // The replay side rebuilds its network from the WRITTEN topology file, so
-  // a corrupting read_topology_csv regression breaks identity here rather
-  // than only in the optional reference leg.
-  const SpiderNetwork imported_net(read_topology_csv(topo_path),
+  const SpiderNetwork imported_net(read_topology_any(topo_path),
                                    scenario.config);
+  const SpiderNetwork bin_net(read_topology_any(bin_topo_path),
+                              scenario.config);
   for (const Scheme scheme : schemes) {
     const SimMetrics in_memory =
         net.run(scheme, scenario.trace, net.config().sim.seed);
-    TraceReader reader(trace_path, TraceReaderOptions{128});
     ReplayOptions options;
     options.demand_hint = &scenario.trace;
+    // Streamed CSV vs in-memory batch.
+    const auto csv_reader =
+        open_trace_source(trace_path, TraceReaderOptions{128});
     const ReplayResult replayed = replay_trace(
-        imported_net, scheme, net.config().sim.seed, reader, options);
-    const bool ok = in_memory == replayed.metrics;
+        imported_net, scheme, net.config().sim.seed, *csv_reader, options);
+    const bool csv_ok = in_memory == replayed.metrics;
     std::cout << "  written-trace replay  / " << scheme_name(scheme) << ": "
-              << (ok ? "identical" : "MISMATCH") << " (peak buffer "
+              << (csv_ok ? "identical" : "MISMATCH") << " (peak buffer "
               << replayed.peak_buffered << " specs)\n";
-    if (!ok) ++violations;
+    if (!csv_ok) ++violations;
+    // Streamed binary vs the same batch: streamed-binary == streamed-CSV
+    // == in-memory, across a different chunk size for good measure.
+    const auto bin_reader =
+        open_trace_source(bin_trace_path, TraceReaderOptions{96});
+    const ReplayResult bin_replayed = replay_trace(
+        bin_net, scheme, net.config().sim.seed, *bin_reader, options);
+    const bool bin_ok = in_memory == bin_replayed.metrics;
+    std::cout << "  binary-trace replay   / " << scheme_name(scheme) << ": "
+              << (bin_ok ? "identical" : "MISMATCH") << " (peak buffer "
+              << bin_replayed.peak_buffered << " specs)\n";
+    if (!bin_ok) ++violations;
   }
   std::filesystem::remove(trace_path);
   std::filesystem::remove(topo_path);
+  std::filesystem::remove(bin_trace_path);
+  std::filesystem::remove(bin_topo_path);
 
   // 2. Reference-trace gate: the checked-in external workload must replay
   // the same streamed and load-all (skipped with a notice when the data
@@ -413,6 +472,13 @@ int check_replay_identity() {
   ref_params.topology_file = ref_topo;
   const ScenarioInstance ref = build_scenario("trace-replay", ref_params);
   const SpiderNetwork ref_net(ref.graph, ref.config);
+  // The checked-in .sptr twin of the reference trace, when present, must
+  // replay identically to the CSV it was converted from.
+  const std::string ref_bin = data_dir + "/isp_ref_trace.sptr";
+  const bool have_bin = std::filesystem::exists(ref_bin);
+  if (!have_bin)
+    std::cout << "  binary reference " << ref_bin
+              << " not reachable — skipping the .sptr leg\n";
   for (const Scheme scheme : schemes) {
     const SimMetrics loaded =
         ref_net.run(scheme, ref.trace, ref_net.config().sim.seed);
@@ -426,8 +492,97 @@ int check_replay_identity() {
               << (ok ? "identical" : "MISMATCH") << " (" << ref.trace.size()
               << " payments)\n";
     if (!ok) ++violations;
+    if (!have_bin) continue;
+    BinaryTraceReader bin_reader(ref_bin, TraceReaderOptions{64});
+    const ReplayResult bin_streamed = replay_trace(
+        ref_net, scheme, ref_net.config().sim.seed, bin_reader, options);
+    const bool bin_ok = loaded == bin_streamed.metrics;
+    std::cout << "  reference .sptr replay/ " << scheme_name(scheme) << ": "
+              << (bin_ok ? "identical" : "MISMATCH") << "\n";
+    if (!bin_ok) ++violations;
   }
   return violations;
+}
+
+/// Replay-throughput rows (schema v6's reason to exist): one generated isp
+/// workload written in both trace formats, each streamed through
+/// replay_trace with the parse share measured separately. The binary rows
+/// are where the packed format's end-to-end win lands in the trajectory.
+/// SPIDER_BENCH_REPLAY_TXNS sizes the trace (default 50000; 0 disables).
+std::vector<ThroughputRow> measure_replay_rows() {
+  std::vector<ThroughputRow> rows;
+  const int txns = env_int("SPIDER_BENCH_REPLAY_TXNS", 50000);
+  if (txns <= 0) return rows;
+  ScenarioParams params;
+  params.payments = txns;
+  params.traffic_seed = 18;
+  params.tx_per_second = 4000.0;  // the 1M-stress arrival rate, scaled down
+  const ScenarioInstance scenario = build_scenario("isp", params);
+  const auto tmp = std::filesystem::temp_directory_path();
+  const std::string csv_path = (tmp / "spider_bench_replay_rate.csv")
+                                   .string();
+  const std::string bin_path = (tmp / "spider_bench_replay_rate.sptr")
+                                   .string();
+  write_trace_csv(csv_path, scenario.trace);
+  write_trace_binary(bin_path, scenario.trace);
+  const SpiderNetwork net(scenario.graph, scenario.config);
+  const auto warm_start = Clock::now();
+  net.warm_paths(scenario.trace);
+  const double warm_s = seconds_since(warm_start);
+  const Scheme scheme = Scheme::kShortestPath;
+  std::cout << "\ntrace-replay throughput (" << scenario.trace.size()
+            << " payments, " << scheme_name(scheme) << "):\n";
+  for (const bool binary : {false, true}) {
+    const std::string& path = binary ? bin_path : csv_path;
+    // Parse phase alone: stream every chunk, simulate nothing.
+    const auto parse_start = Clock::now();
+    {
+      const auto parse_reader = open_trace_source(path);
+      while (!parse_reader->next().empty()) {
+      }
+    }
+    const double parse_s = seconds_since(parse_start);
+    const auto reader = open_trace_source(path);
+    const auto start = Clock::now();
+    const ReplayResult replayed =
+        replay_trace(net, scheme, net.config().sim.seed, *reader);
+    const double wall = seconds_since(start);
+    ThroughputRow row;
+    row.scenario = binary ? "trace-replay-bin" : "trace-replay-csv";
+    row.scheme = scheme_name(scheme);
+    row.nodes = scenario.graph.num_nodes();
+    row.edges = scenario.graph.num_edges();
+    row.payments = replayed.payments;
+    row.paths_k = net.config().num_paths;
+    row.warm_s = warm_s;
+    row.wall_s = wall;
+    row.parse_s = parse_s;
+    row.sim_s = std::max(0.0, wall - parse_s);
+    row.events = replayed.metrics.events_processed;
+    row.events_per_s =
+        static_cast<double>(replayed.metrics.events_processed) / wall;
+    row.payments_per_s = static_cast<double>(replayed.payments) / wall;
+    row.plans_per_s =
+        static_cast<double>(replayed.metrics.plans_requested) / wall;
+    row.success_ratio = replayed.metrics.success_ratio();
+    row.sim_duration_s = replayed.metrics.sim_duration_s;
+    rows.push_back(row);
+  }
+  std::filesystem::remove(csv_path);
+  std::filesystem::remove(bin_path);
+  Table table({"format", "payments", "parse_s", "wall_s", "sim_s",
+               "payments/s", "parse speedup"});
+  for (const ThroughputRow& r : rows)
+    table.add_row({r.scenario, std::to_string(r.payments),
+                   Table::num(r.parse_s, 3), Table::num(r.wall_s, 3),
+                   Table::num(r.sim_s, 3), Table::num(r.payments_per_s, 0),
+                   Table::num(rows.front().parse_s /
+                                  std::max(r.parse_s, 1e-9),
+                              1) +
+                       "x"});
+  std::cout << "\n" << table.render();
+  maybe_write_csv("throughput_replay", table);
+  return rows;
 }
 
 /// Times one scenario × scheme run through `net` (serial when
@@ -471,6 +626,7 @@ ThroughputRow measure_row(const SpiderNetwork& net,
   row.shards = net.config().shards;
   row.warm_s = warm_s;
   row.wall_s = wall;
+  row.sim_s = wall;  // no parse phase: the whole wall is simulation
   row.events = m.events_processed;
   row.events_per_s = static_cast<double>(m.events_processed) / wall;
   row.payments_per_s = static_cast<double>(row.payments) / wall;
@@ -690,6 +846,14 @@ int run() {
     std::cout << "\n" << sweep_table.render();
     maybe_write_csv("throughput_transport", sweep_table);
     rows.insert(rows.end(), sweep_rows.begin(), sweep_rows.end());
+  }
+
+  // Trace-replay-throughput section: the parse/sim split rows for both
+  // trace formats, joined before the JSON/floor stage so `payments` floor
+  // lines gate the end-to-end replay rate.
+  {
+    const std::vector<ThroughputRow> replay_rows = measure_replay_rows();
+    rows.insert(rows.end(), replay_rows.begin(), replay_rows.end());
   }
 
   const std::string json_path = std::getenv("SPIDER_BENCH_JSON") != nullptr

@@ -7,7 +7,7 @@
 namespace spider {
 
 ReplayResult replay_trace(const SpiderNetwork& network, Scheme scheme,
-                          std::uint64_t seed, TraceReader& reader,
+                          std::uint64_t seed, TraceSource& reader,
                           const ReplayOptions& options) {
   SessionOptions session_options;
   session_options.metrics_window = options.metrics_window;
@@ -30,11 +30,11 @@ ReplayResult replay_trace(const SpiderNetwork& network, Scheme scheme,
   // the advance and released, so the resident buffer is bounded by the
   // chunk size plus the longest run of identical arrival timestamps.
   while (true) {
-    const std::vector<PaymentSpec>& chunk = reader.next_chunk();
+    const std::span<const PaymentSpec> chunk = reader.next();
     if (chunk.empty()) break;
     validate_trace_nodes(chunk.data(), chunk.size(), num_nodes,
                          reader.payments_read() - chunk.size());
-    session.submit(chunk);
+    session.submit(chunk.data(), chunk.size());
     result.peak_buffered = std::max(result.peak_buffered, session.buffered());
     session.advance_until(chunk.back().arrival - 1);
     session.release_replayed();

@@ -1,8 +1,8 @@
-// Streaming trace replay: drive a SimSession from a TraceReader in
-// bounded-memory chunks.
+// Streaming trace replay: drive a SimSession from any TraceSource (CSV
+// TraceReader or mmap'd BinaryTraceReader) in bounded-memory chunks.
 //
 // replay_trace() is the experiment layer's end of the trace-driven
-// pipeline: TraceReader parses payments from disk chunk by chunk, each
+// pipeline: the reader yields payments from disk chunk by chunk, each
 // chunk is submitted through SimSession::submit, the clock advances, and
 // the consumed buffer prefix is released — so a 1M+ payment trace replays
 // with a resident PaymentSpec buffer bounded by the chunk size plus the
@@ -33,7 +33,7 @@
 
 #include "core/spider.hpp"
 #include "sim/observer.hpp"
-#include "workload/trace_reader.hpp"
+#include "workload/trace_source.hpp"
 
 namespace spider {
 
@@ -62,7 +62,7 @@ struct ReplayResult {
 /// outside the network's topology (validated per chunk, before submission).
 [[nodiscard]] ReplayResult replay_trace(const SpiderNetwork& network,
                                         Scheme scheme, std::uint64_t seed,
-                                        TraceReader& reader,
+                                        TraceSource& reader,
                                         const ReplayOptions& options = {});
 
 }  // namespace spider

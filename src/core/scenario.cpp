@@ -8,6 +8,7 @@
 #include "core/experiment.hpp"
 #include "topology/topology.hpp"
 #include "workload/size_dist.hpp"
+#include "workload/trace_binary.hpp"
 #include "workload/trace_io.hpp"
 
 namespace spider {
@@ -404,14 +405,15 @@ ScenarioRegistry::ScenarioRegistry() {
   // --- Trace-driven workloads (imported topology + captured payments) ---
   add("trace-replay",
       "Replay an externally captured workload: channel-list topology from "
-      "SPIDER_TOPOLOGY_FILE (node_a,node_b,capacity_millis) and payments "
-      "from SPIDER_TRACE_FILE (write_trace_csv schema) — how real "
-      "Ripple/Lightning traces, or traces emitted by spider_trace_gen, "
-      "enter every registry surface (runner grids, benches, sessions). "
-      "SPIDER_TXNS caps the replayed prefix; SPIDER_CAPACITY_XRP overrides "
-      "every imported channel's escrow. For traces too large to "
-      "materialize, drive a TraceReader through replay_trace "
-      "(core/replay.hpp) instead of building this instance",
+      "SPIDER_TOPOLOGY_FILE (node_a,node_b,capacity_millis CSV, or a .sptp "
+      "binary snapshot) and payments from SPIDER_TRACE_FILE "
+      "(write_trace_csv schema, or a .sptr binary trace) — dispatch is by "
+      "file extension. This is how real Ripple/Lightning traces, or traces "
+      "emitted by spider_trace_gen, enter every registry surface (runner "
+      "grids, benches, sessions). SPIDER_TXNS caps the replayed prefix; "
+      "SPIDER_CAPACITY_XRP overrides every imported channel's escrow. For "
+      "traces too large to materialize, drive a TraceSource through "
+      "replay_trace (core/replay.hpp) instead of building this instance",
       [](const ScenarioParams& p) {
         if (p.trace_file.empty() || p.topology_file.empty())
           throw std::invalid_argument(
@@ -419,10 +421,10 @@ ScenarioRegistry::ScenarioRegistry() {
               "(ScenarioParams::trace_file / topology_file)");
         ScenarioInstance instance;
         instance.name = "trace-replay";
-        instance.graph = read_topology_csv(p.topology_file);
+        instance.graph = read_topology_any(p.topology_file);
         if (p.capacity_xrp > 0)
           instance.graph.set_uniform_capacity(xrp(p.capacity_xrp));
-        instance.trace = read_trace_csv(p.trace_file);
+        instance.trace = read_trace_any(p.trace_file);
         if (p.payments > 0 &&
             instance.trace.size() > static_cast<std::size_t>(p.payments))
           instance.trace.resize(static_cast<std::size_t>(p.payments));

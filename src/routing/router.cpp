@@ -44,9 +44,9 @@ void VirtualBalances::reset() {
 }
 
 Amount VirtualBalances::available(NodeId from, EdgeId e) const {
-  const Channel& ch = network_->channel(e);
-  const int side = ch.side_of(from);
-  return std::max<Amount>(0, ch.balance(side) - used(e, side));
+  const int side = network_->hot_side(e, from);
+  return std::max<Amount>(0,
+                          network_->hot_balance(e, side) - used(e, side));
 }
 
 Amount VirtualBalances::path_bottleneck(const Path& path) const {
@@ -64,8 +64,8 @@ void VirtualBalances::use(const Path& path, Amount amount) {
                     "virtual lock exceeds bottleneck");
   for (std::size_t h = 0; h < path.edges.size(); ++h) {
     const EdgeId e = path.edges[h];
-    const Channel& ch = network_->channel(e);
-    const auto side = static_cast<std::size_t>(ch.side_of(path.nodes[h]));
+    const auto side =
+        static_cast<std::size_t>(network_->hot_side(e, path.nodes[h]));
     Slot& slot = slots_[static_cast<std::size_t>(e) * 2 + side];
     if (slot.epoch != epoch_) {
       slot.epoch = epoch_;

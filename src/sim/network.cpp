@@ -6,14 +6,29 @@
 namespace spider {
 
 Network::Network(const Graph& graph, double split_a) : graph_(graph) {
-  channels_.reserve(static_cast<std::size_t>(graph_.num_edges()));
+  const auto edges = static_cast<std::size_t>(graph_.num_edges());
+  channels_.reserve(edges);
+  hot_balance_.reserve(edges * 2);
+  hot_end_a_.reserve(edges);
   for (EdgeId e = 0; e < graph_.num_edges(); ++e) {
     const Graph::Edge& ed = graph_.edge(e);
     channels_.emplace_back(e, ed.a, ed.b, ed.capacity, split_a);
     // A pre-closed edge in the source graph arrives as a closed (all-zero)
     // channel, so networks rebuilt from a churned topology stay consistent.
     if (ed.closed) (void)channels_.back().close();
+    const Channel& c = channels_.back();
+    hot_balance_.push_back(c.balance(0));
+    hot_balance_.push_back(c.balance(1));
+    hot_end_a_.push_back(ed.a);
   }
+}
+
+void Network::refresh_hot() const {
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    hot_balance_[i * 2] = channels_[i].balance(0);
+    hot_balance_[i * 2 + 1] = channels_[i].balance(1);
+  }
+  hot_stale_ = false;
 }
 
 EdgeId Network::open_channel(NodeId a, NodeId b, Amount capacity,
@@ -24,6 +39,10 @@ EdgeId Network::open_channel(NodeId a, NodeId b, Amount capacity,
                         << " would be an unroutable edge");
   const EdgeId e = graph_.add_edge(a, b, capacity);
   channels_.emplace_back(e, a, b, capacity, split_a);
+  const Channel& c = channels_.back();
+  hot_balance_.push_back(c.balance(0));
+  hot_balance_.push_back(c.balance(1));
+  hot_end_a_.push_back(a);
   onchain_inflow_ += capacity;
   ++generation_;
   note_balance(e, 0);
@@ -33,6 +52,7 @@ EdgeId Network::open_channel(NodeId a, NodeId b, Amount capacity,
 
 Amount Network::close_channel(EdgeId e) {
   const Amount swept = ch(e).close();  // asserts open and no inflight
+  hot_sync(e);
   graph_.close_edge(e);
   escrow_returned_ += swept;
   ++generation_;
@@ -43,6 +63,7 @@ Amount Network::close_channel(EdgeId e) {
 
 void Network::deposit_channel(EdgeId e, int side, Amount amount) {
   ch(e).deposit(side, amount);
+  hot_sync(e);
   onchain_inflow_ += amount;
   ++generation_;
   note_balance(e, side);
@@ -52,6 +73,7 @@ void Network::mirror_from(const Network& src) {
   SPIDER_ASSERT_MSG(channels_.size() == src.channels_.size(),
                     "mirror_from requires structurally identical networks");
   channels_ = src.channels_;
+  hot_stale_ = true;  // O(E) copy anyway; rebuild lazily on first hot read
   generation_ = src.generation_;
   escrow_returned_ = src.escrow_returned_;
   onchain_inflow_ = src.onchain_inflow_;
@@ -64,6 +86,7 @@ void Network::mirror_channels_from(const Network& src, const EdgeId* edges,
     const auto e = static_cast<std::size_t>(edges[i]);
     SPIDER_ASSERT(e < channels_.size());
     channels_[e] = src.channels_[e];
+    hot_sync(edges[i]);
   }
   generation_ = src.generation_;
   escrow_returned_ = src.escrow_returned_;
@@ -96,17 +119,19 @@ const Channel& Network::channel(EdgeId e) const {
 }
 
 Amount Network::available(NodeId from, EdgeId e) const {
-  const Channel& ch = channel(e);
-  return ch.balance(ch.side_of(from));
+  return hot_balance(e, hot_side(e, from));
 }
 
 Amount Network::path_bottleneck(const Path& path) const {
   SPIDER_ASSERT(!path.empty());
   if (path.edges.empty()) return 0;
+  if (hot_stale_) refresh_hot();
   Amount bottleneck = std::numeric_limits<Amount>::max();
   for (std::size_t h = 0; h < path.edges.size(); ++h) {
-    const Channel& c = ch(path.edges[h]);
-    bottleneck = std::min(bottleneck, c.balance(c.side_of(path.nodes[h])));
+    const EdgeId e = path.edges[h];
+    const auto idx = static_cast<std::size_t>(e) * 2 +
+                     static_cast<std::size_t>(hot_side(e, path.nodes[h]));
+    bottleneck = std::min(bottleneck, hot_balance_[idx]);
   }
   return bottleneck;
 }
@@ -114,9 +139,12 @@ Amount Network::path_bottleneck(const Path& path) const {
 bool Network::can_send(const Path& path, Amount amount) const {
   SPIDER_ASSERT(amount >= 0);
   if (path.edges.empty()) return false;
+  if (hot_stale_) refresh_hot();
   for (std::size_t h = 0; h < path.edges.size(); ++h) {
-    const Channel& c = ch(path.edges[h]);
-    if (c.balance(c.side_of(path.nodes[h])) < amount) return false;
+    const EdgeId e = path.edges[h];
+    const auto idx = static_cast<std::size_t>(e) * 2 +
+                     static_cast<std::size_t>(hot_side(e, path.nodes[h]));
+    if (hot_balance_[idx] < amount) return false;
   }
   return true;
 }
@@ -139,6 +167,7 @@ void Network::lock_path(const Path& path, Amount amount) {
   }
   for (std::size_t h = 0; h < hops; ++h) {
     ch(path.edges[h]).lock(side_scratch_[h], amount);
+    hot_sync(path.edges[h]);
     note_balance(path.edges[h], side_scratch_[h]);
   }
 }
@@ -148,6 +177,7 @@ void Network::settle_path(const Path& path, Amount amount) {
     Channel& c = ch(path.edges[h]);
     const int side = c.side_of(path.nodes[h]);
     c.settle(side, amount);
+    hot_sync(path.edges[h]);
     note_balance(path.edges[h], 1 - side);  // settle credits the peer side
   }
 }
@@ -157,6 +187,7 @@ void Network::refund_path(const Path& path, Amount amount) {
     Channel& c = ch(path.edges[h]);
     const int side = c.side_of(path.nodes[h]);
     c.refund(side, amount);
+    hot_sync(path.edges[h]);
     note_balance(path.edges[h], side);
   }
 }
@@ -184,6 +215,15 @@ double Network::mean_imbalance_xrp() const {
 
 void Network::check_invariants() const {
   for (const Channel& ch : channels_) ch.check_invariant();
+  // The hot mirror must agree with the authoritative records whenever it
+  // is not pending a lazy rebuild.
+  if (!hot_stale_) {
+    for (std::size_t i = 0; i < channels_.size(); ++i) {
+      SPIDER_ASSERT_MSG(hot_balance_[i * 2] == channels_[i].balance(0) &&
+                            hot_balance_[i * 2 + 1] == channels_[i].balance(1),
+                        "hot balance mirror diverged on edge " << i);
+    }
+  }
 }
 
 }  // namespace spider

@@ -13,6 +13,18 @@
 // escrow_returned(): total_funds() + escrow_returned() is conserved across
 // closes (deposits are the only operation that grows the sum), which
 // tests/test_dynamic_topology.cpp asserts with chunks in flight.
+//
+// Hot-state layout: the planner inner loops (waterfilling's per-hop
+// bottleneck probe, can_send feasibility scans, VirtualBalances overlays)
+// read only two Channel fields — balance(side) and which endpoint is side
+// 0 — yet an AoS walk drags the whole 64-byte Channel record through the
+// cache per hop. Those two fields are therefore mirrored into flat arrays
+// indexed by edge id (hot_balance(e, side), hot_side(e, from)); Channel
+// stays the cold, authoritative record. Every Network-mediated mutation
+// resyncs the touched edge in O(1). The one escape hatch — callers
+// mutating a Channel& directly — is the SimSession::network() injection
+// point, which already must call note_external_mutation(); that marks the
+// mirror stale and the next hot read refreshes it in one O(E) pass.
 #pragma once
 
 #include <cstdint>
@@ -83,8 +95,13 @@ class Network {
 
   /// Records that the caller mutated channel state directly (the
   /// SimSession::network() injection point) so routers refresh exactly as
-  /// they would after a scheduled topology event.
-  void note_external_mutation() { ++generation_; }
+  /// they would after a scheduled topology event. Also marks the hot
+  /// balance mirror stale: the caller holds a raw Channel&, so the next
+  /// hot read rebuilds the mirror from the authoritative records.
+  void note_external_mutation() {
+    ++generation_;
+    hot_stale_ = true;
+  }
 
   // --- Sharded-engine surface (see sim/speculation.hpp) ----------------
 
@@ -103,19 +120,23 @@ class Network {
   /// which historically moves funds without a topology event).
   void lock_one(EdgeId e, int side, Amount amount) {
     ch(e).lock(side, amount);
+    hot_sync(e);
     note_balance(e, side);  // balance[side] shrank
   }
   void settle_one(EdgeId e, int side, Amount amount) {
     ch(e).settle(side, amount);
+    hot_sync(e);
     note_balance(e, 1 - side);  // settle credits the OTHER side's balance
   }
   void refund_one(EdgeId e, int side, Amount amount) {
     ch(e).refund(side, amount);
+    hot_sync(e);
     note_balance(e, side);  // inflight returned to side's own balance
   }
   void deposit_one(EdgeId e, int side, Amount amount) {
     ch(e).deposit(side, amount);
     onchain_inflow_ += amount;
+    hot_sync(e);
     note_balance(e, side);
   }
 
@@ -133,6 +154,28 @@ class Network {
   /// channels), not O(E).
   void mirror_channels_from(const Network& src, const EdgeId* edges,
                             std::size_t count);
+
+  // --- Hot-state (SoA) surface -----------------------------------------
+
+  /// Which balance side `from` spends on edge `e`, answered from the flat
+  /// endpoint array (endpoints are immutable after a channel is created,
+  /// so this never needs a staleness check).
+  [[nodiscard]] int hot_side(EdgeId e, NodeId from) const {
+    SPIDER_ASSERT(e >= 0 &&
+                  static_cast<std::size_t>(e) < hot_end_a_.size());
+    return from == hot_end_a_[static_cast<std::size_t>(e)] ? 0 : 1;
+  }
+
+  /// channel(e).balance(side), answered from the contiguous hot mirror.
+  /// Refreshes the whole mirror first if an external mutation marked it
+  /// stale (see note_external_mutation).
+  [[nodiscard]] Amount hot_balance(EdgeId e, int side) const {
+    if (hot_stale_) refresh_hot();
+    const auto idx = static_cast<std::size_t>(e) * 2 +
+                     static_cast<std::size_t>(side);
+    SPIDER_ASSERT(e >= 0 && idx < hot_balance_.size());
+    return hot_balance_[idx];
+  }
 
   // --- Path-level runtime operations ----------------------------------
 
@@ -183,8 +226,29 @@ class Network {
     if (listener_ != nullptr) listener_->on_balance_mutation(e, side);
   }
 
+  /// Re-mirrors one edge's balances into the hot arrays after a mediated
+  /// mutation. Two loads + two stores; the authoritative record was just
+  /// touched so both lines are warm.
+  void hot_sync(EdgeId e) {
+    const auto i = static_cast<std::size_t>(e);
+    const Channel& c = channels_[i];
+    hot_balance_[i * 2] = c.balance(0);
+    hot_balance_[i * 2 + 1] = c.balance(1);
+  }
+
+  /// Rebuilds the whole hot mirror from the authoritative channels (O(E));
+  /// runs lazily on the first hot read after note_external_mutation() or a
+  /// full mirror_from().
+  void refresh_hot() const;
+
   Graph graph_;  // private copy: churn never touches the shared topology
   std::vector<Channel> channels_;
+  // Hot SoA mirrors of the planner-read Channel fields: balance[2*e+side]
+  // and endpoint a per edge (see header comment). Mutable + stale flag so
+  // const hot reads can lazily rebuild after an external mutation.
+  mutable std::vector<Amount> hot_balance_;
+  std::vector<NodeId> hot_end_a_;
+  mutable bool hot_stale_ = false;
   std::uint64_t generation_ = 0;
   Amount escrow_returned_ = 0;
   Amount onchain_inflow_ = 0;

@@ -16,5 +16,6 @@
 #include "graph/maxflow.hpp"     // IWYU pragma: export
 #include "topology/topology.hpp" // IWYU pragma: export
 #include "workload/churn.hpp"    // IWYU pragma: export
+#include "workload/trace_binary.hpp" // IWYU pragma: export
 #include "workload/trace_io.hpp" // IWYU pragma: export
 #include "workload/trace_reader.hpp" // IWYU pragma: export

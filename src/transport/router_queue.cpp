@@ -5,11 +5,11 @@ namespace spider {
 std::vector<RouterQueueBank::ChannelHighWater> RouterQueueBank::high_water()
     const {
   std::vector<ChannelHighWater> out;
-  for (std::size_t e = 0; e < sides_.size(); ++e) {
+  for (std::size_t e = 0; e < high_water_.size(); ++e) {
     for (int s = 0; s < 2; ++s) {
-      const SideStats& stats = sides_[e][static_cast<std::size_t>(s)];
-      if (stats.hw_chunks == 0) continue;
-      out.push_back({e, s, stats.hw_value, stats.hw_chunks});
+      const SideHighWater& hw = high_water_[e][static_cast<std::size_t>(s)];
+      if (hw.chunks == 0) continue;
+      out.push_back({e, s, hw.value, hw.chunks});
     }
   }
   return out;  // already (edge, side)-sorted by construction

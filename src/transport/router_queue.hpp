@@ -78,19 +78,30 @@ class RouterQueueBank {
     std::uint32_t chunks = 0;
   };
 
-  /// Per-side live depth and lifetime high-water marks.
-  struct SideStats {
-    Amount value = 0;             // value waiting now
-    std::uint32_t chunks = 0;     // units waiting now
-    Amount hw_value = 0;          // lifetime max of `value`
-    std::uint32_t hw_chunks = 0;  // lifetime max of `chunks`
+  /// Live depth of one (edge, side) queue. Split from the lifetime
+  /// high-water marks so the records the hot paths walk — every
+  /// enqueue/dequeue, plus the backpressure router's per-hop backlog scan —
+  /// pack two sides per 32 bytes instead of dragging the cold maxima
+  /// through the cache with them. High-water marks live in a parallel
+  /// cold array only enqueues touch (and then only on a new maximum).
+  struct SideDepth {
+    Amount value = 0;          // value waiting now
+    std::uint32_t chunks = 0;  // units waiting now
+  };
+
+  /// Lifetime maxima of one (edge, side) queue's depth (cold; reporting
+  /// only — see high_water()).
+  struct SideHighWater {
+    Amount value = 0;
+    std::uint32_t chunks = 0;
   };
 
   /// Re-arms the bank for a run over `num_edges` channels.
   void begin(std::size_t num_edges, Duration mark_threshold) {
     SPIDER_ASSERT(mark_threshold > 0);
     mark_threshold_ = mark_threshold;
-    sides_.assign(num_edges, {SideStats{}, SideStats{}});
+    depth_.assign(num_edges, {SideDepth{}, SideDepth{}});
+    high_water_.assign(num_edges, {SideHighWater{}, SideHighWater{}});
     total_value_ = 0;
     total_chunks_ = 0;
     marks_ = 0;
@@ -99,17 +110,21 @@ class RouterQueueBank {
   /// A channel opened mid-run: grow the flat tables (mirrors the engine's
   /// channel_queues_ growth).
   void grow(std::size_t num_edges) {
-    if (sides_.size() < num_edges)
-      sides_.resize(num_edges, {SideStats{}, SideStats{}});
+    if (depth_.size() < num_edges) {
+      depth_.resize(num_edges, {SideDepth{}, SideDepth{}});
+      high_water_.resize(num_edges, {SideHighWater{}, SideHighWater{}});
+    }
   }
 
   /// A unit of `amount` entered the (edge, side) queue.
   void on_enqueue(std::size_t edge, int side, Amount amount) {
-    SideStats& s = at(edge, side);
+    SideDepth& s = at(edge, side);
     s.value += amount;
     s.chunks += 1;
-    if (s.value > s.hw_value) s.hw_value = s.value;
-    if (s.chunks > s.hw_chunks) s.hw_chunks = s.chunks;
+    SideHighWater& hw =
+        high_water_[edge][static_cast<std::size_t>(side)];
+    if (s.value > hw.value) hw.value = s.value;
+    if (s.chunks > hw.chunks) hw.chunks = s.chunks;
     total_value_ += amount;
     total_chunks_ += 1;
   }
@@ -119,7 +134,7 @@ class RouterQueueBank {
   /// Callers count the mark only when the transport is enabled — the
   /// accounting itself stays hot in plain router-queue runs.
   bool on_dequeue(std::size_t edge, int side, Amount amount, Duration wait) {
-    SideStats& s = at(edge, side);
+    SideDepth& s = at(edge, side);
     SPIDER_ASSERT(s.value >= amount && s.chunks > 0);
     s.value -= amount;
     s.chunks -= 1;
@@ -131,9 +146,10 @@ class RouterQueueBank {
   void count_mark() { marks_ += 1; }
 
   [[nodiscard]] Duration mark_threshold() const { return mark_threshold_; }
-  [[nodiscard]] std::size_t num_edges() const { return sides_.size(); }
-  [[nodiscard]] const SideStats& side(std::size_t edge, int side) const {
-    return sides_[edge][static_cast<std::size_t>(side)];
+  [[nodiscard]] std::size_t num_edges() const { return depth_.size(); }
+  /// Live depth of one (edge, side) queue (hot array).
+  [[nodiscard]] const SideDepth& side(std::size_t edge, int side) const {
+    return depth_[edge][static_cast<std::size_t>(side)];
   }
   /// Aggregate live depth across every channel queue.
   [[nodiscard]] Amount total_value() const { return total_value_; }
@@ -144,12 +160,15 @@ class RouterQueueBank {
   [[nodiscard]] std::vector<ChannelHighWater> high_water() const;
 
  private:
-  [[nodiscard]] SideStats& at(std::size_t edge, int side) {
-    return sides_[edge][static_cast<std::size_t>(side)];
+  [[nodiscard]] SideDepth& at(std::size_t edge, int side) {
+    return depth_[edge][static_cast<std::size_t>(side)];
   }
 
   Duration mark_threshold_ = milliseconds(40);
-  std::vector<std::array<SideStats, 2>> sides_;
+  // Hot/cold split (see SideDepth): depth_ is the per-event working set,
+  // high_water_ the reporting-only maxima. Always sized identically.
+  std::vector<std::array<SideDepth, 2>> depth_;
+  std::vector<std::array<SideHighWater, 2>> high_water_;
   Amount total_value_ = 0;
   std::size_t total_chunks_ = 0;
   std::int64_t marks_ = 0;

@@ -1,0 +1,430 @@
+#include "workload/trace_binary.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+#include "topology/topology.hpp"
+
+namespace spider {
+
+// The zero-copy claim: an on-disk record IS a PaymentSpec. Any edit to the
+// struct that breaks these asserts is a format change — bump
+// kTraceBinaryVersion and teach the reader to reject the old one.
+static_assert(sizeof(PaymentSpec) == kTraceRecordBytes);
+static_assert(offsetof(PaymentSpec, arrival) == 0);
+static_assert(offsetof(PaymentSpec, src) == 8);
+static_assert(offsetof(PaymentSpec, dst) == 12);
+static_assert(offsetof(PaymentSpec, amount) == 16);
+static_assert(offsetof(PaymentSpec, deadline) == 24);
+static_assert(std::is_trivially_copyable_v<PaymentSpec>);
+static_assert(sizeof(TimePoint) == 8 && sizeof(Amount) == 8 &&
+              sizeof(Duration) == 8 && sizeof(NodeId) == 4);
+
+namespace {
+
+constexpr bool kLittleEndianHost =
+    std::endian::native == std::endian::little;
+
+void store_le32(unsigned char* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+
+void store_le64(unsigned char* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+
+std::uint32_t load_le32(const unsigned char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t load_le64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::int64_t load_le_i64(const unsigned char* p) {
+  return static_cast<std::int64_t>(load_le64(p));
+}
+
+std::int32_t load_le_i32(const unsigned char* p) {
+  return static_cast<std::int32_t>(load_le32(p));
+}
+
+void encode_header(unsigned char (&header)[kBinaryHeaderBytes],
+                   const char (&magic)[4], std::uint64_t count) {
+  std::memcpy(header, magic, 4);
+  store_le32(header + 4, kTraceBinaryVersion);
+  store_le64(header + 8, count);
+}
+
+void encode_record(unsigned char (&rec)[kTraceRecordBytes],
+                   const PaymentSpec& spec) {
+  store_le64(rec + 0, static_cast<std::uint64_t>(spec.arrival));
+  store_le32(rec + 8, static_cast<std::uint32_t>(spec.src));
+  store_le32(rec + 12, static_cast<std::uint32_t>(spec.dst));
+  store_le64(rec + 16, static_cast<std::uint64_t>(spec.amount));
+  store_le64(rec + 24, static_cast<std::uint64_t>(spec.deadline));
+}
+
+PaymentSpec decode_record(const unsigned char* rec) {
+  PaymentSpec spec;
+  spec.arrival = load_le_i64(rec + 0);
+  spec.src = load_le_i32(rec + 8);
+  spec.dst = load_le_i32(rec + 12);
+  spec.amount = load_le_i64(rec + 16);
+  spec.deadline = load_le_i64(rec + 24);
+  return spec;
+}
+
+/// Checks the 16-byte header; throws via `fail` with a precise reason.
+/// Returns the record count.
+template <typename Fail>
+std::uint64_t check_header(const unsigned char* header, const char (&magic)[4],
+                           const char* what, const Fail& fail) {
+  if (std::memcmp(header, magic, 4) != 0)
+    fail(std::string("bad magic; not a ") + what + " file");
+  const std::uint32_t version = load_le32(header + 4);
+  if (version != kTraceBinaryVersion)
+    fail("unsupported format version " + std::to_string(version) +
+         " (this build reads version " + std::to_string(kTraceBinaryVersion) +
+         "; a byte-swapped header from a non-little-endian producer also "
+         "lands here)");
+  return load_le64(header + 8);
+}
+
+/// The CSV parser's per-record strictness, applied to decoded binary
+/// records. `index` is the zero-based record number for error messages.
+template <typename Fail>
+void check_record(const PaymentSpec& spec, std::size_t index,
+                  const Fail& fail) {
+  const auto at = [&](const std::string& what) {
+    fail("record " + std::to_string(index) + ": " + what);
+  };
+  if (spec.arrival < 0) at("negative arrival_us");
+  if (spec.src < 0) at("negative src node id");
+  if (spec.dst < 0) at("negative dst node id");
+  if (spec.amount <= 0) at("non-positive amount_millis");
+  if (spec.deadline < 0) at("negative deadline_us");
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// BinaryTraceWriter
+
+BinaryTraceWriter::BinaryTraceWriter(std::string path)
+    : path_(std::move(path)),
+      out_(path_, std::ios::binary | std::ios::trunc) {
+  if (!out_) fail("cannot open for writing");
+  unsigned char header[kBinaryHeaderBytes];
+  encode_header(header, kTraceBinaryMagic, 0);  // count patched by finish()
+  out_.write(reinterpret_cast<const char*>(header), sizeof(header));
+  if (!out_) fail("header write failed");
+}
+
+BinaryTraceWriter::~BinaryTraceWriter() {
+  try {
+    finish();
+  } catch (...) {
+    // Destructors must not throw; call finish() explicitly to observe
+    // failures.
+  }
+}
+
+void BinaryTraceWriter::append(const PaymentSpec* specs, std::size_t count) {
+  if (finished_) fail("append after finish()");
+  for (std::size_t i = 0; i < count; ++i) {
+    const PaymentSpec& spec = specs[i];
+    check_record(spec, written_ + i,
+                 [&](const std::string& what) { fail(what); });
+    if (saw_payment_ && spec.arrival < last_arrival_)
+      fail("record " + std::to_string(written_ + i) +
+           ": arrivals must be nondecreasing (got " +
+           std::to_string(spec.arrival) + " after " +
+           std::to_string(last_arrival_) + ")");
+    last_arrival_ = spec.arrival;
+    saw_payment_ = true;
+  }
+  if constexpr (kLittleEndianHost) {
+    // Records ARE the in-memory structs: one bulk write.
+    out_.write(reinterpret_cast<const char*>(specs),
+               static_cast<std::streamsize>(count * kTraceRecordBytes));
+  } else {
+    for (std::size_t i = 0; i < count; ++i) {
+      unsigned char rec[kTraceRecordBytes];
+      encode_record(rec, specs[i]);
+      out_.write(reinterpret_cast<const char*>(rec), sizeof(rec));
+    }
+  }
+  if (!out_) fail("record write failed");
+  written_ += count;
+}
+
+void BinaryTraceWriter::finish() {
+  if (finished_) return;
+  finished_ = true;
+  unsigned char count_le[8];
+  store_le64(count_le, written_);
+  out_.seekp(8);
+  out_.write(reinterpret_cast<const char*>(count_le), sizeof(count_le));
+  out_.flush();
+  if (!out_) fail("count patch failed");
+  out_.close();
+}
+
+void BinaryTraceWriter::fail(const std::string& what) const {
+  throw std::runtime_error("BinaryTraceWriter: " + path_ + ": " + what);
+}
+
+void write_trace_binary(const std::string& path,
+                        const std::vector<PaymentSpec>& trace) {
+  BinaryTraceWriter writer(path);
+  writer.append(trace);
+  writer.finish();
+}
+
+// ---------------------------------------------------------------------------
+// BinaryTraceReader
+
+BinaryTraceReader::BinaryTraceReader(std::string path,
+                                     TraceReaderOptions options)
+    : path_(std::move(path)), chunk_size_(options.chunk_size) {
+  if (chunk_size_ == 0)
+    throw std::invalid_argument(
+        "BinaryTraceReader: chunk_size must be positive");
+  fd_ = ::open(path_.c_str(), O_RDONLY);
+  if (fd_ < 0) fail("cannot open");
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    fail("fstat failed");
+  }
+  const std::size_t file_bytes = static_cast<std::size_t>(st.st_size);
+  const auto fail_close = [&](const std::string& what) {
+    ::close(fd_);
+    fd_ = -1;
+    fail(what);
+  };
+  if (file_bytes < kBinaryHeaderBytes)
+    fail_close("file too small for the 16-byte header (" +
+               std::to_string(file_bytes) + " bytes)");
+  void* map = ::mmap(nullptr, file_bytes, PROT_READ, MAP_PRIVATE, fd_, 0);
+  if (map == MAP_FAILED) fail_close("mmap failed");
+  map_ = static_cast<const unsigned char*>(map);
+  map_bytes_ = file_bytes;
+  const std::uint64_t count = check_header(
+      map_, kTraceBinaryMagic, "binary trace (.sptr)",
+      [&](const std::string& what) { fail(what); });
+  // Divide instead of multiplying so a hostile record count cannot wrap
+  // 64-bit arithmetic into a passing size check.
+  const std::uint64_t payload = file_bytes - kBinaryHeaderBytes;
+  if (payload % kTraceRecordBytes != 0 ||
+      payload / kTraceRecordBytes != count)
+    fail("header promises " + std::to_string(count) + " records but the " +
+         "file carries " + std::to_string(payload) +
+         " payload bytes — truncated or trailing garbage");
+  count_ = static_cast<std::size_t>(count);
+  ::madvise(const_cast<unsigned char*>(map_), map_bytes_, MADV_SEQUENTIAL);
+}
+
+BinaryTraceReader::~BinaryTraceReader() {
+  if (map_ != nullptr)
+    ::munmap(const_cast<unsigned char*>(map_), map_bytes_);
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::span<const PaymentSpec> BinaryTraceReader::next() {
+  release_consumed();
+  const std::size_t n = std::min(chunk_size_, count_ - cursor_);
+  if (n == 0) {
+    done_ = true;
+    return {};
+  }
+  const unsigned char* base =
+      map_ + kBinaryHeaderBytes + cursor_ * kTraceRecordBytes;
+  std::span<const PaymentSpec> chunk;
+  if constexpr (kLittleEndianHost) {
+    // mmap is page-aligned and header + records keep 8-byte alignment, so
+    // the records can be read in place — this is the zero-copy path.
+    chunk = {reinterpret_cast<const PaymentSpec*>(base), n};
+  } else {
+    decode_buffer_.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+      decode_buffer_[i] = decode_record(base + i * kTraceRecordBytes);
+    chunk = {decode_buffer_.data(), n};
+  }
+  validate_records(chunk.data(), n, cursor_);
+  cursor_ += n;
+  return chunk;
+}
+
+void BinaryTraceReader::validate_records(const PaymentSpec* specs,
+                                         std::size_t count,
+                                         std::size_t base_index) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const PaymentSpec& spec = specs[i];
+    check_record(spec, base_index + i,
+                 [&](const std::string& what) { fail(what); });
+    if (saw_payment_ && spec.arrival < last_arrival_)
+      fail("record " + std::to_string(base_index + i) +
+           ": arrivals must be nondecreasing (got " +
+           std::to_string(spec.arrival) + " after " +
+           std::to_string(last_arrival_) + ")");
+    last_arrival_ = spec.arrival;
+    saw_payment_ = true;
+  }
+}
+
+void BinaryTraceReader::release_consumed() {
+  // Everything before cursor_ was invalidated by this call (TraceSource
+  // contract), so fully-consumed pages can go back to the OS: resident set
+  // stays O(chunk) however long the trace is.
+  static const std::size_t page = static_cast<std::size_t>(
+      ::sysconf(_SC_PAGESIZE));
+  const std::size_t consumed =
+      kBinaryHeaderBytes + cursor_ * kTraceRecordBytes;
+  const std::size_t aligned = consumed - consumed % page;
+  if (aligned > released_bytes_) {
+    ::madvise(const_cast<unsigned char*>(map_) + released_bytes_,
+              aligned - released_bytes_, MADV_DONTNEED);
+    released_bytes_ = aligned;
+  }
+}
+
+void BinaryTraceReader::fail(const std::string& what) const {
+  throw std::runtime_error("BinaryTraceReader: " + path_ + ": " + what);
+}
+
+std::vector<PaymentSpec> read_trace_binary(const std::string& path) {
+  BinaryTraceReader reader(path);
+  return reader.read_all();
+}
+
+// ---------------------------------------------------------------------------
+// Topology snapshot (.sptp)
+
+void write_topology_binary(const Graph& g, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out)
+    throw std::runtime_error("write_topology_binary: cannot open " + path);
+  std::uint64_t open_edges = 0;
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    if (!g.edge(e).closed) ++open_edges;
+  unsigned char header[kBinaryHeaderBytes];
+  encode_header(header, kTopologyBinaryMagic, open_edges);
+  out.write(reinterpret_cast<const char*>(header), sizeof(header));
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Graph::Edge& edge = g.edge(e);
+    if (edge.closed) continue;
+    unsigned char rec[kTopologyRecordBytes];
+    store_le32(rec + 0, static_cast<std::uint32_t>(edge.a));
+    store_le32(rec + 4, static_cast<std::uint32_t>(edge.b));
+    store_le64(rec + 8, static_cast<std::uint64_t>(edge.capacity));
+    out.write(reinterpret_cast<const char*>(rec), sizeof(rec));
+  }
+  if (!out)
+    throw std::runtime_error("write_topology_binary: write failed " + path);
+}
+
+Graph read_topology_binary(const std::string& path) {
+  const auto fail = [&](const std::string& what) -> void {
+    throw std::runtime_error("read_topology_binary: " + path + ": " + what);
+  };
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail("cannot open");
+  std::vector<unsigned char> bytes(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  if (bytes.size() < kBinaryHeaderBytes)
+    fail("file too small for the 16-byte header (" +
+         std::to_string(bytes.size()) + " bytes)");
+  const std::uint64_t count =
+      check_header(bytes.data(), kTopologyBinaryMagic,
+                   "binary topology (.sptp)",
+                   [&](const std::string& what) { fail(what); });
+  const std::uint64_t payload = bytes.size() - kBinaryHeaderBytes;
+  if (payload % kTopologyRecordBytes != 0 ||
+      payload / kTopologyRecordBytes != count)
+    fail("header promises " + std::to_string(count) + " channels but the " +
+         "file carries " + std::to_string(payload) +
+         " payload bytes — truncated or trailing garbage");
+  if (count == 0) fail("topology has no channels");
+  NodeId max_node = kInvalidNode;
+  struct Imported {
+    NodeId a;
+    NodeId b;
+    Amount capacity;
+  };
+  std::vector<Imported> channels;
+  channels.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const unsigned char* rec =
+        bytes.data() + kBinaryHeaderBytes + i * kTopologyRecordBytes;
+    const NodeId a = load_le_i32(rec + 0);
+    const NodeId b = load_le_i32(rec + 4);
+    const Amount capacity = load_le_i64(rec + 8);
+    const auto at = [&](const std::string& what) {
+      fail("channel " + std::to_string(i) + ": " + what);
+    };
+    constexpr NodeId kMaxNode = std::numeric_limits<NodeId>::max() - 1;
+    if (a < 0 || a > kMaxNode) at("node_a out of range");
+    if (b < 0 || b > kMaxNode) at("node_b out of range");
+    if (a == b) at("self-loop channel on node " + std::to_string(a));
+    if (capacity <= 0) at("channel needs positive escrow");
+    channels.push_back(Imported{a, b, capacity});
+    max_node = std::max({max_node, a, b});
+  }
+  Graph g(max_node + 1);
+  for (const Imported& ch : channels) g.add_edge(ch.a, ch.b, ch.capacity);
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// Extension dispatch
+
+namespace {
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+}  // namespace
+
+bool is_binary_trace_path(std::string_view path) {
+  return ends_with(path, kTraceBinaryExt);
+}
+
+bool is_binary_topology_path(std::string_view path) {
+  return ends_with(path, kTopologyBinaryExt);
+}
+
+std::unique_ptr<TraceSource> open_trace_source(const std::string& path,
+                                               TraceReaderOptions options) {
+  if (is_binary_trace_path(path))
+    return std::make_unique<BinaryTraceReader>(path, options);
+  return std::make_unique<TraceReader>(path, options);
+}
+
+std::vector<PaymentSpec> read_trace_any(const std::string& path) {
+  return open_trace_source(path)->read_all();
+}
+
+Graph read_topology_any(const std::string& path) {
+  if (is_binary_topology_path(path)) return read_topology_binary(path);
+  return read_topology_csv(path);
+}
+
+}  // namespace spider

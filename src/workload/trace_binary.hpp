@@ -1,0 +1,191 @@
+// Packed binary trace format v1 (.sptr) and topology snapshot (.sptp):
+// the parse-free replay path for paper-scale (10M–100M payment) workloads.
+//
+// Trace file layout (all integers little-endian):
+//
+//   offset  size  field
+//   0       4     magic "SPTR" (raw bytes, endian-independent)
+//   4       4     format version, u32 LE (currently 1)
+//   8       8     record count, u64 LE
+//   16      32*N  records
+//
+// Each record is the PaymentSpec memory layout verbatim:
+//
+//   offset  size  field
+//   0       8     arrival_us   (i64)
+//   8       4     src          (i32)
+//   12      4     dst          (i32)
+//   16      8     amount_millis(i64)
+//   24      8     deadline_us  (i64)
+//
+// static_asserts below pin that layout to the struct, so on little-endian
+// hosts BinaryTraceReader maps the file and hands out spans pointing
+// STRAIGHT INTO the page cache — zero parse, zero copy. Big-endian hosts
+// fall back to a per-field decode into a chunk buffer (same contract,
+// slower). A big-endian producer's byte-swapped header reads back as
+// version 16777216 and is rejected as unsupported — wrong-endianness files
+// cannot be silently misread as valid traces.
+//
+// Topology snapshot (.sptp) mirrors write_topology_csv: magic "SPTP", same
+// version/count header, then 16-byte records {i32 node_a, i32 node_b,
+// i64 capacity_millis} for every OPEN channel; node count on read is one
+// past the highest id referenced (the read_topology_csv rule).
+//
+// Versioning rules: any layout change bumps the version; readers reject
+// every version they were not built for (no silent best-effort decoding).
+// Truncated files, trailing bytes, bad magic and invalid records (negative
+// arrivals, non-positive amounts, decreasing arrivals, ...) all throw
+// std::runtime_error naming the file and record index.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "workload/trace_reader.hpp"
+#include "workload/trace_source.hpp"
+
+namespace spider {
+
+inline constexpr std::uint32_t kTraceBinaryVersion = 1;
+inline constexpr std::size_t kBinaryHeaderBytes = 16;
+inline constexpr std::size_t kTraceRecordBytes = 32;
+inline constexpr std::size_t kTopologyRecordBytes = 16;
+inline constexpr char kTraceBinaryMagic[4] = {'S', 'P', 'T', 'R'};
+inline constexpr char kTopologyBinaryMagic[4] = {'S', 'P', 'T', 'P'};
+/// Canonical file extensions the dispatch helpers key on.
+inline constexpr std::string_view kTraceBinaryExt = ".sptr";
+inline constexpr std::string_view kTopologyBinaryExt = ".sptp";
+
+/// Incremental .sptr writer: header up front with a zero count, records
+/// appended in batches, count patched on finish(). Every record is
+/// validated as strictly as the CSV parser before it is written — a .sptr
+/// file this writer produced always replays.
+class BinaryTraceWriter {
+ public:
+  /// Opens `path` for writing; throws std::runtime_error on failure.
+  explicit BinaryTraceWriter(std::string path);
+  ~BinaryTraceWriter();
+
+  BinaryTraceWriter(const BinaryTraceWriter&) = delete;
+  BinaryTraceWriter& operator=(const BinaryTraceWriter&) = delete;
+
+  /// Appends `count` records; throws on invalid fields or arrivals that
+  /// decrease (across append calls too).
+  void append(const PaymentSpec* specs, std::size_t count);
+  void append(const std::vector<PaymentSpec>& specs) {
+    append(specs.data(), specs.size());
+  }
+
+  /// Patches the record count into the header and closes the file.
+  /// Idempotent; called by the destructor if not called explicitly (but
+  /// call it yourself to observe write failures as exceptions).
+  void finish();
+
+  [[nodiscard]] std::size_t written() const { return written_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const;
+
+  std::string path_;
+  std::ofstream out_;
+  std::size_t written_ = 0;
+  TimePoint last_arrival_ = 0;
+  bool saw_payment_ = false;
+  bool finished_ = false;
+};
+
+/// Writes `trace` as one .sptr file (BinaryTraceWriter convenience).
+void write_trace_binary(const std::string& path,
+                        const std::vector<PaymentSpec>& trace);
+
+/// mmap'd zero-copy streaming reader for .sptr files. Satisfies the exact
+/// TraceSource contract of the CSV TraceReader; on little-endian hosts
+/// next() spans point into the mapping (no copy), and fully-consumed
+/// page-aligned prefixes are released back to the OS (MADV_DONTNEED) so a
+/// 10M-payment replay's resident set stays bounded by the chunk size, not
+/// the file size.
+class BinaryTraceReader final : public TraceSource {
+ public:
+  /// Opens and maps `path`; throws std::runtime_error on open/mmap failure,
+  /// bad magic, unsupported version, or a file size that disagrees with the
+  /// header's record count (truncation / trailing garbage), and
+  /// std::invalid_argument on a non-positive chunk size.
+  explicit BinaryTraceReader(std::string path, TraceReaderOptions options = {});
+  ~BinaryTraceReader() override;
+
+  BinaryTraceReader(const BinaryTraceReader&) = delete;
+  BinaryTraceReader& operator=(const BinaryTraceReader&) = delete;
+
+  /// Up to chunk_size() further payments, validated (fields + nondecreasing
+  /// arrivals) before they are handed out. The span points into the mapping
+  /// (little-endian hosts) or a reader-owned decode buffer, and is
+  /// INVALIDATED by the next call either way.
+  std::span<const PaymentSpec> next() override;
+
+  [[nodiscard]] bool done() const override { return done_; }
+  [[nodiscard]] std::size_t payments_read() const override {
+    return cursor_;
+  }
+  [[nodiscard]] std::size_t chunk_size() const override {
+    return chunk_size_;
+  }
+  [[nodiscard]] const std::string& path() const override { return path_; }
+
+  /// Total records the header promises (known up front, unlike CSV).
+  [[nodiscard]] std::size_t record_count() const { return count_; }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const;
+  void validate_records(const PaymentSpec* specs, std::size_t count,
+                        std::size_t base_index);
+  void release_consumed();
+
+  std::string path_;
+  std::size_t chunk_size_;
+  int fd_ = -1;
+  const unsigned char* map_ = nullptr;  // whole file, read-only
+  std::size_t map_bytes_ = 0;
+  std::size_t count_ = 0;   // records promised by the header
+  std::size_t cursor_ = 0;  // records handed out so far
+  std::size_t released_bytes_ = 0;  // page-aligned prefix already madvised
+  TimePoint last_arrival_ = 0;
+  bool saw_payment_ = false;
+  bool done_ = false;
+  std::vector<PaymentSpec> decode_buffer_;  // big-endian fallback only
+};
+
+/// Loads a whole .sptr file (BinaryTraceReader convenience).
+[[nodiscard]] std::vector<PaymentSpec> read_trace_binary(
+    const std::string& path);
+
+/// Writes the OPEN channels of `g` as one .sptp snapshot.
+void write_topology_binary(const Graph& g, const std::string& path);
+
+/// Loads a .sptp snapshot; same semantics and strictness as
+/// read_topology_csv (node count = max id + 1, self-loops and non-positive
+/// capacities rejected, at least one channel required).
+[[nodiscard]] Graph read_topology_binary(const std::string& path);
+
+/// True when `path` ends in the binary trace / topology extension.
+[[nodiscard]] bool is_binary_trace_path(std::string_view path);
+[[nodiscard]] bool is_binary_topology_path(std::string_view path);
+
+/// Extension dispatch: .sptr -> BinaryTraceReader, anything else -> CSV
+/// TraceReader. The seam SPIDER_TRACE_FILE and the bench gates go through.
+[[nodiscard]] std::unique_ptr<TraceSource> open_trace_source(
+    const std::string& path, TraceReaderOptions options = {});
+
+/// Load-all dispatch over the same extension rule.
+[[nodiscard]] std::vector<PaymentSpec> read_trace_any(const std::string& path);
+/// .sptp -> read_topology_binary, anything else -> read_topology_csv.
+[[nodiscard]] Graph read_topology_any(const std::string& path);
+
+}  // namespace spider

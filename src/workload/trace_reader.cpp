@@ -59,16 +59,6 @@ const std::vector<PaymentSpec>& TraceReader::next_chunk() {
   return chunk_;
 }
 
-std::vector<PaymentSpec> TraceReader::read_all() {
-  std::vector<PaymentSpec> all;
-  while (true) {
-    const std::vector<PaymentSpec>& chunk = next_chunk();
-    if (chunk.empty()) break;
-    all.insert(all.end(), chunk.begin(), chunk.end());
-  }
-  return all;
-}
-
 void TraceReader::fail(const std::string& what) const {
   throw std::runtime_error("TraceReader: " + path_ + ":" +
                            std::to_string(line_no_) + ": " + what);

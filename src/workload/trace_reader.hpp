@@ -24,9 +24,11 @@
 
 #include <cstddef>
 #include <fstream>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "workload/trace_source.hpp"
 #include "workload/traffic.hpp"
 
 namespace spider {
@@ -37,7 +39,7 @@ struct TraceReaderOptions {
   std::size_t chunk_size = 4096;
 };
 
-class TraceReader {
+class TraceReader final : public TraceSource {
  public:
   /// Opens `path`; throws std::runtime_error when the file cannot be opened
   /// or is empty, or std::invalid_argument on a non-positive chunk size.
@@ -49,18 +51,21 @@ class TraceReader {
   /// line number) on any malformed row.
   const std::vector<PaymentSpec>& next_chunk();
 
-  /// Drains every remaining chunk into one vector (the load-all surface
-  /// read_trace_csv wraps).
-  [[nodiscard]] std::vector<PaymentSpec> read_all();
+  /// TraceSource streaming surface: a span over next_chunk()'s buffer.
+  std::span<const PaymentSpec> next() override { return next_chunk(); }
 
   /// True once next_chunk() has returned (or would return) empty.
-  [[nodiscard]] bool done() const { return done_; }
+  [[nodiscard]] bool done() const override { return done_; }
 
   /// Payments handed out so far across all chunks.
-  [[nodiscard]] std::size_t payments_read() const { return payments_read_; }
+  [[nodiscard]] std::size_t payments_read() const override {
+    return payments_read_;
+  }
 
-  [[nodiscard]] const std::string& path() const { return path_; }
-  [[nodiscard]] std::size_t chunk_size() const { return chunk_size_; }
+  [[nodiscard]] const std::string& path() const override { return path_; }
+  [[nodiscard]] std::size_t chunk_size() const override {
+    return chunk_size_;
+  }
 
  private:
   [[noreturn]] void fail(const std::string& what) const;

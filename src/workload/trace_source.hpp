@@ -1,0 +1,61 @@
+// Streaming trace abstraction: the chunked-read contract shared by the CSV
+// reader (TraceReader) and the packed binary reader (BinaryTraceReader), so
+// replay_trace() and the bench replay gates drive either format through one
+// code path.
+//
+// Contract every implementation honours (the one replay determinism relies
+// on):
+//  - next() hands out up to chunk_size() payments per call, in file order;
+//    an empty span means end of trace. The backing storage is owned by the
+//    reader and INVALIDATED by the next next() call.
+//  - Arrivals are nondecreasing across the whole stream; a violation throws
+//    std::runtime_error naming the file and offending record instead of
+//    corrupting a replay mid-run.
+//  - Every record is validated as strictly as the CSV parser: negative
+//    arrivals/deadlines, out-of-range node ids and non-positive amounts are
+//    rejected loudly.
+//  - Reading with ANY chunk size yields the exact same payment sequence, so
+//    chunked replay and load-all replay feed a session identical
+//    submissions.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "workload/traffic.hpp"
+
+namespace spider {
+
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+
+  /// Reads up to chunk_size() further payments; empty span == end of trace.
+  /// The storage is owned by the reader and INVALIDATED by the next call.
+  virtual std::span<const PaymentSpec> next() = 0;
+
+  /// True once next() has returned (or would return) empty.
+  [[nodiscard]] virtual bool done() const = 0;
+
+  /// Payments handed out so far across all chunks.
+  [[nodiscard]] virtual std::size_t payments_read() const = 0;
+
+  [[nodiscard]] virtual std::size_t chunk_size() const = 0;
+  [[nodiscard]] virtual const std::string& path() const = 0;
+
+  /// Drains every remaining chunk into one vector (the load-all surface the
+  /// read_trace_* helpers wrap).
+  [[nodiscard]] std::vector<PaymentSpec> read_all() {
+    std::vector<PaymentSpec> all;
+    while (true) {
+      const std::span<const PaymentSpec> chunk = next();
+      if (chunk.empty()) break;
+      all.insert(all.end(), chunk.begin(), chunk.end());
+    }
+    return all;
+  }
+};
+
+}  // namespace spider

@@ -182,7 +182,10 @@ TEST(TraceReplayScenario, BuildsFromFilesAndValidates) {
   std::remove(topo_path.c_str());
 }
 
-/// Shared fixture: a small isp workload written to disk.
+/// Shared fixture: a small isp workload written to disk. The trace file
+/// gets a per-instance name — ctest runs these tests in parallel
+/// processes sharing one TempDir, and a fixed filename lets one test's
+/// destructor unlink the file under another mid-read.
 struct ReplayFixture {
   ScenarioInstance scenario;
   std::string trace_path;
@@ -195,7 +198,16 @@ struct ReplayFixture {
           params.traffic_seed = 33;
           return build_scenario("isp", params);
         }()),
-        trace_path(temp_path("spider_replay_fixture.csv")),
+        trace_path(temp_path(
+            "spider_replay_fixture_" +
+            std::string(
+                testing::UnitTest::GetInstance()->current_test_info() !=
+                        nullptr
+                    ? testing::UnitTest::GetInstance()
+                          ->current_test_info()
+                          ->name()
+                    : "detached") +
+            ".csv")),
         net(scenario.graph, scenario.config) {
     write_trace_csv(trace_path, scenario.trace);
   }

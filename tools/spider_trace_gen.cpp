@@ -15,7 +15,14 @@
 // Options mirror the SPIDER_* scenario knobs; every run is fully determined
 // by its flags. A scenario's churn stream (lightning-churn etc.) has no
 // on-disk form yet and is refused rather than silently dropped.
+//
+// Binary output: --binary (or a .sptr/.sptp output extension) writes the
+// packed little-endian formats from workload/trace_binary.hpp instead of
+// CSV — the zero-copy replay path for paper-scale traces. --convert IN OUT
+// translates one existing file either direction (trace or topology, sniffed
+// from the extension/header; output format picked by the OUT extension).
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <limits>
 #include <string>
@@ -24,22 +31,84 @@
 #include "core/scenario.hpp"
 #include "topology/topology.hpp"
 #include "util/csv.hpp"
+#include "workload/trace_binary.hpp"
 #include "workload/trace_io.hpp"
 
 namespace spider {
 namespace {
 
 void usage(std::ostream& out) {
-  out << "usage: spider_trace_gen --scenario <name> --out <trace.csv>\n"
-         "                        --topology-out <topology.csv>\n"
+  out << "usage: spider_trace_gen --scenario <name> --out <trace.csv|.sptr>\n"
+         "                        --topology-out <topology.csv|.sptp>\n"
          "                        [--payments N] [--tx-rate R] [--nodes N]\n"
          "                        [--capacity-xrp C] [--topology-seed S]\n"
          "                        [--traffic-seed S] [--paths-k K]\n"
-         "                        [--faults <faults.csv>] [--list]\n"
+         "                        [--faults <faults.csv>] [--binary] [--list]\n"
+         "       spider_trace_gen --convert <in> <out>\n"
          "Deterministically writes a registry scenario's transaction trace\n"
-         "and channel-list topology in the trace-replay CSV schemas.\n"
+         "and channel-list topology in the trace-replay CSV schemas, or —\n"
+         "with --binary or a .sptr/.sptp extension — the packed binary\n"
+         "formats the zero-copy BinaryTraceReader replays.\n"
+         "--convert translates a single trace or topology file between CSV\n"
+         "and binary (direction inferred from extensions/header).\n"
          "Adversarial scenarios (griefing, hub-drain, lossy-network) also\n"
          "require --faults for their fault schedule (read_fault_csv schema).\n";
+}
+
+/// --convert: one file, either kind, either direction. The input kind is
+/// sniffed (binary magic via extension; CSV via its header line), the
+/// output format follows the output extension.
+int convert(const std::string& in, const std::string& out) {
+  bool topology = false;
+  if (is_binary_topology_path(in)) {
+    topology = true;
+  } else if (!is_binary_trace_path(in)) {
+    std::ifstream probe(in);
+    if (!probe) {
+      std::cerr << "spider_trace_gen: cannot open " << in << "\n";
+      return 2;
+    }
+    std::string first;
+    std::getline(probe, first);
+    strip_line_ending(first);
+    topology = (first == kTopologyCsvHeader);
+  }
+  try {
+    if (topology) {
+      if (is_binary_trace_path(out)) {
+        std::cerr << "spider_trace_gen: " << in << " is a topology but "
+                  << out << " has the trace extension " << kTraceBinaryExt
+                  << "\n";
+        return 2;
+      }
+      const Graph g = read_topology_any(in);
+      if (is_binary_topology_path(out))
+        write_topology_binary(g, out);
+      else
+        write_topology_csv(g, out);
+      std::cout << "converted " << g.num_edges() << " channels ("
+                << g.num_nodes() << " nodes): " << in << " -> " << out
+                << "\n";
+    } else {
+      if (is_binary_topology_path(out)) {
+        std::cerr << "spider_trace_gen: " << in << " is a trace but " << out
+                  << " has the topology extension " << kTopologyBinaryExt
+                  << "\n";
+        return 2;
+      }
+      const std::vector<PaymentSpec> trace = read_trace_any(in);
+      if (is_binary_trace_path(out))
+        write_trace_binary(out, trace);
+      else
+        write_trace_csv(out, trace);
+      std::cout << "converted " << trace.size() << " payments: " << in
+                << " -> " << out << "\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "spider_trace_gen: convert failed: " << e.what() << "\n";
+    return 2;
+  }
+  return 0;
 }
 
 int run(int argc, char** argv) {
@@ -47,6 +116,9 @@ int run(int argc, char** argv) {
   std::string trace_out;
   std::string topology_out;
   std::string faults_out;
+  std::string convert_in;
+  std::string convert_out;
+  bool binary = false;
   ScenarioParams params;
 
   const std::vector<std::string> args(argv + 1, argv + argc);
@@ -97,6 +169,11 @@ int run(int argc, char** argv) {
       topology_out = value();
     } else if (arg == "--faults") {
       faults_out = value();
+    } else if (arg == "--binary") {
+      binary = true;
+    } else if (arg == "--convert") {
+      convert_in = value();
+      convert_out = value();
     } else if (arg == "--payments") {
       params.payments = static_cast<int>(
           int_value("--payments", 1, std::numeric_limits<int>::max()));
@@ -125,6 +202,15 @@ int run(int argc, char** argv) {
     }
   }
 
+  if (!convert_in.empty()) {
+    if (!scenario_name.empty() || !trace_out.empty() ||
+        !topology_out.empty()) {
+      std::cerr << "spider_trace_gen: --convert is a standalone mode\n";
+      return 2;
+    }
+    return convert(convert_in, convert_out);
+  }
+
   if (scenario_name.empty() || trace_out.empty() || topology_out.empty()) {
     usage(std::cerr);
     return 2;
@@ -143,8 +229,16 @@ int run(int argc, char** argv) {
                  "write it (or pick a fault-free scenario)\n";
     return 2;
   }
-  write_trace_csv(trace_out, scenario.trace);
-  write_topology_csv(scenario.graph, topology_out);
+  // --binary forces both outputs binary; otherwise each output follows its
+  // own extension, so a .sptr trace next to a .csv topology is expressible.
+  if (binary || is_binary_trace_path(trace_out))
+    write_trace_binary(trace_out, scenario.trace);
+  else
+    write_trace_csv(trace_out, scenario.trace);
+  if (binary || is_binary_topology_path(topology_out))
+    write_topology_binary(scenario.graph, topology_out);
+  else
+    write_topology_csv(scenario.graph, topology_out);
   if (!faults_out.empty()) write_fault_csv(faults_out, scenario.faults);
   std::cout << scenario_name << ": wrote " << scenario.trace.size()
             << " payments to " << trace_out << " and "
