@@ -145,9 +145,9 @@ void SpiderConfig::validate() const {
   if (sim.transport.additive_step < 0)
     throw std::invalid_argument(
         "SpiderConfig: transport.additive_step must be non-negative");
-  if (sim.transport.beta < 0.0 || sim.transport.beta > 1.0)
+  if (sim.transport.beta_ppm < 0 || sim.transport.beta_ppm > 1'000'000)
     throw std::invalid_argument(
-        "SpiderConfig: transport.beta must be in [0, 1]");
+        "SpiderConfig: transport.beta_ppm must be in [0, 1000000]");
   if (sim.transport.initial_rtt <= 0)
     throw std::invalid_argument(
         "SpiderConfig: transport.initial_rtt must be positive");

@@ -28,7 +28,8 @@ Simulator::Simulator(Network& network, Router& router, SimConfig config)
   SPIDER_ASSERT(config.transport.min_window > 0 &&
                 config.transport.min_window <= config.transport.initial_window);
   SPIDER_ASSERT(config.transport.additive_step >= 0);
-  SPIDER_ASSERT(config.transport.beta >= 0.0 && config.transport.beta <= 1.0);
+  SPIDER_ASSERT(config.transport.beta_ppm >= 0 &&
+                config.transport.beta_ppm <= 1'000'000);
   SPIDER_ASSERT(config.transport.initial_rtt > 0);
   if (config.queueing == QueueingMode::kRouterQueue)
     SPIDER_ASSERT_MSG(!router.is_atomic(),

@@ -72,6 +72,8 @@ std::vector<PathRateController::PathView> PathRateController::snapshot()
     const {
   std::vector<PathView> out;
   out.reserve(paths_.size());
+  // spider-lint: allow(determinism-surface) reporting-only walk; the
+  // result is sorted by key two lines down, so hash order never escapes.
   for (const auto& [key, s] : paths_) {
     PathView v;
     v.key = key;

@@ -95,7 +95,9 @@ class AimdController {
     window_ += grow > 0 ? grow : 1;
   }
   void on_negative(Amount acked, const TransportConfig& config) {
-    window_ -= static_cast<Amount>(config.beta * static_cast<double>(acked));
+    // Exact integer multiplicative decrease; acked is a chunk-sized value,
+    // so acked * beta_ppm stays far inside int64.
+    window_ -= acked * config.beta_ppm / 1'000'000;
     if (window_ < config.min_window) window_ = config.min_window;
   }
 

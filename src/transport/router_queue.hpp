@@ -56,12 +56,15 @@ struct TransportConfig {
   /// per-path window, its floor, additive-increase gain per unmarked
   /// acknowledged unit of value (w += additive_step * acked / w), and the
   /// multiplicative-decrease factor per marked/lost unit of value
-  /// (w -= beta * acked — a fully marked window's worth of acks scales w
-  /// by (1 - beta)).
+  /// (w -= beta_ppm·acked / 10^6 — a fully marked window's worth of acks
+  /// scales w by (1 - beta)). The factor travels as integer parts-per-
+  /// million so the whole window update stays in exact integer arithmetic
+  /// (the transport layer is integer-only; see DESIGN.md "Static analysis
+  /// & determinism contracts").
   Amount initial_window = xrp(200);
   Amount min_window = xrp(5);
   Amount additive_step = xrp(10);
-  double beta = 0.5;
+  std::int64_t beta_ppm = 500'000;  // multiplicative decrease = 0.5
 
   /// Pacer fallback RTT until a path has delivered its first ack.
   Duration initial_rtt = seconds(1.0);

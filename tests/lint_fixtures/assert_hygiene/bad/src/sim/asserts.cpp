@@ -1,0 +1,14 @@
+// Fixture: side effects inside assert macros the rule must flag.
+#include <vector>
+
+namespace spider {
+
+void checks(int counter, int limit, std::vector<int>& items, long balance) {
+  SPIDER_ASSERT(counter++ < limit);
+  SPIDER_ASSERT(items.erase(items.begin()) != items.end());
+  SPIDER_ASSERT_MSG(balance = 0, "drained");
+  (void)counter;
+  (void)balance;
+}
+
+}  // namespace spider

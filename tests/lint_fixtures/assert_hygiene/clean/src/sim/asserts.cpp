@@ -1,0 +1,14 @@
+// Fixture: pure-predicate asserts the rule must accept.
+#include <vector>
+
+namespace spider {
+
+void checks(int counter, int limit, const std::vector<int>& items,
+            long balance) {
+  SPIDER_ASSERT(counter + 1 < limit);
+  SPIDER_ASSERT(!items.empty());
+  SPIDER_ASSERT_MSG(balance == 0, "not drained");
+  SPIDER_ASSERT(items[0] == balance);  // subscript, not assignment
+}
+
+}  // namespace spider

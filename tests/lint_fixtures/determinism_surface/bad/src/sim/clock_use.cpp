@@ -1,0 +1,28 @@
+// Fixture: every construct the determinism-surface rule must flag.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <unordered_map>
+
+namespace spider {
+
+long jitter_seed() {
+  long seed = static_cast<long>(time(nullptr));
+  seed += std::rand();
+  return seed;
+}
+
+long elapsed_guess_us() {
+  auto t0 = std::chrono::steady_clock::now();
+  return t0.time_since_epoch().count();
+}
+
+int sum_windows(const std::unordered_map<int, int>& windows_by_path) {
+  int total = 0;
+  for (const auto& [key, w] : windows_by_path) {
+    total += key + w;
+  }
+  return total;
+}
+
+}  // namespace spider

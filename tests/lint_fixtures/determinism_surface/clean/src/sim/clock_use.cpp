@@ -1,0 +1,33 @@
+// Fixture: the deterministic counterparts the rule must accept.
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace spider {
+
+// Seed flows in from config — no ambient entropy.
+long jitter_seed(long configured_seed) { return configured_seed * 2654435761L; }
+
+// Event time flows in from the simulator clock — no wall-clock read.
+long elapsed_us(long now_us, long start_us) { return now_us - start_us; }
+
+// Hash-order iteration is fine once the keys are sorted first.
+int sum_windows(const std::unordered_map<int, int>& windows_by_path) {
+  std::vector<int> keys;
+  keys.reserve(windows_by_path.size());
+  for (std::size_t i = 0; i < keys.capacity(); ++i) keys.push_back(0);
+  std::sort(keys.begin(), keys.end());
+  int total = 0;
+  for (int key : keys) total += windows_by_path.count(key) != 0 ? key : 0;
+  return total;
+}
+
+// Ordered containers iterate deterministically.
+int sum_ordered(const std::map<int, int>& windows) {
+  int total = 0;
+  for (const auto& [key, w] : windows) total += key + w;
+  return total;
+}
+
+}  // namespace spider

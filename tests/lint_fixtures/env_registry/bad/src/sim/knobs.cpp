@@ -1,0 +1,12 @@
+// Fixture: env knob read in code but absent from the fixture's README.md.
+#include <cstdlib>
+#include <string>
+
+namespace spider {
+
+std::string fixture_knob() {
+  const char* v = std::getenv("SPIDER_FIXTURE_KNOB");
+  return v != nullptr ? std::string(v) : std::string("default");
+}
+
+}  // namespace spider

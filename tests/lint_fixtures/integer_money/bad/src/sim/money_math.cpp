@@ -1,0 +1,21 @@
+// Fixture: float arithmetic on money identifiers the rule must flag.
+#include <cstdint>
+
+namespace spider {
+
+using Amount = std::int64_t;
+
+Amount fee_for(Amount amount) {
+  double fee_amount = 0.001 * static_cast<double>(amount);
+  return static_cast<Amount>(fee_amount);
+}
+
+Amount scaled_balance(Amount balance, double factor) {
+  return static_cast<Amount>(static_cast<double>(balance) * factor);
+}
+
+void drain(Amount& escrow_balance) {
+  escrow_balance = static_cast<Amount>(escrow_balance * 0.5);
+}
+
+}  // namespace spider

@@ -1,0 +1,26 @@
+// Fixture: integer money math the rule must accept — ppm fractions
+// instead of double factors, and doubles only on the reporting surface.
+#include <cstdint>
+
+namespace spider {
+
+using Amount = std::int64_t;
+
+Amount fee_for(Amount amount) {
+  return amount / 1000;  // 0.1% as an exact integer ratio
+}
+
+Amount scaled_balance(Amount balance, std::int64_t factor_ppm) {
+  return balance * factor_ppm / 1'000'000;
+}
+
+void drain(Amount& escrow_balance) { escrow_balance = escrow_balance / 2; }
+
+// Reporting-only conversion: once a value leaves the ledger, doubles are
+// sanctioned (the *_xrp suffix marks the reporting surface).
+double report_xrp(Amount amount) {
+  double amount_xrp = static_cast<double>(amount) / 1000.0;
+  return amount_xrp;
+}
+
+}  // namespace spider

@@ -1,0 +1,9 @@
+// Fixture: SimMetrics with a field missing from the identity predicate.
+#pragma once
+#include <cstdint>
+
+struct SimMetrics {
+  std::int64_t completed_count = 0;
+  std::int64_t completed_volume = 0;
+  std::int64_t retry_rounds = 0;  // <- not covered in test_support.hpp
+};

@@ -1,0 +1,8 @@
+// Fixture: identity predicate that drifted behind the metrics struct.
+#pragma once
+
+inline void expect_identical_metrics(const SimMetrics& a,
+                                     const SimMetrics& b) {
+  EXPECT_EQ(a.completed_count, b.completed_count);
+  EXPECT_EQ(a.completed_volume, b.completed_volume);
+}

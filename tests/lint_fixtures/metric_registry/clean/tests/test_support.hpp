@@ -1,0 +1,9 @@
+// Fixture: identity predicate covering every SimMetrics field.
+#pragma once
+
+inline void expect_identical_metrics(const SimMetrics& a,
+                                     const SimMetrics& b) {
+  EXPECT_EQ(a.completed_count, b.completed_count);
+  EXPECT_EQ(a.completed_volume, b.completed_volume);
+  EXPECT_EQ(a.retry_rounds, b.retry_rounds);
+}

@@ -1,0 +1,24 @@
+// Fixture: every way a suppression can itself be a violation.
+#include <random>
+
+namespace spider {
+
+// Unknown rule name.
+// spider-lint: allow(no-such-rule) pretend waiver
+int unknown_rule() {
+  return 1;
+}
+
+// Real rule, but no justification text.
+// spider-lint: allow(determinism-surface)
+std::mt19937 unjustified(unsigned seed) {
+  return std::mt19937(seed);
+}
+
+// Justified suppression that matches nothing (stale).
+// spider-lint: allow(integer-money) leftover from a deleted float path
+int stale() {
+  return 3;
+}
+
+}  // namespace spider

@@ -1,0 +1,13 @@
+// Fixture: a well-formed suppression — named rule, justification, and a
+// finding on the next code line for it to cover.
+#include <random>
+
+namespace spider {
+
+// spider-lint: allow(determinism-surface) fixture exercises the waiver
+// path; every engine is seeded from config, never ambient entropy.
+using SeededEngine = std::mt19937;
+
+SeededEngine seeded(unsigned seed) { return SeededEngine(seed); }
+
+}  // namespace spider

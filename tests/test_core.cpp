@@ -39,7 +39,8 @@ TEST(SchemeLists, SchemeFromNameRoundTripsAndAliases) {
   EXPECT_EQ(scheme_from_name("spider-waterfilling"),
             Scheme::kSpiderWaterfilling);
   EXPECT_EQ(scheme_from_name("shortest-path"), Scheme::kShortestPath);
-  EXPECT_THROW(scheme_from_name("no-such-scheme"), std::invalid_argument);
+  EXPECT_THROW((void)scheme_from_name("no-such-scheme"),
+               std::invalid_argument);
 }
 
 TEST(MakeRouter, ProducesEverySchemeWithMatchingName) {

@@ -203,8 +203,9 @@ TEST(SpanningTree, CoversConnectedGraph) {
   EXPECT_EQ(tree.root, 0);
   for (NodeId n = 0; n < g.num_nodes(); ++n) {
     EXPECT_TRUE(tree.covers(n));
-    if (n != tree.root)
+    if (n != tree.root) {
       EXPECT_NE(tree.parent[static_cast<std::size_t>(n)], kInvalidNode);
+    }
   }
 }
 

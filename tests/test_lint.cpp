@@ -1,0 +1,120 @@
+// spider_lint self-tests: fixture-driven per-rule coverage plus the
+// regression that the shipped tree lints clean. Fixture layout mirrors a
+// tiny repo root per case (tests/lint_fixtures/<rule>/{bad,clean}/...)
+// so the path-scoped rules fire exactly as they do on the real tree.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "spider_lint/lint.hpp"
+
+namespace {
+
+using spider_lint::Finding;
+using spider_lint::Options;
+using spider_lint::Report;
+using spider_lint::run_lint;
+
+std::string fixture_root(const std::string& case_dir) {
+  return std::string(SPIDER_LINT_FIXTURE_DIR) + "/" + case_dir;
+}
+
+Report lint_fixture(const std::string& case_dir) {
+  Options options;
+  options.repo_root = fixture_root(case_dir);
+  options.roots = {options.repo_root + "/src"};
+  return run_lint(options);
+}
+
+int count_rule(const Report& report, const std::string& rule) {
+  return static_cast<int>(
+      std::count_if(report.findings.begin(), report.findings.end(),
+                    [&](const Finding& f) { return f.rule == rule; }));
+}
+
+TEST(LintFixtures, DeterminismSurfaceBad) {
+  const Report report = lint_fixture("determinism_surface/bad");
+  EXPECT_EQ(count_rule(report, "determinism-surface"), 4);
+  EXPECT_EQ(report.findings.size(), 4u);  // nothing else fires
+}
+
+TEST(LintFixtures, DeterminismSurfaceClean) {
+  EXPECT_TRUE(lint_fixture("determinism_surface/clean").clean());
+}
+
+TEST(LintFixtures, IntegerMoneyBad) {
+  const Report report = lint_fixture("integer_money/bad");
+  EXPECT_EQ(count_rule(report, "integer-money"), 4);
+}
+
+TEST(LintFixtures, IntegerMoneyClean) {
+  EXPECT_TRUE(lint_fixture("integer_money/clean").clean());
+}
+
+TEST(LintFixtures, MetricRegistryBad) {
+  const Report report = lint_fixture("metric_registry/bad");
+  ASSERT_EQ(count_rule(report, "metric-registry"), 1);
+  EXPECT_NE(report.findings[0].message.find("retry_rounds"),
+            std::string::npos);
+}
+
+TEST(LintFixtures, MetricRegistryClean) {
+  EXPECT_TRUE(lint_fixture("metric_registry/clean").clean());
+}
+
+TEST(LintFixtures, EnvRegistryBad) {
+  const Report report = lint_fixture("env_registry/bad");
+  ASSERT_EQ(count_rule(report, "env-registry"), 1);
+  EXPECT_NE(report.findings[0].message.find("SPIDER_FIXTURE_KNOB"),
+            std::string::npos);
+}
+
+TEST(LintFixtures, EnvRegistryClean) {
+  EXPECT_TRUE(lint_fixture("env_registry/clean").clean());
+}
+
+TEST(LintFixtures, AssertHygieneBad) {
+  const Report report = lint_fixture("assert_hygiene/bad");
+  EXPECT_EQ(count_rule(report, "assert-hygiene"), 3);
+}
+
+TEST(LintFixtures, AssertHygieneClean) {
+  EXPECT_TRUE(lint_fixture("assert_hygiene/clean").clean());
+}
+
+// Suppression hygiene: unknown rule, missing justification, and stale
+// waivers are violations; a justified suppression that matches a finding
+// silences it without a trace.
+TEST(LintFixtures, SuppressionBad) {
+  const Report report = lint_fixture("suppression/bad");
+  EXPECT_EQ(count_rule(report, "suppression"), 3);
+}
+
+TEST(LintFixtures, SuppressionClean) {
+  EXPECT_TRUE(lint_fixture("suppression/clean").clean());
+}
+
+TEST(LintFixtures, JsonReportIsWellFormedish) {
+  const Report report = lint_fixture("env_registry/bad");
+  const std::string json = spider_lint::to_json(report);
+  EXPECT_NE(json.find("\"rule\": \"env-registry\""), std::string::npos);
+  EXPECT_NE(json.find("\"files_scanned\""), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+// The gate the CI lint job enforces, in-process: the shipped tree carries
+// zero violations (and every suppression it carries is live + justified).
+TEST(LintShippedTree, SrcToolsExamplesAreClean) {
+  Options options;
+  options.repo_root = SPIDER_LINT_REPO_ROOT;
+  const std::string root(SPIDER_LINT_REPO_ROOT);
+  options.roots = {root + "/src", root + "/tools", root + "/examples"};
+  const Report report = run_lint(options);
+  EXPECT_TRUE(report.clean()) << spider_lint::to_text(report);
+  EXPECT_GT(report.files_scanned, 100u);
+}
+
+}  // namespace

@@ -149,8 +149,11 @@ TEST(Waterfill, PropertyRandomInstances) {
     }
     if (level_hi >= 0) {
       EXPECT_LE(level_hi - level_lo, 1) << "touched paths not equalized";
-      for (std::size_t j = 0; j < caps.size(); ++j)
-        if (alloc[j] == 0) EXPECT_LE(caps[j], level_hi + 1);
+      for (std::size_t j = 0; j < caps.size(); ++j) {
+        if (alloc[j] == 0) {
+          EXPECT_LE(caps[j], level_hi + 1);
+        }
+      }
     }
   }
 }
@@ -286,7 +289,9 @@ TEST(MaxFlowRouterTest, PlansAreJointlyLockable) {
       net.lock_path(*chunk.path, chunk.amount);
       total += chunk.amount;
     }
-    if (!plan.empty()) EXPECT_EQ(total, amount);
+    if (!plan.empty()) {
+      EXPECT_EQ(total, amount);
+    }
     for (const auto& chunk : plan) net.refund_path(*chunk.path, chunk.amount);
   }
 }
@@ -342,7 +347,9 @@ TEST(LandmarkRouterTest, MultiLandmarkSplit) {
   // paths are distinct; landmarks 0 and 1 give paths via loops spliced.
   Amount total = 0;
   for (const auto& chunk : plan) total += chunk.amount;
-  if (!plan.empty()) EXPECT_EQ(total, xrp(8));
+  if (!plan.empty()) {
+    EXPECT_EQ(total, xrp(8));
+  }
 }
 
 // ---- SpeedyMurmurs ----

@@ -162,9 +162,9 @@ TEST_P(CapacityMonotonicity, SuccessVolumeGrowsWithCapacity) {
 INSTANTIATE_TEST_SUITE_P(NonAtomicSchemes, CapacityMonotonicity,
                          testing::Values(Scheme::kSpiderWaterfilling,
                                          Scheme::kShortestPath),
-                         [](const testing::TestParamInfo<Scheme>& info) {
+                         [](const testing::TestParamInfo<Scheme>& param_info) {
                            std::string clean;
-                           for (char c : scheme_name(info.param))
+                           for (char c : scheme_name(param_info.param))
                              if (std::isalnum(
                                      static_cast<unsigned char>(c)))
                                clean += c;

@@ -33,6 +33,9 @@ inline void expect_identical_metrics(const SimMetrics& a,
   EXPECT_EQ(a.queue_timeouts, b.queue_timeouts);
   EXPECT_EQ(a.onchain_deposited, b.onchain_deposited);
   EXPECT_EQ(a.topology_changes, b.topology_changes);
+  EXPECT_EQ(a.channels_opened, b.channels_opened);
+  EXPECT_EQ(a.channels_closed, b.channels_closed);
+  EXPECT_EQ(a.escrow_returned, b.escrow_returned);
   EXPECT_EQ(a.fees_accrued, b.fees_accrued);
   EXPECT_EQ(a.faults_injected, b.faults_injected);
   EXPECT_EQ(a.messages_dropped, b.messages_dropped);

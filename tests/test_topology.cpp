@@ -45,7 +45,9 @@ TEST(Complete, AllPairsConnected) {
   EXPECT_EQ(g.num_edges(), 15);
   for (NodeId i = 0; i < 6; ++i)
     for (NodeId j = 0; j < 6; ++j)
-      if (i != j) EXPECT_TRUE(g.find_edge(i, j).has_value());
+      if (i != j) {
+        EXPECT_TRUE(g.find_edge(i, j).has_value());
+      }
 }
 
 TEST(MotivatingExample, MatchesFig4Topology) {

@@ -66,7 +66,7 @@ TEST(Transport, AimdWindowMoves) {
 
 TEST(Transport, AimdFullyMarkedWindowScalesByBeta) {
   TransportConfig config;
-  config.beta = 0.5;
+  config.beta_ppm = 500'000;
   AimdController w(xrp(100));
   w.on_negative(xrp(100), config);  // a whole window's worth of marks
   EXPECT_EQ(w.window(), xrp(50));
@@ -143,7 +143,7 @@ TEST(Transport, DisabledTransportIsInert) {
     knobs.sim.transport.pace_interval = milliseconds(5);
     knobs.sim.transport.initial_window = xrp(17);
     knobs.sim.transport.min_window = xrp(1);
-    knobs.sim.transport.beta = 0.9;
+    knobs.sim.transport.beta_ppm = 900'000;
     const SimMetrics a = SpiderNetwork(scenario.graph, baseline)
                              .run(Scheme::kSpiderWaterfilling, scenario.trace);
     const SimMetrics b = SpiderNetwork(scenario.graph, knobs)

@@ -1,0 +1,28 @@
+// Fuzz target: the strict topology-CSV importer (read_topology_csv). On
+// accepted input the resulting Graph must satisfy the importer's documented
+// shape rules (node count = max id + 1, no self-loops, positive capacity) —
+// checked via the graph's own accessors so an importer bug that smuggles an
+// invalid channel in is a crash, not a silent simulation assert later.
+
+#include <cstdint>
+#include <cstdlib>
+
+#include "fuzz_common.hpp"
+#include "topology/topology.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string& path = spider_fuzz::dump_input(data, size, ".csv");
+  spider_fuzz::expect_parse_or_reject([&] {
+    const spider::Graph g = spider::read_topology_csv(path);
+    for (spider::EdgeId e = 0; e < g.num_edges(); ++e) {
+      const auto& ed = g.edge(e);
+      if (ed.a == ed.b) std::abort();               // self-loop admitted
+      if (ed.capacity <= 0) std::abort();           // zero-capacity channel
+      if (ed.a < 0 || ed.a >= g.num_nodes() || ed.b < 0 ||
+          ed.b >= g.num_nodes())
+        std::abort();                               // out-of-range endpoint
+    }
+  });
+  return 0;
+}

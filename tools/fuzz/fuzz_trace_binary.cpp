@@ -1,0 +1,38 @@
+// Fuzz target: the mmap'd packed binary trace reader (BinaryTraceReader).
+// The reader promises to reject bad magic, byte-swapped or unsupported
+// versions, truncation, trailing bytes, count/payload mismatches, invalid
+// fields and decreasing arrivals with std::runtime_error naming the record
+// — so any other escape (a sanitizer report on the mapping walk, an
+// assertion, a crash) is a finding. Accepted payments are re-validated
+// against the format's field invariants here.
+
+#include <cstdint>
+#include <cstdlib>
+
+#include "fuzz_common.hpp"
+#include "workload/trace_binary.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string& path = spider_fuzz::dump_input(data, size, ".sptr");
+  spider_fuzz::expect_parse_or_reject([&] {
+    spider::TraceReaderOptions options;
+    options.chunk_size = 7;  // force several mapping-window advances
+    spider::BinaryTraceReader reader(path, options);
+    spider::TimePoint last = 0;
+    std::size_t seen = 0;
+    while (true) {
+      const auto chunk = reader.next();
+      if (chunk.empty()) break;
+      for (const spider::PaymentSpec& spec : chunk) {
+        if (spec.arrival < last) std::abort();  // nondecreasing arrivals
+        last = spec.arrival;
+        if (spec.src < 0 || spec.dst < 0) std::abort();
+        if (spec.amount <= 0 || spec.deadline < 0) std::abort();
+        ++seen;
+      }
+    }
+    if (seen != reader.record_count()) std::abort();  // header count drift
+  });
+  return 0;
+}

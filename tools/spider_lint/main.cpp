@@ -1,0 +1,73 @@
+// spider_lint CLI — see lint.hpp for the rule catalogue.
+//
+//   spider_lint [--json] [--repo-root DIR] [--list-rules] PATH...
+//
+// Scans each PATH (file, or directory recursed for C++ sources) and prints
+// one diagnostic per violation. Exit status: 0 clean, 1 violations found,
+// 2 usage/environment error. CI runs `spider_lint src tools examples` from
+// the repository root; --repo-root points the env-registry and
+// metric-registry rules at README.md / DESIGN.md / tests/test_support.hpp
+// when scanning from elsewhere (the fixture self-tests use this).
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "spider_lint/lint.hpp"
+
+namespace {
+
+int usage(std::ostream& os, int code) {
+  os << "usage: spider_lint [--json] [--repo-root DIR] [--list-rules] "
+        "PATH...\n"
+        "  --json        emit the report as JSON on stdout\n"
+        "  --repo-root   where README.md/DESIGN.md/tests/ are resolved "
+        "(default: .)\n"
+        "  --list-rules  print the rule catalogue and exit\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  spider_lint::Options options;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--repo-root") {
+      if (++i >= argc) return usage(std::cerr, 2);
+      options.repo_root = argv[i];
+    } else if (arg == "--list-rules") {
+      for (const char* rule : spider_lint::kRuleNames)
+        std::cout << rule << "\n";
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(std::cout, 0);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "spider_lint: unknown option " << arg << "\n";
+      return usage(std::cerr, 2);
+    } else {
+      options.roots.push_back(arg);
+    }
+  }
+  if (options.roots.empty()) return usage(std::cerr, 2);
+
+  try {
+    const spider_lint::Report report = spider_lint::run_lint(options);
+    if (json) {
+      std::cout << spider_lint::to_json(report);
+    } else {
+      std::cout << spider_lint::to_text(report);
+      std::cout << "spider_lint: " << report.files_scanned
+                << " files scanned, " << report.findings.size()
+                << " violation" << (report.findings.size() == 1 ? "" : "s")
+                << "\n";
+    }
+    return report.clean() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+}

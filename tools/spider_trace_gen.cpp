@@ -1,7 +1,7 @@
 // spider_trace_gen — emit a registry scenario's workload as on-disk trace
 // and topology files, deterministically.
 //
-//   spider_trace_gen --scenario isp --payments 1000000 \
+//   spider_trace_gen --scenario isp --payments 1000000
 //       --out trace.csv --topology-out topology.csv
 //
 // The emitted pair is exactly what the scenario would have generated in
